@@ -1,0 +1,162 @@
+//! Criterion micro-benchmarks of the hot code paths (real wall-clock, as
+//! opposed to the harness binaries' virtual-time measurements):
+//!
+//! - CRIU dump and restore across snapshot sizes (with zero-page dedup
+//!   on/off workloads)
+//! - class-file parse + verify throughput
+//! - Markdown rendering
+//! - image decode and box resize
+//! - statistics kernels (bootstrap CI, Shapiro–Wilk, Mann–Whitney)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use prebake_criu::{dump, restore, DumpOptions, RestoreOptions};
+use prebake_functions::image::{resize_box, CompressedImage};
+use prebake_functions::{markdown, sample_markdown};
+use prebake_runtime::classfile::ClassFile;
+use prebake_runtime::gen::{synth_class, SplitMix64};
+use prebake_sim::kernel::{Kernel, INIT_PID};
+use prebake_sim::mem::{Prot, VmaKind, PAGE_SIZE};
+use prebake_sim::proc::Pid;
+use prebake_stats::{bootstrap, mannwhitney, shapiro};
+
+/// Builds a kernel hosting a process with `pages` materialised pages
+/// (`zero_fraction` of them all-zero to exercise dedup).
+fn kernel_with_process(pages: u64, zero_fraction: f64) -> (Kernel, Pid, Pid) {
+    let mut k = Kernel::free(1);
+    let tracer = k.sys_clone(INIT_PID).unwrap();
+    let target = k.sys_clone(INIT_PID).unwrap();
+    let addr = k
+        .sys_mmap(target, pages * PAGE_SIZE as u64, Prot::RW, VmaKind::RuntimeHeap)
+        .unwrap();
+    let mut rng = SplitMix64::new(7);
+    for i in 0..pages {
+        let data = if (i as f64 / pages as f64) < zero_fraction {
+            vec![0u8; PAGE_SIZE]
+        } else {
+            rng.nonzero_bytes(PAGE_SIZE)
+        };
+        k.mem_write(target, addr.add(i * PAGE_SIZE as u64), &data)
+            .unwrap();
+    }
+    (k, tracer, target)
+}
+
+fn bench_criu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("criu");
+    group.sample_size(20);
+    for &pages in &[256u64, 1024, 4096] {
+        group.throughput(Throughput::Bytes(pages * PAGE_SIZE as u64));
+        group.bench_with_input(BenchmarkId::new("dump", pages), &pages, |b, &pages| {
+            b.iter_batched(
+                || kernel_with_process(pages, 0.0),
+                |(mut k, tracer, target)| {
+                    let mut opts = DumpOptions::new(target, "/img");
+                    opts.leave_running = true;
+                    dump(&mut k, tracer, &opts).unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("restore", pages), &pages, |b, &pages| {
+            let (mut k, tracer, target) = kernel_with_process(pages, 0.0);
+            let mut opts = DumpOptions::new(target, "/img");
+            opts.leave_running = true;
+            dump(&mut k, tracer, &opts).unwrap();
+            b.iter(|| {
+                let stats = restore(&mut k, tracer, &RestoreOptions::new("/img")).unwrap();
+                // drop the restored process so pids/memory don't pile up
+                k.sys_exit(stats.pid, 0).unwrap();
+                k.reap(stats.pid).unwrap();
+                stats.pages_installed
+            });
+        });
+    }
+    // Zero-page dedup benefit.
+    group.bench_function("dump_half_zero_1024", |b| {
+        b.iter_batched(
+            || kernel_with_process(1024, 0.5),
+            |(mut k, tracer, target)| {
+                let mut opts = DumpOptions::new(target, "/img");
+                opts.leave_running = true;
+                dump(&mut k, tracer, &opts).unwrap()
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_classfile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classfile");
+    for &size in &[4usize << 10, 64 << 10] {
+        let class = synth_class("bench.C", 1, size);
+        let bytes = class.encode();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("parse_verify", size),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    let parsed = ClassFile::parse(bytes).unwrap();
+                    parsed.verify().unwrap();
+                    parsed.code_bytes()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_markdown(c: &mut Criterion) {
+    let doc = sample_markdown();
+    let mut group = c.benchmark_group("markdown");
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.bench_function("render_sample_doc", |b| {
+        b.iter(|| markdown::render_page("bench", &doc));
+    });
+    group.finish();
+}
+
+fn bench_image(c: &mut Criterion) {
+    let mut group = c.benchmark_group("image");
+    group.sample_size(10);
+    let small = CompressedImage::synthetic(860, 360, 3, 1 << 16);
+    group.bench_function("decode_860x360", |b| b.iter(|| small.decode()));
+    let bmp = small.decode();
+    group.bench_function("resize_box_10pct_860x360", |b| {
+        b.iter(|| resize_box(&bmp, 0.1))
+    });
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(5);
+    let a: Vec<f64> = (0..200)
+        .map(|_| 100.0 + (rng.next_u64() % 997) as f64 / 100.0)
+        .collect();
+    let b2: Vec<f64> = (0..200)
+        .map(|_| 60.0 + (rng.next_u64() % 997) as f64 / 100.0)
+        .collect();
+    let mut group = c.benchmark_group("stats");
+    group.bench_function("bootstrap_median_ci_200x2000", |b| {
+        b.iter(|| bootstrap::median_ci(&a, 2000, 0.95, 1));
+    });
+    group.bench_function("shapiro_wilk_200", |b| {
+        b.iter(|| shapiro::shapiro_wilk(&a));
+    });
+    group.bench_function("mann_whitney_200v200", |b| {
+        b.iter(|| mannwhitney::mann_whitney(&a, &b2));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_criu,
+    bench_classfile,
+    bench_markdown,
+    bench_image,
+    bench_stats
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 6: start-up speed-up of both prebaking variants over vanilla,
+//! across synthetic function sizes.
+//!
+//! The reported quantity is the paper's ratio "vanilla start-up time /
+//! prebaked start-up time", as a percentage.
+//!
+//! Paper reference:
+//!   small: PB-NoWarmup 127.45 %, PB-Warmup 403.96 %
+//!   big:   PB-NoWarmup 121.07 %, PB-Warmup 1932.49 %
+
+use prebake_bench::{hr, parallel_startup_trials, speedup_ratio_pct, HarnessArgs};
+use prebake_core::measure::{StartMode, TrialRunner};
+use prebake_functions::{FunctionSpec, SyntheticSize};
+use prebake_stats::summary::median;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Figure 6 — prebaking speed-up over vanilla ({} reps)",
+        args.reps
+    );
+    hr();
+    println!(
+        "{:<8} {:>12} {:>14} {:>12} {:>16} {:>16}",
+        "size", "vanilla", "pb-nowarmup", "pb-warmup", "nowarmup ratio", "warmup ratio"
+    );
+    hr();
+
+    let paper = [
+        ("small", 127.45, 403.96),
+        ("medium", 126.3, 716.3), // interpolated from Table 1 medians
+        ("big", 121.07, 1932.49),
+    ];
+
+    for size in SyntheticSize::all() {
+        let spec = FunctionSpec::synthetic(size);
+        let mut medians = Vec::new();
+        for mode in StartMode::all_three() {
+            let runner = TrialRunner::new(spec.clone(), mode).expect("build runner");
+            let samples: Vec<f64> = parallel_startup_trials(&runner, args.reps, args.seed)
+                .iter()
+                .map(|t| t.first_response_ms)
+                .collect();
+            medians.push(median(&samples));
+        }
+        let (v, nw, w) = (medians[0], medians[1], medians[2]);
+        println!(
+            "{:<8} {:>10.2}ms {:>12.2}ms {:>10.2}ms {:>15.2}% {:>15.2}%",
+            size.label(),
+            v,
+            nw,
+            w,
+            speedup_ratio_pct(v, nw),
+            speedup_ratio_pct(v, w)
+        );
+    }
+    hr();
+    println!("paper reference ratios (vanilla/prebaked, %):");
+    for (label, nw, w) in paper {
+        println!("  {label:<8} nowarmup {nw:>8.2}%   warmup {w:>8.2}%");
+    }
+    println!("(medium warmup ratio derived from Table 1: 456.0/63.7)");
+}

@@ -1,0 +1,51 @@
+//! Table 1: start-up time 95 % confidence intervals (ms) for functions
+//! with small, medium and big code bases, under the three techniques.
+//!
+//! Paper reference (ms):
+//!             Vanilla            PB-NoWarmup        PB-Warmup
+//!   Small     (219.25;220.32)    (172.12;172.80)    (54.06;54.75)
+//!   Medium    (455.45;456.64)    (360.51;361.24)    (63.46;63.99)
+//!   Big       (1619.91;1622.08)  (1339.90;1340.98)  (83.62;84.35)
+
+use prebake_bench::{hr, parallel_startup_trials, summarize, HarnessArgs};
+use prebake_core::measure::{StartMode, TrialRunner};
+use prebake_functions::{FunctionSpec, SyntheticSize};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Table 1 — start-up time 95% CIs, three techniques x three sizes ({} reps)",
+        args.reps
+    );
+    hr();
+    println!(
+        "{:<8} {:>22} {:>22} {:>22}",
+        "size", "Vanilla", "PB-NoWarmup", "PB-Warmup"
+    );
+    hr();
+
+    for size in SyntheticSize::all() {
+        let spec = FunctionSpec::synthetic(size);
+        let mut cells = Vec::new();
+        for mode in StartMode::all_three() {
+            let runner = TrialRunner::new(spec.clone(), mode).expect("build runner");
+            let samples: Vec<f64> = parallel_startup_trials(&runner, args.reps, args.seed)
+                .iter()
+                .map(|t| t.first_response_ms)
+                .collect();
+            cells.push(summarize(&samples, 3).ci.to_string());
+        }
+        println!(
+            "{:<8} {:>22} {:>22} {:>22}",
+            size.label(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    hr();
+    println!("paper reference:");
+    println!("  small   (219.25;220.32)   (172.12;172.80)   (54.06;54.75)");
+    println!("  medium  (455.45;456.64)   (360.51;361.24)   (63.46;63.99)");
+    println!("  big     (1619.91;1622.08) (1339.90;1340.98) (83.62;84.35)");
+}

@@ -1,0 +1,179 @@
+//! # prebake-bench
+//!
+//! Shared harness utilities for the experiment binaries (one per paper
+//! table/figure — see `DESIGN.md` §4 for the index and `EXPERIMENTS.md`
+//! for paper-vs-measured results).
+//!
+//! Every binary accepts:
+//!
+//! - `--reps <N>` — repetitions per treatment (default 200, the paper's
+//!   count)
+//! - `--quick` — 30 repetitions, for smoke runs
+//! - `--seed <S>` — base RNG seed (default 1)
+//!
+//! Repetitions fan out across host threads with crossbeam; each trial
+//! builds its own virtual machine, so parallelism cannot perturb the
+//! measured virtual times.
+
+#![warn(missing_docs)]
+
+use prebake_core::measure::{StartupTrial, TrialRunner};
+use prebake_stats::bootstrap::{median_ci, ConfInterval};
+use prebake_stats::summary::median;
+
+/// Command-line options shared by all harness binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessArgs {
+    /// Repetitions per treatment.
+    pub reps: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs { reps: 200, seed: 1 }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`; exits with a usage message on error.
+    pub fn parse() -> HarnessArgs {
+        let mut args = HarnessArgs::default();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--quick" => {
+                    args.reps = 30;
+                    i += 1;
+                }
+                "--reps" => {
+                    args.reps = argv
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--reps needs a number"));
+                    i += 2;
+                }
+                "--seed" => {
+                    args.seed = argv
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a number"));
+                    i += 2;
+                }
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        args
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}\nusage: <bin> [--reps N] [--quick] [--seed S]");
+    std::process::exit(2);
+}
+
+/// Runs `reps` startup trials in parallel across host threads.
+///
+/// # Panics
+///
+/// Panics if any trial fails — experiment configurations are expected to
+/// be valid.
+pub fn parallel_startup_trials(
+    runner: &TrialRunner,
+    reps: usize,
+    seed0: u64,
+) -> Vec<StartupTrial> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(reps.max(1));
+    let mut results: Vec<Option<StartupTrial>> = vec![None; reps];
+    let chunk = reps.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (t, slice) in results.chunks_mut(chunk).enumerate() {
+            let base = seed0 + (t * chunk) as u64;
+            scope.spawn(move |_| {
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(
+                        runner
+                            .startup_trial(base + i as u64)
+                            .expect("startup trial failed"),
+                    );
+                }
+            });
+        }
+    })
+    .expect("trial thread panicked");
+    results.into_iter().map(|t| t.unwrap()).collect()
+}
+
+/// Summary of one treatment's sample: median + bootstrap 95 % CI.
+#[derive(Debug, Clone, Copy)]
+pub struct TreatmentSummary {
+    /// Sample median (ms).
+    pub median_ms: f64,
+    /// 95 % bootstrap CI of the median.
+    pub ci: ConfInterval,
+}
+
+/// Computes the paper's standard per-treatment summary.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn summarize(samples_ms: &[f64], seed: u64) -> TreatmentSummary {
+    TreatmentSummary {
+        median_ms: median(samples_ms),
+        ci: median_ci(samples_ms, 2000, 0.95, seed),
+    }
+}
+
+/// Prints a horizontal rule sized to the report tables.
+pub fn hr() {
+    println!("{}", "-".repeat(78));
+}
+
+/// Formats an improvement percentage `(old - new) / old`.
+pub fn improvement_pct(old: f64, new: f64) -> f64 {
+    (old - new) / old * 100.0
+}
+
+/// Formats the paper's speed-up ratio `old / new` as a percentage
+/// (e.g. 403.96 for "403.96 %").
+pub fn speedup_ratio_pct(old: f64, new: f64) -> f64 {
+    old / new * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebake_core::measure::StartMode;
+    use prebake_functions::FunctionSpec;
+
+    #[test]
+    fn parallel_trials_cover_all_seeds() {
+        let runner = TrialRunner::new(FunctionSpec::noop(), StartMode::Vanilla).unwrap();
+        let trials = parallel_startup_trials(&runner, 8, 100);
+        assert_eq!(trials.len(), 8);
+        // Deterministic: same seeds give the same set of startups.
+        let again = parallel_startup_trials(&runner, 8, 100);
+        for (a, b) in trials.iter().zip(&again) {
+            assert_eq!(a.startup_ms, b.startup_ms);
+        }
+    }
+
+    #[test]
+    fn summarize_produces_ci_containing_median() {
+        let data: Vec<f64> = (0..50).map(|i| 100.0 + (i % 7) as f64).collect();
+        let s = summarize(&data, 1);
+        assert!(s.ci.contains(s.median_ms));
+    }
+
+    #[test]
+    fn ratio_helpers() {
+        assert!((improvement_pct(100.0, 60.0) - 40.0).abs() < 1e-9);
+        assert!((speedup_ratio_pct(219.8, 54.4) - 404.04).abs() < 0.5);
+    }
+}

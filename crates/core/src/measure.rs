@@ -1,0 +1,315 @@
+//! The experiment harness: repeated cold-start trials on fresh machines.
+//!
+//! One [`TrialRunner`] fixes a function and a start mode; each call to
+//! [`TrialRunner::startup_trial`] provisions a *fresh machine* (fresh
+//! page cache, fresh pids — the paper restarts the runtime and load
+//! generator before every run), deploys the function, and measures one
+//! cold start. Prebake modes bake the snapshot **once** on a builder
+//! machine (that is the whole point of build-time snapshotting) and ship
+//! the images into every trial machine's container image.
+
+use bytes::Bytes;
+
+use prebake_functions::FunctionSpec;
+use prebake_sim::error::SysResult;
+use prebake_sim::kernel::Kernel;
+use prebake_sim::proc::Pid;
+use prebake_sim::time::SimDuration;
+
+use crate::env::{
+    export_images, fresh_container, import_images, provision_machine, Deployment,
+};
+use crate::phases::Phases;
+use crate::prebaker::{bake, SnapshotPolicy};
+use crate::starter::{PrebakeStarter, Started, Starter, VanillaStarter};
+
+/// How a trial's replica is started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StartMode {
+    /// fork-exec + full boot.
+    Vanilla,
+    /// Restore a snapshot taken after readiness (PB-NoWarmup).
+    PrebakeNoWarmup,
+    /// Restore a snapshot taken after `n` warm-up requests (PB-Warmup;
+    /// the paper uses 1).
+    PrebakeWarmup(u32),
+}
+
+impl StartMode {
+    /// The snapshot policy this mode bakes with, if any.
+    pub fn policy(&self) -> Option<SnapshotPolicy> {
+        match self {
+            StartMode::Vanilla => None,
+            StartMode::PrebakeNoWarmup => Some(SnapshotPolicy::AfterReady),
+            StartMode::PrebakeWarmup(n) => Some(SnapshotPolicy::AfterWarmup(*n)),
+        }
+    }
+
+    /// Label used in reports (matches the paper's terminology).
+    pub fn label(&self) -> String {
+        match self {
+            StartMode::Vanilla => "vanilla".to_owned(),
+            StartMode::PrebakeNoWarmup => "pb-nowarmup".to_owned(),
+            StartMode::PrebakeWarmup(1) => "pb-warmup".to_owned(),
+            StartMode::PrebakeWarmup(n) => format!("pb-warmup-{n}"),
+        }
+    }
+
+    /// The three modes of the paper's full-factorial §4.2.2 experiment.
+    pub fn all_three() -> [StartMode; 3] {
+        [
+            StartMode::Vanilla,
+            StartMode::PrebakeNoWarmup,
+            StartMode::PrebakeWarmup(1),
+        ]
+    }
+}
+
+/// One cold-start observation.
+#[derive(Debug, Clone, Copy)]
+pub struct StartupTrial {
+    /// Start command → ready to serve, in milliseconds (Fig. 3's
+    /// "start-up time").
+    pub startup_ms: f64,
+    /// Start command → first response completed, in milliseconds (the
+    /// §4.2.2 measurement: lazily-linking functions do their class
+    /// loading inside the first request).
+    pub first_response_ms: f64,
+    /// Phase decomposition of the start-up (Fig. 4).
+    pub phases: Phases,
+    /// Snapshot size behind this start (0 for vanilla).
+    pub snapshot_bytes: u64,
+}
+
+/// A fixed (function, mode) pair that can run many independent trials.
+///
+/// `TrialRunner` is `Sync`: trials only need `&self`, so repetitions can
+/// fan out across threads, each building its own machine.
+#[derive(Debug)]
+pub struct TrialRunner {
+    spec: FunctionSpec,
+    mode: StartMode,
+    port: u16,
+    baked_images: Option<Vec<(String, Bytes)>>,
+    snapshot_bytes: u64,
+}
+
+impl TrialRunner {
+    /// Prepares a runner; prebake modes bake the snapshot once here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build/bake errors.
+    pub fn new(spec: FunctionSpec, mode: StartMode) -> SysResult<TrialRunner> {
+        let port = 8080;
+        let (baked_images, snapshot_bytes) = match mode.policy() {
+            None => (None, 0),
+            Some(policy) => {
+                // The builder machine: where `faas-cli build` would run.
+                let mut kernel = Kernel::new(0xBA5E);
+                let builder = provision_machine(&mut kernel)?;
+                let dep = Deployment::install(&mut kernel, spec.clone(), port)?;
+                let report = bake(&mut kernel, builder, &dep, policy, &dep.images_dir())?;
+                let files = export_images(&mut kernel, &dep.images_dir())?;
+                (Some(files), report.snapshot_bytes())
+            }
+        };
+        Ok(TrialRunner {
+            spec,
+            mode,
+            port,
+            baked_images,
+            snapshot_bytes,
+        })
+    }
+
+    /// The mode this runner measures.
+    pub fn mode(&self) -> StartMode {
+        self.mode
+    }
+
+    /// The function this runner measures.
+    pub fn spec(&self) -> &FunctionSpec {
+        &self.spec
+    }
+
+    /// Size of the baked snapshot (0 for vanilla).
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_bytes
+    }
+
+    /// Builds the trial machine: provision, deploy, ship snapshot images,
+    /// then reset to fresh-container cache state.
+    fn setup(&self, seed: u64) -> SysResult<(Kernel, Pid, Deployment)> {
+        let mut kernel = Kernel::new(seed);
+        let watchdog = provision_machine(&mut kernel)?;
+        let dep = Deployment::install(&mut kernel, self.spec.clone(), self.port)?;
+        let mut warm = Vec::new();
+        if let Some(files) = &self.baked_images {
+            import_images(&mut kernel, &dep.images_dir(), files)?;
+            warm = dep.image_paths();
+        }
+        fresh_container(&mut kernel, &warm)?;
+        Ok((kernel, watchdog, dep))
+    }
+
+    fn starter(&self) -> Box<dyn Starter> {
+        match self.mode {
+            StartMode::Vanilla => Box::new(VanillaStarter),
+            _ => Box::new(PrebakeStarter::new()),
+        }
+    }
+
+    /// Runs one cold-start trial on a fresh machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/runtime errors.
+    pub fn startup_trial(&self, seed: u64) -> SysResult<StartupTrial> {
+        let (mut kernel, watchdog, dep) = self.setup(seed)?;
+        let t0 = kernel.now();
+        let Started {
+            mut replica,
+            startup,
+            phases,
+        } = self.starter().start(&mut kernel, watchdog, &dep)?;
+
+        // First request (held until readiness by the load generator).
+        let req = dep.spec.sample_request();
+        replica.handle(&mut kernel, &req)?;
+        let first_response = kernel.now() - t0;
+
+        Ok(StartupTrial {
+            startup_ms: startup.as_millis_f64(),
+            first_response_ms: first_response.as_millis_f64(),
+            phases,
+            snapshot_bytes: self.snapshot_bytes,
+        })
+    }
+
+    /// Starts once and serves `requests` sequential invocations at a
+    /// constant rate, returning each service time in milliseconds (the
+    /// paper's Fig. 7 methodology).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/runtime errors.
+    pub fn service_trial(
+        &self,
+        seed: u64,
+        requests: usize,
+        inter_arrival: SimDuration,
+    ) -> SysResult<Vec<f64>> {
+        let (mut kernel, watchdog, dep) = self.setup(seed)?;
+        let Started { mut replica, .. } = self.starter().start(&mut kernel, watchdog, &dep)?;
+        let req = dep.spec.sample_request();
+        let mut times = Vec::with_capacity(requests);
+        for _ in 0..requests {
+            let t0 = kernel.now();
+            replica.handle(&mut kernel, &req)?;
+            times.push((kernel.now() - t0).as_millis_f64());
+            kernel.advance(inter_arrival);
+        }
+        Ok(times)
+    }
+
+    /// Runs `reps` startup trials with consecutive seeds, collecting
+    /// `startup_ms` (Fig. 3/4 measurement).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trial errors.
+    pub fn startup_samples(&self, reps: usize, seed0: u64) -> SysResult<Vec<StartupTrial>> {
+        (0..reps)
+            .map(|i| self.startup_trial(seed0 + i as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebake_functions::SyntheticSize;
+
+    #[test]
+    fn mode_labels_and_policies() {
+        assert_eq!(StartMode::Vanilla.label(), "vanilla");
+        assert_eq!(StartMode::PrebakeNoWarmup.label(), "pb-nowarmup");
+        assert_eq!(StartMode::PrebakeWarmup(1).label(), "pb-warmup");
+        assert_eq!(StartMode::PrebakeWarmup(3).label(), "pb-warmup-3");
+        assert!(StartMode::Vanilla.policy().is_none());
+        assert_eq!(
+            StartMode::PrebakeWarmup(1).policy(),
+            Some(SnapshotPolicy::AfterWarmup(1))
+        );
+        assert_eq!(StartMode::all_three().len(), 3);
+    }
+
+    #[test]
+    fn vanilla_noop_trials_match_paper_scale() {
+        let runner = TrialRunner::new(FunctionSpec::noop(), StartMode::Vanilla).unwrap();
+        let trials = runner.startup_samples(5, 100).unwrap();
+        for t in &trials {
+            assert!(
+                (90.0..120.0).contains(&t.startup_ms),
+                "startup {}ms",
+                t.startup_ms
+            );
+            assert!(t.first_response_ms > t.startup_ms);
+            assert_eq!(t.snapshot_bytes, 0);
+        }
+        // Trials differ (noise) but only slightly.
+        assert_ne!(trials[0].startup_ms, trials[1].startup_ms);
+    }
+
+    #[test]
+    fn prebake_runner_bakes_once_and_reuses() {
+        let runner =
+            TrialRunner::new(FunctionSpec::noop(), StartMode::PrebakeNoWarmup).unwrap();
+        assert!(runner.snapshot_bytes() > 10_000_000);
+        let a = runner.startup_trial(1).unwrap();
+        let b = runner.startup_trial(2).unwrap();
+        assert!(a.startup_ms < 80.0, "prebaked NOOP {}ms", a.startup_ms);
+        assert!(b.startup_ms < 80.0);
+        assert_eq!(a.snapshot_bytes, b.snapshot_bytes);
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let runner = TrialRunner::new(FunctionSpec::noop(), StartMode::Vanilla).unwrap();
+        let a = runner.startup_trial(7).unwrap();
+        let b = runner.startup_trial(7).unwrap();
+        assert_eq!(a.startup_ms, b.startup_ms);
+        assert_eq!(a.first_response_ms, b.first_response_ms);
+    }
+
+    #[test]
+    fn warmup_beats_nowarmup_on_synthetic_small() {
+        let spec = FunctionSpec::synthetic(SyntheticSize::Small);
+        let nw = TrialRunner::new(spec.clone(), StartMode::PrebakeNoWarmup).unwrap();
+        let w = TrialRunner::new(spec, StartMode::PrebakeWarmup(1)).unwrap();
+        let t_nw = nw.startup_trial(1).unwrap();
+        let t_w = w.startup_trial(1).unwrap();
+        assert!(
+            t_w.first_response_ms < t_nw.first_response_ms / 2.0,
+            "warmup {} vs nowarmup {}",
+            t_w.first_response_ms,
+            t_nw.first_response_ms
+        );
+    }
+
+    #[test]
+    fn service_trial_returns_requested_count() {
+        let runner = TrialRunner::new(FunctionSpec::noop(), StartMode::Vanilla).unwrap();
+        let times = runner
+            .service_trial(5, 10, SimDuration::from_millis(10))
+            .unwrap();
+        assert_eq!(times.len(), 10);
+        assert!(times.iter().all(|&t| t > 0.0));
+        // steady-state requests are fast and similar
+        let tail = &times[2..];
+        let max = tail.iter().cloned().fold(0.0f64, f64::max);
+        let min = tail.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min < 1.5, "service times vary too much: {times:?}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Start-up mechanisms: the paper's *Vanilla* fork-exec path and the
+//! *Prebaking* restore path, behind one [`Starter`] abstraction.
+
+use prebake_criu::{restore, RestoreOptions};
+use prebake_functions::FunctionSpec;
+use prebake_runtime::Replica;
+use prebake_sim::error::SysResult;
+use prebake_sim::kernel::Kernel;
+use prebake_sim::proc::{CapSet, Pid};
+use prebake_sim::time::SimDuration;
+
+use crate::env::{Deployment, RUNTIME_BIN};
+use crate::phases::{Phases, PhaseTracker};
+
+/// A started replica plus its start-up measurements.
+#[derive(Debug)]
+pub struct Started {
+    /// The ready-to-serve replica.
+    pub replica: Replica,
+    /// Time from the start command to readiness.
+    pub startup: SimDuration,
+    /// The Figure-4 phase decomposition.
+    pub phases: Phases,
+}
+
+/// A mechanism for starting function replicas.
+pub trait Starter {
+    /// Short label for reports (`"vanilla"`, `"prebake"`).
+    fn label(&self) -> &'static str;
+
+    /// Starts one replica of `dep` on `kernel`, driven by `supervisor`
+    /// (the watchdog process).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/runtime errors.
+    fn start(
+        &self,
+        kernel: &mut Kernel,
+        supervisor: Pid,
+        dep: &Deployment,
+    ) -> SysResult<Started>;
+}
+
+impl std::fmt::Debug for dyn Starter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Starter({})", self.label())
+    }
+}
+
+/// The state-of-the-practice start-up: `clone` + `execve` of the runtime
+/// launcher, runtime bootstrap, application initialisation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VanillaStarter;
+
+impl Starter for VanillaStarter {
+    fn label(&self) -> &'static str {
+        "vanilla"
+    }
+
+    fn start(
+        &self,
+        kernel: &mut Kernel,
+        supervisor: Pid,
+        dep: &Deployment,
+    ) -> SysResult<Started> {
+        kernel.set_tracing(true);
+        let t0 = kernel.now();
+
+        let pid = kernel.sys_clone(supervisor)?;
+        // Replicas run unprivileged.
+        kernel.process_mut(pid)?.caps = CapSet::empty();
+        let config = dep.jlvm_config();
+        kernel.sys_execve(
+            pid,
+            RUNTIME_BIN,
+            &[
+                RUNTIME_BIN.to_owned(),
+                config.archive_path.clone(),
+                dep.port.to_string(),
+            ],
+        )?;
+        let handler = dep.spec.make_handler(&dep.app_dir);
+        let replica = Replica::boot(kernel, pid, config, handler)?;
+
+        let ready = kernel.now();
+        let trace = kernel.take_trace();
+        kernel.set_tracing(false);
+        Ok(Started {
+            replica,
+            startup: ready - t0,
+            phases: PhaseTracker::new(t0, ready).phases(&trace),
+        })
+    }
+}
+
+/// The paper's prebaking start-up: `criu restore` of a snapshot baked at
+/// build time, then handler re-attachment. No exec, no RTS, no class
+/// loading, no JIT beyond what the snapshot lacks.
+#[derive(Debug, Clone, Default)]
+pub struct PrebakeStarter {
+    /// Override for the images directory; defaults to
+    /// [`Deployment::images_dir`].
+    pub images_dir: Option<String>,
+}
+
+impl PrebakeStarter {
+    /// Starts from the deployment's default snapshot directory.
+    pub fn new() -> PrebakeStarter {
+        PrebakeStarter::default()
+    }
+}
+
+impl Starter for PrebakeStarter {
+    fn label(&self) -> &'static str {
+        "prebake"
+    }
+
+    fn start(
+        &self,
+        kernel: &mut Kernel,
+        supervisor: Pid,
+        dep: &Deployment,
+    ) -> SysResult<Started> {
+        kernel.set_tracing(true);
+        let t0 = kernel.now();
+
+        let dir = self
+            .images_dir
+            .clone()
+            .unwrap_or_else(|| dep.images_dir());
+        let stats = restore(kernel, supervisor, &RestoreOptions::new(&dir))?;
+        let handler = dep.spec.make_handler(&dep.app_dir);
+        let replica = Replica::attach(kernel, stats.pid, dep.jlvm_config(), handler)?;
+        kernel.emit_marker(stats.pid, "ready");
+
+        let ready = kernel.now();
+        let trace = kernel.take_trace();
+        kernel.set_tracing(false);
+        Ok(Started {
+            replica,
+            startup: ready - t0,
+            phases: PhaseTracker::new(t0, ready).phases(&trace),
+        })
+    }
+}
+
+/// Convenience: start a replica of `spec` the vanilla way on a fresh
+/// throwaway machine (quickstart/demo path, not a measured experiment).
+///
+/// # Errors
+///
+/// Propagates kernel/runtime errors.
+pub fn quick_start(spec: FunctionSpec, seed: u64) -> SysResult<(Kernel, Started)> {
+    let mut kernel = Kernel::new(seed);
+    let watchdog = crate::env::provision_machine(&mut kernel)?;
+    let dep = Deployment::install(&mut kernel, spec, 8080)?;
+    let started = VanillaStarter.start(&mut kernel, watchdog, &dep)?;
+    Ok((kernel, started))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::provision_machine;
+    use crate::prebaker::{bake, SnapshotPolicy};
+    use prebake_runtime::Request;
+
+    fn deployed(seed: u64) -> (Kernel, Pid, Deployment) {
+        let mut kernel = Kernel::new(seed);
+        let watchdog = provision_machine(&mut kernel).unwrap();
+        let dep = Deployment::install(&mut kernel, FunctionSpec::noop(), 8080).unwrap();
+        (kernel, watchdog, dep)
+    }
+
+    #[test]
+    fn vanilla_start_produces_serving_replica() {
+        let (mut kernel, watchdog, dep) = deployed(1);
+        let mut started = VanillaStarter.start(&mut kernel, watchdog, &dep).unwrap();
+        assert!(started.replica.is_ready());
+        let resp = started
+            .replica
+            .handle(&mut kernel, &Request::empty())
+            .unwrap();
+        assert!(resp.is_success());
+        // Paper Fig. 3: NOOP vanilla ≈ 103 ms.
+        let ms = started.startup.as_millis_f64();
+        assert!((90.0..120.0).contains(&ms), "vanilla NOOP startup {ms}ms");
+        // Fig. 4: RTS ≈ 70 ms, clone+exec tiny.
+        assert!((60.0..80.0).contains(&started.phases.rts.as_millis_f64()));
+        assert!(started.phases.clone.as_millis_f64() < 2.0);
+        assert!(started.phases.exec.as_millis_f64() < 3.0);
+    }
+
+    #[test]
+    fn prebake_start_skips_rts() {
+        let (mut kernel, watchdog, dep) = deployed(2);
+        bake(
+            &mut kernel,
+            watchdog,
+            &dep,
+            SnapshotPolicy::AfterReady,
+            &dep.images_dir(),
+        )
+        .unwrap();
+        let mut started = PrebakeStarter::new()
+            .start(&mut kernel, watchdog, &dep)
+            .unwrap();
+        assert!(started.replica.is_ready());
+        assert_eq!(started.phases.rts, SimDuration::ZERO);
+        assert_eq!(started.phases.exec, SimDuration::ZERO);
+        let resp = started
+            .replica
+            .handle(&mut kernel, &Request::empty())
+            .unwrap();
+        assert!(resp.is_success());
+    }
+
+    #[test]
+    fn prebake_beats_vanilla_on_noop() {
+        // Two fresh machines with the same seed-class noise.
+        let (mut k1, w1, d1) = deployed(3);
+        let vanilla = VanillaStarter.start(&mut k1, w1, &d1).unwrap();
+
+        let (mut k2, w2, d2) = deployed(4);
+        bake(&mut k2, w2, &d2, SnapshotPolicy::AfterReady, &d2.images_dir()).unwrap();
+        crate::env::fresh_container(&mut k2, &d2.image_paths()).unwrap();
+        let prebake = PrebakeStarter::new().start(&mut k2, w2, &d2).unwrap();
+
+        let v = vanilla.startup.as_millis_f64();
+        let p = prebake.startup.as_millis_f64();
+        assert!(p < v, "prebake {p}ms !< vanilla {v}ms");
+        // Paper Fig. 3: ≈40% improvement for NOOP.
+        let improvement = (v - p) / v;
+        assert!(
+            (0.25..0.55).contains(&improvement),
+            "improvement {improvement} (v={v}, p={p})"
+        );
+    }
+
+    #[test]
+    fn quick_start_helper() {
+        let (mut kernel, mut started) = quick_start(FunctionSpec::noop(), 9).unwrap();
+        let resp = started
+            .replica
+            .handle(&mut kernel, &Request::empty())
+            .unwrap();
+        assert!(resp.is_success());
+    }
+}

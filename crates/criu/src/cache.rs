@@ -1,0 +1,160 @@
+//! In-memory image cache — the paper's §7 future-work optimisation
+//! ("experiment with in-memory optimization on CRIU to speed-up snapshot
+//! restore", citing the fast in-memory CRIU work \[26\]).
+//!
+//! Keeping the parsed [`ImageSet`] resident skips the image-file reads at
+//! restore time, which Table 1's calibration prices at ≈0.3 ms/MiB of
+//! snapshot — a substantial share for large snapshots like the Image
+//! Resizer's 99 MB. The `ablation_memcache` bench quantifies exactly this.
+
+use std::collections::HashMap;
+
+use prebake_sim::error::SysResult;
+use prebake_sim::kernel::Kernel;
+use prebake_sim::proc::Pid;
+
+use crate::dump::read_images;
+use crate::image::ImageSet;
+use crate::restore::{restore_set, RestoreOptions, RestoreStats};
+
+/// A host-resident cache of checkpoint images, keyed by snapshot name.
+#[derive(Debug, Default)]
+pub struct ImageCache {
+    sets: HashMap<String, ImageSet>,
+}
+
+impl ImageCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ImageCache::default()
+    }
+
+    /// Number of cached snapshots.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Returns `true` if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Inserts a snapshot under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, set: ImageSet) {
+        self.sets.insert(name.into(), set);
+    }
+
+    /// Loads image files from the guest filesystem into the cache
+    /// (charged once; subsequent restores skip the read entirely).
+    ///
+    /// # Errors
+    ///
+    /// Propagates image-read errors.
+    pub fn preload(
+        &mut self,
+        kernel: &mut Kernel,
+        name: impl Into<String>,
+        images_dir: &str,
+    ) -> SysResult<()> {
+        let set = read_images(kernel, images_dir)?;
+        self.insert(name, set);
+        Ok(())
+    }
+
+    /// Looks up a cached snapshot.
+    pub fn get(&self, name: &str) -> Option<&ImageSet> {
+        self.sets.get(name)
+    }
+
+    /// Restores directly from the cache, skipping all image-file I/O.
+    ///
+    /// # Errors
+    ///
+    /// [`prebake_sim::Errno::Enoent`] if the snapshot is not cached;
+    /// otherwise as [`restore_set`].
+    pub fn restore_cached(
+        &self,
+        kernel: &mut Kernel,
+        requester: Pid,
+        name: &str,
+        opts: &RestoreOptions,
+    ) -> SysResult<RestoreStats> {
+        let set = self.sets.get(name).ok_or(prebake_sim::Errno::Enoent)?;
+        restore_set(kernel, requester, set, opts)
+    }
+
+    /// Removes a snapshot, returning it if present.
+    pub fn evict(&mut self, name: &str) -> Option<ImageSet> {
+        self.sets.remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dump::{dump, DumpOptions};
+    use prebake_sim::cost::CostModel;
+    use prebake_sim::kernel::INIT_PID;
+    use prebake_sim::mem::{Prot, VmaKind, PAGE_SIZE};
+    use prebake_sim::noise::Noise;
+
+    fn kernel_with_snapshot() -> (Kernel, Pid) {
+        let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        let target = k.sys_clone(INIT_PID).unwrap();
+        let a = k
+            .sys_mmap(target, 512 * PAGE_SIZE as u64, Prot::RW, VmaKind::RuntimeHeap)
+            .unwrap();
+        k.mem_write(target, a, &vec![3u8; 512 * PAGE_SIZE])
+            .unwrap();
+        dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap();
+        (k, tracer)
+    }
+
+    #[test]
+    fn cached_restore_is_faster_than_fs_restore() {
+        let (mut k, tracer) = kernel_with_snapshot();
+        let opts = RestoreOptions::new("/img");
+
+        let t0 = k.now();
+        let via_fs = crate::restore::restore(&mut k, tracer, &opts).unwrap();
+        let fs_time = k.now() - t0;
+
+        let mut cache = ImageCache::new();
+        cache.preload(&mut k, "fn", "/img").unwrap();
+        let t1 = k.now();
+        let via_cache = cache.restore_cached(&mut k, tracer, "fn", &opts).unwrap();
+        let cache_time = k.now() - t1;
+
+        assert_eq!(via_fs.pages_installed, via_cache.pages_installed);
+        assert!(
+            cache_time < fs_time,
+            "cache {cache_time} vs fs {fs_time}"
+        );
+    }
+
+    #[test]
+    fn missing_snapshot_is_enoent() {
+        let (mut k, tracer) = kernel_with_snapshot();
+        let cache = ImageCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(
+            cache
+                .restore_cached(&mut k, tracer, "nope", &RestoreOptions::new("/img"))
+                .unwrap_err(),
+            prebake_sim::Errno::Enoent
+        );
+    }
+
+    #[test]
+    fn evict_removes_entry() {
+        let (mut k, _) = kernel_with_snapshot();
+        let mut cache = ImageCache::new();
+        cache.preload(&mut k, "fn", "/img").unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get("fn").is_some());
+        assert!(cache.evict("fn").is_some());
+        assert!(cache.evict("fn").is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Checkpoint/restore cost table.
+//!
+//! Calibration (DESIGN.md §2): Table 1's PB-Warmup column regresses to a
+//! restore cost of ≈45 ms base plus ≈0.3 ms per MiB of snapshot. The
+//! per-MiB share is dominated by reading the (page-cache-resident) image
+//! files — priced by the kernel's warm-read rate — plus a small per-page
+//! install cost; the base covers the restorer's own start-up, image
+//! parsing and resource re-creation.
+
+use prebake_sim::time::SimDuration;
+
+/// Cost table for the CRIU engine.
+#[derive(Debug, Clone)]
+pub struct CriuCosts {
+    /// Injecting the parasite blob into the target (dump side).
+    pub parasite_inject: SimDuration,
+    /// Fixed dump preparation (collecting task state beyond what kernel
+    /// calls already charge).
+    pub dump_prepare: SimDuration,
+    /// Fixed restore cost: restorer start-up, inventory parsing, namespace
+    /// preparation.
+    pub restore_base: SimDuration,
+    /// Re-creating one VMA at restore.
+    pub restore_per_vma: SimDuration,
+    /// Installing one non-zero page at restore (map + copy from the image
+    /// mapping; the image *read* is charged separately at fs rates).
+    pub restore_per_page: SimDuration,
+    /// Re-opening one file descriptor at restore.
+    pub restore_per_fd: SimDuration,
+}
+
+impl CriuCosts {
+    /// The calibration used by every experiment in `EXPERIMENTS.md`.
+    pub fn paper_calibrated() -> Self {
+        CriuCosts {
+            parasite_inject: SimDuration::from_micros(1200),
+            dump_prepare: SimDuration::from_millis(2),
+            restore_base: SimDuration::from_millis(44),
+            restore_per_vma: SimDuration::from_micros(10),
+            restore_per_page: SimDuration::from_nanos(150),
+            restore_per_fd: SimDuration::from_micros(150),
+        }
+    }
+
+    /// A zero-cost table for state-only tests.
+    pub fn free() -> Self {
+        CriuCosts {
+            parasite_inject: SimDuration::ZERO,
+            dump_prepare: SimDuration::ZERO,
+            restore_base: SimDuration::ZERO,
+            restore_per_vma: SimDuration::ZERO,
+            restore_per_page: SimDuration::ZERO,
+            restore_per_fd: SimDuration::ZERO,
+        }
+    }
+}
+
+impl Default for CriuCosts {
+    fn default() -> Self {
+        CriuCosts::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restore_base_is_about_45ms() {
+        let c = CriuCosts::paper_calibrated();
+        let ms = c.restore_base.as_millis_f64();
+        assert!((40.0..=50.0).contains(&ms), "restore base {ms}ms");
+    }
+
+    #[test]
+    fn per_page_install_below_warm_read() {
+        // The dominant per-MiB share must be the image read (0.3 ms/MiB
+        // warm), not the install, to match Table 1's slope.
+        let c = CriuCosts::paper_calibrated();
+        let per_mib_install = c.restore_per_page.as_nanos() as f64 * 256.0 / 1e6;
+        assert!(per_mib_install < 0.1, "install {per_mib_install} ms/MiB");
+    }
+
+    #[test]
+    fn free_is_zero() {
+        let c = CriuCosts::free();
+        assert!(c.restore_base.is_zero());
+        assert!(c.parasite_inject.is_zero());
+    }
+}

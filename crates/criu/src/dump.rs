@@ -1,0 +1,471 @@
+//! The dump pipeline: freeze → parasite → pagemap walk → page transfer →
+//! image write → cure.
+//!
+//! Mirrors the CRIU procedure the paper describes in §3.2: seize and
+//! freeze every thread with ptrace, inject the parasite blob into the
+//! target's address space, walk `/proc/<pid>/pagemap` to find resident
+//! pages, stream their contents through a pipe to the dumper, write the
+//! image files, then cure (remove the parasite) and detach.
+
+use prebake_sim::error::{Errno, SysResult};
+use prebake_sim::kernel::Kernel;
+use prebake_sim::mem::{VmaKind, PAGE_SIZE};
+use prebake_sim::proc::Pid;
+use prebake_sim::time::SimDuration;
+
+use crate::costs::CriuCosts;
+use crate::image::{CoreImage, FilesImage, ImageSet, MmImage, PagesImage, ThreadImage};
+
+/// Options for a dump.
+#[derive(Debug, Clone)]
+pub struct DumpOptions {
+    /// Process to checkpoint.
+    pub target: Pid,
+    /// Guest directory to write image files into.
+    pub images_dir: String,
+    /// Keep the target running afterwards (`criu dump --leave-running`).
+    /// The prebaking builder kills the baked process instead.
+    pub leave_running: bool,
+    /// Incremental dump (`criu dump --track-mem --prev-images-dir`):
+    /// pages clean since the last [`pre_dump`] are recorded as parent
+    /// references instead of payload, shrinking the final image and the
+    /// freeze window.
+    pub parent: Option<String>,
+    /// Cost table.
+    pub costs: CriuCosts,
+}
+
+impl DumpOptions {
+    /// Paper-calibrated options for a full (non-incremental) dump.
+    pub fn new(target: Pid, images_dir: impl Into<String>) -> DumpOptions {
+        DumpOptions {
+            target,
+            images_dir: images_dir.into(),
+            leave_running: false,
+            parent: None,
+            costs: CriuCosts::paper_calibrated(),
+        }
+    }
+}
+
+/// Statistics of a completed dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DumpStats {
+    /// Mappings dumped.
+    pub vmas: usize,
+    /// Resident pages visited.
+    pub pages_total: usize,
+    /// Pages stored in `pages.img` (non-zero, not deferred).
+    pub pages_stored: usize,
+    /// Zero pages deduplicated away.
+    pub zero_pages: usize,
+    /// Pages deferred to the parent snapshot (incremental dump).
+    pub parent_pages: usize,
+    /// Total bytes across image files.
+    pub image_bytes: u64,
+    /// Virtual time the dump took.
+    pub elapsed: SimDuration,
+    /// Virtual time the target spent frozen (the downtime an incremental
+    /// dump minimises; zero for [`pre_dump`]).
+    pub frozen_for: SimDuration,
+}
+
+/// Builds the in-memory [`ImageSet`] of a (frozen) process without writing
+/// it to the filesystem. Shared by [`dump`] and the in-memory cache
+/// ablation.
+///
+/// # Errors
+///
+/// Propagates kernel/ptrace errors.
+pub fn collect_images(
+    kernel: &mut Kernel,
+    tracer: Pid,
+    target: Pid,
+    costs: &CriuCosts,
+) -> SysResult<ImageSet> {
+    collect_images_inner(kernel, tracer, target, costs, false)
+}
+
+fn collect_images_inner(
+    kernel: &mut Kernel,
+    tracer: Pid,
+    target: Pid,
+    costs: &CriuCosts,
+    incremental: bool,
+) -> SysResult<ImageSet> {
+    // Parasite injection: a scratch mapping plus the blob poke.
+    kernel.charge(costs.parasite_inject);
+    let parasite = kernel.remote_mmap(tracer, target, 2 * PAGE_SIZE as u64, VmaKind::Parasite)?;
+    let blob: Vec<u8> = (0..512u32).map(|i| (i % 251 + 1) as u8).collect();
+    kernel.ptrace_poke(tracer, target, parasite, &blob)?;
+
+    kernel.charge(costs.dump_prepare);
+
+    // Task identity.
+    let (comm, cmdline, cap_bits, threads, fds, vmas) = {
+        let proc = kernel.process(target)?;
+        let threads: Vec<ThreadImage> = proc
+            .threads
+            .iter()
+            .map(|t| ThreadImage {
+                tid: t.tid,
+                regs: t.regs,
+            })
+            .collect();
+        let fds: Vec<_> = proc.fds.iter().map(|(fd, e)| (fd, e.clone())).collect();
+        let vmas: Vec<_> = proc
+            .mem
+            .vmas()
+            .filter(|v| v.kind != VmaKind::Parasite)
+            .cloned()
+            .collect();
+        (
+            proc.comm.clone(),
+            proc.cmdline.clone(),
+            raw_caps(proc.caps),
+            threads,
+            fds,
+            vmas,
+        )
+    };
+
+    // Page transfer: pagemap walk, then parasite reads each resident page
+    // and streams it through the pipe. Incremental dumps skip pages whose
+    // soft-dirty bit is clear — their payload already sits in the parent
+    // snapshot from the pre-dump.
+    let mut pages = PagesImage::default();
+    for vma in &vmas {
+        let present = kernel.proc_pagemap(target, vma.start)?;
+        let dirty: std::collections::BTreeSet<u64> = if incremental {
+            kernel
+                .proc_pagemap_soft_dirty(target, vma.start)?
+                .into_iter()
+                .collect()
+        } else {
+            Default::default()
+        };
+        for page_index in present {
+            if incremental && !dirty.contains(&page_index) {
+                pages.push_parent_ref(page_index);
+                continue;
+            }
+            let page = kernel.ptrace_peek_page(tracer, target, page_index)?;
+            kernel.pipe_xfer(PAGE_SIZE as u64);
+            pages.push(page_index, &page);
+        }
+    }
+
+    // Cure: drop the parasite mapping.
+    kernel.remote_munmap(tracer, target, parasite)?;
+
+    Ok(ImageSet {
+        core: CoreImage {
+            pid: target,
+            comm,
+            cmdline,
+            cap_bits,
+            threads,
+        },
+        mm: MmImage { vmas },
+        pages,
+        files: FilesImage { fds },
+    })
+}
+
+fn raw_caps(caps: prebake_sim::proc::CapSet) -> u8 {
+    use prebake_sim::proc::Cap;
+    (caps.has(Cap::SysAdmin) as u8)
+        | ((caps.has(Cap::SysPtrace) as u8) << 1)
+        | ((caps.has(Cap::CheckpointRestore) as u8) << 2)
+}
+
+/// Checkpoints `opts.target` into `opts.images_dir` (the `criu dump`
+/// entry point). The tracer must hold a checkpoint-capable capability or
+/// be the target's parent.
+///
+/// # Errors
+///
+/// [`Errno::Eperm`] without permission, [`Errno::Esrch`] for a missing
+/// target, plus filesystem errors writing the images.
+pub fn dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResult<DumpStats> {
+    let t0 = kernel.now();
+    let target = opts.target;
+
+    kernel.ptrace_seize(tracer, target)?;
+    kernel.ptrace_freeze(tracer, target)?;
+    let freeze_start = kernel.now();
+
+    let set =
+        collect_images_inner(kernel, tracer, target, &opts.costs, opts.parent.is_some())?;
+    let frozen_for = kernel.now() - freeze_start;
+
+    // Write the image files (the target could already run again here,
+    // but our single-threaded driver finishes the writes first).
+    kernel.fs_create_dir_all(&opts.images_dir)?;
+    let dir = &opts.images_dir;
+    let mut files = vec![
+        (ImageSet::CORE_NAME, set.core.encode()),
+        (ImageSet::MM_NAME, set.mm.encode()),
+        (ImageSet::PAGEMAP_NAME, set.pages.encode_pagemap()),
+        (ImageSet::PAGES_NAME, set.pages.encode_pages()),
+        (ImageSet::FILES_NAME, set.files.encode()),
+    ];
+    if let Some(parent) = &opts.parent {
+        files.push((ImageSet::PARENT_LINK, parent.as_bytes().to_vec()));
+    }
+    let mut image_bytes = 0u64;
+    for (name, data) in files {
+        image_bytes += data.len() as u64;
+        kernel.fs_write_file(&prebake_sim::fs::join_path(dir, name), data)?;
+    }
+
+    // Resume-or-kill, then detach.
+    if opts.leave_running {
+        kernel.ptrace_resume(tracer, target)?;
+        kernel.ptrace_detach(tracer, target)?;
+    } else {
+        kernel.ptrace_detach(tracer, target)?;
+        kernel.sys_exit(target, 0)?;
+        kernel.reap(target)?;
+    }
+
+    Ok(DumpStats {
+        vmas: set.mm.vmas.len(),
+        pages_total: set.pages.entries.len(),
+        pages_stored: set.pages.stored_pages(),
+        zero_pages: set.pages.zero_pages(),
+        parent_pages: set.pages.parent_pages(),
+        image_bytes,
+        elapsed: kernel.now() - t0,
+        frozen_for,
+    })
+}
+
+/// Pre-dump (`criu pre-dump --track-mem`): copies the (running) target's
+/// resident pages into `images_dir` and clears its soft-dirty bits,
+/// without ever freezing it — the task keeps serving while its memory is
+/// staged. A following incremental [`dump`] with
+/// [`DumpOptions::parent`] pointing here only freezes for the dirty
+/// residue.
+///
+/// # Errors
+///
+/// Propagates kernel/ptrace/filesystem errors.
+pub fn pre_dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResult<DumpStats> {
+    let t0 = kernel.now();
+    let target = opts.target;
+
+    kernel.ptrace_seize(tracer, target)?;
+    // No freeze: pages are read via the live-task path (the real CRIU
+    // uses process_vm_readv + soft-dirty to tolerate concurrent writes).
+    kernel.charge(opts.costs.dump_prepare);
+    let vmas: Vec<_> = {
+        let proc = kernel.process(target)?;
+        proc.mem
+            .vmas()
+            .filter(|v| v.kind != VmaKind::Parasite)
+            .cloned()
+            .collect()
+    };
+    let mut pages = PagesImage::default();
+    for vma in &vmas {
+        let present = kernel.proc_pagemap(target, vma.start)?;
+        for page_index in present {
+            let page = kernel.ptrace_peek_page(tracer, target, page_index)?;
+            kernel.pipe_xfer(PAGE_SIZE as u64);
+            pages.push(page_index, &page);
+        }
+    }
+    kernel.proc_clear_soft_dirty(target)?;
+    kernel.ptrace_detach(tracer, target)?;
+
+    kernel.fs_create_dir_all(&opts.images_dir)?;
+    let dir = &opts.images_dir;
+    let files = [
+        (ImageSet::PAGEMAP_NAME, pages.encode_pagemap()),
+        (ImageSet::PAGES_NAME, pages.encode_pages()),
+    ];
+    let mut image_bytes = 0u64;
+    for (name, data) in files {
+        image_bytes += data.len() as u64;
+        kernel.fs_write_file(&prebake_sim::fs::join_path(dir, name), data)?;
+    }
+
+    Ok(DumpStats {
+        vmas: vmas.len(),
+        pages_total: pages.entries.len(),
+        pages_stored: pages.stored_pages(),
+        zero_pages: pages.zero_pages(),
+        parent_pages: 0,
+        image_bytes,
+        elapsed: kernel.now() - t0,
+        frozen_for: SimDuration::ZERO,
+    })
+}
+
+/// Reads an image set back from a guest directory (charged at fs rates —
+/// warm if the images are page-cache-resident, as they are when the
+/// snapshot ships inside the pre-pulled container image).
+///
+/// # Errors
+///
+/// [`Errno::Enoent`] for missing files, [`Errno::Einval`] for corrupt
+/// images.
+pub fn read_images(kernel: &mut Kernel, images_dir: &str) -> SysResult<ImageSet> {
+    let read = |kernel: &mut Kernel, name: &str| -> SysResult<bytes::Bytes> {
+        kernel.fs_read_file(&prebake_sim::fs::join_path(images_dir, name))
+    };
+    let core_bytes = read(kernel, ImageSet::CORE_NAME)?;
+    let mm_bytes = read(kernel, ImageSet::MM_NAME)?;
+    let pagemap_bytes = read(kernel, ImageSet::PAGEMAP_NAME)?;
+    let pages_bytes = read(kernel, ImageSet::PAGES_NAME)?;
+    let files_bytes = read(kernel, ImageSet::FILES_NAME)?;
+
+    let mut pages =
+        PagesImage::parse(&pagemap_bytes, &pages_bytes).map_err(|_| Errno::Einval)?;
+
+    // Incremental image: follow the parent link and resolve the deferred
+    // pages so the returned set is self-contained.
+    if pages.parent_pages() > 0 {
+        let link_path =
+            prebake_sim::fs::join_path(images_dir, ImageSet::PARENT_LINK);
+        let link = kernel.fs_read_file(&link_path)?;
+        let parent_dir =
+            std::str::from_utf8(&link).map_err(|_| Errno::Einval)?.to_owned();
+        let parent_pagemap = kernel.fs_read_file(&prebake_sim::fs::join_path(
+            &parent_dir,
+            ImageSet::PAGEMAP_NAME,
+        ))?;
+        let parent_pages_bytes = kernel.fs_read_file(&prebake_sim::fs::join_path(
+            &parent_dir,
+            ImageSet::PAGES_NAME,
+        ))?;
+        let parent = PagesImage::parse(&parent_pagemap, &parent_pages_bytes)
+            .map_err(|_| Errno::Einval)?;
+        pages = pages.resolve_parent(&parent).map_err(|_| Errno::Einval)?;
+    }
+
+    Ok(ImageSet {
+        core: CoreImage::parse(&core_bytes).map_err(|_| Errno::Einval)?,
+        mm: MmImage::parse(&mm_bytes).map_err(|_| Errno::Einval)?,
+        pages,
+        files: FilesImage::parse(&files_bytes).map_err(|_| Errno::Einval)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebake_sim::kernel::INIT_PID;
+    use prebake_sim::mem::Prot;
+    use prebake_sim::proc::CapSet;
+
+    fn setup() -> (Kernel, Pid, Pid) {
+        let mut k = Kernel::free(3);
+        let tracer = k.sys_clone(INIT_PID).unwrap(); // inherits full caps
+        let target = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(target, 8 * PAGE_SIZE as u64, Prot::RW, VmaKind::RuntimeHeap)
+            .unwrap();
+        // two data pages, one explicit zero page
+        k.mem_write(target, addr, &[0xAA; 100]).unwrap();
+        k.mem_write(target, addr.add(2 * PAGE_SIZE as u64), &[0u8; 50])
+            .unwrap();
+        k.mem_write(target, addr.add(4 * PAGE_SIZE as u64), &[0xBB; 4096])
+            .unwrap();
+        k.sys_listen(target, 8080).unwrap();
+        (k, tracer, target)
+    }
+
+    #[test]
+    fn dump_produces_images_and_kills_target() {
+        let (mut k, tracer, target) = setup();
+        let stats = dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap();
+        assert_eq!(stats.pages_total, 3);
+        assert_eq!(stats.pages_stored, 2, "zero page deduplicated");
+        assert_eq!(stats.zero_pages, 1);
+        assert!(stats.image_bytes > 2 * PAGE_SIZE as u64);
+        assert!(k.process(target).is_err(), "target reaped");
+        assert_eq!(k.port_owner(8080), None, "port released with the target");
+        for name in [
+            ImageSet::CORE_NAME,
+            ImageSet::MM_NAME,
+            ImageSet::PAGEMAP_NAME,
+            ImageSet::PAGES_NAME,
+            ImageSet::FILES_NAME,
+        ] {
+            assert!(k.fs_exists(&format!("/img/{name}")), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn leave_running_keeps_target() {
+        let (mut k, tracer, target) = setup();
+        let mut opts = DumpOptions::new(target, "/img");
+        opts.leave_running = true;
+        dump(&mut k, tracer, &opts).unwrap();
+        let proc = k.process(target).unwrap();
+        assert_eq!(proc.state, prebake_sim::proc::ProcState::Running);
+        assert!(proc.traced_by.is_none());
+        assert_eq!(k.port_owner(8080), Some(target));
+        // parasite cured
+        assert!(proc.mem.vmas().all(|v| v.kind != VmaKind::Parasite));
+    }
+
+    #[test]
+    fn dump_requires_permission() {
+        let (mut k, tracer, target) = setup();
+        k.process_mut(tracer).unwrap().caps = CapSet::empty();
+        assert_eq!(
+            dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap_err(),
+            Errno::Eperm
+        );
+    }
+
+    #[test]
+    fn images_roundtrip_through_fs() {
+        let (mut k, tracer, target) = setup();
+        let expected_fds: Vec<_> = k
+            .process(target)
+            .unwrap()
+            .fds
+            .iter()
+            .map(|(fd, e)| (fd, e.clone()))
+            .collect();
+        let mut opts = DumpOptions::new(target, "/img");
+        opts.leave_running = true;
+        dump(&mut k, tracer, &opts).unwrap();
+        let set = read_images(&mut k, "/img").unwrap();
+        assert_eq!(set.core.pid, target);
+        assert_eq!(set.files.fds, expected_fds);
+        assert_eq!(set.pages.stored_pages(), 2);
+        // dumped page content is faithful
+        let first_payload = set
+            .pages
+            .iter_pages()
+            .find_map(|(_, p)| match p {
+                crate::image::PageSource::Bytes(b) => Some(b),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(&first_payload[..100], &[0xAA; 100]);
+    }
+
+    #[test]
+    fn dump_excludes_parasite_vma() {
+        let (mut k, tracer, target) = setup();
+        let vmas_before = k.process(target).unwrap().mem.vma_count();
+        let mut opts = DumpOptions::new(target, "/img");
+        opts.leave_running = true;
+        dump(&mut k, tracer, &opts).unwrap();
+        let set = read_images(&mut k, "/img").unwrap();
+        assert_eq!(set.mm.vmas.len(), vmas_before);
+        assert!(set.mm.vmas.iter().all(|v| v.kind != VmaKind::Parasite));
+    }
+
+    #[test]
+    fn missing_images_dir_is_enoent() {
+        let mut k = Kernel::free(9);
+        assert_eq!(read_images(&mut k, "/nope").unwrap_err(), Errno::Enoent);
+    }
+}

@@ -1,0 +1,967 @@
+//! The checkpoint image format.
+//!
+//! A checkpoint is a directory of image files mirroring real CRIU's
+//! layout: `core.img` (task identity, threads, registers, capabilities),
+//! `mm.img` (the VMA list), `pagemap.img` (which pages travel and which
+//! are zero), `pages.img` (raw page payload) and `files.img` (the
+//! descriptor table). Each file is a checksummed TLV blob.
+
+use std::fmt;
+
+use prebake_sim::mem::{Page, Prot, VirtAddr, Vma, VmaKind, PAGE_SIZE};
+use prebake_sim::proc::{FdEntry, Pid, Regs, Tid};
+
+/// Magic prefix of every image file: `"CRIM"`.
+pub const IMAGE_MAGIC: u32 = 0x4352_494D;
+/// Image format version.
+pub const IMAGE_VERSION: u16 = 1;
+
+/// Errors produced while encoding/decoding images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// Input ended before a declared structure.
+    Truncated,
+    /// Magic mismatch.
+    BadMagic(u32),
+    /// Unsupported version.
+    BadVersion(u16),
+    /// Wrong image kind tag for the file being parsed.
+    WrongKind {
+        /// Expected kind tag.
+        expected: u8,
+        /// Found kind tag.
+        found: u8,
+    },
+    /// Checksum mismatch.
+    BadChecksum,
+    /// A string field was not UTF-8.
+    BadString,
+    /// An enum discriminant was out of range.
+    BadTag(u8),
+    /// Pages payload length is not a multiple of the page size, or does
+    /// not match the pagemap.
+    BadPages,
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::Truncated => write!(f, "image truncated"),
+            ImageError::BadMagic(m) => write!(f, "bad image magic {m:#010x}"),
+            ImageError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+            ImageError::WrongKind { expected, found } => {
+                write!(f, "wrong image kind: expected {expected}, found {found}")
+            }
+            ImageError::BadChecksum => write!(f, "image checksum mismatch"),
+            ImageError::BadString => write!(f, "image string is not utf-8"),
+            ImageError::BadTag(t) => write!(f, "bad discriminant {t}"),
+            ImageError::BadPages => write!(f, "pages payload inconsistent with pagemap"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ----------------------------------------------------------------- writer
+
+#[derive(Debug, Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(kind: u8) -> Writer {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(&IMAGE_MAGIC.to_be_bytes());
+        w.buf.extend_from_slice(&IMAGE_VERSION.to_be_bytes());
+        w.buf.push(kind);
+        w
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn string(&mut self, s: &str) {
+        self.u16(s.len() as u16);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let sum = fnv1a(&self.buf);
+        self.buf.extend_from_slice(&sum.to_be_bytes());
+        self.buf
+    }
+}
+
+// ----------------------------------------------------------------- reader
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn open(bytes: &'a [u8], kind: u8) -> Result<Reader<'a>, ImageError> {
+        if bytes.len() < 7 + 8 {
+            return Err(ImageError::Truncated);
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let declared = u64::from_be_bytes(tail.try_into().unwrap());
+        if fnv1a(payload) != declared {
+            return Err(ImageError::BadChecksum);
+        }
+        let magic = u32::from_be_bytes(payload[0..4].try_into().unwrap());
+        if magic != IMAGE_MAGIC {
+            return Err(ImageError::BadMagic(magic));
+        }
+        let version = u16::from_be_bytes(payload[4..6].try_into().unwrap());
+        if version != IMAGE_VERSION {
+            return Err(ImageError::BadVersion(version));
+        }
+        let found = payload[6];
+        if found != kind {
+            return Err(ImageError::WrongKind {
+                expected: kind,
+                found,
+            });
+        }
+        Ok(Reader {
+            buf: payload,
+            pos: 7,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ImageError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ImageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ImageError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ImageError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ImageError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, ImageError> {
+        Ok(i32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, ImageError> {
+        let len = self.u16()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| ImageError::BadString)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ImageError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn done(&self) -> Result<(), ImageError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ImageError::Truncated)
+        }
+    }
+}
+
+// ------------------------------------------------------------------ core
+
+/// One thread's captured execution state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadImage {
+    /// Thread id.
+    pub tid: Tid,
+    /// Captured registers.
+    pub regs: Regs,
+}
+
+/// `core.img`: task identity and per-thread state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreImage {
+    /// Pid at dump time (restore recreates it in the new namespace).
+    pub pid: Pid,
+    /// Command name.
+    pub comm: String,
+    /// Command line.
+    pub cmdline: Vec<String>,
+    /// Raw capability bits.
+    pub cap_bits: u8,
+    /// Threads.
+    pub threads: Vec<ThreadImage>,
+}
+
+const KIND_CORE: u8 = 1;
+const KIND_MM: u8 = 2;
+const KIND_PAGEMAP: u8 = 3;
+const KIND_PAGES: u8 = 4;
+const KIND_FILES: u8 = 5;
+
+impl CoreImage {
+    /// Serialises the core image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_CORE);
+        w.u32(self.pid.0);
+        w.string(&self.comm);
+        w.u16(self.cmdline.len() as u16);
+        for arg in &self.cmdline {
+            w.string(arg);
+        }
+        w.u8(self.cap_bits);
+        w.u16(self.threads.len() as u16);
+        for t in &self.threads {
+            w.u32(t.tid.0);
+            w.u64(t.regs.ip);
+            w.u64(t.regs.sp);
+        }
+        w.finish()
+    }
+
+    /// Parses a core image.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ImageError`] describing the malformation.
+    pub fn parse(bytes: &[u8]) -> Result<CoreImage, ImageError> {
+        let mut r = Reader::open(bytes, KIND_CORE)?;
+        let pid = Pid(r.u32()?);
+        let comm = r.string()?;
+        let argc = r.u16()?;
+        let mut cmdline = Vec::with_capacity(argc as usize);
+        for _ in 0..argc {
+            cmdline.push(r.string()?);
+        }
+        let cap_bits = r.u8()?;
+        let tcount = r.u16()?;
+        let mut threads = Vec::with_capacity(tcount as usize);
+        for _ in 0..tcount {
+            threads.push(ThreadImage {
+                tid: Tid(r.u32()?),
+                regs: Regs {
+                    ip: r.u64()?,
+                    sp: r.u64()?,
+                },
+            });
+        }
+        r.done()?;
+        Ok(CoreImage {
+            pid,
+            comm,
+            cmdline,
+            cap_bits,
+            threads,
+        })
+    }
+}
+
+// -------------------------------------------------------------------- mm
+
+fn encode_prot(p: Prot) -> u8 {
+    (p.read as u8) | ((p.write as u8) << 1) | ((p.exec as u8) << 2)
+}
+
+fn decode_prot(b: u8) -> Prot {
+    Prot {
+        read: b & 1 != 0,
+        write: b & 2 != 0,
+        exec: b & 4 != 0,
+    }
+}
+
+fn encode_kind(w: &mut Writer, k: &VmaKind) {
+    match k {
+        VmaKind::Anon => w.u8(0),
+        VmaKind::Stack => w.u8(1),
+        VmaKind::Binary { path } => {
+            w.u8(2);
+            w.string(path);
+        }
+        VmaKind::File { path, offset } => {
+            w.u8(3);
+            w.string(path);
+            w.u64(*offset);
+        }
+        VmaKind::RuntimeHeap => w.u8(4),
+        VmaKind::Metaspace => w.u8(5),
+        VmaKind::CodeCache => w.u8(6),
+        VmaKind::Parasite => w.u8(7),
+    }
+}
+
+fn decode_kind(r: &mut Reader<'_>) -> Result<VmaKind, ImageError> {
+    Ok(match r.u8()? {
+        0 => VmaKind::Anon,
+        1 => VmaKind::Stack,
+        2 => VmaKind::Binary { path: r.string()? },
+        3 => VmaKind::File {
+            path: r.string()?,
+            offset: r.u64()?,
+        },
+        4 => VmaKind::RuntimeHeap,
+        5 => VmaKind::Metaspace,
+        6 => VmaKind::CodeCache,
+        7 => VmaKind::Parasite,
+        t => return Err(ImageError::BadTag(t)),
+    })
+}
+
+/// `mm.img`: the dumped VMA list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MmImage {
+    /// Mappings in address order.
+    pub vmas: Vec<Vma>,
+}
+
+impl MmImage {
+    /// Serialises the mm image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_MM);
+        w.u32(self.vmas.len() as u32);
+        for v in &self.vmas {
+            w.u64(v.start.0);
+            w.u64(v.len);
+            w.u8(encode_prot(v.prot));
+            encode_kind(&mut w, &v.kind);
+        }
+        w.finish()
+    }
+
+    /// Parses an mm image.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ImageError`] describing the malformation.
+    pub fn parse(bytes: &[u8]) -> Result<MmImage, ImageError> {
+        let mut r = Reader::open(bytes, KIND_MM)?;
+        let count = r.u32()?;
+        let mut vmas = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let start = VirtAddr(r.u64()?);
+            let len = r.u64()?;
+            let prot = decode_prot(r.u8()?);
+            let kind = decode_kind(&mut r)?;
+            vmas.push(Vma {
+                start,
+                len,
+                prot,
+                kind,
+            });
+        }
+        r.done()?;
+        Ok(MmImage { vmas })
+    }
+}
+
+// ---------------------------------------------------------------- pagemap
+
+/// One pagemap record: a present page, either zero (not stored), held by
+/// the parent snapshot (incremental dump), or backed by payload in
+/// `pages.img`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagemapEntry {
+    /// Guest page index.
+    pub page_index: u64,
+    /// `true` if the page was all-zero at dump time (CRIU's zero-page
+    /// deduplication: no payload stored).
+    pub zero: bool,
+    /// `true` if the page is unchanged since the pre-dump and its payload
+    /// lives in the parent snapshot (CRIU's `--track-mem` incremental
+    /// dump). Mutually exclusive with `zero`.
+    pub in_parent: bool,
+}
+
+/// Where one page's contents come from at restore time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageSource<'a> {
+    /// Demand-zero page: nothing stored.
+    Zero,
+    /// Payload stored in this image.
+    Bytes(&'a [u8]),
+    /// Payload lives in the parent snapshot.
+    Parent,
+}
+
+/// `pagemap.img` + `pages.img` as one logical unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PagesImage {
+    /// Pagemap records in page-index order.
+    pub entries: Vec<PagemapEntry>,
+    /// Concatenated payload of non-zero pages, in entry order.
+    pub payload: Vec<u8>,
+}
+
+impl PagesImage {
+    /// Appends a page, storing payload only when it is non-zero.
+    pub fn push(&mut self, page_index: u64, page: &Page) {
+        if page.is_zero() {
+            self.entries.push(PagemapEntry {
+                page_index,
+                zero: true,
+                in_parent: false,
+            });
+        } else {
+            self.entries.push(PagemapEntry {
+                page_index,
+                zero: false,
+                in_parent: false,
+            });
+            self.payload.extend_from_slice(page.bytes());
+        }
+    }
+
+    /// Appends a reference to a page whose payload lives in the parent
+    /// snapshot (incremental dump).
+    pub fn push_parent_ref(&mut self, page_index: u64) {
+        self.entries.push(PagemapEntry {
+            page_index,
+            zero: false,
+            in_parent: true,
+        });
+    }
+
+    /// Number of pages whose payload is stored in *this* image.
+    pub fn stored_pages(&self) -> usize {
+        self.entries.iter().filter(|e| !e.zero && !e.in_parent).count()
+    }
+
+    /// Number of zero-deduplicated pages.
+    pub fn zero_pages(&self) -> usize {
+        self.entries.iter().filter(|e| e.zero).count()
+    }
+
+    /// Number of pages deferred to the parent snapshot.
+    pub fn parent_pages(&self) -> usize {
+        self.entries.iter().filter(|e| e.in_parent).count()
+    }
+
+    /// Iterates `(page_index, PageSource)` in entry order.
+    pub fn iter_pages(&self) -> impl Iterator<Item = (u64, PageSource<'_>)> {
+        let mut offset = 0usize;
+        self.entries.iter().map(move |e| {
+            if e.zero {
+                (e.page_index, PageSource::Zero)
+            } else if e.in_parent {
+                (e.page_index, PageSource::Parent)
+            } else {
+                let slice = &self.payload[offset..offset + PAGE_SIZE];
+                offset += PAGE_SIZE;
+                (e.page_index, PageSource::Bytes(slice))
+            }
+        })
+    }
+
+    /// Serialises `pagemap.img`.
+    pub fn encode_pagemap(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_PAGEMAP);
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.u64(e.page_index);
+            w.u8((e.zero as u8) | ((e.in_parent as u8) << 1));
+        }
+        w.finish()
+    }
+
+    /// Serialises `pages.img`.
+    pub fn encode_pages(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_PAGES);
+        w.bytes(&self.payload);
+        w.finish()
+    }
+
+    /// Parses the pagemap/pages pair back into one unit.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::BadPages`] if the payload size disagrees with the
+    /// pagemap (or an entry claims both zero and in-parent), or any codec
+    /// error.
+    pub fn parse(pagemap: &[u8], pages: &[u8]) -> Result<PagesImage, ImageError> {
+        let mut r = Reader::open(pagemap, KIND_PAGEMAP)?;
+        let count = r.u32()?;
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let page_index = r.u64()?;
+            let flags = r.u8()?;
+            let zero = flags & 1 != 0;
+            let in_parent = flags & 2 != 0;
+            if zero && in_parent {
+                return Err(ImageError::BadPages);
+            }
+            entries.push(PagemapEntry {
+                page_index,
+                zero,
+                in_parent,
+            });
+        }
+        r.done()?;
+
+        let mut r = Reader::open(pages, KIND_PAGES)?;
+        let payload = r.bytes()?;
+        r.done()?;
+
+        let stored = entries.iter().filter(|e| !e.zero && !e.in_parent).count();
+        if payload.len() != stored * PAGE_SIZE {
+            return Err(ImageError::BadPages);
+        }
+        Ok(PagesImage { entries, payload })
+    }
+
+    /// Replaces every parent reference with the payload found in
+    /// `parent`, producing a self-contained image.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::BadPages`] if the parent lacks a referenced page or
+    /// itself defers to a grandparent (only one level is supported, as in
+    /// a single pre-dump round).
+    pub fn resolve_parent(&self, parent: &PagesImage) -> Result<PagesImage, ImageError> {
+        use std::collections::BTreeMap;
+        let mut parent_pages: BTreeMap<u64, PageSource<'_>> = BTreeMap::new();
+        for (idx, src) in parent.iter_pages() {
+            parent_pages.insert(idx, src);
+        }
+        let mut resolved = PagesImage::default();
+        for (idx, src) in self.iter_pages() {
+            match src {
+                PageSource::Zero => resolved.entries.push(PagemapEntry {
+                    page_index: idx,
+                    zero: true,
+                    in_parent: false,
+                }),
+                PageSource::Bytes(bytes) => {
+                    resolved.entries.push(PagemapEntry {
+                        page_index: idx,
+                        zero: false,
+                        in_parent: false,
+                    });
+                    resolved.payload.extend_from_slice(bytes);
+                }
+                PageSource::Parent => match parent_pages.get(&idx) {
+                    Some(PageSource::Bytes(bytes)) => {
+                        resolved.entries.push(PagemapEntry {
+                            page_index: idx,
+                            zero: false,
+                            in_parent: false,
+                        });
+                        resolved.payload.extend_from_slice(bytes);
+                    }
+                    Some(PageSource::Zero) => resolved.entries.push(PagemapEntry {
+                        page_index: idx,
+                        zero: true,
+                        in_parent: false,
+                    }),
+                    _ => return Err(ImageError::BadPages),
+                },
+            }
+        }
+        Ok(resolved)
+    }
+}
+
+// ------------------------------------------------------------------ files
+
+/// `files.img`: the dumped descriptor table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FilesImage {
+    /// `(fd, entry)` pairs in descriptor order.
+    pub fds: Vec<(i32, FdEntry)>,
+}
+
+impl FilesImage {
+    /// Serialises the files image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_FILES);
+        w.u32(self.fds.len() as u32);
+        for (fd, entry) in &self.fds {
+            w.i32(*fd);
+            match entry {
+                FdEntry::File { path, offset } => {
+                    w.u8(0);
+                    w.string(path);
+                    w.u64(*offset);
+                }
+                FdEntry::PipeRead { pipe } => {
+                    w.u8(1);
+                    w.u64(*pipe);
+                }
+                FdEntry::PipeWrite { pipe } => {
+                    w.u8(2);
+                    w.u64(*pipe);
+                }
+                FdEntry::Listener { port } => {
+                    w.u8(3);
+                    w.u16(*port);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses a files image.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ImageError`] describing the malformation.
+    pub fn parse(bytes: &[u8]) -> Result<FilesImage, ImageError> {
+        let mut r = Reader::open(bytes, KIND_FILES)?;
+        let count = r.u32()?;
+        let mut fds = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let fd = r.i32()?;
+            let entry = match r.u8()? {
+                0 => FdEntry::File {
+                    path: r.string()?,
+                    offset: r.u64()?,
+                },
+                1 => FdEntry::PipeRead { pipe: r.u64()? },
+                2 => FdEntry::PipeWrite { pipe: r.u64()? },
+                3 => FdEntry::Listener { port: r.u16()? },
+                t => return Err(ImageError::BadTag(t)),
+            };
+            fds.push((fd, entry));
+        }
+        r.done()?;
+        Ok(FilesImage { fds })
+    }
+}
+
+// -------------------------------------------------------------- image set
+
+/// A complete checkpoint: every image of one dumped process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageSet {
+    /// Task identity.
+    pub core: CoreImage,
+    /// Memory layout.
+    pub mm: MmImage,
+    /// Page contents.
+    pub pages: PagesImage,
+    /// Descriptor table.
+    pub files: FilesImage,
+}
+
+impl ImageSet {
+    /// File names within an images directory, mirroring CRIU.
+    pub const CORE_NAME: &'static str = "core.img";
+    /// `mm.img`.
+    pub const MM_NAME: &'static str = "mm.img";
+    /// `pagemap.img`.
+    pub const PAGEMAP_NAME: &'static str = "pagemap.img";
+    /// `pages.img`.
+    pub const PAGES_NAME: &'static str = "pages.img";
+    /// `files.img`.
+    pub const FILES_NAME: &'static str = "files.img";
+    /// The parent link file written by incremental dumps (CRIU uses a
+    /// symlink named `parent`; we store the path as file contents).
+    pub const PARENT_LINK: &'static str = "parent";
+
+    /// Builds a set from named file contents (as exported from a builder
+    /// machine or stored in a container image). Parent references must
+    /// already be resolved — sets with a parent link cannot be
+    /// reassembled host-side.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::Truncated`] if a file is missing, or any codec error.
+    pub fn parse_files(files: &[(String, impl AsRef<[u8]>)]) -> Result<ImageSet, ImageError> {
+        let get = |name: &str| -> Result<&[u8], ImageError> {
+            files
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, d)| d.as_ref())
+                .ok_or(ImageError::Truncated)
+        };
+        Ok(ImageSet {
+            core: CoreImage::parse(get(ImageSet::CORE_NAME)?)?,
+            mm: MmImage::parse(get(ImageSet::MM_NAME)?)?,
+            pages: PagesImage::parse(
+                get(ImageSet::PAGEMAP_NAME)?,
+                get(ImageSet::PAGES_NAME)?,
+            )?,
+            files: FilesImage::parse(get(ImageSet::FILES_NAME)?)?,
+        })
+    }
+
+    /// Total serialised size across all image files.
+    pub fn total_bytes(&self) -> u64 {
+        (self.core.encode().len()
+            + self.mm.encode().len()
+            + self.pages.encode_pagemap().len()
+            + self.pages.encode_pages().len()
+            + self.files.encode().len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_core() -> CoreImage {
+        CoreImage {
+            pid: Pid(42),
+            comm: "jlvm".into(),
+            cmdline: vec!["jlvm".into(), "/app/fn.jlar".into()],
+            cap_bits: 0b100,
+            threads: vec![
+                ThreadImage {
+                    tid: Tid(42),
+                    regs: Regs { ip: 0x1234, sp: 0x7FFF_0000 },
+                },
+                ThreadImage {
+                    tid: Tid(43),
+                    regs: Regs { ip: 0x9999, sp: 0x7FFE_0000 },
+                },
+            ],
+        }
+    }
+
+    fn sample_mm() -> MmImage {
+        MmImage {
+            vmas: vec![
+                Vma {
+                    start: VirtAddr(0x1000_0000),
+                    len: 0x10000,
+                    prot: Prot::RX,
+                    kind: VmaKind::Binary {
+                        path: "/bin/jlvm".into(),
+                    },
+                },
+                Vma {
+                    start: VirtAddr(0x2000_0000),
+                    len: 0x4000,
+                    prot: Prot::RW,
+                    kind: VmaKind::File {
+                        path: "/app/fn.jlar".into(),
+                        offset: 0,
+                    },
+                },
+                Vma {
+                    start: VirtAddr(0x3000_0000),
+                    len: 0x2000,
+                    prot: Prot::RWX,
+                    kind: VmaKind::CodeCache,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn core_roundtrip() {
+        let c = sample_core();
+        assert_eq!(CoreImage::parse(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn mm_roundtrip() {
+        let m = sample_mm();
+        assert_eq!(MmImage::parse(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn pages_roundtrip_with_zero_dedup() {
+        let mut p = PagesImage::default();
+        let mut data = Page::zeroed();
+        data.bytes_mut()[17] = 0xAB;
+        p.push(100, &data);
+        p.push(101, &Page::zeroed());
+        p.push(102, &data);
+        assert_eq!(p.stored_pages(), 2);
+        assert_eq!(p.zero_pages(), 1);
+
+        let back =
+            PagesImage::parse(&p.encode_pagemap(), &p.encode_pages()).unwrap();
+        assert_eq!(back, p);
+        let collected: Vec<(u64, bool)> = back
+            .iter_pages()
+            .map(|(i, src)| (i, matches!(src, PageSource::Bytes(_))))
+            .collect();
+        assert_eq!(collected, vec![(100, true), (101, false), (102, true)]);
+        let first = back.iter_pages().next().unwrap().1;
+        match first {
+            PageSource::Bytes(first) => assert_eq!(first[17], 0xAB),
+            other => panic!("expected payload, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn parent_refs_roundtrip_and_resolve() {
+        // Parent holds pages 10 (data) and 11 (zero).
+        let mut parent = PagesImage::default();
+        let mut data = Page::zeroed();
+        data.bytes_mut().fill(0x77);
+        parent.push(10, &data);
+        parent.push(11, &Page::zeroed());
+
+        // Child: page 10 unchanged (parent ref), 11 unchanged (parent
+        // ref), 12 freshly written.
+        let mut child = PagesImage::default();
+        child.push_parent_ref(10);
+        child.push_parent_ref(11);
+        let mut fresh = Page::zeroed();
+        fresh.bytes_mut().fill(0x33);
+        child.push(12, &fresh);
+
+        assert_eq!(child.parent_pages(), 2);
+        assert_eq!(child.stored_pages(), 1);
+        let back =
+            PagesImage::parse(&child.encode_pagemap(), &child.encode_pages()).unwrap();
+        assert_eq!(back, child);
+
+        let resolved = back.resolve_parent(&parent).unwrap();
+        assert_eq!(resolved.parent_pages(), 0);
+        assert_eq!(resolved.stored_pages(), 2, "10 and 12 carry payload");
+        assert_eq!(resolved.zero_pages(), 1, "11 stays zero");
+        let bytes: Vec<(u64, bool)> = resolved
+            .iter_pages()
+            .map(|(i, s)| (i, matches!(s, PageSource::Bytes(_))))
+            .collect();
+        assert_eq!(bytes, vec![(10, true), (11, false), (12, true)]);
+    }
+
+    #[test]
+    fn resolve_missing_parent_page_fails() {
+        let mut child = PagesImage::default();
+        child.push_parent_ref(99);
+        let empty = PagesImage::default();
+        assert_eq!(
+            child.resolve_parent(&empty),
+            Err(ImageError::BadPages)
+        );
+    }
+
+    #[test]
+    fn pages_payload_mismatch_detected() {
+        let mut p = PagesImage::default();
+        let mut data = Page::zeroed();
+        data.bytes_mut()[0] = 1;
+        p.push(5, &data);
+        let pagemap = p.encode_pagemap();
+        // Claim the page but strip the payload.
+        let empty = PagesImage::default().encode_pages();
+        assert_eq!(
+            PagesImage::parse(&pagemap, &empty),
+            Err(ImageError::BadPages)
+        );
+    }
+
+    #[test]
+    fn files_roundtrip() {
+        let f = FilesImage {
+            fds: vec![
+                (
+                    3,
+                    FdEntry::File {
+                        path: "/app/fn.jlar".into(),
+                        offset: 99,
+                    },
+                ),
+                (4, FdEntry::Listener { port: 8080 }),
+                (5, FdEntry::PipeRead { pipe: 7 }),
+                (6, FdEntry::PipeWrite { pipe: 7 }),
+            ],
+        };
+        assert_eq!(FilesImage::parse(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = sample_core().encode();
+        bytes[9] ^= 0xFF;
+        assert_eq!(CoreImage::parse(&bytes), Err(ImageError::BadChecksum));
+    }
+
+    #[test]
+    fn kind_confusion_detected() {
+        let core_bytes = sample_core().encode();
+        assert!(matches!(
+            MmImage::parse(&core_bytes),
+            Err(ImageError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample_mm().encode();
+        assert_eq!(MmImage::parse(&bytes[..5]), Err(ImageError::Truncated));
+    }
+
+    #[test]
+    fn image_set_total_bytes_dominated_by_pages() {
+        let mut pages = PagesImage::default();
+        let mut page = Page::zeroed();
+        page.bytes_mut().fill(0x5A);
+        for i in 0..100 {
+            pages.push(i, &page);
+        }
+        let set = ImageSet {
+            core: sample_core(),
+            mm: sample_mm(),
+            pages,
+            files: FilesImage::default(),
+        };
+        let total = set.total_bytes();
+        assert!(total > 100 * PAGE_SIZE as u64);
+        assert!(total < 110 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ImageError::Truncated,
+            ImageError::BadPages,
+            ImageError::BadTag(9),
+            ImageError::WrongKind {
+                expected: 1,
+                found: 2,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

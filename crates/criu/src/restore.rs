@@ -1,0 +1,349 @@
+//! The restore pipeline: image read → task re-creation → memory
+//! reinstatement → descriptor re-opening → resume.
+//!
+//! Mirrors CRIU's restore as the paper describes it: "the CRIU tool
+//! process transmutes itself into the checkpointed process — it reads the
+//! dump files and restores the process's state, recreates all namespaces
+//! and opened files, and finally the checkpointed memory is remapped."
+//! Restore is a privileged operation (`CAP_CHECKPOINT_RESTORE`); the
+//! OpenFaaS integration (paper §5) models `docker run --privileged` by
+//! granting that capability to the watchdog.
+
+use prebake_sim::error::{Errno, SysResult};
+use prebake_sim::kernel::Kernel;
+use prebake_sim::mem::{AddressSpace, Page};
+use prebake_sim::proc::{FdEntry, FdTable, Pid, ProcState, Thread, ThreadState};
+use prebake_sim::time::SimDuration;
+
+use crate::costs::CriuCosts;
+use crate::dump::read_images;
+use crate::image::ImageSet;
+
+/// How the restored process's pid is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestorePid {
+    /// Re-create the exact dumped pid (CRIU's default; requires the pid to
+    /// be free, as it is inside a fresh pid namespace).
+    Same,
+    /// Let the kernel pick a fresh pid (models pid-namespace translation
+    /// when restoring many replicas on one host).
+    #[default]
+    Fresh,
+}
+
+/// Options for a restore.
+#[derive(Debug, Clone)]
+pub struct RestoreOptions {
+    /// Guest directory holding the image files.
+    pub images_dir: String,
+    /// Pid policy.
+    pub pid: RestorePid,
+    /// Cost table.
+    pub costs: CriuCosts,
+}
+
+impl RestoreOptions {
+    /// Paper-calibrated options with fresh-pid policy.
+    pub fn new(images_dir: impl Into<String>) -> RestoreOptions {
+        RestoreOptions {
+            images_dir: images_dir.into(),
+            pid: RestorePid::Fresh,
+            costs: CriuCosts::paper_calibrated(),
+        }
+    }
+}
+
+/// Statistics of a completed restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreStats {
+    /// Pid of the restored process.
+    pub pid: Pid,
+    /// Mappings re-created.
+    pub vmas: usize,
+    /// Non-zero pages installed.
+    pub pages_installed: usize,
+    /// Zero pages satisfied by demand-zero mappings.
+    pub zero_pages: usize,
+    /// File descriptors re-opened.
+    pub fds: usize,
+    /// Virtual time the restore took.
+    pub elapsed: SimDuration,
+}
+
+/// Restores a process from image files on the guest filesystem (the
+/// `criu restore` entry point).
+///
+/// # Errors
+///
+/// [`Errno::Eperm`] if `requester` lacks a checkpoint-capable capability,
+/// [`Errno::Eexist`] if [`RestorePid::Same`] finds the pid taken,
+/// [`Errno::Eaddrinuse`] if a dumped listener's port is bound, plus image
+/// errors as [`Errno::Einval`].
+pub fn restore(
+    kernel: &mut Kernel,
+    requester: Pid,
+    opts: &RestoreOptions,
+) -> SysResult<RestoreStats> {
+    let set = read_images(kernel, &opts.images_dir)?;
+    restore_set(kernel, requester, &set, opts)
+}
+
+/// Restores a process from an already-loaded [`ImageSet`] (the in-memory
+/// cache path — the paper's §7 future-work optimisation).
+///
+/// # Errors
+///
+/// As [`restore`], minus the filesystem reads.
+pub fn restore_set(
+    kernel: &mut Kernel,
+    requester: Pid,
+    set: &ImageSet,
+    opts: &RestoreOptions,
+) -> SysResult<RestoreStats> {
+    let t0 = kernel.now();
+    if !kernel.process(requester)?.caps.can_checkpoint() {
+        return Err(Errno::Eperm);
+    }
+    kernel.charge(opts.costs.restore_base);
+
+    // Task re-creation.
+    let pid = match opts.pid {
+        RestorePid::Same => kernel.sys_clone_with_pid(requester, set.core.pid)?,
+        RestorePid::Fresh => kernel.sys_clone(requester)?,
+    };
+
+    // Memory: rebuild the address space exactly as dumped.
+    kernel.charge(opts.costs.restore_per_vma * set.mm.vmas.len() as u64);
+    {
+        let proc = kernel.process_mut(pid)?;
+        proc.mem = AddressSpace::new();
+        for vma in &set.mm.vmas {
+            proc.mem
+                .mmap_fixed(vma.start, vma.len, vma.prot, vma.kind.clone())?;
+        }
+    }
+    let mut installed = 0usize;
+    {
+        // Install payload pages; zero pages stay demand-zero. Unresolved
+        // parent references mean the caller skipped `read_images`'s
+        // parent resolution — refuse rather than restore holes.
+        let proc = kernel.process_mut(pid)?;
+        for (page_index, source) in set.pages.iter_pages() {
+            match source {
+                crate::image::PageSource::Bytes(bytes) => {
+                    let page =
+                        Page::from_bytes(bytes.try_into().map_err(|_| Errno::Einval)?);
+                    proc.mem.install_page(page_index, page)?;
+                    installed += 1;
+                }
+                crate::image::PageSource::Zero => {}
+                crate::image::PageSource::Parent => return Err(Errno::Einval),
+            }
+        }
+    }
+    kernel.charge(opts.costs.restore_per_page * installed as u64);
+
+    // Descriptors.
+    kernel.charge(opts.costs.restore_per_fd * set.files.fds.len() as u64);
+    {
+        let proc = kernel.process_mut(pid)?;
+        proc.fds = FdTable::new();
+    }
+    for (fd, entry) in &set.files.fds {
+        match entry {
+            FdEntry::Listener { port } => {
+                kernel.sys_listen_at(pid, *fd, *port)?;
+            }
+            other => {
+                kernel
+                    .process_mut(pid)?
+                    .fds
+                    .insert_at(*fd, other.clone())?;
+            }
+        }
+    }
+
+    // Identity, threads, resume.
+    {
+        let proc = kernel.process_mut(pid)?;
+        proc.comm = set.core.comm.clone();
+        proc.cmdline = set.core.cmdline.clone();
+        proc.threads = set
+            .core
+            .threads
+            .iter()
+            .map(|t| Thread {
+                tid: t.tid,
+                state: ThreadState::Running,
+                regs: t.regs,
+            })
+            .collect();
+        proc.state = ProcState::Running;
+    }
+    let resume = kernel.costs().sched_resume;
+    kernel.charge(resume);
+
+    Ok(RestoreStats {
+        pid,
+        vmas: set.mm.vmas.len(),
+        pages_installed: installed,
+        zero_pages: set.pages.zero_pages(),
+        fds: set.files.fds.len(),
+        elapsed: kernel.now() - t0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dump::{dump, DumpOptions};
+    use prebake_sim::kernel::INIT_PID;
+    use prebake_sim::mem::{Prot, VirtAddr, VmaKind, PAGE_SIZE};
+    use prebake_sim::proc::CapSet;
+
+    fn checkpointed_kernel() -> (Kernel, Pid, Vec<u8>) {
+        let mut k = Kernel::free(5);
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        let target = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(target, 4 * PAGE_SIZE as u64, Prot::RW, VmaKind::RuntimeHeap)
+            .unwrap();
+        let payload: Vec<u8> = (0..5000u32).map(|i| (i % 250 + 1) as u8).collect();
+        k.mem_write(target, addr, &payload).unwrap();
+        k.sys_listen(target, 9090).unwrap();
+        k.sys_open(target, "/data").ok(); // no file: ignore
+        dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap();
+        (k, tracer, payload)
+    }
+
+    #[test]
+    fn restore_reinstates_memory_and_fds() {
+        let (mut k, tracer, payload) = checkpointed_kernel();
+        let stats = restore(&mut k, tracer, &RestoreOptions::new("/img")).unwrap();
+        assert_eq!(stats.vmas, 1);
+        assert_eq!(stats.pages_installed, 2, "5000 bytes = 2 pages");
+        assert_eq!(stats.fds, 1);
+
+        let pid = stats.pid;
+        let proc = k.process(pid).unwrap();
+        assert_eq!(proc.state, ProcState::Running);
+        let vma = proc.mem.vmas().next().unwrap().clone();
+        let bytes = k.mem_read(pid, vma.start, payload.len() as u64).unwrap();
+        assert_eq!(bytes, payload);
+        assert_eq!(k.port_owner(9090), Some(pid), "listener re-bound");
+    }
+
+    #[test]
+    fn restore_same_pid_policy() {
+        let (mut k, tracer, _) = checkpointed_kernel();
+        let set = read_images(&mut k, "/img").unwrap();
+        let dumped_pid = set.core.pid;
+        let mut opts = RestoreOptions::new("/img");
+        opts.pid = RestorePid::Same;
+        let stats = restore(&mut k, tracer, &opts).unwrap();
+        assert_eq!(stats.pid, dumped_pid);
+
+        // Doing it again: pid now taken.
+        k.process_mut(stats.pid).unwrap().fds = FdTable::new(); // free port
+        let mut k2 = k;
+        k2.sys_close(stats.pid, 3).ok();
+        assert!(matches!(
+            restore(&mut k2, tracer, &opts).unwrap_err(),
+            Errno::Eexist | Errno::Eaddrinuse
+        ));
+    }
+
+    #[test]
+    fn restore_requires_capability() {
+        let (mut k, tracer, _) = checkpointed_kernel();
+        k.process_mut(tracer).unwrap().caps = CapSet::empty();
+        assert_eq!(
+            restore(&mut k, tracer, &RestoreOptions::new("/img")).unwrap_err(),
+            Errno::Eperm
+        );
+    }
+
+    #[test]
+    fn restore_fails_if_port_taken() {
+        let (mut k, tracer, _) = checkpointed_kernel();
+        let squatter = k.sys_clone(INIT_PID).unwrap();
+        k.sys_listen(squatter, 9090).unwrap();
+        assert_eq!(
+            restore(&mut k, tracer, &RestoreOptions::new("/img")).unwrap_err(),
+            Errno::Eaddrinuse
+        );
+    }
+
+    #[test]
+    fn restored_memory_is_observably_equal() {
+        // Dump with leave_running, restore fresh, compare spaces.
+        let mut k = Kernel::free(6);
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        let target = k.sys_clone(INIT_PID).unwrap();
+        let a = k
+            .sys_mmap(target, 16 * PAGE_SIZE as u64, Prot::RW, VmaKind::Metaspace)
+            .unwrap();
+        for i in 0..10u64 {
+            let data = vec![(i as u8) + 1; 300];
+            k.mem_write(target, a.add(i * PAGE_SIZE as u64), &data)
+                .unwrap();
+        }
+        let mut dopts = DumpOptions::new(target, "/img");
+        dopts.leave_running = true;
+        dump(&mut k, tracer, &dopts).unwrap();
+        let stats = restore(&mut k, tracer, &RestoreOptions::new("/img")).unwrap();
+        let original = k.process(target).unwrap().mem.clone();
+        let restored = &k.process(stats.pid).unwrap().mem;
+        assert!(original.observably_equal(restored));
+    }
+
+    #[test]
+    fn zero_pages_restore_as_demand_zero() {
+        let mut k = Kernel::free(7);
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        let target = k.sys_clone(INIT_PID).unwrap();
+        let a = k
+            .sys_mmap(target, 2 * PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+            .unwrap();
+        k.mem_write(target, a, &[0u8; PAGE_SIZE]).unwrap(); // zero page, materialised
+        dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap();
+        let stats = restore(&mut k, tracer, &RestoreOptions::new("/img")).unwrap();
+        assert_eq!(stats.pages_installed, 0);
+        assert_eq!(stats.zero_pages, 1);
+        // Still reads as zeros without being materialised.
+        let proc = k.process(stats.pid).unwrap();
+        assert_eq!(proc.mem.resident_pages(), 0);
+        let bytes = k.mem_read(stats.pid, VirtAddr(a.0), 64).unwrap();
+        assert!(bytes.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn restore_charges_scale_with_snapshot_size() {
+        use prebake_sim::cost::CostModel;
+        use prebake_sim::noise::Noise;
+
+        let mut elapsed = Vec::new();
+        for pages in [8u64, 64] {
+            let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+            let tracer = k.sys_clone(INIT_PID).unwrap();
+            let target = k.sys_clone(INIT_PID).unwrap();
+            let a = k
+                .sys_mmap(
+                    target,
+                    pages * PAGE_SIZE as u64,
+                    Prot::RW,
+                    VmaKind::RuntimeHeap,
+                )
+                .unwrap();
+            k.mem_write(target, a, &vec![7u8; (pages * PAGE_SIZE as u64) as usize])
+                .unwrap();
+            dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap();
+            let stats = restore(&mut k, tracer, &RestoreOptions::new("/img")).unwrap();
+            elapsed.push(stats.elapsed);
+        }
+        assert!(
+            elapsed[1] > elapsed[0],
+            "bigger snapshot restores slower: {elapsed:?}"
+        );
+    }
+}

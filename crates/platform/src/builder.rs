@@ -1,0 +1,179 @@
+//! The Function Builder (SPEC-RG) and template repository.
+//!
+//! Templates hide setup complexity (paper §5.2): ordinary language
+//! templates package the archive into a runnable image; the CRIU
+//! templates additionally boot the function during `build`, run an
+//! optional warm-up script, and checkpoint the process into the image.
+
+use prebake_core::env::{export_images, provision_machine, Deployment};
+use prebake_core::prebaker::{bake, SnapshotPolicy};
+use prebake_functions::FunctionSpec;
+use prebake_sim::error::SysResult;
+use prebake_sim::kernel::Kernel;
+
+use crate::registry::ContainerImage;
+
+/// A build template from the Templates Repository.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    /// Template name (`java11`, `java11-criu`, ...).
+    pub name: String,
+    /// Snapshot policy the build applies; `None` builds a plain image.
+    pub prebake: Option<SnapshotPolicy>,
+}
+
+impl Template {
+    /// The plain Java-like template.
+    pub fn java11() -> Template {
+        Template {
+            name: "java11".to_owned(),
+            prebake: None,
+        }
+    }
+
+    /// The CRIU template without warm-up (snapshot right after ready).
+    pub fn java11_criu() -> Template {
+        Template {
+            name: "java11-criu".to_owned(),
+            prebake: Some(SnapshotPolicy::AfterReady),
+        }
+    }
+
+    /// The CRIU template with a warm-up script of `n` requests.
+    pub fn java11_criu_warm(n: u32) -> Template {
+        Template {
+            name: format!("java11-criu-warm{n}"),
+            prebake: Some(SnapshotPolicy::AfterWarmup(n)),
+        }
+    }
+
+    /// The built-in template repository.
+    pub fn repository() -> Vec<Template> {
+        vec![
+            Template::java11(),
+            Template::java11_criu(),
+            Template::java11_criu_warm(1),
+        ]
+    }
+
+    /// Looks a template up by name.
+    pub fn lookup(name: &str) -> Option<Template> {
+        if let Some(rest) = name.strip_prefix("java11-criu-warm") {
+            if let Ok(n) = rest.parse::<u32>() {
+                return Some(Template::java11_criu_warm(n));
+            }
+        }
+        Template::repository().into_iter().find(|t| t.name == name)
+    }
+}
+
+/// The Function Builder: turns a [`FunctionSpec`] + [`Template`] into a
+/// pushable [`ContainerImage`].
+#[derive(Debug, Default)]
+pub struct FunctionBuilder;
+
+impl FunctionBuilder {
+    /// Builds an image. For CRIU templates this boots the function on a
+    /// throwaway builder machine, optionally warms it, and checkpoints it
+    /// into the image — exactly the paper's build-phase flow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build/bake errors.
+    pub fn build(
+        &self,
+        spec: FunctionSpec,
+        template: &Template,
+    ) -> SysResult<ContainerImage> {
+        let snapshot_files = match template.prebake {
+            None => Vec::new(),
+            Some(policy) => {
+                let mut kernel = Kernel::new(0xB17D);
+                let builder_proc = provision_machine(&mut kernel)?;
+                let dep = Deployment::install(&mut kernel, spec.clone(), 8080)?;
+                bake(&mut kernel, builder_proc, &dep, policy, &dep.images_dir())?;
+                // `criu check`: validate the snapshot before it ships in
+                // the image — a corrupt bake must fail the build, not a
+                // production restore.
+                prebake_criu::check(&mut kernel, &dep.images_dir())
+                    .map_err(|_| prebake_sim::Errno::Einval)?;
+                export_images(&mut kernel, &dep.images_dir())?
+            }
+        };
+        Ok(ContainerImage {
+            spec,
+            template: template.name.clone(),
+            snapshot_files,
+            policy: template.prebake,
+            version: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_repository_and_lookup() {
+        assert_eq!(Template::repository().len(), 3);
+        assert_eq!(Template::lookup("java11"), Some(Template::java11()));
+        assert_eq!(
+            Template::lookup("java11-criu").unwrap().prebake,
+            Some(SnapshotPolicy::AfterReady)
+        );
+        assert_eq!(
+            Template::lookup("java11-criu-warm3").unwrap().prebake,
+            Some(SnapshotPolicy::AfterWarmup(3))
+        );
+        assert!(Template::lookup("go").is_none());
+    }
+
+    #[test]
+    fn plain_build_has_no_snapshot() {
+        let image = FunctionBuilder
+            .build(FunctionSpec::noop(), &Template::java11())
+            .unwrap();
+        assert!(!image.is_prebaked());
+        assert!(image.policy.is_none());
+        assert_eq!(image.template, "java11");
+    }
+
+    #[test]
+    fn criu_build_bakes_snapshot_into_image() {
+        let image = FunctionBuilder
+            .build(FunctionSpec::noop(), &Template::java11_criu())
+            .unwrap();
+        assert!(image.is_prebaked());
+        assert!(
+            image.snapshot_bytes() > 10_000_000,
+            "NOOP snapshot ≈13MB, got {}",
+            image.snapshot_bytes()
+        );
+        assert_eq!(image.policy, Some(SnapshotPolicy::AfterReady));
+        let names: Vec<&str> = image
+            .snapshot_files
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert!(names.contains(&"pages.img"));
+        assert!(names.contains(&"core.img"));
+    }
+
+    #[test]
+    fn warm_build_is_larger() {
+        let cold = FunctionBuilder
+            .build(
+                FunctionSpec::synthetic(prebake_functions::SyntheticSize::Small),
+                &Template::java11_criu(),
+            )
+            .unwrap();
+        let warm = FunctionBuilder
+            .build(
+                FunctionSpec::synthetic(prebake_functions::SyntheticSize::Small),
+                &Template::java11_criu_warm(1),
+            )
+            .unwrap();
+        assert!(warm.snapshot_bytes() > cold.snapshot_bytes());
+    }
+}

@@ -1,0 +1,164 @@
+//! Load generation.
+//!
+//! The paper's generator "starts the function replica and holds the
+//! first request until the replica becomes ready; after that, the load
+//! is sent sequentially and at a constant rate". The ablation studies
+//! additionally use Poisson (open-loop) arrivals and instantaneous
+//! bursts.
+
+use prebake_runtime::http::Request;
+use prebake_sim::error::SysResult;
+use prebake_sim::noise::Noise;
+use prebake_sim::time::{SimDuration, SimInstant};
+
+use crate::platform::Platform;
+
+/// Submits `n` requests at a constant inter-arrival interval starting at
+/// `start`.
+///
+/// # Errors
+///
+/// Propagates submission errors (unknown function).
+pub fn constant_rate(
+    platform: &mut Platform,
+    function: &str,
+    n: usize,
+    start: SimInstant,
+    interval: SimDuration,
+    make_request: impl Fn(usize) -> Request,
+) -> SysResult<()> {
+    let mut t = start;
+    for i in 0..n {
+        platform.submit(t, function, make_request(i))?;
+        t += interval;
+    }
+    Ok(())
+}
+
+/// Submits `n` requests with exponentially distributed inter-arrival
+/// times of the given mean (an open-loop Poisson process), deterministic
+/// in `seed`.
+///
+/// # Errors
+///
+/// Propagates submission errors.
+pub fn poisson(
+    platform: &mut Platform,
+    function: &str,
+    n: usize,
+    start: SimInstant,
+    mean_interval: SimDuration,
+    seed: u64,
+    make_request: impl Fn(usize) -> Request,
+) -> SysResult<()> {
+    let mut noise = Noise::new(seed, 0.0);
+    let mut t = start;
+    for i in 0..n {
+        platform.submit(t, function, make_request(i))?;
+        let gap = noise.exponential(mean_interval.as_millis_f64());
+        t += SimDuration::from_millis_f64(gap);
+    }
+    Ok(())
+}
+
+/// Submits `n` simultaneous requests at `at` (a burst — the demand surge
+/// that makes cold-start latency visible).
+///
+/// # Errors
+///
+/// Propagates submission errors.
+pub fn burst(
+    platform: &mut Platform,
+    function: &str,
+    n: usize,
+    at: SimInstant,
+    make_request: impl Fn(usize) -> Request,
+) -> SysResult<()> {
+    for i in 0..n {
+        platform.submit(at, function, make_request(i))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, Template};
+    use crate::platform::PlatformConfig;
+    use crate::registry::Registry;
+    use prebake_functions::FunctionSpec;
+
+    fn platform() -> Platform {
+        let registry = Registry::new();
+        registry.push(
+            FunctionBuilder
+                .build(FunctionSpec::noop(), &Template::java11())
+                .unwrap(),
+        );
+        let mut p = Platform::new(PlatformConfig::default(), registry);
+        p.deploy_function("noop").unwrap();
+        p
+    }
+
+    #[test]
+    fn constant_rate_submits_all() {
+        let mut p = platform();
+        constant_rate(
+            &mut p,
+            "noop",
+            20,
+            SimInstant::EPOCH,
+            SimDuration::from_millis(50),
+            |_| Request::empty(),
+        )
+        .unwrap();
+        p.run().unwrap();
+        assert_eq!(p.completed().len(), 20);
+        // Sequential constant-rate load after warm-up is all warm.
+        let warm = p.completed().iter().filter(|r| !r.cold).count();
+        assert!(warm >= 18, "most requests warm, got {warm}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let mut p1 = platform();
+        poisson(
+            &mut p1,
+            "noop",
+            30,
+            SimInstant::EPOCH,
+            SimDuration::from_millis(20),
+            7,
+            |_| Request::empty(),
+        )
+        .unwrap();
+        p1.run().unwrap();
+
+        let mut p2 = platform();
+        poisson(
+            &mut p2,
+            "noop",
+            30,
+            SimInstant::EPOCH,
+            SimDuration::from_millis(20),
+            7,
+            |_| Request::empty(),
+        )
+        .unwrap();
+        p2.run().unwrap();
+
+        let l1: Vec<u64> = p1.completed().iter().map(|r| r.completed.as_nanos()).collect();
+        let l2: Vec<u64> = p2.completed().iter().map(|r| r.completed.as_nanos()).collect();
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn burst_fans_out_replicas() {
+        let mut p = platform();
+        burst(&mut p, "noop", 6, SimInstant::EPOCH, |_| Request::empty()).unwrap();
+        p.run().unwrap();
+        assert_eq!(p.completed().len(), 6);
+        let started = p.metrics().get("noop").unwrap().replicas_started.get();
+        assert!(started >= 3, "burst should fan out, started {started}");
+    }
+}

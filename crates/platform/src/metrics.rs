@@ -1,0 +1,272 @@
+//! Prometheus-style platform metrics.
+//!
+//! OpenFaaS scales on alerts fired from gateway metrics; this module
+//! provides the counters/gauges/histograms the autoscaler and the
+//! experiment reports consume, plus a text rendering in the Prometheus
+//! exposition format.
+
+use std::collections::BTreeMap;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A simple latency histogram with fixed millisecond buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(&[1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0])
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs buckets");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation (milliseconds).
+    pub fn observe(&mut self, value_ms: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value_ms <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value_ms;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Approximate quantile from bucket boundaries (upper bound of the
+    /// bucket containing the quantile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile in [0,1]");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    f64::INFINITY
+                };
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// Per-function metrics.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionMetrics {
+    /// Requests routed to the function.
+    pub requests: Counter,
+    /// Requests that had to wait for a cold start.
+    pub cold_starts: Counter,
+    /// Replicas started.
+    pub replicas_started: Counter,
+    /// Replicas garbage-collected after idling.
+    pub replicas_reaped: Counter,
+    /// Replicas that crashed and were replaced by the watchdog.
+    pub replica_failures: Counter,
+    /// Requests that completed with an application error (HTTP 5xx).
+    pub request_errors: Counter,
+    /// End-to-end latency (queueing + service), ms.
+    pub latency: Histogram,
+    /// Cold-start start-up time, ms.
+    pub startup: Histogram,
+}
+
+/// The platform metric registry.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    functions: BTreeMap<String, FunctionMetrics>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Metrics for `name`, created on first use.
+    pub fn function(&mut self, name: &str) -> &mut FunctionMetrics {
+        self.functions.entry(name.to_owned()).or_default()
+    }
+
+    /// Read-only view, if the function has metrics.
+    pub fn get(&self, name: &str) -> Option<&FunctionMetrics> {
+        self.functions.get(name)
+    }
+
+    /// Function names with metrics.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.functions.keys().map(String::as_str)
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, m) in &self.functions {
+            out.push_str(&format!(
+                "faas_requests_total{{function=\"{name}\"}} {}\n",
+                m.requests.get()
+            ));
+            out.push_str(&format!(
+                "faas_cold_starts_total{{function=\"{name}\"}} {}\n",
+                m.cold_starts.get()
+            ));
+            out.push_str(&format!(
+                "faas_replicas_started_total{{function=\"{name}\"}} {}\n",
+                m.replicas_started.get()
+            ));
+            out.push_str(&format!(
+                "faas_replicas_reaped_total{{function=\"{name}\"}} {}\n",
+                m.replicas_reaped.get()
+            ));
+            out.push_str(&format!(
+                "faas_replica_failures_total{{function=\"{name}\"}} {}\n",
+                m.replica_failures.get()
+            ));
+            out.push_str(&format!(
+                "faas_latency_ms_mean{{function=\"{name}\"}} {:.3}\n",
+                m.latency.mean()
+            ));
+            out.push_str(&format!(
+                "faas_latency_ms_count{{function=\"{name}\"}} {}\n",
+                m.latency.count()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_behaviour() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_mean_and_count() {
+        let mut h = Histogram::default();
+        for v in [10.0, 20.0, 30.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket() {
+        let mut h = Histogram::new(&[10.0, 100.0, 1000.0]);
+        for _ in 0..90 {
+            h.observe(5.0);
+        }
+        for _ in 0..10 {
+            h.observe(500.0);
+        }
+        assert_eq!(h.quantile(0.5), 10.0);
+        assert_eq!(h.quantile(0.99), 1000.0);
+        assert_eq!(h.quantile(0.0), 10.0);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(99.0);
+        assert_eq!(h.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_panic() {
+        Histogram::new(&[5.0, 1.0]);
+    }
+
+    #[test]
+    fn render_prometheus_format() {
+        let mut m = Metrics::new();
+        m.function("noop").requests.add(3);
+        m.function("noop").latency.observe(12.0);
+        let text = m.render();
+        assert!(text.contains("faas_requests_total{function=\"noop\"} 3"));
+        assert!(text.contains("faas_latency_ms_count{function=\"noop\"} 1"));
+        assert_eq!(m.names().collect::<Vec<_>>(), vec!["noop"]);
+        assert!(m.get("noop").is_some());
+        assert!(m.get("ghost").is_none());
+    }
+}

@@ -1,0 +1,896 @@
+//! The FaaS platform: router, deployer, resource manager and autoscaler
+//! over per-container machines.
+//!
+//! Follows the SPEC-RG reference architecture the paper's §2 describes:
+//! the *Function Router* queues events while no replica is available, the
+//! *Function Deployer* provisions new replicas from registry images, and
+//! the platform garbage-collects idle replicas (scale-to-zero) — the
+//! very policy that causes cold starts. Each replica runs in its own
+//! container, modelled as its own [`Kernel`] (own page cache, pid and
+//! port namespaces); container clocks are synchronised to platform time
+//! with the next-free-time pattern described in `DESIGN.md` §7.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use prebake_core::env::{fresh_container, import_images, provision_machine, Deployment};
+use prebake_core::starter::{PrebakeStarter, Started, Starter, VanillaStarter};
+use prebake_runtime::http::Request;
+use prebake_runtime::Replica;
+use prebake_sim::error::{Errno, SysResult};
+use prebake_sim::event::EventQueue;
+use prebake_sim::kernel::Kernel;
+use prebake_sim::proc::Pid;
+use prebake_sim::time::{SimDuration, SimInstant};
+
+use crate::metrics::Metrics;
+use crate::registry::Registry;
+
+/// Platform-wide configuration.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Maximum replicas per function.
+    pub max_replicas: usize,
+    /// Idle time after which a replica is garbage-collected.
+    pub idle_timeout: SimDuration,
+    /// Warm-pool floor per function (the pool-based mitigation of
+    /// Lin & Glikson \[14\] used as an ablation baseline; 0 = pure
+    /// scale-to-zero).
+    pub min_warm_pool: usize,
+    /// How many cold starts one node can drive concurrently before they
+    /// queue on host I/O and CPU (the paper's §7 "concurrent snapshots"
+    /// concern). `usize::MAX` disables the model.
+    pub cold_start_concurrency: usize,
+    /// Worker nodes in the cluster (SPEC-RG Resource Orchestration
+    /// layer). Replicas are placed least-loaded-first.
+    pub nodes: usize,
+    /// Maximum containers per node; a full cluster defers scale-up until
+    /// capacity frees.
+    pub node_capacity: usize,
+    /// Port replicas bind inside their container.
+    pub container_port: u16,
+    /// Seed driving container-kernel noise.
+    pub seed: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            max_replicas: 20,
+            idle_timeout: SimDuration::from_secs(60),
+            min_warm_pool: 0,
+            cold_start_concurrency: 4,
+            nodes: 1,
+            node_capacity: 64,
+            container_port: 8080,
+            seed: 0xFAA5,
+        }
+    }
+}
+
+/// A completed request, as observed at the gateway.
+#[derive(Debug, Clone)]
+pub struct CompletedRequest {
+    /// Request id (submission order).
+    pub id: u64,
+    /// Function name.
+    pub function: String,
+    /// Arrival time at the gateway.
+    pub arrived: SimInstant,
+    /// Completion time.
+    pub completed: SimInstant,
+    /// Whether the request waited on a cold start.
+    pub cold: bool,
+}
+
+impl CompletedRequest {
+    /// End-to-end latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        (self.completed - self.arrived).as_millis_f64()
+    }
+}
+
+struct Container {
+    function: String,
+    kernel: Kernel,
+    #[allow(dead_code)]
+    watchdog: Pid,
+    replica: Replica,
+    node: usize,
+    busy_until: SimInstant,
+    last_active: SimInstant,
+    started_at: SimInstant,
+    ready_at: SimInstant,
+}
+
+/// One worker node's placement state.
+#[derive(Debug, Default)]
+struct NodeState {
+    /// Busy-until times of in-flight cold starts (≤ concurrency).
+    slots: Vec<SimInstant>,
+    /// Containers currently placed on this node.
+    containers: usize,
+}
+
+#[derive(Debug)]
+struct QueuedRequest {
+    id: u64,
+    arrived: SimInstant,
+    req: Request,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival {
+        function: String,
+        req: Request,
+    },
+    ReplicaReady {
+        container: u64,
+    },
+    RequestDone {
+        container: u64,
+    },
+    IdleSweep,
+}
+
+/// The platform.
+pub struct Platform {
+    config: PlatformConfig,
+    registry: Registry,
+    containers: BTreeMap<u64, Container>,
+    queues: BTreeMap<String, VecDeque<QueuedRequest>>,
+    starting: BTreeMap<String, usize>,
+    events: EventQueue<Event>,
+    now: SimInstant,
+    metrics: Metrics,
+    completed: Vec<CompletedRequest>,
+    next_container: u64,
+    next_request: u64,
+    nodes: Vec<NodeState>,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("now", &self.now)
+            .field("containers", &self.containers.len())
+            .field("pending_events", &self.events.len())
+            .field("completed", &self.completed.len())
+            .finish()
+    }
+}
+
+impl Platform {
+    /// Creates a platform over a registry.
+    pub fn new(config: PlatformConfig, registry: Registry) -> Platform {
+        let node_count = config.nodes.max(1);
+        Platform {
+            config,
+            registry,
+            containers: BTreeMap::new(),
+            queues: BTreeMap::new(),
+            starting: BTreeMap::new(),
+            events: EventQueue::new(),
+            now: SimInstant::EPOCH,
+            metrics: Metrics::new(),
+            completed: Vec::new(),
+            next_container: 1,
+            next_request: 1,
+            nodes: (0..node_count).map(|_| NodeState::default()).collect(),
+        }
+    }
+
+    /// Places a new replica: picks the least-loaded node with capacity
+    /// headroom and reserves one of its cold-start slots. Returns the
+    /// node, the slot index and the time the start may begin — or `None`
+    /// if the cluster is full (scale-up waits for capacity).
+    fn place_cold_start(&mut self) -> Option<(usize, usize, SimInstant)> {
+        let capacity = self.config.node_capacity.max(1);
+        let node = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.containers < capacity)
+            .min_by_key(|(_, n)| n.containers)
+            .map(|(i, _)| i)?;
+        let cap = self.config.cold_start_concurrency.max(1);
+        let slots = &mut self.nodes[node].slots;
+        if slots.len() < cap {
+            slots.push(self.now);
+            return Some((node, slots.len() - 1, self.now));
+        }
+        let (idx, &busy_until) = slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| t.as_nanos())
+            .expect("slots non-empty");
+        Some((node, idx, busy_until.max(self.now)))
+    }
+
+    /// Current platform time.
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Gateway metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Requests completed so far, in completion order.
+    pub fn completed(&self) -> &[CompletedRequest] {
+        &self.completed
+    }
+
+    /// Live replicas of `function`.
+    pub fn replica_count(&self, function: &str) -> usize {
+        self.containers
+            .values()
+            .filter(|c| c.function == function)
+            .count()
+    }
+
+    /// Makes a function routable (creates its queue) and pre-starts the
+    /// warm pool if configured.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Enoent`] if the function is not in the registry.
+    pub fn deploy_function(&mut self, name: &str) -> SysResult<()> {
+        if self.registry.pull(name).is_none() {
+            return Err(Errno::Enoent);
+        }
+        self.queues.entry(name.to_owned()).or_default();
+        for _ in 0..self.config.min_warm_pool {
+            self.start_replica(name)?;
+        }
+        Ok(())
+    }
+
+    /// Schedules a request arrival at `at` (≥ now).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Enoent`] if the function is not deployed.
+    pub fn submit(&mut self, at: SimInstant, function: &str, req: Request) -> SysResult<u64> {
+        if !self.queues.contains_key(function) {
+            return Err(Errno::Enoent);
+        }
+        let id = self.next_request;
+        self.next_request += 1;
+        self.events.schedule(
+            at.max(self.now),
+            Event::Arrival {
+                function: function.to_owned(),
+                req,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Runs until the event queue drains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replica/kernel errors.
+    pub fn run(&mut self) -> SysResult<()> {
+        while let Some((t, event)) = self.events.pop() {
+            self.now = self.now.max(t);
+            self.handle_event(event)?;
+        }
+        Ok(())
+    }
+
+    fn handle_event(&mut self, event: Event) -> SysResult<()> {
+        match event {
+            Event::Arrival { function, req } => {
+                let id = self.next_request;
+                self.next_request += 1;
+                self.metrics.function(&function).requests.inc();
+                self.queues
+                    .get_mut(&function)
+                    .ok_or(Errno::Enoent)?
+                    .push_back(QueuedRequest {
+                        id,
+                        arrived: self.now,
+                        req,
+                    });
+                self.dispatch(&function)?;
+                // No capacity serving us now? consider scale-up.
+                self.maybe_scale_up(&function)?;
+                Ok(())
+            }
+            Event::ReplicaReady { container } => {
+                let function = match self.containers.get(&container) {
+                    Some(c) => c.function.clone(),
+                    None => return Ok(()),
+                };
+                *self.starting.entry(function.clone()).or_default() =
+                    self.starting.get(&function).copied().unwrap_or(1).saturating_sub(1);
+                self.dispatch(&function)?;
+                // Schedule the idle sweep that may reap this replica.
+                self.events.schedule(
+                    self.now + self.config.idle_timeout,
+                    Event::IdleSweep,
+                );
+                Ok(())
+            }
+            Event::RequestDone { container } => {
+                let function = match self.containers.get(&container) {
+                    Some(c) => c.function.clone(),
+                    None => return Ok(()),
+                };
+                self.dispatch(&function)?;
+                self.events.schedule(
+                    self.now + self.config.idle_timeout,
+                    Event::IdleSweep,
+                );
+                Ok(())
+            }
+            Event::IdleSweep => {
+                self.sweep_idle();
+                Ok(())
+            }
+        }
+    }
+
+    /// Assigns queued requests of `function` to idle ready replicas.
+    fn dispatch(&mut self, function: &str) -> SysResult<()> {
+        loop {
+            let Some(queue) = self.queues.get_mut(function) else {
+                return Ok(());
+            };
+            if queue.is_empty() {
+                return Ok(());
+            }
+            // Find an idle, ready container.
+            let Some((&cid, _)) = self
+                .containers
+                .iter()
+                .find(|(_, c)| {
+                    c.function == function
+                        && c.ready_at <= self.now
+                        && c.busy_until <= self.now
+                })
+            else {
+                return Ok(());
+            };
+            let qreq = self.queues.get_mut(function).unwrap().pop_front().unwrap();
+            self.serve(cid, qreq)?;
+        }
+    }
+
+    fn serve(&mut self, cid: u64, qreq: QueuedRequest) -> SysResult<()> {
+        let container = self.containers.get_mut(&cid).expect("container exists");
+        container.kernel.advance_to(self.now);
+        let mut errored = false;
+        match container.replica.handle(&mut container.kernel, &qreq.req) {
+            Ok(_response) => {}
+            Err(Errno::Esrch | Errno::Enotconn | Errno::Ebadf | Errno::Efault) => {
+                // Watchdog: the replica process died. Replace the
+                // container, put the request back at the head of the
+                // queue, and let scale-up provision a successor.
+                let function = container.function.clone();
+                self.remove_container(cid, RemovalReason::Crashed);
+                self.queues
+                    .get_mut(&function)
+                    .ok_or(Errno::Enoent)?
+                    .push_front(qreq);
+                self.maybe_scale_up(&function)?;
+                return Ok(());
+            }
+            Err(_application_error) => {
+                // A bad request (e.g. an unparsable body) is the caller's
+                // problem, not the platform's: complete it as an HTTP
+                // 5xx-style error and keep serving.
+                errored = true;
+            }
+        }
+        let container = self.containers.get_mut(&cid).expect("container exists");
+        let done = container.kernel.now();
+        container.busy_until = done;
+        container.last_active = done;
+        let cold = container.started_at >= qreq.arrived;
+        let function = container.function.clone();
+
+        let record = CompletedRequest {
+            id: qreq.id,
+            function: function.clone(),
+            arrived: qreq.arrived,
+            completed: done,
+            cold,
+        };
+        let m = self.metrics.function(&function);
+        m.latency.observe(record.latency_ms());
+        if cold {
+            m.cold_starts.inc();
+        }
+        if errored {
+            m.request_errors.inc();
+        }
+        self.completed.push(record);
+        self.events.schedule(done, Event::RequestDone { container: cid });
+        Ok(())
+    }
+
+    /// Paper §4.1 concurrency model: "if a replica is busy and a new
+    /// request arrives, the platform starts another replica to do the
+    /// job".
+    fn maybe_scale_up(&mut self, function: &str) -> SysResult<()> {
+        let queued = self.queues.get(function).map_or(0, VecDeque::len);
+        if queued == 0 {
+            return Ok(());
+        }
+        let live = self.replica_count(function);
+        let starting = self.starting.get(function).copied().unwrap_or(0);
+        // Idle-or-soon-free capacity already covers the queue?
+        let free_soon = self
+            .containers
+            .values()
+            .filter(|c| c.function == function && c.busy_until <= self.now && c.ready_at <= self.now)
+            .count();
+        let deficit = queued.saturating_sub(free_soon + starting);
+        let headroom = self.config.max_replicas.saturating_sub(live + starting);
+        for _ in 0..deficit.min(headroom) {
+            if self.start_replica(function)?.is_none() {
+                break; // cluster full: wait for capacity to free
+            }
+        }
+        Ok(())
+    }
+
+    /// Provisions a new container and starts a replica in it (vanilla or
+    /// prebaked, depending on the registry image). Returns `None` when no
+    /// node has capacity.
+    fn start_replica(&mut self, function: &str) -> SysResult<Option<u64>> {
+        let image = self.registry.pull(function).ok_or(Errno::Enoent)?;
+        let Some((node, slot, start_at)) = self.place_cold_start() else {
+            return Ok(None);
+        };
+        let cid = self.next_container;
+        self.next_container += 1;
+        *self.starting.entry(function.to_owned()).or_default() += 1;
+
+        // Provisioning (image pull, artifact install, cache pre-warm)
+        // happens outside the measured timeline — the paper excludes
+        // orchestration overheads — so it runs uncharged.
+        let mut kernel = Kernel::new(self.config.seed ^ (cid << 8));
+        let port = self.config.container_port;
+        let spec = image.spec.clone();
+        let snapshot_files = image.snapshot_files.clone();
+        let prebaked = image.is_prebaked();
+        let (watchdog, dep) = kernel.uncharged(move |kernel| {
+            let watchdog = provision_machine(kernel)?;
+            let dep = Deployment::install(kernel, spec, port)?;
+            let mut warm = Vec::new();
+            if prebaked {
+                import_images(kernel, &dep.images_dir(), &snapshot_files)?;
+                warm = dep.image_paths();
+            }
+            fresh_container(kernel, &warm)?;
+            Ok((watchdog, dep))
+        })?;
+
+        // Container clock joins platform time — delayed if the node's
+        // cold-start slots are saturated (concurrent starts contend for
+        // host I/O and CPU) — then the start runs.
+        kernel.advance_to(start_at);
+        let started_at = self.now;
+        let starter: Box<dyn Starter> = if image.is_prebaked() {
+            Box::new(PrebakeStarter::new())
+        } else {
+            Box::new(VanillaStarter)
+        };
+        let Started {
+            replica, startup, ..
+        } = starter.start(&mut kernel, watchdog, &dep)?;
+        let ready_at = kernel.now();
+        self.nodes[node].slots[slot] = ready_at;
+        self.nodes[node].containers += 1;
+
+        self.metrics.function(function).replicas_started.inc();
+        self.metrics
+            .function(function)
+            .startup
+            .observe(startup.as_millis_f64());
+
+        self.containers.insert(
+            cid,
+            Container {
+                function: function.to_owned(),
+                kernel,
+                watchdog,
+                replica,
+                node,
+                busy_until: ready_at,
+                last_active: ready_at,
+                started_at,
+                ready_at,
+            },
+        );
+        self.events
+            .schedule(ready_at, Event::ReplicaReady { container: cid });
+        Ok(Some(cid))
+    }
+
+    /// Removes a container, returning its node capacity and recording
+    /// the reason in metrics.
+    fn remove_container(&mut self, cid: u64, reason: RemovalReason) {
+        if let Some(container) = self.containers.remove(&cid) {
+            self.nodes[container.node].containers =
+                self.nodes[container.node].containers.saturating_sub(1);
+            let m = self.metrics.function(&container.function);
+            match reason {
+                RemovalReason::Idle => m.replicas_reaped.inc(),
+                RemovalReason::Crashed => m.replica_failures.inc(),
+            }
+        }
+    }
+
+    /// Garbage-collects replicas idle past the timeout, honouring the
+    /// warm-pool floor.
+    fn sweep_idle(&mut self) {
+        let timeout = self.config.idle_timeout;
+        let now = self.now;
+        let mut victims = Vec::new();
+        let mut per_fn: BTreeMap<String, usize> = BTreeMap::new();
+        for (&cid, c) in &self.containers {
+            *per_fn.entry(c.function.clone()).or_default() += 1;
+            let idle = c.busy_until <= now
+                && c.ready_at <= now
+                && now.saturating_duration_since(c.last_active) >= timeout;
+            if idle {
+                victims.push((cid, c.function.clone()));
+            }
+        }
+        for (cid, function) in victims {
+            let remaining = per_fn.get(&function).copied().unwrap_or(0);
+            if remaining <= self.config.min_warm_pool {
+                continue;
+            }
+            self.remove_container(cid, RemovalReason::Idle);
+            *per_fn.get_mut(&function).unwrap() -= 1;
+        }
+    }
+
+    /// Chaos hook: crashes one live replica of `function` (kills its
+    /// process inside the container). Returns `true` if a victim was
+    /// found. The watchdog path detects the corpse at the next dispatch
+    /// and replaces it.
+    pub fn inject_replica_crash(&mut self, function: &str) -> bool {
+        let victim = self
+            .containers
+            .iter_mut()
+            .find(|(_, c)| c.function == function);
+        let Some((_, container)) = victim else {
+            return false;
+        };
+        let pid = container.replica.pid();
+        let _ = container.kernel.sys_exit(pid, 137);
+        true
+    }
+}
+
+/// Why a container was removed.
+#[derive(Debug, Clone, Copy)]
+enum RemovalReason {
+    Idle,
+    Crashed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, Template};
+    use prebake_functions::FunctionSpec;
+
+    fn platform_with(template: &Template, config: PlatformConfig) -> Platform {
+        let registry = Registry::new();
+        let image = FunctionBuilder
+            .build(FunctionSpec::noop(), template)
+            .unwrap();
+        registry.push(image);
+        let mut p = Platform::new(config, registry);
+        p.deploy_function("noop").unwrap();
+        p
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let mut p = Platform::new(PlatformConfig::default(), Registry::new());
+        assert_eq!(p.deploy_function("ghost").unwrap_err(), Errno::Enoent);
+        assert_eq!(
+            p.submit(SimInstant::EPOCH, "ghost", Request::empty())
+                .unwrap_err(),
+            Errno::Enoent
+        );
+    }
+
+    #[test]
+    fn single_request_cold_starts_then_completes() {
+        let mut p = platform_with(&Template::java11(), PlatformConfig::default());
+        p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        p.run().unwrap();
+        assert_eq!(p.completed().len(), 1);
+        let r = &p.completed()[0];
+        assert!(r.cold);
+        // latency ≈ vanilla NOOP cold start + service
+        assert!(
+            (90.0..130.0).contains(&r.latency_ms()),
+            "latency {}ms",
+            r.latency_ms()
+        );
+        assert_eq!(p.metrics().get("noop").unwrap().cold_starts.get(), 1);
+    }
+
+    #[test]
+    fn warm_replica_serves_fast() {
+        let mut p = platform_with(&Template::java11(), PlatformConfig::default());
+        p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        p.submit(
+            SimInstant::EPOCH + SimDuration::from_secs(1),
+            "noop",
+            Request::empty(),
+        )
+        .unwrap();
+        p.run().unwrap();
+        assert_eq!(p.completed().len(), 2);
+        let warm = &p.completed()[1];
+        assert!(!warm.cold);
+        assert!(warm.latency_ms() < 10.0, "warm latency {}", warm.latency_ms());
+        assert_eq!(
+            p.metrics().get("noop").unwrap().replicas_started.get(),
+            1,
+            "no extra replica needed"
+        );
+    }
+
+    #[test]
+    fn concurrent_requests_scale_out() {
+        let mut p = platform_with(&Template::java11(), PlatformConfig::default());
+        for _ in 0..3 {
+            p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        }
+        p.run().unwrap();
+        assert_eq!(p.completed().len(), 3);
+        let started = p.metrics().get("noop").unwrap().replicas_started.get();
+        assert!(started >= 2, "busy replicas trigger scale-out, got {started}");
+    }
+
+    #[test]
+    fn max_replicas_respected() {
+        let config = PlatformConfig {
+            max_replicas: 1,
+            ..PlatformConfig::default()
+        };
+        let mut p = platform_with(&Template::java11(), config);
+        for _ in 0..5 {
+            p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        }
+        p.run().unwrap();
+        assert_eq!(p.completed().len(), 5, "all served eventually");
+        assert_eq!(
+            p.metrics().get("noop").unwrap().replicas_started.get(),
+            1,
+            "replica cap respected"
+        );
+    }
+
+    #[test]
+    fn idle_replicas_reaped_scale_to_zero() {
+        let config = PlatformConfig {
+            idle_timeout: SimDuration::from_secs(5),
+            ..PlatformConfig::default()
+        };
+        let mut p = platform_with(&Template::java11(), config);
+        p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        p.run().unwrap();
+        assert_eq!(p.replica_count("noop"), 0, "scale-to-zero after idle");
+        assert_eq!(p.metrics().get("noop").unwrap().replicas_reaped.get(), 1);
+    }
+
+    #[test]
+    fn warm_pool_floor_survives_sweep() {
+        let config = PlatformConfig {
+            idle_timeout: SimDuration::from_secs(5),
+            min_warm_pool: 1,
+            ..PlatformConfig::default()
+        };
+        let mut p = platform_with(&Template::java11(), config);
+        p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        p.run().unwrap();
+        assert_eq!(p.replica_count("noop"), 1, "pool floor kept");
+        // A request long after idle-time is warm thanks to the pool.
+        p.submit(
+            p.now() + SimDuration::from_secs(120),
+            "noop",
+            Request::empty(),
+        )
+        .unwrap();
+        p.run().unwrap();
+        let last = p.completed().last().unwrap();
+        assert!(!last.cold, "pool keeps requests warm");
+    }
+
+    #[test]
+    fn prebaked_image_cold_start_is_faster() {
+        let mut vanilla = platform_with(&Template::java11(), PlatformConfig::default());
+        vanilla
+            .submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
+        vanilla.run().unwrap();
+        let v = vanilla.completed()[0].latency_ms();
+
+        let mut prebaked = platform_with(&Template::java11_criu(), PlatformConfig::default());
+        prebaked
+            .submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
+        prebaked.run().unwrap();
+        let p = prebaked.completed()[0].latency_ms();
+
+        assert!(p < v, "prebaked cold start {p}ms !< vanilla {v}ms");
+    }
+
+    #[test]
+    fn cold_start_concurrency_serialises_a_multi_tenant_burst() {
+        // Six *distinct* functions cold-start at once: each needs its own
+        // replica, so saturated cold-start slots convoy the burst.
+        let run = |concurrency: usize| {
+            let registry = Registry::new();
+            let names: Vec<String> = (0..6).map(|i| format!("tenant-{i}")).collect();
+            for name in &names {
+                let spec = FunctionSpec::noop().with_name(name.clone());
+                registry.push(FunctionBuilder.build(spec, &Template::java11()).unwrap());
+            }
+            let config = PlatformConfig {
+                cold_start_concurrency: concurrency,
+                ..PlatformConfig::default()
+            };
+            let mut p = Platform::new(config, registry);
+            for name in &names {
+                p.deploy_function(name).unwrap();
+                p.submit(SimInstant::EPOCH, name, Request::empty()).unwrap();
+            }
+            p.run().unwrap();
+            assert_eq!(p.completed().len(), 6);
+            p.completed()
+                .iter()
+                .map(|r| r.latency_ms())
+                .fold(0.0f64, f64::max)
+        };
+        let serialized = run(1);
+        let parallel = run(16);
+        assert!(
+            serialized > parallel * 3.0,
+            "one slot must convoy the burst: {serialized} vs {parallel}"
+        );
+    }
+
+    #[test]
+    fn bad_request_errors_without_killing_the_platform() {
+        // Markdown rejects non-UTF-8 bodies; the platform must complete
+        // the request as an application error and keep serving.
+        let registry = Registry::new();
+        registry.push(
+            FunctionBuilder
+                .build(FunctionSpec::markdown(), &Template::java11())
+                .unwrap(),
+        );
+        let mut p = Platform::new(PlatformConfig::default(), registry);
+        p.deploy_function("markdown-render").unwrap();
+        p.submit(
+            SimInstant::EPOCH,
+            "markdown-render",
+            Request::with_body(vec![0xFF, 0xFE, 0x80]),
+        )
+        .unwrap();
+        p.submit(
+            SimInstant::EPOCH + SimDuration::from_secs(1),
+            "markdown-render",
+            Request::with_body(b"# fine".to_vec()),
+        )
+        .unwrap();
+        p.run().unwrap();
+        assert_eq!(p.completed().len(), 2, "both requests completed");
+        let m = p.metrics().get("markdown-render").unwrap();
+        assert_eq!(m.request_errors.get(), 1);
+    }
+
+    #[test]
+    fn crashed_replica_is_replaced_and_request_retried() {
+        // A pool floor of 1 keeps a victim alive across run() (the idle
+        // sweep always fires before quiescence, whatever the timeout).
+        let config = PlatformConfig {
+            min_warm_pool: 1,
+            ..PlatformConfig::default()
+        };
+        let mut p = platform_with(&Template::java11(), config);
+        // Warm one replica up.
+        p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        p.run().unwrap();
+        assert_eq!(p.completed().len(), 1);
+
+        // Kill it, then send another request: the watchdog path must
+        // detect the corpse, replace the replica and still answer.
+        assert!(p.inject_replica_crash("noop"));
+        assert!(!p.inject_replica_crash("ghost"));
+        p.submit(
+            p.now() + SimDuration::from_secs(1),
+            "noop",
+            Request::empty(),
+        )
+        .unwrap();
+        p.run().unwrap();
+
+        assert_eq!(p.completed().len(), 2, "request survived the crash");
+        let m = p.metrics().get("noop").unwrap();
+        assert_eq!(m.replica_failures.get(), 1);
+        assert_eq!(m.replicas_started.get(), 2, "successor was started");
+        let retried = p.completed().last().unwrap();
+        assert!(
+            retried.latency_ms() > 50.0,
+            "the retried request paid a fresh cold start: {}ms",
+            retried.latency_ms()
+        );
+    }
+
+    #[test]
+    fn cluster_capacity_defers_scale_up() {
+        let config = PlatformConfig {
+            nodes: 2,
+            node_capacity: 1,
+            idle_timeout: SimDuration::from_secs(3600),
+            ..PlatformConfig::default()
+        };
+        let mut p = platform_with(&Template::java11(), config);
+        for _ in 0..6 {
+            p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        }
+        p.run().unwrap();
+        assert_eq!(p.completed().len(), 6, "all served despite tiny cluster");
+        assert_eq!(
+            p.metrics().get("noop").unwrap().replicas_started.get(),
+            2,
+            "2 nodes x capacity 1 caps the fleet"
+        );
+    }
+
+    #[test]
+    fn placement_spreads_across_nodes() {
+        let config = PlatformConfig {
+            nodes: 3,
+            node_capacity: 1,
+            idle_timeout: SimDuration::from_secs(3600),
+            ..PlatformConfig::default()
+        };
+        let registry = Registry::new();
+        for i in 0..3 {
+            let spec = FunctionSpec::noop().with_name(format!("fn-{i}"));
+            registry.push(FunctionBuilder.build(spec, &Template::java11()).unwrap());
+        }
+        let mut p = Platform::new(config, registry);
+        for i in 0..3 {
+            let name = format!("fn-{i}");
+            p.deploy_function(&name).unwrap();
+            p.submit(SimInstant::EPOCH, &name, Request::empty()).unwrap();
+        }
+        p.run().unwrap();
+        assert_eq!(p.completed().len(), 3);
+        // Each function got exactly one replica despite per-node capacity
+        // 1 — they must have spread over all three nodes.
+        for i in 0..3 {
+            let m = p.metrics().get(&format!("fn-{i}")).unwrap();
+            assert_eq!(m.replicas_started.get(), 1);
+        }
+    }
+
+    #[test]
+    fn metrics_render_after_traffic() {
+        let mut p = platform_with(&Template::java11(), PlatformConfig::default());
+        p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        p.run().unwrap();
+        let text = p.metrics().render();
+        assert!(text.contains("faas_requests_total{function=\"noop\"} 1"));
+        assert!(text.contains("faas_replicas_started_total{function=\"noop\"} 1"));
+    }
+}

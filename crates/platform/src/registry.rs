@@ -1,0 +1,159 @@
+//! The Function Registry (SPEC-RG): metadata and deployable artifacts.
+//!
+//! After the Function Builder turns source into a deployable container
+//! image, the image is pushed here; the Function Deployer later pulls it
+//! to create replicas. For prebaked functions the image additionally
+//! carries the checkpoint files (paper §5.2: "CRIU triggers the process
+//! checkpoint and stores the Function Snapshot data inside the Function
+//! Container Image").
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use prebake_core::SnapshotPolicy;
+use prebake_functions::FunctionSpec;
+
+/// A built, pushable container image for one function version.
+#[derive(Debug, Clone)]
+pub struct ContainerImage {
+    /// The function it packages.
+    pub spec: FunctionSpec,
+    /// Template the image was built from (e.g. `java11`, `java11-criu`).
+    pub template: String,
+    /// Snapshot image files baked into the container image, if the
+    /// template prebakes.
+    pub snapshot_files: Vec<(String, Bytes)>,
+    /// The snapshot policy used at build time, if any.
+    pub policy: Option<SnapshotPolicy>,
+    /// Monotonic version, bumped on every push.
+    pub version: u32,
+}
+
+impl ContainerImage {
+    /// Returns `true` if the image carries a prebaked snapshot.
+    pub fn is_prebaked(&self) -> bool {
+        !self.snapshot_files.is_empty()
+    }
+
+    /// Total bytes of the baked snapshot.
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_files.iter().map(|(_, d)| d.len() as u64).sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    images: BTreeMap<String, ContainerImage>,
+}
+
+/// A shared, thread-safe function registry.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Pushes an image, bumping the stored version. Returns the version.
+    pub fn push(&self, mut image: ContainerImage) -> u32 {
+        let mut inner = self.inner.write();
+        let version = inner
+            .images
+            .get(image.spec.name())
+            .map_or(1, |old| old.version + 1);
+        image.version = version;
+        inner.images.insert(image.spec.name().to_owned(), image);
+        version
+    }
+
+    /// Pulls the latest image for `name`.
+    pub fn pull(&self, name: &str) -> Option<ContainerImage> {
+        self.inner.read().images.get(name).cloned()
+    }
+
+    /// Registered function names.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.read().images.keys().cloned().collect()
+    }
+
+    /// Removes a function's image.
+    pub fn remove(&self, name: &str) -> bool {
+        self.inner.write().images.remove(name).is_some()
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.inner.read().images.len()
+    }
+
+    /// Returns `true` if no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(template: &str) -> ContainerImage {
+        ContainerImage {
+            spec: FunctionSpec::noop(),
+            template: template.to_owned(),
+            snapshot_files: Vec::new(),
+            policy: None,
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn push_bumps_versions() {
+        let reg = Registry::new();
+        assert_eq!(reg.push(image("java11")), 1);
+        assert_eq!(reg.push(image("java11")), 2);
+        assert_eq!(reg.pull("noop").unwrap().version, 2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn pull_missing_is_none() {
+        let reg = Registry::new();
+        assert!(reg.pull("ghost").is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn remove_and_names() {
+        let reg = Registry::new();
+        reg.push(image("java11"));
+        assert_eq!(reg.names(), vec!["noop".to_owned()]);
+        assert!(reg.remove("noop"));
+        assert!(!reg.remove("noop"));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn prebaked_predicate() {
+        let mut img = image("java11-criu");
+        assert!(!img.is_prebaked());
+        img.snapshot_files
+            .push(("pages.img".into(), Bytes::from(vec![0u8; 100])));
+        assert!(img.is_prebaked());
+        assert_eq!(img.snapshot_bytes(), 100);
+    }
+
+    #[test]
+    fn registry_is_shared() {
+        let a = Registry::new();
+        let b = a.clone();
+        a.push(image("java11"));
+        assert_eq!(b.len(), 1, "clones share state");
+    }
+}

@@ -1,0 +1,306 @@
+//! The JLAR application archive: the deployable artifact holding a
+//! function's class files (the "jar" the Function Builder produces).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::classfile::{fnv1a, ClassFile};
+
+/// Format magic: `"JLAR"`.
+pub const ARCHIVE_MAGIC: u32 = 0x4A4C_4152;
+/// Current format version.
+pub const ARCHIVE_VERSION: u16 = 1;
+
+/// Errors produced while parsing an archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchiveError {
+    /// Input ended before a declared structure.
+    Truncated,
+    /// Magic number mismatch.
+    BadMagic(u32),
+    /// Unsupported version.
+    BadVersion(u16),
+    /// Trailing checksum mismatch.
+    BadChecksum,
+    /// An entry name was not valid UTF-8.
+    BadName,
+    /// Two entries share a name.
+    DuplicateEntry(String),
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::Truncated => write!(f, "archive truncated"),
+            ArchiveError::BadMagic(m) => write!(f, "bad archive magic {m:#010x}"),
+            ArchiveError::BadVersion(v) => write!(f, "unsupported archive version {v}"),
+            ArchiveError::BadChecksum => write!(f, "archive checksum mismatch"),
+            ArchiveError::BadName => write!(f, "entry name is not valid utf-8"),
+            ArchiveError::DuplicateEntry(name) => write!(f, "duplicate entry {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+/// An in-memory application archive: named class-file entries in
+/// insertion order, with an O(log n) name index.
+///
+/// # Examples
+///
+/// ```
+/// use prebake_runtime::archive::Archive;
+/// use prebake_runtime::gen::synth_class;
+///
+/// let mut a = Archive::new();
+/// let class = synth_class("com.example.Main", 1, 1024);
+/// a.add_class(&class);
+/// let bytes = a.encode();
+/// let back = Archive::parse(&bytes).unwrap();
+/// assert_eq!(back.len(), 1);
+/// assert!(back.get("com.example.Main").is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Archive {
+    entries: Vec<(String, Vec<u8>)>,
+    index: BTreeMap<String, usize>,
+}
+
+impl Archive {
+    /// An empty archive.
+    pub fn new() -> Self {
+        Archive::default()
+    }
+
+    /// Adds a raw entry. Replaces any entry with the same name.
+    pub fn add(&mut self, name: impl Into<String>, data: Vec<u8>) {
+        let name = name.into();
+        if let Some(&i) = self.index.get(&name) {
+            self.entries[i].1 = data;
+        } else {
+            self.index.insert(name.clone(), self.entries.len());
+            self.entries.push((name, data));
+        }
+    }
+
+    /// Adds an encoded class file under its class name.
+    pub fn add_class(&mut self, class: &ClassFile) {
+        self.add(class.name.clone(), class.encode());
+    }
+
+    /// Looks up an entry's bytes by name.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.index.get(name).map(|&i| self.entries[i].1.as_slice())
+    }
+
+    /// Entry names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the archive has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of entry payload sizes.
+    pub fn payload_bytes(&self) -> u64 {
+        self.entries.iter().map(|(_, d)| d.len() as u64).sum()
+    }
+
+    /// Serialises the archive (with trailing checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload_bytes() as usize + 64);
+        out.extend_from_slice(&ARCHIVE_MAGIC.to_be_bytes());
+        out.extend_from_slice(&ARCHIVE_VERSION.to_be_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_be_bytes());
+        for (name, data) in &self.entries {
+            out.extend_from_slice(&(name.len() as u16).to_be_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+            out.extend_from_slice(data);
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_be_bytes());
+        out
+    }
+
+    /// Parses an archive image.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArchiveError`] describing the malformation.
+    pub fn parse(bytes: &[u8]) -> Result<Archive, ArchiveError> {
+        if bytes.len() < 18 {
+            return Err(ArchiveError::Truncated);
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let declared = u64::from_be_bytes(tail.try_into().unwrap());
+        if fnv1a(payload) != declared {
+            return Err(ArchiveError::BadChecksum);
+        }
+        let magic = u32::from_be_bytes(payload[0..4].try_into().unwrap());
+        if magic != ARCHIVE_MAGIC {
+            return Err(ArchiveError::BadMagic(magic));
+        }
+        let version = u16::from_be_bytes(payload[4..6].try_into().unwrap());
+        if version != ARCHIVE_VERSION {
+            return Err(ArchiveError::BadVersion(version));
+        }
+        let count = u32::from_be_bytes(payload[6..10].try_into().unwrap());
+        let mut pos = 10usize;
+        let mut archive = Archive::new();
+        for _ in 0..count {
+            if pos + 2 > payload.len() {
+                return Err(ArchiveError::Truncated);
+            }
+            let name_len =
+                u16::from_be_bytes(payload[pos..pos + 2].try_into().unwrap()) as usize;
+            pos += 2;
+            if pos + name_len + 4 > payload.len() {
+                return Err(ArchiveError::Truncated);
+            }
+            let name = std::str::from_utf8(&payload[pos..pos + name_len])
+                .map_err(|_| ArchiveError::BadName)?
+                .to_owned();
+            pos += name_len;
+            let data_len =
+                u32::from_be_bytes(payload[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            if pos + data_len > payload.len() {
+                return Err(ArchiveError::Truncated);
+            }
+            if archive.get(&name).is_some() {
+                return Err(ArchiveError::DuplicateEntry(name));
+            }
+            archive.add(name, payload[pos..pos + data_len].to_vec());
+            pos += data_len;
+        }
+        if pos != payload.len() {
+            return Err(ArchiveError::Truncated);
+        }
+        Ok(archive)
+    }
+
+    /// Byte range `(offset, len)` of an entry's payload within the
+    /// *encoded* archive image. The runtime uses this to read individual
+    /// class files straight out of the memory-mapped archive.
+    pub fn entry_offset(&self, name: &str) -> Option<(u64, u64)> {
+        let mut pos = 10u64; // magic + version + count
+        for (entry_name, data) in &self.entries {
+            pos += 2 + entry_name.len() as u64 + 4;
+            if entry_name == name {
+                return Some((pos, data.len() as u64));
+            }
+            pos += data.len() as u64;
+        }
+        None
+    }
+
+    /// Builds an archive from a set of class files.
+    pub fn from_classes<'a>(classes: impl IntoIterator<Item = &'a ClassFile>) -> Archive {
+        let mut a = Archive::new();
+        for c in classes {
+            a.add_class(c);
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::synth_class_set;
+
+    fn sample() -> Archive {
+        let classes = synth_class_set("pkg", 11, 5, 20_000);
+        Archive::from_classes(&classes)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = sample();
+        let bytes = a.encode();
+        let back = Archive::parse(&bytes).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.len(), 5);
+    }
+
+    #[test]
+    fn get_by_name() {
+        let a = sample();
+        let name = a.names().next().unwrap().to_owned();
+        assert!(a.get(&name).is_some());
+        assert!(a.get("no.such.Class").is_none());
+    }
+
+    #[test]
+    fn add_replaces_same_name() {
+        let mut a = Archive::new();
+        a.add("x", vec![1]);
+        a.add("x", vec![2, 3]);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get("x").unwrap(), &[2, 3]);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = sample().encode();
+        let mid = bytes.len() / 3;
+        bytes[mid] ^= 0x55;
+        assert_eq!(Archive::parse(&bytes), Err(ArchiveError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_detected() {
+        let bytes = sample().encode();
+        assert_eq!(Archive::parse(&bytes[..10]), Err(ArchiveError::Truncated));
+    }
+
+    #[test]
+    fn empty_archive_roundtrip() {
+        let a = Archive::new();
+        assert!(a.is_empty());
+        let back = Archive::parse(&a.encode()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn payload_bytes_counts_entries_only() {
+        let mut a = Archive::new();
+        a.add("a", vec![0; 100]);
+        a.add("b", vec![0; 50]);
+        assert_eq!(a.payload_bytes(), 150);
+        assert!(a.encode().len() > 150, "encoding adds framing");
+    }
+
+    #[test]
+    fn entry_offset_points_at_payload() {
+        let a = sample();
+        let encoded = a.encode();
+        for name in a.names() {
+            let (off, len) = a.entry_offset(name).unwrap();
+            let slice = &encoded[off as usize..(off + len) as usize];
+            assert_eq!(slice, a.get(name).unwrap(), "offset wrong for {name}");
+        }
+        assert!(a.entry_offset("missing").is_none());
+    }
+
+    #[test]
+    fn classes_parse_back_from_archive() {
+        let classes = synth_class_set("pkg2", 3, 4, 8_000);
+        let a = Archive::from_classes(&classes);
+        for c in &classes {
+            let bytes = a.get(&c.name).unwrap();
+            let parsed = crate::classfile::ClassFile::parse(bytes).unwrap();
+            assert_eq!(&parsed, c);
+        }
+    }
+}

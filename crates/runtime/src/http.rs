@@ -1,0 +1,87 @@
+//! Minimal HTTP request/response model.
+//!
+//! The paper's functions sit behind an embedded HTTP server "as usually
+//! employed in commercial FaaS providers"; the platform's watchdog speaks
+//! this shape to the replica.
+
+use bytes::Bytes;
+
+/// An inbound function invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request path (`/` for plain invocations).
+    pub path: String,
+    /// Request body (e.g. the markdown document to render).
+    pub body: Bytes,
+}
+
+impl Request {
+    /// A bodyless GET-style request to `/`.
+    pub fn empty() -> Request {
+        Request {
+            path: "/".to_owned(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// A request to `/` carrying `body`.
+    pub fn with_body(body: impl Into<Bytes>) -> Request {
+        Request {
+            path: "/".to_owned(),
+            body: body.into(),
+        }
+    }
+}
+
+/// A function response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP-style status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// A `200 OK` response with `body`.
+    pub fn ok(body: impl Into<Bytes>) -> Response {
+        Response {
+            status: 200,
+            body: body.into(),
+        }
+    }
+
+    /// An empty error response with the given status.
+    pub fn error(status: u16) -> Response {
+        Response {
+            status,
+            body: Bytes::new(),
+        }
+    }
+
+    /// Returns `true` for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = Request::empty();
+        assert_eq!(r.path, "/");
+        assert!(r.body.is_empty());
+        let r = Request::with_body("hello".as_bytes().to_vec());
+        assert_eq!(&r.body[..], b"hello");
+    }
+
+    #[test]
+    fn response_predicates() {
+        assert!(Response::ok("x".as_bytes().to_vec()).is_success());
+        assert!(!Response::error(500).is_success());
+        assert_eq!(Response::error(404).status, 404);
+    }
+}

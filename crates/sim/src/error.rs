@@ -1,0 +1,160 @@
+//! Error numbers for simulated syscalls.
+
+use std::error::Error;
+use std::fmt;
+
+/// POSIX-style error numbers returned by simulated syscalls.
+///
+/// The set is restricted to what the substrate actually produces; it is
+/// `#[non_exhaustive]` so new kernel features can add variants without a
+/// breaking change.
+///
+/// # Examples
+///
+/// ```
+/// use prebake_sim::error::Errno;
+///
+/// let e = Errno::Enoent;
+/// assert_eq!(e.to_string(), "no such file or directory");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Errno {
+    /// Operation not permitted (missing capability).
+    Eperm,
+    /// No such file or directory.
+    Enoent,
+    /// No such process.
+    Esrch,
+    /// Bad file descriptor.
+    Ebadf,
+    /// Resource temporarily unavailable.
+    Eagain,
+    /// Bad address (unmapped guest memory).
+    Efault,
+    /// File or resource busy.
+    Ebusy,
+    /// File exists.
+    Eexist,
+    /// Not a directory.
+    Enotdir,
+    /// Is a directory.
+    Eisdir,
+    /// Invalid argument.
+    Einval,
+    /// No child processes.
+    Echild,
+    /// Address already in use.
+    Eaddrinuse,
+    /// Not connected / endpoint not listening.
+    Enotconn,
+    /// No space left in the mapping range.
+    Enomem,
+}
+
+impl Errno {
+    /// The conventional Linux errno value, for log-parity with real tools.
+    pub fn code(self) -> i32 {
+        match self {
+            Errno::Eperm => 1,
+            Errno::Enoent => 2,
+            Errno::Esrch => 3,
+            Errno::Ebadf => 9,
+            Errno::Eagain => 11,
+            Errno::Efault => 14,
+            Errno::Ebusy => 16,
+            Errno::Eexist => 17,
+            Errno::Enotdir => 20,
+            Errno::Eisdir => 21,
+            Errno::Einval => 22,
+            Errno::Echild => 10,
+            Errno::Eaddrinuse => 98,
+            Errno::Enotconn => 107,
+            Errno::Enomem => 12,
+        }
+    }
+
+    /// The conventional symbolic name (`ENOENT`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::Eperm => "EPERM",
+            Errno::Enoent => "ENOENT",
+            Errno::Esrch => "ESRCH",
+            Errno::Ebadf => "EBADF",
+            Errno::Eagain => "EAGAIN",
+            Errno::Efault => "EFAULT",
+            Errno::Ebusy => "EBUSY",
+            Errno::Eexist => "EEXIST",
+            Errno::Enotdir => "ENOTDIR",
+            Errno::Eisdir => "EISDIR",
+            Errno::Einval => "EINVAL",
+            Errno::Echild => "ECHILD",
+            Errno::Eaddrinuse => "EADDRINUSE",
+            Errno::Enotconn => "ENOTCONN",
+            Errno::Enomem => "ENOMEM",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            Errno::Eperm => "operation not permitted",
+            Errno::Enoent => "no such file or directory",
+            Errno::Esrch => "no such process",
+            Errno::Ebadf => "bad file descriptor",
+            Errno::Eagain => "resource temporarily unavailable",
+            Errno::Efault => "bad address",
+            Errno::Ebusy => "device or resource busy",
+            Errno::Eexist => "file exists",
+            Errno::Enotdir => "not a directory",
+            Errno::Eisdir => "is a directory",
+            Errno::Einval => "invalid argument",
+            Errno::Echild => "no child processes",
+            Errno::Eaddrinuse => "address already in use",
+            Errno::Enotconn => "transport endpoint is not connected",
+            Errno::Enomem => "cannot allocate memory",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for Errno {}
+
+/// Result alias for simulated syscalls.
+pub type SysResult<T> = Result<T, Errno>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_linux() {
+        assert_eq!(Errno::Eperm.code(), 1);
+        assert_eq!(Errno::Enoent.code(), 2);
+        assert_eq!(Errno::Einval.code(), 22);
+        assert_eq!(Errno::Eaddrinuse.code(), 98);
+    }
+
+    #[test]
+    fn names_are_symbolic() {
+        assert_eq!(Errno::Efault.name(), "EFAULT");
+        assert_eq!(Errno::Echild.name(), "ECHILD");
+    }
+
+    #[test]
+    fn display_is_lowercase_no_period() {
+        for e in [Errno::Eperm, Errno::Enoent, Errno::Ebusy, Errno::Enomem] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn errno_is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(Errno::Einval);
+    }
+}

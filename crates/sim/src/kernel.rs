@@ -1,0 +1,1350 @@
+//! The simulated machine: one kernel = one node.
+//!
+//! The kernel owns the virtual clock, the cost model, the noise source,
+//! the process table, the filesystem and the port namespace. Every
+//! operation other layers perform flows through a kernel method, which
+//! validates it against POSIX-ish semantics, mutates real state and
+//! charges calibrated virtual time.
+
+use bytes::Bytes;
+
+use std::collections::BTreeMap;
+
+use crate::cost::CostModel;
+use crate::error::{Errno, SysResult};
+use crate::fs::{SimFs, Stat};
+use crate::mem::{Page, Prot, VirtAddr, VmaKind, PAGE_SIZE};
+use crate::noise::Noise;
+use crate::probe::{ProbeEvent, ProbeKind};
+use crate::proc::{
+    Cap, CapSet, FdEntry, Pid, ProcState, Process, ThreadState, Tid,
+};
+use crate::time::{Clock, SimDuration, SimInstant};
+
+/// Pid of the always-present init process.
+pub const INIT_PID: Pid = Pid(1);
+
+/// A simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use prebake_sim::kernel::{Kernel, INIT_PID};
+///
+/// let mut k = Kernel::new(42);
+/// k.fs_create_dir_all("/app").unwrap();
+/// k.fs_write_file("/app/bin", vec![0u8; 1024]).unwrap();
+/// let pid = k.sys_clone(INIT_PID).unwrap();
+/// k.sys_execve(pid, "/app/bin", &["bin".into()]).unwrap();
+/// assert!(k.now().as_nanos() > 0, "work was charged to the clock");
+/// ```
+#[derive(Debug)]
+pub struct Kernel {
+    clock: Clock,
+    costs: CostModel,
+    noise: Noise,
+    procs: BTreeMap<Pid, Process>,
+    fs: SimFs,
+    next_pid: u32,
+    next_tid: u32,
+    next_pipe: u64,
+    bound_ports: BTreeMap<u16, Pid>,
+    tracing: bool,
+    trace: Vec<ProbeEvent>,
+}
+
+impl Kernel {
+    /// Creates a machine with paper-calibrated costs and ±1.5 % noise.
+    pub fn new(seed: u64) -> Self {
+        Kernel::with_config(CostModel::paper_calibrated(), Noise::new(seed, 0.015))
+    }
+
+    /// Creates a machine with explicit cost and noise configuration.
+    pub fn with_config(costs: CostModel, noise: Noise) -> Self {
+        let mut procs = BTreeMap::new();
+        let mut init = Process::new(INIT_PID, INIT_PID, "init", Tid(1));
+        init.caps = CapSet::all();
+        procs.insert(INIT_PID, init);
+        Kernel {
+            clock: Clock::new(),
+            costs,
+            noise,
+            procs,
+            fs: SimFs::new(),
+            next_pid: 2,
+            next_tid: 2,
+            next_pipe: 1,
+            bound_ports: BTreeMap::new(),
+            tracing: false,
+            trace: Vec::new(),
+        }
+    }
+
+    /// A machine whose operations cost nothing — for state-only tests.
+    pub fn free(seed: u64) -> Self {
+        Kernel::with_config(CostModel::free(), Noise::new(seed, 0.0))
+    }
+
+    // ---------------------------------------------------------------- time
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimInstant {
+        self.clock.now()
+    }
+
+    /// Charges `base` work to the clock, perturbed by the noise source.
+    /// Returns the actual (jittered) duration.
+    pub fn charge(&mut self, base: SimDuration) -> SimDuration {
+        let actual = self.noise.jitter(base);
+        self.clock.advance(actual);
+        actual
+    }
+
+    /// Advances the clock without noise (external waits, think time).
+    pub fn advance(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+
+    /// Moves the clock forward to `t` if it lags (event-queue sync).
+    pub fn advance_to(&mut self, t: SimInstant) {
+        self.clock.advance_to(t);
+    }
+
+    /// Runs `f` without advancing the clock: whatever virtual time the
+    /// enclosed operations would charge is rolled back afterwards.
+    ///
+    /// This models work that happens *outside* any measured timeline —
+    /// container-image pulls, artifact installation, machine provisioning
+    /// — which the paper deliberately excludes ("we deliberately excluded
+    /// some typical components of FaaS platforms, such as container
+    /// orchestrators"). State changes (files written, processes created,
+    /// cache warmth) persist; only time is suppressed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `f`'s error; the clock is restored either way.
+    pub fn uncharged<T>(
+        &mut self,
+        f: impl FnOnce(&mut Kernel) -> crate::error::SysResult<T>,
+    ) -> crate::error::SysResult<T> {
+        let before = self.clock.now();
+        let result = f(self);
+        self.clock.set(before);
+        result
+    }
+
+    /// The cost table in force.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Mutable access to the noise source (shared deterministic stream
+    /// for workload generators).
+    pub fn noise_mut(&mut self) -> &mut Noise {
+        &mut self.noise
+    }
+
+    // ------------------------------------------------------------- tracing
+
+    /// Enables or disables probe recording.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Drains the recorded probe events.
+    pub fn take_trace(&mut self) -> Vec<ProbeEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Emits a user-level marker (runtime log line analogue).
+    pub fn emit_marker(&mut self, pid: Pid, name: impl Into<String>) {
+        if self.tracing {
+            self.trace.push(ProbeEvent {
+                time: self.clock.now(),
+                pid,
+                kind: ProbeKind::Marker(name.into()),
+            });
+        }
+    }
+
+    fn probe_enter(&mut self, pid: Pid, name: &'static str) {
+        if self.tracing {
+            self.trace.push(ProbeEvent {
+                time: self.clock.now(),
+                pid,
+                kind: ProbeKind::SyscallEnter(name),
+            });
+        }
+    }
+
+    fn probe_exit(&mut self, pid: Pid, name: &'static str) {
+        if self.tracing {
+            self.trace.push(ProbeEvent {
+                time: self.clock.now(),
+                pid,
+                kind: ProbeKind::SyscallExit(name),
+            });
+        }
+    }
+
+    // ------------------------------------------------------------ processes
+
+    /// Immutable access to a process.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process.
+    pub fn process(&self, pid: Pid) -> SysResult<&Process> {
+        self.procs.get(&pid).ok_or(Errno::Esrch)
+    }
+
+    /// Mutable access to a process.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process.
+    pub fn process_mut(&mut self, pid: Pid) -> SysResult<&mut Process> {
+        self.procs.get_mut(&pid).ok_or(Errno::Esrch)
+    }
+
+    /// Number of live (non-zombie) processes.
+    pub fn live_processes(&self) -> usize {
+        self.procs.values().filter(|p| !p.is_zombie()).count()
+    }
+
+    /// All pids currently in the table.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.procs.keys().copied().collect()
+    }
+
+    fn alloc_tid(&mut self) -> Tid {
+        let t = Tid(self.next_tid);
+        self.next_tid += 1;
+        t
+    }
+
+    /// `clone(2)`: creates a child duplicating the parent's memory and
+    /// descriptor table.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if the parent does not exist.
+    pub fn sys_clone(&mut self, parent: Pid) -> SysResult<Pid> {
+        self.probe_enter(parent, "clone");
+        let cost = self.costs.clone_call;
+        self.charge(cost);
+        let parent_proc = self.procs.get(&parent).ok_or(Errno::Esrch)?.clone();
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        let tid = self.alloc_tid();
+        let mut child = Process::new(pid, parent, parent_proc.comm.clone(), tid);
+        child.mem = parent_proc.mem.clone();
+        child.fds = parent_proc.fds.clone();
+        child.caps = parent_proc.caps;
+        child.cmdline = parent_proc.cmdline.clone();
+        self.procs.insert(pid, child);
+        self.probe_exit(parent, "clone");
+        Ok(pid)
+    }
+
+    /// `clone` with an explicit pid (CRIU restore via `ns_last_pid`).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Eperm`] without checkpoint/restore capability,
+    /// [`Errno::Eexist`] if the pid is taken.
+    pub fn sys_clone_with_pid(&mut self, parent: Pid, pid: Pid) -> SysResult<Pid> {
+        let caps = self.process(parent)?.caps;
+        if !caps.can_checkpoint() {
+            return Err(Errno::Eperm);
+        }
+        if self.procs.contains_key(&pid) {
+            return Err(Errno::Eexist);
+        }
+        self.probe_enter(parent, "clone");
+        let cost = self.costs.clone_call;
+        self.charge(cost);
+        let parent_proc = self.procs.get(&parent).ok_or(Errno::Esrch)?.clone();
+        let tid = self.alloc_tid();
+        let mut child = Process::new(pid, parent, parent_proc.comm.clone(), tid);
+        child.caps = caps;
+        self.next_pid = self.next_pid.max(pid.0 + 1);
+        self.procs.insert(pid, child);
+        self.probe_exit(parent, "clone");
+        Ok(pid)
+    }
+
+    /// `execve(2)`: replaces the process image with `path`.
+    ///
+    /// Reads the binary (cold or warm), resets the address space, maps the
+    /// text/data segment and a stack, and records the command line.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] / [`Errno::Enoent`] on missing process/binary.
+    pub fn sys_execve(&mut self, pid: Pid, path: &str, argv: &[String]) -> SysResult<()> {
+        self.probe_enter(pid, "execve");
+        let (data, cached) = self.fs.read_file(path)?;
+        let read_cost = self.costs.fs_read(data.len() as u64, cached);
+        let exec_cost = self.costs.exec_base;
+        self.charge(exec_cost + read_cost);
+
+        let comm = path.rsplit('/').next().unwrap_or(path).to_owned();
+        let proc = self.procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+        proc.mem = crate::mem::AddressSpace::new();
+        proc.comm = comm;
+        proc.cmdline = argv.to_vec();
+        // Text/data segment: file-backed, pages arrive from the page cache
+        // (already charged above), so they are not materialised here.
+        proc.mem.mmap(
+            (data.len() as u64).max(PAGE_SIZE as u64),
+            Prot::RX,
+            VmaKind::Binary {
+                path: path.to_owned(),
+            },
+        )?;
+        // 8 MiB stack, demand-zero.
+        proc.mem.mmap(8 << 20, Prot::RW, VmaKind::Stack)?;
+        self.probe_exit(pid, "execve");
+        Ok(())
+    }
+
+    /// Terminates a process (voluntary exit or kill).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process.
+    pub fn sys_exit(&mut self, pid: Pid, code: i32) -> SysResult<()> {
+        let cost = self.costs.exit_call;
+        self.charge(cost);
+        let proc = self.procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+        proc.state = ProcState::Zombie;
+        proc.exit_code = Some(code);
+        proc.mem = crate::mem::AddressSpace::new();
+        proc.fds = crate::proc::FdTable::new();
+        self.bound_ports.retain(|_, owner| *owner != pid);
+        Ok(())
+    }
+
+    /// Reaps a zombie, removing it from the table.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process, [`Errno::Echild`] if it has
+    /// not exited.
+    pub fn reap(&mut self, pid: Pid) -> SysResult<i32> {
+        let proc = self.procs.get(&pid).ok_or(Errno::Esrch)?;
+        let code = proc.exit_code.ok_or(Errno::Echild)?;
+        self.procs.remove(&pid);
+        Ok(code)
+    }
+
+    /// Grants a capability to a process (platform provisioning step; the
+    /// OpenFaaS integration models `--privileged` / `CAP_CHECKPOINT_RESTORE`
+    /// with this).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process.
+    pub fn grant_cap(&mut self, pid: Pid, cap: Cap) -> SysResult<()> {
+        let proc = self.procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+        proc.caps = proc.caps.with(cap);
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- memory
+
+    /// `mmap` at an allocator-chosen address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-space errors ([`Errno::Einval`]).
+    pub fn sys_mmap(
+        &mut self,
+        pid: Pid,
+        len: u64,
+        prot: Prot,
+        kind: VmaKind,
+    ) -> SysResult<VirtAddr> {
+        let cost = self.costs.mmap_base;
+        self.charge(cost);
+        self.procs
+            .get_mut(&pid)
+            .ok_or(Errno::Esrch)?
+            .mem
+            .mmap(len, prot, kind)
+    }
+
+    /// `mmap` at a fixed address (restore path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-space errors ([`Errno::Eexist`], [`Errno::Einval`]).
+    pub fn sys_mmap_fixed(
+        &mut self,
+        pid: Pid,
+        start: VirtAddr,
+        len: u64,
+        prot: Prot,
+        kind: VmaKind,
+    ) -> SysResult<VirtAddr> {
+        let cost = self.costs.mmap_base;
+        self.charge(cost);
+        self.procs
+            .get_mut(&pid)
+            .ok_or(Errno::Esrch)?
+            .mem
+            .mmap_fixed(start, len, prot, kind)
+    }
+
+    /// `munmap` the mapping starting at `start`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Einval`] if no mapping starts there.
+    pub fn sys_munmap(&mut self, pid: Pid, start: VirtAddr) -> SysResult<()> {
+        let cost = self.costs.munmap_base;
+        self.charge(cost);
+        self.procs
+            .get_mut(&pid)
+            .ok_or(Errno::Esrch)?
+            .mem
+            .munmap(start)
+            .map(|_| ())
+    }
+
+    /// Writes guest memory, charging fault + copy costs.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Efault`] / [`Errno::Eperm`] per address-space rules.
+    pub fn mem_write(&mut self, pid: Pid, addr: VirtAddr, bytes: &[u8]) -> SysResult<()> {
+        let stats = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(Errno::Esrch)?
+            .mem
+            .write(addr, bytes)?;
+        let cost = self.costs.page_touch * stats.pages_materialized
+            + self.costs.page_copy * stats.pages_touched;
+        self.charge(cost);
+        Ok(())
+    }
+
+    /// Reads guest memory, charging copy costs.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Efault`] per address-space rules.
+    pub fn mem_read(&mut self, pid: Pid, addr: VirtAddr, len: u64) -> SysResult<Vec<u8>> {
+        let (data, stats) = self
+            .procs
+            .get(&pid)
+            .ok_or(Errno::Esrch)?
+            .mem
+            .read(addr, len)?;
+        let cost = self.costs.page_copy * stats.pages_touched;
+        self.charge(cost);
+        Ok(data)
+    }
+
+    // ------------------------------------------------------------ filesystem
+
+    /// Creates a directory tree, charging one metadata op per call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimFs::create_dir_all`] errors.
+    pub fn fs_create_dir_all(&mut self, path: &str) -> SysResult<()> {
+        let cost = self.costs.fs_meta;
+        self.charge(cost);
+        self.fs.create_dir_all(path)
+    }
+
+    /// Writes a file, charging per byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimFs::write_file`] errors.
+    pub fn fs_write_file(&mut self, path: &str, data: impl Into<Bytes>) -> SysResult<()> {
+        let data = data.into();
+        let cost = self.costs.fs_write(data.len() as u64);
+        self.charge(cost);
+        self.fs.write_file(path, data)
+    }
+
+    /// Reads a whole file, charging cold or warm rates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimFs::read_file`] errors.
+    pub fn fs_read_file(&mut self, path: &str) -> SysResult<Bytes> {
+        let (data, cached) = self.fs.read_file(path)?;
+        let cost = self.costs.fs_read(data.len() as u64, cached);
+        self.charge(cost);
+        Ok(data)
+    }
+
+    /// Stats a path (metadata cost only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimFs::stat`] errors.
+    pub fn fs_stat(&mut self, path: &str) -> SysResult<Stat> {
+        let cost = self.costs.fs_meta;
+        self.charge(cost);
+        self.fs.stat(path)
+    }
+
+    /// Lists a directory (metadata cost only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimFs::list_dir`] errors.
+    pub fn fs_list_dir(&mut self, path: &str) -> SysResult<Vec<String>> {
+        let cost = self.costs.fs_meta;
+        self.charge(cost);
+        self.fs.list_dir(path)
+    }
+
+    /// Removes a file (metadata cost only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimFs::remove_file`] errors.
+    pub fn fs_remove_file(&mut self, path: &str) -> SysResult<()> {
+        let cost = self.costs.fs_meta;
+        self.charge(cost);
+        self.fs.remove_file(path)
+    }
+
+    /// Returns `true` if a path exists (no charge — host-side check).
+    pub fn fs_exists(&self, path: &str) -> bool {
+        self.fs.exists(path)
+    }
+
+    /// Direct (uncharged) view of the filesystem for assertions and
+    /// artifact installation by the test/bench harness.
+    pub fn fs(&self) -> &SimFs {
+        &self.fs
+    }
+
+    /// Direct (uncharged) mutable view of the filesystem.
+    pub fn fs_mut(&mut self) -> &mut SimFs {
+        &mut self.fs
+    }
+
+    /// Evicts the machine-wide page cache (fresh-container model).
+    pub fn drop_caches(&mut self) {
+        self.fs.drop_caches();
+    }
+
+    // ------------------------------------------------------- fds and sockets
+
+    /// Opens a file descriptor on `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Enoent`] if missing, [`Errno::Eisdir`] for directories.
+    pub fn sys_open(&mut self, pid: Pid, path: &str) -> SysResult<i32> {
+        let cost = self.costs.fs_meta;
+        self.charge(cost);
+        let stat = self.fs.stat(path)?;
+        if stat.is_dir {
+            return Err(Errno::Eisdir);
+        }
+        Ok(self
+            .procs
+            .get_mut(&pid)
+            .ok_or(Errno::Esrch)?
+            .fds
+            .insert(FdEntry::File {
+                path: path.to_owned(),
+                offset: 0,
+            }))
+    }
+
+    /// Reads up to `len` bytes from an open file descriptor, advancing its
+    /// offset. Charges cold/warm per byte actually read.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Ebadf`] for non-file descriptors.
+    pub fn sys_read_fd(&mut self, pid: Pid, fd: i32, len: u64) -> SysResult<Vec<u8>> {
+        let (path, offset) = match self.procs.get(&pid).ok_or(Errno::Esrch)?.fds.get(fd)? {
+            FdEntry::File { path, offset } => (path.clone(), *offset),
+            _ => return Err(Errno::Ebadf),
+        };
+        let (data, cached) = self.fs.read_file(&path)?;
+        let end = (offset + len).min(data.len() as u64);
+        let slice = data[offset as usize..end as usize].to_vec();
+        let cost = self.costs.fs_read(slice.len() as u64, cached);
+        self.charge(cost);
+        if let FdEntry::File { offset, .. } =
+            self.procs.get_mut(&pid).unwrap().fds.get_mut(fd)?
+        {
+            *offset = end;
+        }
+        Ok(slice)
+    }
+
+    /// Closes a descriptor. Releases the port if it was a listener.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Ebadf`] if not open.
+    pub fn sys_close(&mut self, pid: Pid, fd: i32) -> SysResult<()> {
+        let cost = self.costs.fs_meta;
+        self.charge(cost);
+        let entry = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(Errno::Esrch)?
+            .fds
+            .remove(fd)?;
+        if let FdEntry::Listener { port } = entry {
+            self.bound_ports.remove(&port);
+        }
+        Ok(())
+    }
+
+    /// Creates a listening socket bound to `port`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Eaddrinuse`] if the port is bound.
+    pub fn sys_listen(&mut self, pid: Pid, port: u16) -> SysResult<i32> {
+        if self.bound_ports.contains_key(&port) {
+            return Err(Errno::Eaddrinuse);
+        }
+        let cost = self.costs.socket_listen;
+        self.charge(cost);
+        let fd = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(Errno::Esrch)?
+            .fds
+            .insert(FdEntry::Listener { port });
+        self.bound_ports.insert(port, pid);
+        Ok(fd)
+    }
+
+    /// Re-binds a listener at a fixed descriptor (restore path).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Eaddrinuse`] / fd-table errors.
+    pub fn sys_listen_at(&mut self, pid: Pid, fd: i32, port: u16) -> SysResult<()> {
+        if self.bound_ports.contains_key(&port) {
+            return Err(Errno::Eaddrinuse);
+        }
+        let cost = self.costs.socket_listen;
+        self.charge(cost);
+        self.procs
+            .get_mut(&pid)
+            .ok_or(Errno::Esrch)?
+            .fds
+            .insert_at(fd, FdEntry::Listener { port })?;
+        self.bound_ports.insert(port, pid);
+        Ok(())
+    }
+
+    /// The pid listening on `port`, if any.
+    pub fn port_owner(&self, port: u16) -> Option<Pid> {
+        self.bound_ports.get(&port).copied()
+    }
+
+    /// Models a TCP accept on a listening socket (request arrival).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Enotconn`] if nothing listens on `port`.
+    pub fn socket_accept(&mut self, port: u16) -> SysResult<Pid> {
+        let owner = self.port_owner(port).ok_or(Errno::Enotconn)?;
+        let cost = self.costs.socket_accept;
+        self.charge(cost);
+        Ok(owner)
+    }
+
+    /// Creates a pipe, returning `(read_fd, write_fd)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process.
+    pub fn sys_pipe(&mut self, pid: Pid) -> SysResult<(i32, i32)> {
+        let cost = self.costs.pipe_create;
+        self.charge(cost);
+        let pipe = self.next_pipe;
+        self.next_pipe += 1;
+        let proc = self.procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+        let r = proc.fds.insert(FdEntry::PipeRead { pipe });
+        let w = proc.fds.insert(FdEntry::PipeWrite { pipe });
+        Ok((r, w))
+    }
+
+    /// Charges the cost of streaming `bytes` through a pipe (the parasite
+    /// → dumper page channel).
+    pub fn pipe_xfer(&mut self, bytes: u64) {
+        let cost = self.costs.pipe_xfer(bytes);
+        self.charge(cost);
+    }
+
+    // --------------------------------------------------------------- ptrace
+
+    fn check_ptrace_perm(&self, tracer: Pid, target: Pid) -> SysResult<()> {
+        let t = self.process(tracer)?;
+        let tgt = self.process(target)?;
+        if t.caps.can_checkpoint() || tgt.ppid == tracer {
+            Ok(())
+        } else {
+            Err(Errno::Eperm)
+        }
+    }
+
+    /// `PTRACE_SEIZE`: attaches `tracer` to `target`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Eperm`] without capability (unless the target is a child),
+    /// [`Errno::Ebusy`] if already traced.
+    pub fn ptrace_seize(&mut self, tracer: Pid, target: Pid) -> SysResult<()> {
+        self.check_ptrace_perm(tracer, target)?;
+        let cost = self.costs.ptrace_attach;
+        self.charge(cost);
+        let tgt = self.procs.get_mut(&target).ok_or(Errno::Esrch)?;
+        if tgt.traced_by.is_some() {
+            return Err(Errno::Ebusy);
+        }
+        tgt.traced_by = Some(tracer);
+        Ok(())
+    }
+
+    /// `PTRACE_INTERRUPT` on every thread: freezes the target.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Eperm`] if `tracer` has not seized `target`.
+    pub fn ptrace_freeze(&mut self, tracer: Pid, target: Pid) -> SysResult<()> {
+        let tgt = self.procs.get(&target).ok_or(Errno::Esrch)?;
+        if tgt.traced_by != Some(tracer) {
+            return Err(Errno::Eperm);
+        }
+        let threads = tgt.threads.len() as u64;
+        let cost = self.costs.ptrace_freeze_per_thread * threads;
+        self.charge(cost);
+        let tgt = self.procs.get_mut(&target).unwrap();
+        for t in &mut tgt.threads {
+            t.state = ThreadState::Frozen;
+        }
+        tgt.state = ProcState::Frozen;
+        Ok(())
+    }
+
+    /// Reads one page of the (frozen) target's memory.
+    ///
+    /// Absent (demand-zero) pages read as zeros, matching `process_vm_readv`
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Eperm`] if not the tracer, [`Errno::Efault`] if unmapped.
+    pub fn ptrace_peek_page(
+        &mut self,
+        tracer: Pid,
+        target: Pid,
+        page_index: u64,
+    ) -> SysResult<Page> {
+        let tgt = self.procs.get(&target).ok_or(Errno::Esrch)?;
+        if tgt.traced_by != Some(tracer) {
+            return Err(Errno::Eperm);
+        }
+        let addr = VirtAddr(page_index * PAGE_SIZE as u64);
+        if tgt.mem.find_vma(addr).is_none() {
+            return Err(Errno::Efault);
+        }
+        let page = tgt
+            .mem
+            .page(page_index)
+            .cloned()
+            .unwrap_or_else(Page::zeroed);
+        let cost = self.costs.ptrace_xfer_per_page;
+        self.charge(cost);
+        Ok(page)
+    }
+
+    /// Writes bytes into the target's memory (parasite code injection;
+    /// bypasses page protections like `PTRACE_POKEDATA`).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Eperm`] if not the tracer, [`Errno::Efault`] if unmapped.
+    pub fn ptrace_poke(
+        &mut self,
+        tracer: Pid,
+        target: Pid,
+        addr: VirtAddr,
+        bytes: &[u8],
+    ) -> SysResult<()> {
+        {
+            let tgt = self.procs.get(&target).ok_or(Errno::Esrch)?;
+            if tgt.traced_by != Some(tracer) {
+                return Err(Errno::Eperm);
+            }
+        }
+        let pages = bytes.len().div_ceil(PAGE_SIZE) as u64;
+        let cost = self.costs.ptrace_xfer_per_page * pages.max(1);
+        self.charge(cost);
+        // Poke ignores write protection: temporarily raise it.
+        let tgt = self.procs.get_mut(&target).unwrap();
+        let vma = tgt.mem.find_vma(addr).ok_or(Errno::Efault)?.clone();
+        if vma.prot.write {
+            tgt.mem.write(addr, bytes)?;
+        } else {
+            // emulate text poking through a privileged path
+            let start = vma.start;
+            let len = vma.len;
+            let kind = vma.kind.clone();
+            tgt.mem.munmap(start)?;
+            tgt.mem.mmap_fixed(start, len, Prot::RWX, kind)?;
+            tgt.mem.write(addr, bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Executes an `mmap` inside the target via the injected parasite
+    /// ("remote syscall" in CRIU terminology).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Eperm`] if not the tracer.
+    pub fn remote_mmap(
+        &mut self,
+        tracer: Pid,
+        target: Pid,
+        len: u64,
+        kind: VmaKind,
+    ) -> SysResult<VirtAddr> {
+        {
+            let tgt = self.procs.get(&target).ok_or(Errno::Esrch)?;
+            if tgt.traced_by != Some(tracer) {
+                return Err(Errno::Eperm);
+            }
+        }
+        let cost = self.costs.mmap_base + self.costs.ptrace_xfer_per_page;
+        self.charge(cost);
+        self.procs
+            .get_mut(&target)
+            .unwrap()
+            .mem
+            .mmap(len, Prot::RWX, kind)
+    }
+
+    /// Removes a parasite mapping from the target ("cure").
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Eperm`] if not the tracer, [`Errno::Einval`] if no mapping.
+    pub fn remote_munmap(&mut self, tracer: Pid, target: Pid, start: VirtAddr) -> SysResult<()> {
+        {
+            let tgt = self.procs.get(&target).ok_or(Errno::Esrch)?;
+            if tgt.traced_by != Some(tracer) {
+                return Err(Errno::Eperm);
+            }
+        }
+        let cost = self.costs.munmap_base + self.costs.ptrace_xfer_per_page;
+        self.charge(cost);
+        self.procs
+            .get_mut(&target)
+            .unwrap()
+            .mem
+            .munmap(start)
+            .map(|_| ())
+    }
+
+    /// Resumes all frozen threads of the target.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Eperm`] if not the tracer.
+    pub fn ptrace_resume(&mut self, tracer: Pid, target: Pid) -> SysResult<()> {
+        let tgt = self.procs.get(&target).ok_or(Errno::Esrch)?;
+        if tgt.traced_by != Some(tracer) {
+            return Err(Errno::Eperm);
+        }
+        let cost = self.costs.sched_resume;
+        self.charge(cost);
+        let tgt = self.procs.get_mut(&target).unwrap();
+        for t in &mut tgt.threads {
+            t.state = ThreadState::Running;
+        }
+        tgt.state = ProcState::Running;
+        Ok(())
+    }
+
+    /// `PTRACE_DETACH`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Eperm`] if not the tracer.
+    pub fn ptrace_detach(&mut self, tracer: Pid, target: Pid) -> SysResult<()> {
+        let tgt = self.procs.get_mut(&target).ok_or(Errno::Esrch)?;
+        if tgt.traced_by != Some(tracer) {
+            return Err(Errno::Eperm);
+        }
+        tgt.traced_by = None;
+        let cost = self.costs.ptrace_detach;
+        self.charge(cost);
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------- /proc
+
+    /// Renders `/proc/<pid>/maps`.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process.
+    pub fn proc_maps(&mut self, pid: Pid) -> SysResult<String> {
+        let cost = self.costs.procfs_read;
+        self.charge(cost);
+        let proc = self.procs.get(&pid).ok_or(Errno::Esrch)?;
+        let mut out = String::new();
+        for vma in proc.mem.vmas() {
+            out.push_str(&vma.to_string());
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Walks `/proc/<pid>/pagemap` for the mapping starting at `start`,
+    /// returning indices of present (materialised) pages.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] / [`Errno::Einval`] on bad pid/mapping.
+    pub fn proc_pagemap(&mut self, pid: Pid, start: VirtAddr) -> SysResult<Vec<u64>> {
+        let proc = self.procs.get(&pid).ok_or(Errno::Esrch)?;
+        let vma = proc
+            .mem
+            .vmas()
+            .find(|v| v.start == start)
+            .ok_or(Errno::Einval)?
+            .clone();
+        let cost = self.costs.pagemap_per_page * vma.page_count();
+        self.charge(cost);
+        let proc = self.procs.get(&pid).unwrap();
+        Ok(proc.mem.present_pages(&vma))
+    }
+
+    /// Walks the pagemap soft-dirty bits for the mapping starting at
+    /// `start`: indices of pages written since the last
+    /// [`proc_clear_soft_dirty`](Kernel::proc_clear_soft_dirty).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] / [`Errno::Einval`] on bad pid/mapping.
+    pub fn proc_pagemap_soft_dirty(&mut self, pid: Pid, start: VirtAddr) -> SysResult<Vec<u64>> {
+        let proc = self.procs.get(&pid).ok_or(Errno::Esrch)?;
+        let vma = proc
+            .mem
+            .vmas()
+            .find(|v| v.start == start)
+            .ok_or(Errno::Einval)?
+            .clone();
+        let cost = self.costs.pagemap_per_page * vma.page_count();
+        self.charge(cost);
+        let proc = self.procs.get(&pid).unwrap();
+        Ok(proc.mem.soft_dirty_pages(&vma))
+    }
+
+    /// Clears the process's soft-dirty bits
+    /// (`echo 4 > /proc/<pid>/clear_refs`).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process.
+    pub fn proc_clear_soft_dirty(&mut self, pid: Pid) -> SysResult<()> {
+        let cost = self.costs.procfs_read;
+        self.charge(cost);
+        self.procs
+            .get_mut(&pid)
+            .ok_or(Errno::Esrch)?
+            .mem
+            .clear_soft_dirty();
+        Ok(())
+    }
+
+    /// Renders a `/proc/<pid>/status`-style summary.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process.
+    pub fn proc_status(&mut self, pid: Pid) -> SysResult<String> {
+        let cost = self.costs.procfs_read;
+        self.charge(cost);
+        let proc = self.procs.get(&pid).ok_or(Errno::Esrch)?;
+        Ok(format!(
+            "Name:\t{}\nState:\t{}\nPid:\t{}\nPPid:\t{}\nThreads:\t{}\nVmSize:\t{} kB\nVmRSS:\t{} kB\n",
+            proc.comm,
+            match proc.state {
+                ProcState::Running => "R (running)",
+                ProcState::Frozen => "t (tracing stop)",
+                ProcState::Zombie => "Z (zombie)",
+            },
+            proc.pid,
+            proc.ppid,
+            proc.threads.len(),
+            proc.mem.mapped_bytes() / 1024,
+            proc.mem.resident_bytes() / 1024,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_with_bin(path: &str, size: usize) -> Kernel {
+        let mut k = Kernel::free(1);
+        k.fs_create_dir_all("/bin").unwrap();
+        k.fs_write_file(path, vec![0xAB; size]).unwrap();
+        k
+    }
+
+    #[test]
+    fn clone_exec_lifecycle() {
+        let mut k = kernel_with_bin("/bin/app", 4096);
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        assert_ne!(pid, INIT_PID);
+        k.sys_execve(pid, "/bin/app", &["app".into(), "-x".into()])
+            .unwrap();
+        let p = k.process(pid).unwrap();
+        assert_eq!(p.comm, "app");
+        assert_eq!(p.cmdline, vec!["app", "-x"]);
+        assert_eq!(p.mem.vma_count(), 2, "binary + stack");
+        k.sys_exit(pid, 0).unwrap();
+        assert_eq!(k.reap(pid).unwrap(), 0);
+        assert!(k.process(pid).is_err());
+    }
+
+    #[test]
+    fn clone_charges_calibrated_cost() {
+        let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+        let t0 = k.now();
+        k.sys_clone(INIT_PID).unwrap();
+        assert_eq!((k.now() - t0).as_micros(), 400);
+    }
+
+    #[test]
+    fn exec_charges_cold_then_warm() {
+        let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+        k.fs_create_dir_all("/bin").unwrap();
+        k.fs_write_file("/bin/app", vec![0u8; 1 << 20]).unwrap();
+        k.drop_caches();
+        let a = k.sys_clone(INIT_PID).unwrap();
+        let t0 = k.now();
+        k.sys_execve(a, "/bin/app", &[]).unwrap();
+        let cold = k.now() - t0;
+        let b = k.sys_clone(INIT_PID).unwrap();
+        let t1 = k.now();
+        k.sys_execve(b, "/bin/app", &[]).unwrap();
+        let warm = k.now() - t1;
+        assert!(
+            cold.as_nanos() > 3 * warm.as_nanos(),
+            "cold {cold} vs warm {warm}"
+        );
+    }
+
+    #[test]
+    fn clone_with_pid_needs_capability() {
+        let mut k = kernel_with_bin("/bin/app", 64);
+        let unpriv = k.sys_clone(INIT_PID).unwrap();
+        // fresh clone of init inherits all caps; strip by creating a process
+        // without them.
+        k.process_mut(unpriv).unwrap().caps = CapSet::empty();
+        assert_eq!(
+            k.sys_clone_with_pid(unpriv, Pid(777)).unwrap_err(),
+            Errno::Eperm
+        );
+        let restored = k.sys_clone_with_pid(INIT_PID, Pid(777)).unwrap();
+        assert_eq!(restored, Pid(777));
+        assert_eq!(
+            k.sys_clone_with_pid(INIT_PID, Pid(777)).unwrap_err(),
+            Errno::Eexist
+        );
+        // allocator skips past explicitly placed pids
+        let next = k.sys_clone(INIT_PID).unwrap();
+        assert!(next.0 > 777);
+    }
+
+    #[test]
+    fn mem_write_read_through_kernel() {
+        let mut k = Kernel::free(3);
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(pid, 2 * PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+            .unwrap();
+        k.mem_write(pid, addr, b"hello world").unwrap();
+        let back = k.mem_read(pid, addr, 11).unwrap();
+        assert_eq!(&back, b"hello world");
+    }
+
+    #[test]
+    fn listener_port_exclusivity() {
+        let mut k = Kernel::free(4);
+        let a = k.sys_clone(INIT_PID).unwrap();
+        let b = k.sys_clone(INIT_PID).unwrap();
+        let fd = k.sys_listen(a, 8080).unwrap();
+        assert_eq!(k.sys_listen(b, 8080).unwrap_err(), Errno::Eaddrinuse);
+        assert_eq!(k.port_owner(8080), Some(a));
+        assert_eq!(k.socket_accept(8080).unwrap(), a);
+        k.sys_close(a, fd).unwrap();
+        assert_eq!(k.port_owner(8080), None);
+        assert_eq!(k.socket_accept(8080).unwrap_err(), Errno::Enotconn);
+        k.sys_listen(b, 8080).unwrap();
+    }
+
+    #[test]
+    fn exit_releases_ports() {
+        let mut k = Kernel::free(5);
+        let a = k.sys_clone(INIT_PID).unwrap();
+        k.sys_listen(a, 9000).unwrap();
+        k.sys_exit(a, 0).unwrap();
+        assert_eq!(k.port_owner(9000), None);
+    }
+
+    #[test]
+    fn ptrace_requires_seize_then_freeze() {
+        let mut k = Kernel::free(6);
+        let tracer = k.sys_clone(INIT_PID).unwrap(); // inherits all caps
+        let target = k.sys_clone(INIT_PID).unwrap();
+        assert_eq!(
+            k.ptrace_freeze(tracer, target).unwrap_err(),
+            Errno::Eperm,
+            "freeze before seize"
+        );
+        k.ptrace_seize(tracer, target).unwrap();
+        assert_eq!(
+            k.ptrace_seize(tracer, target).unwrap_err(),
+            Errno::Ebusy,
+            "double seize"
+        );
+        k.ptrace_freeze(tracer, target).unwrap();
+        assert!(k.process(target).unwrap().all_frozen());
+        k.ptrace_resume(tracer, target).unwrap();
+        assert_eq!(k.process(target).unwrap().state, ProcState::Running);
+        k.ptrace_detach(tracer, target).unwrap();
+        assert!(k.process(target).unwrap().traced_by.is_none());
+    }
+
+    #[test]
+    fn ptrace_denied_without_caps() {
+        let mut k = Kernel::free(7);
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        k.process_mut(tracer).unwrap().caps = CapSet::empty();
+        let target = k.sys_clone(INIT_PID).unwrap();
+        assert_eq!(k.ptrace_seize(tracer, target).unwrap_err(), Errno::Eperm);
+        // ...but a parent may trace its own child.
+        let child = k.sys_clone(tracer).unwrap();
+        k.ptrace_seize(tracer, child).unwrap();
+    }
+
+    #[test]
+    fn peek_page_sees_target_memory() {
+        let mut k = Kernel::free(8);
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        let target = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(target, PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+            .unwrap();
+        k.mem_write(target, addr, &[0xCD; 32]).unwrap();
+        k.ptrace_seize(tracer, target).unwrap();
+        k.ptrace_freeze(tracer, target).unwrap();
+        let page = k.ptrace_peek_page(tracer, target, addr.page_index()).unwrap();
+        assert_eq!(page.bytes()[0], 0xCD);
+        assert_eq!(
+            k.ptrace_peek_page(tracer, target, 0).unwrap_err(),
+            Errno::Efault
+        );
+    }
+
+    #[test]
+    fn parasite_inject_and_cure() {
+        let mut k = Kernel::free(9);
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        let target = k.sys_clone(INIT_PID).unwrap();
+        k.ptrace_seize(tracer, target).unwrap();
+        k.ptrace_freeze(tracer, target).unwrap();
+        let blob = k
+            .remote_mmap(tracer, target, PAGE_SIZE as u64, VmaKind::Parasite)
+            .unwrap();
+        k.ptrace_poke(tracer, target, blob, &[0x90; 128]).unwrap();
+        assert_eq!(
+            k.process(target).unwrap().mem.find_vma(blob).unwrap().kind,
+            VmaKind::Parasite
+        );
+        k.remote_munmap(tracer, target, blob).unwrap();
+        assert!(k.process(target).unwrap().mem.find_vma(blob).is_none());
+    }
+
+    #[test]
+    fn proc_views_render() {
+        let mut k = Kernel::free(10);
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(pid, 3 * PAGE_SIZE as u64, Prot::RW, VmaKind::RuntimeHeap)
+            .unwrap();
+        k.mem_write(pid, addr.add(PAGE_SIZE as u64), &[1]).unwrap();
+        let maps = k.proc_maps(pid).unwrap();
+        assert!(maps.contains("[runtime:heap]"), "{maps}");
+        let present = k.proc_pagemap(pid, addr).unwrap();
+        assert_eq!(present, vec![addr.page_index() + 1]);
+        let status = k.proc_status(pid).unwrap();
+        assert!(status.contains("VmRSS:\t4 kB"), "{status}");
+    }
+
+    #[test]
+    fn pagemap_of_unknown_vma_is_einval() {
+        let mut k = Kernel::free(11);
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        assert_eq!(
+            k.proc_pagemap(pid, VirtAddr(0xdead000)).unwrap_err(),
+            Errno::Einval
+        );
+    }
+
+    #[test]
+    fn tracing_records_clone_exec_and_markers() {
+        let mut k = kernel_with_bin("/bin/app", 128);
+        k.set_tracing(true);
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        k.sys_execve(pid, "/bin/app", &[]).unwrap();
+        k.emit_marker(pid, "ready");
+        let trace = k.take_trace();
+        let names: Vec<String> = trace
+            .iter()
+            .map(|e| match &e.kind {
+                ProbeKind::SyscallEnter(n) => format!("enter:{n}"),
+                ProbeKind::SyscallExit(n) => format!("exit:{n}"),
+                ProbeKind::Marker(m) => format!("mark:{m}"),
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "enter:clone",
+                "exit:clone",
+                "enter:execve",
+                "exit:execve",
+                "mark:ready"
+            ]
+        );
+        // times are monotone
+        for w in trace.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert!(k.take_trace().is_empty(), "trace drained");
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing() {
+        let mut k = kernel_with_bin("/bin/app", 128);
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        k.sys_execve(pid, "/bin/app", &[]).unwrap();
+        k.emit_marker(pid, "ready");
+        assert!(k.take_trace().is_empty());
+    }
+
+    #[test]
+    fn read_fd_advances_offset() {
+        let mut k = Kernel::free(12);
+        k.fs_write_file("/data", (0u8..100).collect::<Vec<u8>>())
+            .unwrap();
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        let fd = k.sys_open(pid, "/data").unwrap();
+        let first = k.sys_read_fd(pid, fd, 10).unwrap();
+        assert_eq!(first, (0u8..10).collect::<Vec<u8>>());
+        let second = k.sys_read_fd(pid, fd, 10).unwrap();
+        assert_eq!(second, (10u8..20).collect::<Vec<u8>>());
+        let rest = k.sys_read_fd(pid, fd, 1000).unwrap();
+        assert_eq!(rest.len(), 80);
+        let eof = k.sys_read_fd(pid, fd, 10).unwrap();
+        assert!(eof.is_empty());
+    }
+
+    #[test]
+    fn pipe_fds_are_paired() {
+        let mut k = Kernel::free(13);
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        let (r, w) = k.sys_pipe(pid).unwrap();
+        let proc = k.process(pid).unwrap();
+        match (proc.fds.get(r).unwrap(), proc.fds.get(w).unwrap()) {
+            (FdEntry::PipeRead { pipe: a }, FdEntry::PipeWrite { pipe: b }) => {
+                assert_eq!(a, b)
+            }
+            other => panic!("unexpected fd entries: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncharged_preserves_state_but_not_time() {
+        let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+        let before = k.now();
+        let pid = k
+            .uncharged(|k| {
+                k.fs_create_dir_all("/setup")?;
+                k.fs_write_file("/setup/data", vec![1u8; 1 << 20])?;
+                k.sys_clone(INIT_PID)
+            })
+            .unwrap();
+        assert_eq!(k.now(), before, "clock rolled back");
+        assert!(k.fs_exists("/setup/data"), "state persists");
+        assert!(k.process(pid).is_ok(), "process persists");
+    }
+
+    #[test]
+    fn uncharged_restores_clock_on_error() {
+        let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+        let before = k.now();
+        let err = k
+            .uncharged(|k| {
+                k.fs_write_file("/made/it/partway", vec![0u8; 1024])?;
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(err, Errno::Enoent);
+        assert_eq!(k.now(), before);
+    }
+
+    #[test]
+    fn soft_dirty_kernel_interface() {
+        let mut k = Kernel::free(21);
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(pid, 4 * PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+            .unwrap();
+        k.mem_write(pid, addr, &[1u8]).unwrap();
+        k.mem_write(pid, addr.add(2 * PAGE_SIZE as u64), &[2u8]).unwrap();
+        assert_eq!(k.proc_pagemap_soft_dirty(pid, addr).unwrap().len(), 2);
+        k.proc_clear_soft_dirty(pid).unwrap();
+        assert!(k.proc_pagemap_soft_dirty(pid, addr).unwrap().is_empty());
+        k.mem_write(pid, addr, &[3u8]).unwrap();
+        assert_eq!(
+            k.proc_pagemap_soft_dirty(pid, addr).unwrap(),
+            vec![addr.page_index()]
+        );
+        // present view unaffected by clears
+        assert_eq!(k.proc_pagemap(pid, addr).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn live_process_count() {
+        let mut k = Kernel::free(14);
+        assert_eq!(k.live_processes(), 1); // init
+        let a = k.sys_clone(INIT_PID).unwrap();
+        let _b = k.sys_clone(INIT_PID).unwrap();
+        assert_eq!(k.live_processes(), 3);
+        k.sys_exit(a, 0).unwrap();
+        assert_eq!(k.live_processes(), 2);
+    }
+}

@@ -1,0 +1,537 @@
+//! Per-process address spaces.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Errno, SysResult};
+use crate::mem::page::{pages_for, Page, PAGE_SIZE};
+use crate::mem::vma::{Prot, VirtAddr, Vma, VmaKind};
+
+/// Lowest address handed out by the allocating `mmap`.
+pub const MMAP_BASE: u64 = 0x0000_1000_0000;
+
+/// Page-touch statistics returned by memory accessors so the kernel can
+/// charge fault and copy costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TouchStats {
+    /// Pages the access spanned.
+    pub pages_touched: u64,
+    /// Pages that had to be materialised (first write — a minor fault).
+    pub pages_materialized: u64,
+}
+
+impl TouchStats {
+    /// Accumulates another access's statistics.
+    pub fn merge(&mut self, other: TouchStats) {
+        self.pages_touched += other.pages_touched;
+        self.pages_materialized += other.pages_materialized;
+    }
+}
+
+/// A process's virtual address space: a set of non-overlapping [`Vma`]s and
+/// the materialised [`Page`]s behind them.
+///
+/// Reads of mapped-but-untouched pages observe zeros (demand-zero
+/// semantics); writes materialise pages. The checkpoint engine only sees
+/// materialised pages, which is exactly the `/proc/<pid>/pagemap` view the
+/// real CRIU uses.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    vmas: BTreeMap<u64, Vma>,
+    pages: BTreeMap<u64, Page>,
+    /// Soft-dirty set: pages written since the last
+    /// [`clear_soft_dirty`](AddressSpace::clear_soft_dirty) — the
+    /// `/proc/<pid>/clear_refs` + pagemap soft-dirty mechanism CRIU's
+    /// incremental pre-dump relies on.
+    dirty: std::collections::BTreeSet<u64>,
+    next_map: u64,
+}
+
+impl AddressSpace {
+    /// An empty address space.
+    pub fn new() -> Self {
+        AddressSpace {
+            vmas: BTreeMap::new(),
+            pages: BTreeMap::new(),
+            dirty: std::collections::BTreeSet::new(),
+            next_map: MMAP_BASE,
+        }
+    }
+
+    /// Number of mappings.
+    pub fn vma_count(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// Iterates over mappings in address order.
+    pub fn vmas(&self) -> impl Iterator<Item = &Vma> {
+        self.vmas.values()
+    }
+
+    /// Looks up the mapping containing `addr`.
+    pub fn find_vma(&self, addr: VirtAddr) -> Option<&Vma> {
+        self.vmas
+            .range(..=addr.0)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.contains(addr))
+    }
+
+    /// Maps `len` bytes (rounded up to pages) at an allocator-chosen
+    /// address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Einval`] if `len` is zero.
+    pub fn mmap(&mut self, len: u64, prot: Prot, kind: VmaKind) -> SysResult<VirtAddr> {
+        if len == 0 {
+            return Err(Errno::Einval);
+        }
+        let len = pages_for(len) * PAGE_SIZE as u64;
+        let start = VirtAddr(self.next_map);
+        self.next_map += len + PAGE_SIZE as u64; // guard page gap
+        let vma = Vma {
+            start,
+            len,
+            prot,
+            kind,
+        };
+        debug_assert!(self.vmas.values().all(|v| !v.overlaps(&vma)));
+        self.vmas.insert(start.0, vma);
+        Ok(start)
+    }
+
+    /// Maps `len` bytes at a fixed address (the restore path re-creates
+    /// mappings at their checkpointed addresses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Einval`] for zero length or unaligned `start`, and
+    /// [`Errno::Eexist`] if the range overlaps an existing mapping.
+    pub fn mmap_fixed(
+        &mut self,
+        start: VirtAddr,
+        len: u64,
+        prot: Prot,
+        kind: VmaKind,
+    ) -> SysResult<VirtAddr> {
+        if len == 0 || !start.is_page_aligned() {
+            return Err(Errno::Einval);
+        }
+        let len = pages_for(len) * PAGE_SIZE as u64;
+        let vma = Vma {
+            start,
+            len,
+            prot,
+            kind,
+        };
+        if self.vmas.values().any(|v| v.overlaps(&vma)) {
+            return Err(Errno::Eexist);
+        }
+        // Keep the allocator clear of fixed mappings.
+        self.next_map = self.next_map.max(start.0 + len + PAGE_SIZE as u64);
+        self.vmas.insert(start.0, vma);
+        Ok(start)
+    }
+
+    /// Unmaps the mapping starting exactly at `start`, dropping its pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Errno::Einval`] if no mapping starts at `start`.
+    pub fn munmap(&mut self, start: VirtAddr) -> SysResult<Vma> {
+        let vma = self.vmas.remove(&start.0).ok_or(Errno::Einval)?;
+        let first = vma.first_page();
+        let last = first + vma.page_count();
+        let stale: Vec<u64> = self.pages.range(first..last).map(|(k, _)| *k).collect();
+        for k in stale {
+            self.pages.remove(&k);
+            self.dirty.remove(&k);
+        }
+        Ok(vma)
+    }
+
+    /// Writes `bytes` at `addr`, materialising pages as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Efault`] if the range is not fully mapped, [`Errno::Eperm`]
+    /// if the mapping is not writable.
+    pub fn write(&mut self, addr: VirtAddr, bytes: &[u8]) -> SysResult<TouchStats> {
+        self.check_range(addr, bytes.len() as u64, true)?;
+        let mut stats = TouchStats::default();
+        let mut off = 0usize;
+        let mut cur = addr;
+        while off < bytes.len() {
+            let page_idx = cur.page_index();
+            let in_page = cur.page_offset();
+            let chunk = (PAGE_SIZE - in_page).min(bytes.len() - off);
+            let page = self.pages.entry(page_idx).or_insert_with(|| {
+                stats.pages_materialized += 1;
+                Page::zeroed()
+            });
+            page.bytes_mut()[in_page..in_page + chunk]
+                .copy_from_slice(&bytes[off..off + chunk]);
+            self.dirty.insert(page_idx);
+            stats.pages_touched += 1;
+            off += chunk;
+            cur = cur.add(chunk as u64);
+        }
+        Ok(stats)
+    }
+
+    /// Reads `len` bytes at `addr`. Unmaterialised pages read as zeros.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Efault`] if the range is not fully mapped.
+    pub fn read(&self, addr: VirtAddr, len: u64) -> SysResult<(Vec<u8>, TouchStats)> {
+        self.check_range(addr, len, false)?;
+        let mut out = vec![0u8; len as usize];
+        let mut stats = TouchStats::default();
+        let mut off = 0usize;
+        let mut cur = addr;
+        while off < len as usize {
+            let page_idx = cur.page_index();
+            let in_page = cur.page_offset();
+            let chunk = (PAGE_SIZE - in_page).min(len as usize - off);
+            if let Some(page) = self.pages.get(&page_idx) {
+                out[off..off + chunk]
+                    .copy_from_slice(&page.bytes()[in_page..in_page + chunk]);
+            }
+            stats.pages_touched += 1;
+            off += chunk;
+            cur = cur.add(chunk as u64);
+        }
+        Ok((out, stats))
+    }
+
+    /// Direct view of one materialised page, if present.
+    pub fn page(&self, page_index: u64) -> Option<&Page> {
+        self.pages.get(&page_index)
+    }
+
+    /// Installs a full page of bytes (restore fast path).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Efault`] if the page is not inside any mapping.
+    pub fn install_page(&mut self, page_index: u64, page: Page) -> SysResult<()> {
+        let addr = VirtAddr(page_index * PAGE_SIZE as u64);
+        if self.find_vma(addr).is_none() {
+            return Err(Errno::Efault);
+        }
+        self.pages.insert(page_index, page);
+        self.dirty.insert(page_index);
+        Ok(())
+    }
+
+    /// Clears the soft-dirty bits (`echo 4 > /proc/<pid>/clear_refs`).
+    /// Subsequent writes re-mark pages dirty.
+    pub fn clear_soft_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Page indices materialised within `vma` that were written since the
+    /// last [`clear_soft_dirty`](AddressSpace::clear_soft_dirty) —
+    /// the pagemap soft-dirty view CRIU's incremental dump consumes.
+    pub fn soft_dirty_pages(&self, vma: &Vma) -> Vec<u64> {
+        let first = vma.first_page();
+        let last = first + vma.page_count();
+        self.dirty.range(first..last).copied().collect()
+    }
+
+    /// Returns `true` if the page was written since the last soft-dirty
+    /// clear.
+    pub fn is_soft_dirty(&self, page_index: u64) -> bool {
+        self.dirty.contains(&page_index)
+    }
+
+    /// Page indices materialised within `vma`, ascending — the
+    /// `/proc/<pid>/pagemap` "present" view.
+    pub fn present_pages(&self, vma: &Vma) -> Vec<u64> {
+        let first = vma.first_page();
+        let last = first + vma.page_count();
+        self.pages.range(first..last).map(|(k, _)| *k).collect()
+    }
+
+    /// Total materialised pages across the space.
+    pub fn resident_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Total materialised bytes (RSS analogue).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_pages() * PAGE_SIZE as u64
+    }
+
+    /// Total mapped bytes (VSZ analogue).
+    pub fn mapped_bytes(&self) -> u64 {
+        self.vmas.values().map(|v| v.len).sum()
+    }
+
+    fn check_range(&self, addr: VirtAddr, len: u64, need_write: bool) -> SysResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        // The range may span several contiguous VMAs.
+        let mut cur = addr;
+        let end = addr.0 + len;
+        while cur.0 < end {
+            let vma = self.find_vma(cur).ok_or(Errno::Efault)?;
+            if need_write && !vma.prot.write {
+                return Err(Errno::Eperm);
+            }
+            cur = vma.end();
+        }
+        Ok(())
+    }
+
+    /// Structural equality of *observable* memory: same mappings and same
+    /// byte content (materialised zero pages compare equal to absent
+    /// pages). Used by tests to prove dump→restore fidelity.
+    pub fn observably_equal(&self, other: &AddressSpace) -> bool {
+        if self.vmas != other.vmas {
+            return false;
+        }
+        let all_indices: std::collections::BTreeSet<u64> = self
+            .pages
+            .keys()
+            .chain(other.pages.keys())
+            .copied()
+            .collect();
+        let zero = Page::zeroed();
+        for idx in all_indices {
+            let a = self.pages.get(&idx).unwrap_or(&zero);
+            let b = other.pages.get(&idx).unwrap_or(&zero);
+            if a != b {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_with_map(len: u64) -> (AddressSpace, VirtAddr) {
+        let mut s = AddressSpace::new();
+        let a = s.mmap(len, Prot::RW, VmaKind::Anon).unwrap();
+        (s, a)
+    }
+
+    #[test]
+    fn mmap_rounds_to_pages() {
+        let (s, a) = space_with_map(100);
+        let vma = s.find_vma(a).unwrap();
+        assert_eq!(vma.len, PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn mmap_zero_len_is_einval() {
+        let mut s = AddressSpace::new();
+        assert_eq!(s.mmap(0, Prot::RW, VmaKind::Anon), Err(Errno::Einval));
+    }
+
+    #[test]
+    fn mappings_never_overlap() {
+        let mut s = AddressSpace::new();
+        let mut vmas = Vec::new();
+        for i in 1..=16 {
+            let a = s.mmap(i * 1000, Prot::RW, VmaKind::Anon).unwrap();
+            vmas.push(s.find_vma(a).unwrap().clone());
+        }
+        for (i, a) in vmas.iter().enumerate() {
+            for b in &vmas[i + 1..] {
+                assert!(!a.overlaps(b));
+            }
+        }
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let (mut s, a) = space_with_map(3 * PAGE_SIZE as u64);
+        let data: Vec<u8> = (0..9000).map(|i| (i % 255) as u8).collect();
+        let stats = s.write(a.add(123), &data).unwrap();
+        assert_eq!(stats.pages_materialized, 3);
+        let (back, _) = s.read(a.add(123), 9000).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let (s, a) = space_with_map(PAGE_SIZE as u64);
+        let (data, stats) = s.read(a, 64).unwrap();
+        assert!(data.iter().all(|&b| b == 0));
+        assert_eq!(stats.pages_touched, 1);
+        assert_eq!(s.resident_pages(), 0, "read must not materialise");
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let (mut s, a) = space_with_map(PAGE_SIZE as u64);
+        assert_eq!(s.read(VirtAddr(0x10), 1).unwrap_err(), Errno::Efault);
+        assert_eq!(
+            s.write(a, &vec![0u8; PAGE_SIZE + 1]).unwrap_err(),
+            Errno::Efault,
+            "write past end of mapping"
+        );
+    }
+
+    #[test]
+    fn write_to_readonly_is_eperm() {
+        let mut s = AddressSpace::new();
+        let a = s.mmap(PAGE_SIZE as u64, Prot::R, VmaKind::Anon).unwrap();
+        assert_eq!(s.write(a, b"x").unwrap_err(), Errno::Eperm);
+    }
+
+    #[test]
+    fn write_spanning_contiguous_vmas() {
+        let mut s = AddressSpace::new();
+        let a = s
+            .mmap_fixed(VirtAddr(0x10000), PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+            .unwrap();
+        s.mmap_fixed(
+            VirtAddr(0x10000 + PAGE_SIZE as u64),
+            PAGE_SIZE as u64,
+            Prot::RW,
+            VmaKind::Anon,
+        )
+        .unwrap();
+        let data = vec![7u8; PAGE_SIZE + 100];
+        s.write(a, &data).unwrap();
+        let (back, _) = s.read(a, data.len() as u64).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn munmap_drops_pages() {
+        let (mut s, a) = space_with_map(2 * PAGE_SIZE as u64);
+        s.write(a, &[1u8; 100]).unwrap();
+        assert_eq!(s.resident_pages(), 1);
+        s.munmap(a).unwrap();
+        assert_eq!(s.resident_pages(), 0);
+        assert!(s.find_vma(a).is_none());
+        assert_eq!(s.munmap(a).unwrap_err(), Errno::Einval);
+    }
+
+    #[test]
+    fn mmap_fixed_rejects_overlap() {
+        let mut s = AddressSpace::new();
+        s.mmap_fixed(VirtAddr(0x20000), 0x2000, Prot::RW, VmaKind::Anon)
+            .unwrap();
+        assert_eq!(
+            s.mmap_fixed(VirtAddr(0x21000), 0x1000, Prot::RW, VmaKind::Anon)
+                .unwrap_err(),
+            Errno::Eexist
+        );
+        assert_eq!(
+            s.mmap_fixed(VirtAddr(0x21001), 0x1000, Prot::RW, VmaKind::Anon)
+                .unwrap_err(),
+            Errno::Einval,
+            "unaligned fixed mapping"
+        );
+    }
+
+    #[test]
+    fn allocator_avoids_fixed_mappings() {
+        let mut s = AddressSpace::new();
+        s.mmap_fixed(
+            VirtAddr(MMAP_BASE + 0x100000),
+            0x1000,
+            Prot::RW,
+            VmaKind::Anon,
+        )
+        .unwrap();
+        // Subsequent dynamic mappings must not collide.
+        for _ in 0..64 {
+            s.mmap(0x10000, Prot::RW, VmaKind::Anon).unwrap();
+        }
+        let vmas: Vec<Vma> = s.vmas().cloned().collect();
+        for (i, a) in vmas.iter().enumerate() {
+            for b in &vmas[i + 1..] {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn present_pages_reports_only_materialised() {
+        let (mut s, a) = space_with_map(4 * PAGE_SIZE as u64);
+        s.write(a.add(PAGE_SIZE as u64), &[9u8; 10]).unwrap();
+        s.write(a.add(3 * PAGE_SIZE as u64), &[9u8; 10]).unwrap();
+        let vma = s.find_vma(a).unwrap().clone();
+        let present = s.present_pages(&vma);
+        assert_eq!(present.len(), 2);
+        assert_eq!(present[0], a.page_index() + 1);
+        assert_eq!(present[1], a.page_index() + 3);
+    }
+
+    #[test]
+    fn observably_equal_ignores_zero_materialisation() {
+        let (mut s1, a1) = space_with_map(PAGE_SIZE as u64);
+        let (mut s2, _a2) = space_with_map(PAGE_SIZE as u64);
+        // s1 materialises a page with zeros; s2 leaves it demand-zero.
+        s1.write(a1, &[0u8; 8]).unwrap();
+        assert!(s1.observably_equal(&s2));
+        s2.write(a1, &[1u8; 8]).unwrap();
+        assert!(!s1.observably_equal(&s2));
+    }
+
+    #[test]
+    fn resident_and_mapped_bytes() {
+        let (mut s, a) = space_with_map(8 * PAGE_SIZE as u64);
+        assert_eq!(s.mapped_bytes(), 8 * PAGE_SIZE as u64);
+        assert_eq!(s.resident_bytes(), 0);
+        s.write(a, &vec![1u8; 2 * PAGE_SIZE]).unwrap();
+        assert_eq!(s.resident_bytes(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn soft_dirty_tracks_writes_since_clear() {
+        let (mut s, a) = space_with_map(4 * PAGE_SIZE as u64);
+        s.write(a, &[1u8; 10]).unwrap();
+        s.write(a.add(2 * PAGE_SIZE as u64), &[2u8; 10]).unwrap();
+        let vma = s.find_vma(a).unwrap().clone();
+        assert_eq!(s.soft_dirty_pages(&vma).len(), 2);
+        assert!(s.is_soft_dirty(a.page_index()));
+
+        s.clear_soft_dirty();
+        assert!(s.soft_dirty_pages(&vma).is_empty());
+        assert!(!s.is_soft_dirty(a.page_index()));
+
+        // Re-writing one page re-marks only that page.
+        s.write(a.add(2 * PAGE_SIZE as u64), &[3u8; 10]).unwrap();
+        assert_eq!(s.soft_dirty_pages(&vma), vec![a.page_index() + 2]);
+        // present set is unchanged
+        assert_eq!(s.present_pages(&vma).len(), 2);
+    }
+
+    #[test]
+    fn munmap_clears_dirty_bits() {
+        let (mut s, a) = space_with_map(PAGE_SIZE as u64);
+        s.write(a, &[1u8]).unwrap();
+        s.munmap(a).unwrap();
+        let b = s.mmap(PAGE_SIZE as u64, Prot::RW, VmaKind::Anon).unwrap();
+        let vma = s.find_vma(b).unwrap().clone();
+        assert!(s.soft_dirty_pages(&vma).is_empty());
+    }
+
+    #[test]
+    fn install_page_marks_dirty() {
+        let (mut s, a) = space_with_map(PAGE_SIZE as u64);
+        s.install_page(a.page_index(), Page::zeroed()).unwrap();
+        assert!(s.is_soft_dirty(a.page_index()));
+    }
+
+    #[test]
+    fn install_page_requires_mapping() {
+        let (mut s, a) = space_with_map(PAGE_SIZE as u64);
+        assert!(s.install_page(a.page_index(), Page::zeroed()).is_ok());
+        assert_eq!(
+            s.install_page(9999999, Page::zeroed()).unwrap_err(),
+            Errno::Efault
+        );
+    }
+}

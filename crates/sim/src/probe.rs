@@ -1,0 +1,85 @@
+//! Syscall/trace probes.
+//!
+//! The paper instruments function start-up with `bpftrace` syscall probes
+//! (enter/exit of `clone` and `execve`) plus log lines emitted by the
+//! runtime at phase boundaries. The kernel reproduces this: when tracing
+//! is enabled it records a [`ProbeEvent`] stream that the
+//! `PhaseTracker` in `prebake-core` folds into the paper's four phases
+//! (CLONE, EXEC, RTS, APPINIT).
+
+use crate::proc::Pid;
+use crate::time::SimInstant;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeEvent {
+    /// Virtual time of the event.
+    pub time: SimInstant,
+    /// Process the event belongs to.
+    pub pid: Pid,
+    /// What happened.
+    pub kind: ProbeKind,
+}
+
+/// Event discriminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// Entry into a syscall (the `bpftrace` `tracepoint:syscalls:sys_enter_*` analogue).
+    SyscallEnter(&'static str),
+    /// Exit from a syscall.
+    SyscallExit(&'static str),
+    /// A named user-level marker (runtime log line), e.g. `rts-start`,
+    /// `main-entry`, `ready`.
+    Marker(String),
+}
+
+impl ProbeKind {
+    /// Marker constructor.
+    pub fn marker(name: impl Into<String>) -> ProbeKind {
+        ProbeKind::Marker(name.into())
+    }
+
+    /// Returns the marker name if this is a marker event.
+    pub fn as_marker(&self) -> Option<&str> {
+        match self {
+            ProbeKind::Marker(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Returns the syscall name if this is a syscall-enter event.
+    pub fn as_enter(&self) -> Option<&'static str> {
+        match self {
+            ProbeKind::SyscallEnter(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Returns the syscall name if this is a syscall-exit event.
+    pub fn as_exit(&self) -> Option<&'static str> {
+        match self {
+            ProbeKind::SyscallExit(name) => Some(name),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_accessors() {
+        let m = ProbeKind::marker("ready");
+        assert_eq!(m.as_marker(), Some("ready"));
+        assert_eq!(m.as_enter(), None);
+
+        let e = ProbeKind::SyscallEnter("clone");
+        assert_eq!(e.as_enter(), Some("clone"));
+        assert_eq!(e.as_exit(), None);
+        assert_eq!(e.as_marker(), None);
+
+        let x = ProbeKind::SyscallExit("execve");
+        assert_eq!(x.as_exit(), Some("execve"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Wilcoxon–Mann–Whitney rank-sum test and the Hodges–Lehmann estimator.
+//!
+//! Because some of the paper's samples fail Shapiro–Wilk, the comparison
+//! of start-up medians between techniques uses the non-parametric
+//! Wilcoxon–Mann–Whitney test, plus a confidence interval for the median
+//! distance. This module provides both: the tie-corrected
+//! normal-approximation U test, and the Hodges–Lehmann shift estimate
+//! with its distribution-free order-statistic CI.
+
+use crate::bootstrap::ConfInterval;
+use crate::normal;
+
+/// Result of a two-sided Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitney {
+    /// The U statistic for the first sample.
+    pub u: f64,
+    /// The standardised statistic (with tie and continuity correction).
+    pub z: f64,
+    /// Two-sided p-value under the normal approximation.
+    pub p_value: f64,
+}
+
+impl MannWhitney {
+    /// `true` if "the medians are equal" is rejected at level `alpha`.
+    pub fn rejects_equality(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Midranks of the pooled sample, with the tie-correction term
+/// `sum(t^3 - t)` over tie groups.
+fn midranks(pooled: &mut [(f64, usize)]) -> (Vec<f64>, f64) {
+    pooled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN in sample"));
+    let n = pooled.len();
+    let mut ranks = vec![0.0; n];
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let group = (j - i + 1) as f64;
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in pooled.iter().take(j + 1).skip(i) {
+            ranks[item.1] = rank;
+        }
+        if group > 1.0 {
+            tie_term += group * group * group - group;
+        }
+        i = j + 1;
+    }
+    (ranks, tie_term)
+}
+
+/// Two-sided Mann–Whitney U test with midranks, tie correction and
+/// continuity correction (matches R's `wilcox.test(a, b, correct=TRUE)`
+/// normal-approximation branch).
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+///
+/// # Examples
+///
+/// ```
+/// use prebake_stats::mannwhitney::mann_whitney;
+///
+/// let fast: Vec<f64> = (0..50).map(|i| 60.0 + (i % 5) as f64).collect();
+/// let slow: Vec<f64> = (0..50).map(|i| 100.0 + (i % 5) as f64).collect();
+/// let r = mann_whitney(&fast, &slow);
+/// assert!(r.rejects_equality(0.001));
+/// ```
+pub fn mann_whitney(a: &[f64], b: &[f64]) -> MannWhitney {
+    assert!(!a.is_empty() && !b.is_empty(), "empty sample");
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+    let n = n1 + n2;
+
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .chain(b.iter())
+        .copied()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
+    let (ranks, tie_term) = midranks(&mut pooled);
+
+    let r1: f64 = ranks[..a.len()].iter().sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+
+    let mean_u = n1 * n2 / 2.0;
+    let var_u = n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if var_u <= 0.0 {
+        // All observations tied: no evidence against equality.
+        return MannWhitney {
+            u: u1,
+            z: 0.0,
+            p_value: 1.0,
+        };
+    }
+    // Continuity correction toward the mean. Note `f64::signum(0.0)` is
+    // 1.0, which would bias the exactly-central case — handle it apart
+    // so the statistic stays antisymmetric under argument swap.
+    let diff = u1 - mean_u;
+    let cc = if diff > 0.0 {
+        0.5
+    } else if diff < 0.0 {
+        -0.5
+    } else {
+        0.0
+    };
+    let z = (diff - cc) / var_u.sqrt();
+    let p = (2.0 * (1.0 - normal::cdf(z.abs()))).clamp(0.0, 1.0);
+    MannWhitney {
+        u: u1,
+        z,
+        p_value: p,
+    }
+}
+
+/// The Hodges–Lehmann estimate of the shift between two samples — the
+/// median of all pairwise differences `a_i - b_j` — together with its
+/// distribution-free confidence interval from the order statistics of the
+/// pairwise differences.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or `level` is outside `(0, 1)`.
+pub fn hodges_lehmann(a: &[f64], b: &[f64], level: f64) -> (f64, ConfInterval) {
+    assert!(!a.is_empty() && !b.is_empty(), "empty sample");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+
+    let mut diffs: Vec<f64> = Vec::with_capacity(a.len() * b.len());
+    for &x in a {
+        for &y in b {
+            diffs.push(x - y);
+        }
+    }
+    diffs.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+
+    let estimate = crate::summary::quantile_sorted(&diffs, 0.5);
+
+    // Normal-approximation choice of the order-statistic index
+    // (Hollander & Wolfe): k = nm/2 - z_{1-alpha/2} * sqrt(nm(n+m+1)/12).
+    let z = normal::quantile(1.0 - (1.0 - level) / 2.0);
+    let k = (n1 * n2 / 2.0 - z * (n1 * n2 * (n1 + n2 + 1.0) / 12.0).sqrt()).floor();
+    let k = (k.max(0.0) as usize).min(diffs.len().saturating_sub(1) / 2);
+
+    let lo = diffs[k];
+    let hi = diffs[diffs.len() - 1 - k];
+    (
+        estimate,
+        ConfInterval {
+            lo,
+            hi,
+            level,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy(seed: u64, n: usize, center: f64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| center + 4.0 * rng.gen::<f64>()).collect()
+    }
+
+    #[test]
+    fn separated_samples_rejected() {
+        let a = noisy(1, 200, 100.0);
+        let b = noisy(2, 200, 60.0);
+        let r = mann_whitney(&a, &b);
+        assert!(r.rejects_equality(1e-6), "p = {}", r.p_value);
+        assert!(r.z > 0.0, "a stochastically larger -> positive z");
+    }
+
+    #[test]
+    fn identical_distributions_not_rejected() {
+        let a = noisy(3, 200, 70.0);
+        let b = noisy(4, 200, 70.0);
+        let r = mann_whitney(&a, &b);
+        assert!(r.p_value > 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let a = noisy(5, 60, 10.0);
+        let b = noisy(6, 80, 12.0);
+        let ab = mann_whitney(&a, &b);
+        let ba = mann_whitney(&b, &a);
+        assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        assert!((ab.z + ba.z).abs() < 1e-9);
+        // U1 + U2 = n1*n2
+        assert!((ab.u + ba.u - (a.len() * b.len()) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_heavy_ties() {
+        let a = vec![1.0, 1.0, 1.0, 2.0, 2.0];
+        let b = vec![1.0, 2.0, 2.0, 2.0, 3.0];
+        let r = mann_whitney(&a, &b);
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+    }
+
+    #[test]
+    fn all_tied_gives_p_one() {
+        let a = vec![5.0; 10];
+        let b = vec![5.0; 10];
+        let r = mann_whitney(&a, &b);
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.z, 0.0);
+    }
+
+    #[test]
+    fn small_exact_check() {
+        // a = {1,2}, b = {3,4}: U1 = 0, the most extreme arrangement.
+        let r = mann_whitney(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(r.u, 0.0);
+        assert!(r.z < 0.0);
+    }
+
+    #[test]
+    fn hodges_lehmann_recovers_shift() {
+        let a = noisy(7, 150, 100.0);
+        let b = noisy(8, 150, 60.0);
+        let (est, ci) = hodges_lehmann(&a, &b, 0.95);
+        assert!((est - 40.0).abs() < 1.0, "estimate {est}");
+        assert!(ci.contains(est));
+        assert!(ci.lo > 35.0 && ci.hi < 45.0, "{ci}");
+    }
+
+    #[test]
+    fn hodges_lehmann_zero_shift_ci_covers_zero() {
+        let a = noisy(9, 100, 50.0);
+        let b = noisy(10, 100, 50.0);
+        let (est, ci) = hodges_lehmann(&a, &b, 0.95);
+        assert!(est.abs() < 1.5);
+        assert!(ci.contains(0.0), "{ci}");
+    }
+
+    #[test]
+    fn rank_midranks_correct() {
+        let mut pooled: Vec<(f64, usize)> = vec![
+            (10.0, 0),
+            (20.0, 1),
+            (20.0, 2),
+            (30.0, 3),
+        ];
+        let (ranks, tie_term) = midranks(&mut pooled);
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(tie_term, 2.0 * 2.0 * 2.0 - 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        mann_whitney(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the statistics kernels.
+
+use proptest::prelude::*;
+
+use prebake_stats::bootstrap::{median_ci, median_diff_ci};
+use prebake_stats::ecdf::Ecdf;
+use prebake_stats::mannwhitney::mann_whitney;
+use prebake_stats::normal;
+use prebake_stats::summary::{median, quantile, Summary};
+
+fn finite_sample(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, min_len..200)
+}
+
+proptest! {
+    /// Quantiles are monotone in the level and bounded by the extremes.
+    #[test]
+    fn quantiles_monotone_and_bounded(data in finite_sample(1)) {
+        let q0 = quantile(&data, 0.0);
+        let q25 = quantile(&data, 0.25);
+        let q50 = quantile(&data, 0.5);
+        let q75 = quantile(&data, 0.75);
+        let q100 = quantile(&data, 1.0);
+        prop_assert!(q0 <= q25 && q25 <= q50 && q50 <= q75 && q75 <= q100);
+        let min = data.iter().cloned().fold(f64::MAX, f64::min);
+        let max = data.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(q0, min);
+        prop_assert_eq!(q100, max);
+    }
+
+    /// Summary invariants hold on arbitrary samples.
+    #[test]
+    fn summary_invariants(data in finite_sample(2)) {
+        let s = Summary::of(&data);
+        prop_assert!(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert!(s.iqr() >= 0.0);
+        prop_assert_eq!(s.n, data.len());
+    }
+
+    /// The bootstrap CI of the median always contains the sample median.
+    #[test]
+    fn bootstrap_ci_contains_median(data in finite_sample(5), seed in any::<u64>()) {
+        let ci = median_ci(&data, 300, 0.95, seed);
+        prop_assert!(ci.contains(median(&data)), "{} not in {}", median(&data), ci);
+        prop_assert!(ci.lo <= ci.hi);
+    }
+
+    /// A sample compared against a shifted copy of itself: the
+    /// median-difference CI must bracket the true shift.
+    #[test]
+    fn median_diff_ci_brackets_true_shift(
+        data in finite_sample(20),
+        shift in -1e3f64..1e3,
+        seed in any::<u64>(),
+    ) {
+        let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        let ci = median_diff_ci(&shifted, &data, 400, 0.99, seed);
+        prop_assert!(
+            ci.lo <= shift + 1e-6 && shift - 1e-6 <= ci.hi,
+            "shift {shift} outside {ci}"
+        );
+    }
+
+    /// Mann-Whitney is symmetric and its p-value is a probability.
+    #[test]
+    fn mann_whitney_symmetry(a in finite_sample(3), b in finite_sample(3)) {
+        let ab = mann_whitney(&a, &b);
+        let ba = mann_whitney(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&ab.p_value));
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        prop_assert!((ab.z + ba.z).abs() < 1e-9);
+    }
+
+    /// A sample against itself never rejects equality.
+    #[test]
+    fn mann_whitney_self_comparison(a in finite_sample(10)) {
+        let r = mann_whitney(&a, &a);
+        prop_assert!(r.p_value > 0.9, "self-test p = {}", r.p_value);
+    }
+
+    /// ECDFs are monotone, bounded in [0,1], and hit 1 at the max.
+    #[test]
+    fn ecdf_monotone(data in finite_sample(1), probes in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let e = Ecdf::new(&data);
+        let mut sorted_probes = probes;
+        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &sorted_probes {
+            let f = e.eval(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+        let max = data.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(e.eval(max), 1.0);
+    }
+
+    /// KS distance is a metric-ish quantity: symmetric, in [0,1], zero
+    /// for identical samples.
+    #[test]
+    fn ks_distance_properties(a in finite_sample(1), b in finite_sample(1)) {
+        let ea = Ecdf::new(&a);
+        let eb = Ecdf::new(&b);
+        let d = ea.ks_distance(&eb);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((d - eb.ks_distance(&ea)).abs() < 1e-12);
+        prop_assert_eq!(ea.ks_distance(&ea), 0.0);
+    }
+
+    /// The normal quantile inverts the CDF across the open unit interval.
+    #[test]
+    fn normal_quantile_inverts_cdf(p in 0.001f64..0.999) {
+        let x = normal::quantile(p);
+        prop_assert!((normal::cdf(x) - p).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests for the §7 future-work extensions: runtime
+//! profiles and incremental checkpointing, exercised through the full
+//! prebaking pipeline.
+
+use prebake_core::measure::{StartMode, TrialRunner};
+use prebake_functions::{FunctionSpec, SyntheticSize};
+use prebake_runtime::profile::RuntimeProfile;
+
+fn medians(spec: FunctionSpec) -> (f64, f64, f64) {
+    let mut out = Vec::new();
+    for mode in StartMode::all_three() {
+        let runner = TrialRunner::new(spec.clone(), mode).unwrap();
+        let t = runner.startup_trial(1).unwrap();
+        out.push(t.first_response_ms);
+    }
+    (out[0], out[1], out[2])
+}
+
+#[test]
+fn prebaking_helps_every_runtime_profile() {
+    for profile in RuntimeProfile::all() {
+        let spec = FunctionSpec::synthetic(SyntheticSize::Small).with_runtime(profile);
+        let (vanilla, nowarmup, warmup) = medians(spec);
+        assert!(
+            nowarmup < vanilla,
+            "{}: nowarmup {nowarmup} !< vanilla {vanilla}",
+            profile.label()
+        );
+        assert!(
+            warmup < nowarmup,
+            "{}: warmup {warmup} !< nowarmup {nowarmup}",
+            profile.label()
+        );
+    }
+}
+
+#[test]
+fn warm_bonus_ranks_by_jit_share() {
+    // warm-vs-nowarm ratio: how much the snapshot's captured compilation
+    // state buys. Must rank java > node > python.
+    let ratio = |profile: RuntimeProfile| {
+        let spec = FunctionSpec::synthetic(SyntheticSize::Medium).with_runtime(profile);
+        let (_, nowarmup, warmup) = medians(spec);
+        nowarmup / warmup
+    };
+    let java = ratio(RuntimeProfile::JavaLike);
+    let node = ratio(RuntimeProfile::NodeLike);
+    let python = ratio(RuntimeProfile::PythonLike);
+    assert!(
+        java > node && node > python,
+        "warm bonus must rank java ({java:.2}x) > node ({node:.2}x) > python ({python:.2}x)"
+    );
+    assert!(python > 1.0, "even without a JIT, imports are captured");
+}
+
+#[test]
+fn vanilla_bootstrap_ranks_by_profile() {
+    // The fixed RTS share: java ≈70ms > node ≈50ms > python ≈35ms shows
+    // up directly in vanilla cold starts of a tiny function.
+    let startup = |profile: RuntimeProfile| {
+        let spec = FunctionSpec::noop().with_runtime(profile);
+        let runner = TrialRunner::new(spec, StartMode::Vanilla).unwrap();
+        runner.startup_trial(1).unwrap().startup_ms
+    };
+    let java = startup(RuntimeProfile::JavaLike);
+    let node = startup(RuntimeProfile::NodeLike);
+    let python = startup(RuntimeProfile::PythonLike);
+    assert!(java > node && node > python, "{java} > {node} > {python}");
+}
+
+#[test]
+fn incremental_rebake_preserves_prebake_speed() {
+    // A function rebaked via pre-dump + incremental dump restores just as
+    // fast and as faithfully as a full dump.
+    use prebake_core::env::{provision_machine, Deployment, RUNTIME_BIN};
+    use prebake_criu::dump::{dump, pre_dump, DumpOptions};
+    use prebake_criu::restore::{restore, RestoreOptions};
+    use prebake_runtime::Replica;
+    use prebake_sim::kernel::Kernel;
+    use prebake_sim::proc::CapSet;
+
+    let mut kernel = Kernel::new(9);
+    let watchdog = provision_machine(&mut kernel).unwrap();
+    let spec = FunctionSpec::synthetic(SyntheticSize::Small);
+    let dep = Deployment::install(&mut kernel, spec, 8080).unwrap();
+
+    // Boot + warm a replica manually.
+    let pid = kernel.sys_clone(watchdog).unwrap();
+    kernel.process_mut(pid).unwrap().caps = CapSet::empty();
+    let config = dep.jlvm_config();
+    kernel
+        .sys_execve(pid, RUNTIME_BIN, &[RUNTIME_BIN.to_owned()])
+        .unwrap();
+    let handler = dep.spec.make_handler(&dep.app_dir);
+    let mut replica = Replica::boot(&mut kernel, pid, config, handler).unwrap();
+    replica
+        .handle(&mut kernel, &dep.spec.sample_request())
+        .unwrap();
+
+    // Pre-dump while serving; serve once more; incremental dump.
+    pre_dump(&mut kernel, watchdog, &DumpOptions::new(pid, "/pre")).unwrap();
+    replica
+        .handle(&mut kernel, &dep.spec.sample_request())
+        .unwrap();
+    let expected_state = replica.jvm().state().clone();
+    let mut opts = DumpOptions::new(pid, "/final");
+    opts.parent = Some("/pre".to_owned());
+    let inc = dump(&mut kernel, watchdog, &opts).unwrap();
+    assert!(
+        inc.parent_pages > inc.pages_stored,
+        "most pages defer to the pre-dump ({} parent vs {} stored)",
+        inc.parent_pages,
+        inc.pages_stored
+    );
+
+    // Restore and re-attach: the replica is warm and state-identical.
+    let stats = restore(&mut kernel, watchdog, &RestoreOptions::new("/final")).unwrap();
+    let handler = dep.spec.make_handler(&dep.app_dir);
+    let mut restored =
+        Replica::attach(&mut kernel, stats.pid, dep.jlvm_config(), handler).unwrap();
+    assert_eq!(restored.jvm().state(), &expected_state);
+    let t0 = kernel.now();
+    restored
+        .handle(&mut kernel, &dep.spec.sample_request())
+        .unwrap();
+    let ms = (kernel.now() - t0).as_millis_f64();
+    assert!(ms < 5.0, "warm incremental restore serves in {ms}ms");
+}

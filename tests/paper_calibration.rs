@@ -1,0 +1,188 @@
+//! Cross-crate calibration tests: the reproduced system must land on the
+//! paper's headline numbers (within tolerance) for every experiment
+//! family. These are small-rep versions of the bench harnesses; the full
+//! 200-rep runs live in `crates/bench` and are recorded in
+//! `EXPERIMENTS.md`.
+
+use prebake_core::measure::{StartMode, TrialRunner};
+use prebake_functions::{FunctionSpec, SyntheticSize};
+use prebake_stats::summary::median;
+
+const REPS: usize = 8;
+
+fn median_startup(spec: FunctionSpec, mode: StartMode) -> f64 {
+    let runner = TrialRunner::new(spec, mode).expect("build runner");
+    let samples: Vec<f64> = runner
+        .startup_samples(REPS, 1)
+        .expect("trials")
+        .iter()
+        .map(|t| t.startup_ms)
+        .collect();
+    median(&samples)
+}
+
+fn median_first_response(spec: FunctionSpec, mode: StartMode) -> f64 {
+    let runner = TrialRunner::new(spec, mode).expect("build runner");
+    let samples: Vec<f64> = runner
+        .startup_samples(REPS, 1)
+        .expect("trials")
+        .iter()
+        .map(|t| t.first_response_ms)
+        .collect();
+    median(&samples)
+}
+
+fn assert_close(measured: f64, paper: f64, tolerance: f64, what: &str) {
+    let ratio = measured / paper;
+    assert!(
+        ((1.0 - tolerance)..=(1.0 + tolerance)).contains(&ratio),
+        "{what}: measured {measured:.1}ms vs paper {paper:.1}ms (ratio {ratio:.3})"
+    );
+}
+
+// ------------------------------------------------------------- Figure 3
+
+#[test]
+fn fig3_noop_vanilla_and_prebake() {
+    let v = median_startup(FunctionSpec::noop(), StartMode::Vanilla);
+    let p = median_startup(FunctionSpec::noop(), StartMode::PrebakeNoWarmup);
+    assert_close(v, 103.0, 0.12, "NOOP vanilla");
+    assert_close(p, 62.0, 0.20, "NOOP prebake");
+    let improvement = (v - p) / v;
+    assert!(
+        (0.30..0.50).contains(&improvement),
+        "paper: 40% improvement, got {improvement:.2}"
+    );
+}
+
+#[test]
+fn fig3_markdown_vanilla_and_prebake() {
+    let v = median_startup(FunctionSpec::markdown(), StartMode::Vanilla);
+    let p = median_startup(FunctionSpec::markdown(), StartMode::PrebakeNoWarmup);
+    assert_close(v, 100.0, 0.12, "Markdown vanilla");
+    assert_close(p, 53.0, 0.20, "Markdown prebake");
+    let improvement = (v - p) / v;
+    assert!(
+        (0.38..0.56).contains(&improvement),
+        "paper: 47% improvement, got {improvement:.2}"
+    );
+}
+
+#[test]
+fn fig3_image_resizer_vanilla_and_prebake() {
+    let v = median_startup(FunctionSpec::image_resizer(), StartMode::Vanilla);
+    let p = median_startup(FunctionSpec::image_resizer(), StartMode::PrebakeNoWarmup);
+    assert_close(v, 310.0, 0.12, "Image Resizer vanilla");
+    assert_close(p, 87.0, 0.20, "Image Resizer prebake");
+    let improvement = (v - p) / v;
+    assert!(
+        (0.62..0.80).contains(&improvement),
+        "paper: 71% improvement, got {improvement:.2}"
+    );
+}
+
+// ---------------------------------------------------------- snapshot sizes
+
+#[test]
+fn snapshot_sizes_match_section_4_2_1() {
+    for (spec, paper_mb, what) in [
+        (FunctionSpec::noop(), 13.0, "NOOP"),
+        (FunctionSpec::markdown(), 14.0, "Markdown"),
+        (FunctionSpec::image_resizer(), 99.2, "Image Resizer"),
+    ] {
+        let runner = TrialRunner::new(spec, StartMode::PrebakeNoWarmup).expect("runner");
+        let measured_mb = runner.snapshot_bytes() as f64 / 1e6;
+        let ratio = measured_mb / paper_mb;
+        assert!(
+            (0.80..=1.25).contains(&ratio),
+            "{what} snapshot {measured_mb:.1}MB vs paper {paper_mb}MB"
+        );
+    }
+}
+
+// ------------------------------------------------- Figure 4 decomposition
+
+#[test]
+fn fig4_phase_structure() {
+    let runner = TrialRunner::new(FunctionSpec::noop(), StartMode::Vanilla).expect("runner");
+    let t = runner.startup_trial(3).expect("trial");
+    // clone+exec tiny, RTS ~70ms
+    assert!(t.phases.clone.as_millis_f64() < 1.0);
+    assert!(t.phases.exec.as_millis_f64() < 3.0);
+    let rts = t.phases.rts.as_millis_f64();
+    assert!((60.0..80.0).contains(&rts), "RTS {rts}ms, paper ~70ms");
+
+    let runner = TrialRunner::new(FunctionSpec::noop(), StartMode::PrebakeNoWarmup)
+        .expect("runner");
+    let t = runner.startup_trial(3).expect("trial");
+    assert_eq!(t.phases.rts.as_millis_f64(), 0.0, "prebake RTS = 0");
+    assert_eq!(t.phases.exec.as_millis_f64(), 0.0, "prebake EXEC = 0");
+    // start-up almost totally dictated by APPINIT
+    assert!(t.phases.appinit.as_millis_f64() / t.startup_ms > 0.9);
+}
+
+// --------------------------------------------------- Table 1 (small size)
+
+#[test]
+fn table1_small_synthetic_three_techniques() {
+    let spec = FunctionSpec::synthetic(SyntheticSize::Small);
+    let v = median_first_response(spec.clone(), StartMode::Vanilla);
+    let nw = median_first_response(spec.clone(), StartMode::PrebakeNoWarmup);
+    let w = median_first_response(spec, StartMode::PrebakeWarmup(1));
+    assert_close(v, 219.8, 0.12, "small vanilla");
+    assert_close(nw, 172.5, 0.12, "small pb-nowarmup");
+    assert_close(w, 54.4, 0.20, "small pb-warmup");
+    // Fig. 6 ratios
+    let r_nw = v / nw * 100.0;
+    let r_w = v / w * 100.0;
+    assert!((115.0..140.0).contains(&r_nw), "paper 127.45%, got {r_nw:.1}%");
+    assert!((330.0..480.0).contains(&r_w), "paper 403.96%, got {r_w:.1}%");
+}
+
+#[test]
+fn table1_medium_synthetic_three_techniques() {
+    let spec = FunctionSpec::synthetic(SyntheticSize::Medium);
+    let v = median_first_response(spec.clone(), StartMode::Vanilla);
+    let nw = median_first_response(spec.clone(), StartMode::PrebakeNoWarmup);
+    let w = median_first_response(spec, StartMode::PrebakeWarmup(1));
+    assert_close(v, 456.0, 0.12, "medium vanilla");
+    assert_close(nw, 360.9, 0.12, "medium pb-nowarmup");
+    assert_close(w, 63.7, 0.25, "medium pb-warmup");
+}
+
+#[test]
+fn table1_big_synthetic_three_techniques() {
+    let spec = FunctionSpec::synthetic(SyntheticSize::Big);
+    let v = median_first_response(spec.clone(), StartMode::Vanilla);
+    let nw = median_first_response(spec.clone(), StartMode::PrebakeNoWarmup);
+    let w = median_first_response(spec, StartMode::PrebakeWarmup(1));
+    assert_close(v, 1621.0, 0.12, "big vanilla");
+    assert_close(nw, 1340.4, 0.12, "big pb-nowarmup");
+    assert_close(w, 84.0, 0.25, "big pb-warmup");
+    // The paper's headline: 1932.49% speed-up for warmed prebaking.
+    let r_w = v / w * 100.0;
+    assert!(
+        (1500.0..2400.0).contains(&r_w),
+        "paper 1932%, got {r_w:.0}%"
+    );
+}
+
+// -------------------------------------------------------------- Figure 7
+
+#[test]
+fn fig7_service_times_coincide() {
+    use prebake_sim::time::SimDuration;
+    use prebake_stats::ecdf::Ecdf;
+    for spec in [FunctionSpec::noop(), FunctionSpec::markdown()] {
+        let vanilla = TrialRunner::new(spec.clone(), StartMode::Vanilla)
+            .expect("runner")
+            .service_trial(1, 60, SimDuration::from_millis(50))
+            .expect("service");
+        let prebake = TrialRunner::new(spec, StartMode::PrebakeNoWarmup)
+            .expect("runner")
+            .service_trial(2, 60, SimDuration::from_millis(50))
+            .expect("service");
+        let ks = Ecdf::new(&vanilla).ks_distance(&Ecdf::new(&prebake));
+        assert!(ks < 0.25, "service ECDFs must coincide; KS = {ks}");
+    }
+}
