@@ -27,7 +27,12 @@ fn kernel_with_process(pages: u64, zero_fraction: f64) -> (Kernel, Pid, Pid) {
     let tracer = k.sys_clone(INIT_PID).unwrap();
     let target = k.sys_clone(INIT_PID).unwrap();
     let addr = k
-        .sys_mmap(target, pages * PAGE_SIZE as u64, Prot::RW, VmaKind::RuntimeHeap)
+        .sys_mmap(
+            target,
+            pages * PAGE_SIZE as u64,
+            Prot::RW,
+            VmaKind::RuntimeHeap,
+        )
         .unwrap();
     let mut rng = SplitMix64::new(7);
     for i in 0..pages {

@@ -48,8 +48,7 @@ fn main() {
             &dep.images_dir(),
         )
         .expect("bake");
-        let files =
-            export_images(&mut builder_kernel, &dep.images_dir()).expect("export images");
+        let files = export_images(&mut builder_kernel, &dep.images_dir()).expect("export images");
         let set = ImageSet::parse_files(&files).expect("parse images");
 
         let mut fs_samples = Vec::with_capacity(reps);
@@ -82,8 +81,7 @@ fn main() {
             )
             .expect("mem restore");
             let handler = dep.spec.make_handler(&dep.app_dir);
-            Replica::attach(&mut kernel, stats.pid, dep.jlvm_config(), handler)
-                .expect("attach");
+            Replica::attach(&mut kernel, stats.pid, dep.jlvm_config(), handler).expect("attach");
             mem_samples.push((kernel.now() - t0).as_millis_f64());
         }
 

@@ -15,9 +15,7 @@ use prebake_functions::{FunctionSpec, SyntheticSize};
 fn main() {
     let args = HarnessArgs::parse();
     let reps = args.reps.min(60); // sweep has 6 treatments; keep it brisk
-    println!(
-        "Ablation — snapshot-point sweep, medium synthetic function ({reps} reps/point)"
-    );
+    println!("Ablation — snapshot-point sweep, medium synthetic function ({reps} reps/point)");
     hr();
     println!(
         "{:<14} {:>14} {:>20} {:>14}",

@@ -38,16 +38,18 @@ fn run(template: &Template, concurrency: usize, tenants: usize, seed: u64) -> (f
             .expect("submit");
     }
     platform.run().expect("run");
-    let lat: Vec<f64> = platform.completed().iter().map(|r| r.latency_ms()).collect();
+    let lat: Vec<f64> = platform
+        .completed()
+        .iter()
+        .map(|r| r.latency_ms())
+        .collect();
     (quantile(&lat, 0.5), quantile(&lat, 1.0))
 }
 
 fn main() {
     let args = HarnessArgs::parse();
     let tenants = 12;
-    println!(
-        "Extension — concurrent cold starts, {tenants} distinct functions at t=0 (markdown)"
-    );
+    println!("Extension — concurrent cold starts, {tenants} distinct functions at t=0 (markdown)");
     hr();
     println!(
         "{:<12} {:>12} {:>12} {:>12} {:>12}",
@@ -56,10 +58,13 @@ fn main() {
     hr();
     for concurrency in [1usize, 2, 4, 8, 16] {
         let (v50, vmax) = run(&Template::java11(), concurrency, tenants, args.seed);
-        let (p50, pmax) = run(&Template::java11_criu_warm(1), concurrency, tenants, args.seed);
-        println!(
-            "{concurrency:<12} {v50:>10.1}ms {vmax:>10.1}ms {p50:>10.1}ms {pmax:>10.1}ms"
+        let (p50, pmax) = run(
+            &Template::java11_criu_warm(1),
+            concurrency,
+            tenants,
+            args.seed,
         );
+        println!("{concurrency:<12} {v50:>10.1}ms {vmax:>10.1}ms {p50:>10.1}ms {pmax:>10.1}ms");
     }
     hr();
     println!(

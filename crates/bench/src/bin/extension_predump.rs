@@ -63,8 +63,8 @@ fn main() {
         // Incremental: pre-dump while serving, touch a little state
         // (one more request), then dump only the residue.
         let (mut kernel, watchdog, pid) = warmed_replica(spec, 2);
-        let pre = pre_dump(&mut kernel, watchdog, &DumpOptions::new(pid, "/pre"))
-            .expect("pre-dump");
+        let pre =
+            pre_dump(&mut kernel, watchdog, &DumpOptions::new(pid, "/pre")).expect("pre-dump");
         // the function keeps serving between pre-dump and final dump
         // (its state record page goes dirty, little else)
         let mut opts = DumpOptions::new(pid, "/final");

@@ -32,8 +32,7 @@ fn main() {
     hr();
 
     for profile in RuntimeProfile::all() {
-        let spec =
-            FunctionSpec::synthetic(SyntheticSize::Medium).with_runtime(profile);
+        let spec = FunctionSpec::synthetic(SyntheticSize::Medium).with_runtime(profile);
         let mut medians = Vec::new();
         for mode in StartMode::all_three() {
             let runner = TrialRunner::new(spec.clone(), mode).expect("build runner");

@@ -10,9 +10,7 @@
 //!   Markdown       vanilla ≈ 100, prebake ≈ 53  (−47 %)
 //!   Image Resizer  vanilla ≈ 310, prebake ≈ 87  (−71 %)
 
-use prebake_bench::{
-    hr, improvement_pct, parallel_startup_trials, summarize, HarnessArgs,
-};
+use prebake_bench::{hr, improvement_pct, parallel_startup_trials, summarize, HarnessArgs};
 use prebake_core::measure::{StartMode, TrialRunner};
 use prebake_functions::FunctionSpec;
 use prebake_stats::mannwhitney::{hodges_lehmann, mann_whitney};
@@ -20,7 +18,10 @@ use prebake_stats::shapiro::shapiro_wilk;
 
 fn main() {
     let args = HarnessArgs::parse();
-    println!("Figure 3 — start-up time, Vanilla vs Prebaking ({} reps)", args.reps);
+    println!(
+        "Figure 3 — start-up time, Vanilla vs Prebaking ({} reps)",
+        args.reps
+    );
     hr();
     println!(
         "{:<16} {:>10} {:>18} {:>10} {:>18} {:>8}",
@@ -33,7 +34,11 @@ fn main() {
         FunctionSpec::markdown(),
         FunctionSpec::image_resizer(),
     ];
-    let paper = [("noop", 40.0), ("markdown-render", 47.0), ("image-resizer", 71.0)];
+    let paper = [
+        ("noop", 40.0),
+        ("markdown-render", 47.0),
+        ("image-resizer", 71.0),
+    ];
 
     for spec in specs {
         let vanilla_runner =

@@ -57,5 +57,7 @@ fn main() {
     let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
     let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
     let intercept = (sy - slope * sx) / n;
-    println!("linear fit: {intercept:.1}ms + {slope:.1}ms/MiB (paper regression ≈ 117ms + 36.7ms/MiB)");
+    println!(
+        "linear fit: {intercept:.1}ms + {slope:.1}ms/MiB (paper regression ≈ 117ms + 36.7ms/MiB)"
+    );
 }

@@ -14,9 +14,7 @@ use prebake_stats::ecdf::Ecdf;
 fn main() {
     let args = HarnessArgs::parse();
     let requests = args.reps; // the paper applies 200 requests
-    println!(
-        "Figure 7 — service-time ECDFs after start, {requests} requests per technique"
-    );
+    println!("Figure 7 — service-time ECDFs after start, {requests} requests per technique");
 
     for spec in [
         FunctionSpec::noop(),

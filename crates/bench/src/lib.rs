@@ -80,11 +80,7 @@ fn usage(msg: &str) -> ! {
 ///
 /// Panics if any trial fails — experiment configurations are expected to
 /// be valid.
-pub fn parallel_startup_trials(
-    runner: &TrialRunner,
-    reps: usize,
-    seed0: u64,
-) -> Vec<StartupTrial> {
+pub fn parallel_startup_trials(runner: &TrialRunner, reps: usize, seed0: u64) -> Vec<StartupTrial> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)

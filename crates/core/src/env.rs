@@ -44,6 +44,8 @@ pub fn provision_machine(kernel: &mut Kernel) -> SysResult<Pid> {
 /// cache, then re-warms the runtime binary and any snapshot images under
 /// `warm_paths` (they ship in the container image and were paged in when
 /// the image was pulled). The function's own artifact stays cold.
+/// Absent paths are skipped: `ws.img` only exists for prefetch-recorded
+/// functions.
 ///
 /// # Errors
 ///
@@ -52,7 +54,9 @@ pub fn fresh_container(kernel: &mut Kernel, warm_paths: &[String]) -> SysResult<
     kernel.drop_caches();
     kernel.fs_read_file(RUNTIME_BIN)?;
     for path in warm_paths {
-        kernel.fs_read_file(path)?;
+        if kernel.fs_exists(path) {
+            kernel.fs_read_file(path)?;
+        }
     }
     Ok(())
 }
@@ -105,6 +109,7 @@ impl Deployment {
             ImageSet::PAGEMAP_NAME,
             ImageSet::PAGES_NAME,
             ImageSet::FILES_NAME,
+            ImageSet::WS_NAME,
         ]
         .iter()
         .map(|name| join_path(&dir, name))
@@ -136,14 +141,12 @@ pub fn export_images(kernel: &mut Kernel, dir: &str) -> SysResult<Vec<(String, B
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn import_images(
-    kernel: &mut Kernel,
-    dir: &str,
-    files: &[(String, Bytes)],
-) -> SysResult<()> {
+pub fn import_images(kernel: &mut Kernel, dir: &str, files: &[(String, Bytes)]) -> SysResult<()> {
     kernel.fs_mut().create_dir_all(dir)?;
     for (name, data) in files {
-        kernel.fs_mut().write_file(&join_path(dir, name), data.clone())?;
+        kernel
+            .fs_mut()
+            .write_file(&join_path(dir, name), data.clone())?;
     }
     Ok(())
 }
@@ -172,7 +175,10 @@ mod tests {
         fresh_container(&mut k, &["/app/snap.img".to_owned()]).unwrap();
         assert!(k.fs().stat(RUNTIME_BIN).unwrap().cached);
         assert!(k.fs().stat("/app/snap.img").unwrap().cached);
-        assert!(!k.fs().stat("/app/fn.jlar").unwrap().cached, "jar stays cold");
+        assert!(
+            !k.fs().stat("/app/fn.jlar").unwrap().cached,
+            "jar stays cold"
+        );
     }
 
     #[test]
@@ -182,7 +188,7 @@ mod tests {
         assert_eq!(dep.app_dir, "/app/noop");
         assert!(k.fs_exists("/app/noop/fn.jlar"));
         assert_eq!(dep.images_dir(), "/app/noop/snapshot");
-        assert_eq!(dep.image_paths().len(), 5);
+        assert_eq!(dep.image_paths().len(), 6);
         assert_eq!(dep.jlvm_config().port, 8080);
     }
 
@@ -198,7 +204,10 @@ mod tests {
         let mut dst = Kernel::free(5);
         import_images(&mut dst, "/app/fn/snapshot", &files).unwrap();
         assert!(dst.fs_exists("/app/fn/snapshot/core.img"));
-        let (data, cached) = dst.fs_mut().read_file("/app/fn/snapshot/pages.img").unwrap();
+        let (data, cached) = dst
+            .fs_mut()
+            .read_file("/app/fn/snapshot/pages.img")
+            .unwrap();
         assert_eq!(data.len(), 1000);
         assert!(cached, "imported images are page-cache resident");
     }

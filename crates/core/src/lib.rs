@@ -40,6 +40,6 @@ pub mod starter;
 
 pub use env::{provision_machine, Deployment};
 pub use measure::{StartMode, StartupTrial, TrialRunner};
-pub use phases::{Phases, PhaseTracker};
+pub use phases::{PhaseTracker, Phases};
 pub use prebaker::{bake, BakeReport, SnapshotPolicy};
 pub use starter::{PrebakeStarter, Started, Starter, VanillaStarter};

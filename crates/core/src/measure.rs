@@ -10,17 +10,17 @@
 
 use bytes::Bytes;
 
+use prebake_criu::RestoreMode;
 use prebake_functions::FunctionSpec;
 use prebake_sim::error::SysResult;
 use prebake_sim::kernel::Kernel;
+use prebake_sim::probe::ProbeCounters;
 use prebake_sim::proc::Pid;
 use prebake_sim::time::SimDuration;
 
-use crate::env::{
-    export_images, fresh_container, import_images, provision_machine, Deployment,
-};
+use crate::env::{export_images, fresh_container, import_images, provision_machine, Deployment};
 use crate::phases::Phases;
-use crate::prebaker::{bake, SnapshotPolicy};
+use crate::prebaker::{bake, record_working_set, SnapshotPolicy};
 use crate::starter::{PrebakeStarter, Started, Starter, VanillaStarter};
 
 /// How a trial's replica is started.
@@ -33,6 +33,15 @@ pub enum StartMode {
     /// Restore a snapshot taken after `n` warm-up requests (PB-Warmup;
     /// the paper uses 1).
     PrebakeWarmup(u32),
+    /// Restore the `n`-warm-up snapshot lazily: the address space maps
+    /// empty and every page demand-faults on first touch
+    /// (`prebake-lazy`, no prefetch). `n = 0` bakes after readiness.
+    PrebakeLazy(u32),
+    /// Restore the `n`-warm-up snapshot with working-set prefetch: bake
+    /// records the first invocation's fault order as `ws.img`, restores
+    /// bulk-load exactly those pages and demand-fault the rest
+    /// (`prebake-lazy`, REAP-style). `n = 0` bakes after readiness.
+    PrebakePrefetch(u32),
 }
 
 impl StartMode {
@@ -42,7 +51,27 @@ impl StartMode {
             StartMode::Vanilla => None,
             StartMode::PrebakeNoWarmup => Some(SnapshotPolicy::AfterReady),
             StartMode::PrebakeWarmup(n) => Some(SnapshotPolicy::AfterWarmup(*n)),
+            StartMode::PrebakeLazy(n) | StartMode::PrebakePrefetch(n) => Some(if *n == 0 {
+                SnapshotPolicy::AfterReady
+            } else {
+                SnapshotPolicy::AfterWarmup(*n)
+            }),
         }
+    }
+
+    /// How the restore reinstates memory, if this mode restores at all.
+    pub fn restore_mode(&self) -> Option<RestoreMode> {
+        match self {
+            StartMode::Vanilla => None,
+            StartMode::PrebakeNoWarmup | StartMode::PrebakeWarmup(_) => Some(RestoreMode::Eager),
+            StartMode::PrebakeLazy(_) => Some(RestoreMode::Lazy),
+            StartMode::PrebakePrefetch(_) => Some(RestoreMode::Prefetch),
+        }
+    }
+
+    /// Whether baking must also run the working-set record pass.
+    pub fn needs_working_set(&self) -> bool {
+        matches!(self, StartMode::PrebakePrefetch(_))
     }
 
     /// Label used in reports (matches the paper's terminology).
@@ -52,6 +81,10 @@ impl StartMode {
             StartMode::PrebakeNoWarmup => "pb-nowarmup".to_owned(),
             StartMode::PrebakeWarmup(1) => "pb-warmup".to_owned(),
             StartMode::PrebakeWarmup(n) => format!("pb-warmup-{n}"),
+            StartMode::PrebakeLazy(1) => "pb-lazy".to_owned(),
+            StartMode::PrebakeLazy(n) => format!("pb-lazy-{n}"),
+            StartMode::PrebakePrefetch(1) => "pb-prefetch".to_owned(),
+            StartMode::PrebakePrefetch(n) => format!("pb-prefetch-{n}"),
         }
     }
 
@@ -61,6 +94,17 @@ impl StartMode {
             StartMode::Vanilla,
             StartMode::PrebakeNoWarmup,
             StartMode::PrebakeWarmup(1),
+        ]
+    }
+
+    /// The lazy-restore ablation trio: the paper's eager warm restore
+    /// against the two `prebake-lazy` refinements, all over the same
+    /// 1-warm-up snapshot.
+    pub fn lazy_ablation() -> [StartMode; 3] {
+        [
+            StartMode::PrebakeWarmup(1),
+            StartMode::PrebakeLazy(1),
+            StartMode::PrebakePrefetch(1),
         ]
     }
 }
@@ -79,6 +123,10 @@ pub struct StartupTrial {
     pub phases: Phases,
     /// Snapshot size behind this start (0 for vanilla).
     pub snapshot_bytes: u64,
+    /// Probe counters over the whole window (start-up **and** first
+    /// request): syscalls, markers, and — under lazy restore modes —
+    /// major/minor page faults.
+    pub probes: ProbeCounters,
 }
 
 /// A fixed (function, mode) pair that can run many independent trials.
@@ -110,6 +158,12 @@ impl TrialRunner {
                 let builder = provision_machine(&mut kernel)?;
                 let dep = Deployment::install(&mut kernel, spec.clone(), port)?;
                 let report = bake(&mut kernel, builder, &dep, policy, &dep.images_dir())?;
+                if mode.needs_working_set() {
+                    // Record pass: restore once in record mode, drive the
+                    // first invocation, persist `ws.img` beside the other
+                    // images so export ships it automatically.
+                    record_working_set(&mut kernel, builder, &dep, &dep.images_dir())?;
+                }
                 let files = export_images(&mut kernel, &dep.images_dir())?;
                 (Some(files), report.snapshot_bytes())
             }
@@ -154,9 +208,9 @@ impl TrialRunner {
     }
 
     fn starter(&self) -> Box<dyn Starter> {
-        match self.mode {
-            StartMode::Vanilla => Box::new(VanillaStarter),
-            _ => Box::new(PrebakeStarter::new()),
+        match self.mode.restore_mode() {
+            None => Box::new(VanillaStarter),
+            Some(mode) => Box::new(PrebakeStarter::with_mode(mode)),
         }
     }
 
@@ -172,18 +226,27 @@ impl TrialRunner {
             mut replica,
             startup,
             phases,
+            trace,
         } = self.starter().start(&mut kernel, watchdog, &dep)?;
 
-        // First request (held until readiness by the load generator).
+        // First request (held until readiness by the load generator),
+        // traced too: lazy modes take their demand faults here.
+        kernel.set_tracing(true);
         let req = dep.spec.sample_request();
         replica.handle(&mut kernel, &req)?;
         let first_response = kernel.now() - t0;
+        let request_trace = kernel.take_trace();
+        kernel.set_tracing(false);
+
+        let mut probes = ProbeCounters::from_events(&trace);
+        probes.merge(&ProbeCounters::from_events(&request_trace));
 
         Ok(StartupTrial {
             startup_ms: startup.as_millis_f64(),
             first_response_ms: first_response.as_millis_f64(),
             phases,
             snapshot_bytes: self.snapshot_bytes,
+            probes,
         })
     }
 
@@ -246,6 +309,62 @@ mod tests {
     }
 
     #[test]
+    fn lazy_mode_labels_policies_and_restore_modes() {
+        assert_eq!(StartMode::PrebakeLazy(1).label(), "pb-lazy");
+        assert_eq!(StartMode::PrebakeLazy(2).label(), "pb-lazy-2");
+        assert_eq!(StartMode::PrebakePrefetch(1).label(), "pb-prefetch");
+        assert_eq!(StartMode::PrebakePrefetch(0).label(), "pb-prefetch-0");
+        assert_eq!(
+            StartMode::PrebakeLazy(0).policy(),
+            Some(SnapshotPolicy::AfterReady)
+        );
+        assert_eq!(
+            StartMode::PrebakePrefetch(2).policy(),
+            Some(SnapshotPolicy::AfterWarmup(2))
+        );
+        assert_eq!(
+            StartMode::PrebakeWarmup(1).restore_mode(),
+            Some(RestoreMode::Eager)
+        );
+        assert_eq!(
+            StartMode::PrebakeLazy(1).restore_mode(),
+            Some(RestoreMode::Lazy)
+        );
+        assert_eq!(
+            StartMode::PrebakePrefetch(1).restore_mode(),
+            Some(RestoreMode::Prefetch)
+        );
+        assert!(StartMode::Vanilla.restore_mode().is_none());
+        assert!(StartMode::PrebakePrefetch(1).needs_working_set());
+        assert!(!StartMode::PrebakeLazy(1).needs_working_set());
+        assert_eq!(StartMode::lazy_ablation().len(), 3);
+    }
+
+    #[test]
+    fn prefetch_avoids_the_lazy_modes_major_faults() {
+        let spec = FunctionSpec::synthetic(SyntheticSize::Small);
+        let lazy = TrialRunner::new(spec.clone(), StartMode::PrebakeLazy(1)).unwrap();
+        let prefetch = TrialRunner::new(spec, StartMode::PrebakePrefetch(1)).unwrap();
+        let t_l = lazy.startup_trial(1).unwrap();
+        let t_p = prefetch.startup_trial(1).unwrap();
+        assert!(
+            t_l.probes.major_faults > 100,
+            "pure lazy demand-faults its working set ({} major faults)",
+            t_l.probes.major_faults
+        );
+        assert_eq!(
+            t_p.probes.major_faults, 0,
+            "the recorded working set covers the whole first invocation"
+        );
+        assert!(
+            t_p.first_response_ms < t_l.first_response_ms,
+            "prefetch {} !< lazy {}",
+            t_p.first_response_ms,
+            t_l.first_response_ms
+        );
+    }
+
+    #[test]
     fn vanilla_noop_trials_match_paper_scale() {
         let runner = TrialRunner::new(FunctionSpec::noop(), StartMode::Vanilla).unwrap();
         let trials = runner.startup_samples(5, 100).unwrap();
@@ -264,8 +383,7 @@ mod tests {
 
     #[test]
     fn prebake_runner_bakes_once_and_reuses() {
-        let runner =
-            TrialRunner::new(FunctionSpec::noop(), StartMode::PrebakeNoWarmup).unwrap();
+        let runner = TrialRunner::new(FunctionSpec::noop(), StartMode::PrebakeNoWarmup).unwrap();
         assert!(runner.snapshot_bytes() > 10_000_000);
         let a = runner.startup_trial(1).unwrap();
         let b = runner.startup_trial(2).unwrap();

@@ -107,17 +107,12 @@ impl PhaseTracker {
         let clone = clone_exit.saturating_duration_since(clone_enter);
 
         let (exec, exec_end) = match (find_enter("execve"), find_exit("execve")) {
-            (Some(enter), Some(exit)) => {
-                (exit.saturating_duration_since(enter), exit)
-            }
+            (Some(enter), Some(exit)) => (exit.saturating_duration_since(enter), exit),
             _ => (SimDuration::ZERO, clone_exit),
         };
 
         let (rts, rts_end) = match find_marker("main-entry") {
-            Some(main_entry) => (
-                main_entry.saturating_duration_since(exec_end),
-                main_entry,
-            ),
+            Some(main_entry) => (main_entry.saturating_duration_since(exec_end), main_entry),
             None => (SimDuration::ZERO, exec_end),
         };
 
@@ -163,11 +158,8 @@ mod tests {
             ev(73, ProbeKind::marker("main-entry")),
             ev(103, ProbeKind::marker("ready")),
         ];
-        let p = PhaseTracker::new(
-            SimInstant::EPOCH,
-            SimInstant::from_nanos(103 * 1_000_000),
-        )
-        .phases(&trace);
+        let p = PhaseTracker::new(SimInstant::EPOCH, SimInstant::from_nanos(103 * 1_000_000))
+            .phases(&trace);
         assert_eq!(p.clone.as_millis(), 1);
         assert_eq!(p.exec.as_millis(), 2);
         assert_eq!(p.rts.as_millis(), 70);
@@ -183,11 +175,8 @@ mod tests {
             // restore work... no execve, no main-entry
             ev(60, ProbeKind::marker("ready")),
         ];
-        let p = PhaseTracker::new(
-            SimInstant::EPOCH,
-            SimInstant::from_nanos(60 * 1_000_000),
-        )
-        .phases(&trace);
+        let p = PhaseTracker::new(SimInstant::EPOCH, SimInstant::from_nanos(60 * 1_000_000))
+            .phases(&trace);
         assert_eq!(p.exec, SimDuration::ZERO);
         assert_eq!(p.rts, SimDuration::ZERO);
         assert_eq!(p.clone.as_millis(), 1);
@@ -205,22 +194,16 @@ mod tests {
             ev(100, ProbeKind::SyscallEnter("clone")),
             ev(105, ProbeKind::SyscallExit("clone")),
         ];
-        let p = PhaseTracker::new(
-            SimInstant::EPOCH,
-            SimInstant::from_nanos(5 * 1_000_000),
-        )
-        .phases(&trace);
+        let p = PhaseTracker::new(SimInstant::EPOCH, SimInstant::from_nanos(5 * 1_000_000))
+            .phases(&trace);
         assert_eq!(p.clone.as_millis(), 1);
         assert_eq!(p.total().as_millis(), 5);
     }
 
     #[test]
     fn empty_trace_collapses_to_appinit() {
-        let p = PhaseTracker::new(
-            SimInstant::EPOCH,
-            SimInstant::from_nanos(42 * 1_000_000),
-        )
-        .phases(&[]);
+        let p = PhaseTracker::new(SimInstant::EPOCH, SimInstant::from_nanos(42 * 1_000_000))
+            .phases(&[]);
         assert_eq!(p.clone, SimDuration::ZERO);
         assert_eq!(p.exec, SimDuration::ZERO);
         assert_eq!(p.rts, SimDuration::ZERO);

@@ -119,6 +119,35 @@ pub fn bake(
     })
 }
 
+/// Bake-time working-set recording (the `prebake-lazy` record pass):
+/// restores the just-baked snapshot in record mode, drives one sample
+/// invocation through a re-attached replica — exactly what a production
+/// first request does — and persists the ordered fault log as `ws.img`
+/// beside the other images. The record replica is retired afterwards so
+/// its port frees for real replicas.
+///
+/// # Errors
+///
+/// Propagates restore/runtime/filesystem errors.
+pub fn record_working_set(
+    kernel: &mut Kernel,
+    builder: Pid,
+    dep: &Deployment,
+    images_dir: &str,
+) -> SysResult<prebake_lazy::RecordOutcome> {
+    let handler = dep.spec.make_handler(&dep.app_dir);
+    let config = dep.jlvm_config();
+    let req = dep.spec.sample_request();
+    let outcome =
+        prebake_lazy::record_working_set(kernel, builder, images_dir, move |kernel, pid| {
+            let mut replica = Replica::attach(kernel, pid, config, handler)?;
+            replica.handle(kernel, &req)?;
+            Ok(())
+        })?;
+    kernel.sys_exit(outcome.pid, 0)?;
+    Ok(outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,11 +205,44 @@ mod tests {
     }
 
     #[test]
+    fn record_pass_writes_ws_beside_the_images() {
+        let (mut kernel, watchdog, dep) = deployed(FunctionSpec::noop(), 11);
+        bake(
+            &mut kernel,
+            watchdog,
+            &dep,
+            SnapshotPolicy::AfterWarmup(1),
+            "/snap",
+        )
+        .unwrap();
+        let outcome = record_working_set(&mut kernel, watchdog, &dep, "/snap").unwrap();
+        assert!(!outcome.ws.is_empty(), "attach+invoke touches pages");
+        assert_eq!(outcome.major_faults, outcome.ws.len() as u64);
+        assert!(kernel.fs_exists("/snap/ws.img"));
+        // The record replica is retired: its port is free again.
+        assert_eq!(kernel.port_owner(8080), None);
+    }
+
+    #[test]
     fn bake_is_repeatable_after_failure_free_run() {
         let (mut kernel, watchdog, dep) = deployed(FunctionSpec::noop(), 4);
-        bake(&mut kernel, watchdog, &dep, SnapshotPolicy::AfterReady, "/s1").unwrap();
+        bake(
+            &mut kernel,
+            watchdog,
+            &dep,
+            SnapshotPolicy::AfterReady,
+            "/s1",
+        )
+        .unwrap();
         // A second bake (new function version) works on the same machine.
-        bake(&mut kernel, watchdog, &dep, SnapshotPolicy::AfterWarmup(1), "/s2").unwrap();
+        bake(
+            &mut kernel,
+            watchdog,
+            &dep,
+            SnapshotPolicy::AfterWarmup(1),
+            "/s2",
+        )
+        .unwrap();
         assert!(kernel.fs_exists("/s1/pages.img"));
         assert!(kernel.fs_exists("/s2/pages.img"));
     }

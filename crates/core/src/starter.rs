@@ -1,16 +1,17 @@
 //! Start-up mechanisms: the paper's *Vanilla* fork-exec path and the
 //! *Prebaking* restore path, behind one [`Starter`] abstraction.
 
-use prebake_criu::{restore, RestoreOptions};
+use prebake_criu::{restore, RestoreMode, RestoreOptions};
 use prebake_functions::FunctionSpec;
 use prebake_runtime::Replica;
 use prebake_sim::error::SysResult;
 use prebake_sim::kernel::Kernel;
+use prebake_sim::probe::ProbeEvent;
 use prebake_sim::proc::{CapSet, Pid};
 use prebake_sim::time::SimDuration;
 
 use crate::env::{Deployment, RUNTIME_BIN};
-use crate::phases::{Phases, PhaseTracker};
+use crate::phases::{PhaseTracker, Phases};
 
 /// A started replica plus its start-up measurements.
 #[derive(Debug)]
@@ -21,6 +22,10 @@ pub struct Started {
     pub startup: SimDuration,
     /// The Figure-4 phase decomposition.
     pub phases: Phases,
+    /// The raw probe trace of the start-up window (syscalls, markers,
+    /// page faults) — fold it with
+    /// [`ProbeCounters::from_events`](prebake_sim::probe::ProbeCounters).
+    pub trace: Vec<ProbeEvent>,
 }
 
 /// A mechanism for starting function replicas.
@@ -34,12 +39,7 @@ pub trait Starter {
     /// # Errors
     ///
     /// Propagates kernel/runtime errors.
-    fn start(
-        &self,
-        kernel: &mut Kernel,
-        supervisor: Pid,
-        dep: &Deployment,
-    ) -> SysResult<Started>;
+    fn start(&self, kernel: &mut Kernel, supervisor: Pid, dep: &Deployment) -> SysResult<Started>;
 }
 
 impl std::fmt::Debug for dyn Starter {
@@ -58,12 +58,7 @@ impl Starter for VanillaStarter {
         "vanilla"
     }
 
-    fn start(
-        &self,
-        kernel: &mut Kernel,
-        supervisor: Pid,
-        dep: &Deployment,
-    ) -> SysResult<Started> {
+    fn start(&self, kernel: &mut Kernel, supervisor: Pid, dep: &Deployment) -> SysResult<Started> {
         kernel.set_tracing(true);
         let t0 = kernel.now();
 
@@ -90,6 +85,7 @@ impl Starter for VanillaStarter {
             replica,
             startup: ready - t0,
             phases: PhaseTracker::new(t0, ready).phases(&trace),
+            trace,
         })
     }
 }
@@ -97,39 +93,54 @@ impl Starter for VanillaStarter {
 /// The paper's prebaking start-up: `criu restore` of a snapshot baked at
 /// build time, then handler re-attachment. No exec, no RTS, no class
 /// loading, no JIT beyond what the snapshot lacks.
+///
+/// The restore [`mode`](PrebakeStarter::mode) selects the eager page
+/// reinstatement the paper measured or the lazy/prefetch refinements
+/// (`prebake-lazy`); prefetch requires a `ws.img` recorded at bake time.
 #[derive(Debug, Clone, Default)]
 pub struct PrebakeStarter {
     /// Override for the images directory; defaults to
     /// [`Deployment::images_dir`].
     pub images_dir: Option<String>,
+    /// How restore reinstates memory.
+    pub mode: RestoreMode,
 }
 
 impl PrebakeStarter {
-    /// Starts from the deployment's default snapshot directory.
+    /// Starts from the deployment's default snapshot directory, eagerly.
     pub fn new() -> PrebakeStarter {
         PrebakeStarter::default()
+    }
+
+    /// Same, restoring with the given memory mode.
+    pub fn with_mode(mode: RestoreMode) -> PrebakeStarter {
+        PrebakeStarter {
+            mode,
+            ..PrebakeStarter::default()
+        }
     }
 }
 
 impl Starter for PrebakeStarter {
     fn label(&self) -> &'static str {
-        "prebake"
+        match self.mode {
+            RestoreMode::Eager => "prebake",
+            RestoreMode::Lazy => "prebake-lazy",
+            RestoreMode::Record => "prebake-record",
+            RestoreMode::Prefetch => "prebake-prefetch",
+        }
     }
 
-    fn start(
-        &self,
-        kernel: &mut Kernel,
-        supervisor: Pid,
-        dep: &Deployment,
-    ) -> SysResult<Started> {
+    fn start(&self, kernel: &mut Kernel, supervisor: Pid, dep: &Deployment) -> SysResult<Started> {
         kernel.set_tracing(true);
         let t0 = kernel.now();
 
-        let dir = self
-            .images_dir
-            .clone()
-            .unwrap_or_else(|| dep.images_dir());
-        let stats = restore(kernel, supervisor, &RestoreOptions::new(&dir))?;
+        let dir = self.images_dir.clone().unwrap_or_else(|| dep.images_dir());
+        let stats = restore(
+            kernel,
+            supervisor,
+            &RestoreOptions::with_mode(&dir, self.mode),
+        )?;
         let handler = dep.spec.make_handler(&dep.app_dir);
         let replica = Replica::attach(kernel, stats.pid, dep.jlvm_config(), handler)?;
         kernel.emit_marker(stats.pid, "ready");
@@ -141,6 +152,7 @@ impl Starter for PrebakeStarter {
             replica,
             startup: ready - t0,
             phases: PhaseTracker::new(t0, ready).phases(&trace),
+            trace,
         })
     }
 }
@@ -223,7 +235,14 @@ mod tests {
         let vanilla = VanillaStarter.start(&mut k1, w1, &d1).unwrap();
 
         let (mut k2, w2, d2) = deployed(4);
-        bake(&mut k2, w2, &d2, SnapshotPolicy::AfterReady, &d2.images_dir()).unwrap();
+        bake(
+            &mut k2,
+            w2,
+            &d2,
+            SnapshotPolicy::AfterReady,
+            &d2.images_dir(),
+        )
+        .unwrap();
         crate::env::fresh_container(&mut k2, &d2.image_paths()).unwrap();
         let prebake = PrebakeStarter::new().start(&mut k2, w2, &d2).unwrap();
 

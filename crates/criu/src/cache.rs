@@ -6,6 +6,11 @@
 //! restore time, which Table 1's calibration prices at ≈0.3 ms/MiB of
 //! snapshot — a substantial share for large snapshots like the Image
 //! Resizer's 99 MB. The `ablation_memcache` bench quantifies exactly this.
+//!
+//! The cache can be bounded: [`ImageCache::with_capacity`] sets a byte
+//! budget, and inserts evict least-recently-used snapshots until the
+//! encoded size of everything resident — *including* recorded
+//! working-set images (`ws.img`) — fits the bound.
 
 use std::collections::HashMap;
 
@@ -21,12 +26,24 @@ use crate::restore::{restore_set, RestoreOptions, RestoreStats};
 #[derive(Debug, Default)]
 pub struct ImageCache {
     sets: HashMap<String, ImageSet>,
+    /// Names ordered least- to most-recently used.
+    recency: Vec<String>,
+    capacity_bytes: Option<u64>,
 }
 
 impl ImageCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         ImageCache::default()
+    }
+
+    /// An empty cache bounded to `capacity_bytes` of encoded image data
+    /// (pages, metadata and working-set images all count).
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        ImageCache {
+            capacity_bytes: Some(capacity_bytes),
+            ..ImageCache::default()
+        }
     }
 
     /// Number of cached snapshots.
@@ -39,13 +56,35 @@ impl ImageCache {
         self.sets.is_empty()
     }
 
-    /// Inserts a snapshot under `name`.
-    pub fn insert(&mut self, name: impl Into<String>, set: ImageSet) {
-        self.sets.insert(name.into(), set);
+    /// Encoded bytes of everything resident, `ws.img` included.
+    pub fn total_bytes(&self) -> u64 {
+        self.sets.values().map(ImageSet::total_bytes).sum()
+    }
+
+    /// The configured byte budget, if any.
+    pub fn capacity_bytes(&self) -> Option<u64> {
+        self.capacity_bytes
+    }
+
+    /// Inserts a snapshot under `name`, returning the names evicted to
+    /// honour the byte budget (oldest first). A snapshot larger than the
+    /// whole budget is refused: it comes back as the sole "evicted" name
+    /// without displacing anything resident.
+    pub fn insert(&mut self, name: impl Into<String>, set: ImageSet) -> Vec<String> {
+        let name = name.into();
+        if let Some(cap) = self.capacity_bytes {
+            if set.total_bytes() > cap {
+                return vec![name];
+            }
+        }
+        self.touch(&name);
+        self.sets.insert(name, set);
+        self.enforce_capacity()
     }
 
     /// Loads image files from the guest filesystem into the cache
     /// (charged once; subsequent restores skip the read entirely).
+    /// Returns the names evicted to honour the byte budget.
     ///
     /// # Errors
     ///
@@ -55,37 +94,58 @@ impl ImageCache {
         kernel: &mut Kernel,
         name: impl Into<String>,
         images_dir: &str,
-    ) -> SysResult<()> {
+    ) -> SysResult<Vec<String>> {
         let set = read_images(kernel, images_dir)?;
-        self.insert(name, set);
-        Ok(())
+        Ok(self.insert(name, set))
     }
 
-    /// Looks up a cached snapshot.
+    /// Looks up a cached snapshot (does not refresh its recency).
     pub fn get(&self, name: &str) -> Option<&ImageSet> {
         self.sets.get(name)
     }
 
     /// Restores directly from the cache, skipping all image-file I/O.
+    /// The snapshot becomes the most recently used.
     ///
     /// # Errors
     ///
     /// [`prebake_sim::Errno::Enoent`] if the snapshot is not cached;
     /// otherwise as [`restore_set`].
     pub fn restore_cached(
-        &self,
+        &mut self,
         kernel: &mut Kernel,
         requester: Pid,
         name: &str,
         opts: &RestoreOptions,
     ) -> SysResult<RestoreStats> {
         let set = self.sets.get(name).ok_or(prebake_sim::Errno::Enoent)?;
-        restore_set(kernel, requester, set, opts)
+        let stats = restore_set(kernel, requester, set, opts)?;
+        self.touch(name);
+        Ok(stats)
     }
 
     /// Removes a snapshot, returning it if present.
     pub fn evict(&mut self, name: &str) -> Option<ImageSet> {
+        self.recency.retain(|n| n != name);
         self.sets.remove(name)
+    }
+
+    fn touch(&mut self, name: &str) {
+        self.recency.retain(|n| n != name);
+        self.recency.push(name.to_owned());
+    }
+
+    fn enforce_capacity(&mut self) -> Vec<String> {
+        let Some(cap) = self.capacity_bytes else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        while self.total_bytes() > cap && self.recency.len() > 1 {
+            let victim = self.recency.remove(0);
+            self.sets.remove(&victim);
+            evicted.push(victim);
+        }
+        evicted
     }
 }
 
@@ -93,6 +153,7 @@ impl ImageCache {
 mod tests {
     use super::*;
     use crate::dump::{dump, DumpOptions};
+    use crate::image::WsImage;
     use prebake_sim::cost::CostModel;
     use prebake_sim::kernel::INIT_PID;
     use prebake_sim::mem::{Prot, VmaKind, PAGE_SIZE};
@@ -103,10 +164,14 @@ mod tests {
         let tracer = k.sys_clone(INIT_PID).unwrap();
         let target = k.sys_clone(INIT_PID).unwrap();
         let a = k
-            .sys_mmap(target, 512 * PAGE_SIZE as u64, Prot::RW, VmaKind::RuntimeHeap)
+            .sys_mmap(
+                target,
+                512 * PAGE_SIZE as u64,
+                Prot::RW,
+                VmaKind::RuntimeHeap,
+            )
             .unwrap();
-        k.mem_write(target, a, &vec![3u8; 512 * PAGE_SIZE])
-            .unwrap();
+        k.mem_write(target, a, &vec![3u8; 512 * PAGE_SIZE]).unwrap();
         dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap();
         (k, tracer)
     }
@@ -127,16 +192,13 @@ mod tests {
         let cache_time = k.now() - t1;
 
         assert_eq!(via_fs.pages_installed, via_cache.pages_installed);
-        assert!(
-            cache_time < fs_time,
-            "cache {cache_time} vs fs {fs_time}"
-        );
+        assert!(cache_time < fs_time, "cache {cache_time} vs fs {fs_time}");
     }
 
     #[test]
     fn missing_snapshot_is_enoent() {
         let (mut k, tracer) = kernel_with_snapshot();
-        let cache = ImageCache::new();
+        let mut cache = ImageCache::new();
         assert!(cache.is_empty());
         assert_eq!(
             cache
@@ -156,5 +218,50 @@ mod tests {
         assert!(cache.evict("fn").is_some());
         assert!(cache.evict("fn").is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let (mut k, _) = kernel_with_snapshot();
+        let set = read_images(&mut k, "/img").unwrap();
+        let one = set.total_bytes() as u64;
+
+        // Room for two snapshots, not three.
+        let mut cache = ImageCache::with_capacity(2 * one + one / 2);
+        assert!(cache.insert("a", set.clone()).is_empty());
+        assert!(cache.insert("b", set.clone()).is_empty());
+        assert_eq!(cache.total_bytes(), 2 * one);
+
+        // "a" is refreshed, so inserting "c" evicts "b".
+        let _ = cache.get("a");
+        cache.touch("a");
+        let evicted = cache.insert("c", set.clone());
+        assert_eq!(evicted, vec!["b".to_owned()]);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert!(cache.total_bytes() <= cache.capacity_bytes().unwrap());
+    }
+
+    #[test]
+    fn ws_image_bytes_count_toward_the_bound() {
+        let (mut k, _) = kernel_with_snapshot();
+        let plain = read_images(&mut k, "/img").unwrap();
+        let mut with_ws = plain.clone();
+        with_ws.ws = Some(WsImage::from_fault_log((0..4096).collect()));
+        assert!(with_ws.total_bytes() > plain.total_bytes());
+
+        // Bound fits two plain sets but not plain + ws-augmented: the
+        // ws.img bytes must tip it over and evict the older entry.
+        let cap = plain.total_bytes() as u64 * 2 + 16;
+        let mut cache = ImageCache::with_capacity(cap);
+        assert!(cache.insert("plain", plain).is_empty());
+        let evicted = cache.insert("with-ws", with_ws);
+        assert_eq!(evicted, vec!["plain".to_owned()]);
+
+        // A snapshot bigger than the whole budget is refused outright.
+        let mut tiny = ImageCache::with_capacity(8);
+        let huge = cache.evict("with-ws").unwrap();
+        assert_eq!(tiny.insert("huge", huge), vec!["huge".to_owned()]);
+        assert!(tiny.is_empty());
     }
 }

@@ -13,7 +13,7 @@ use prebake_sim::proc::Pid;
 
 use crate::costs::CriuCosts;
 use crate::dump::{dump, DumpOptions, DumpStats};
-use crate::restore::{restore, RestoreOptions, RestorePid, RestoreStats};
+use crate::restore::{restore, RestoreMode, RestoreOptions, RestorePid, RestoreStats};
 
 /// Outcome of a CLI invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -174,6 +174,7 @@ impl CriuCli {
             Some(&"restore") => {
                 let mut dir: Option<String> = None;
                 let mut pid_policy = RestorePid::Fresh;
+                let mut mode = RestoreMode::Eager;
                 let mut i = 1;
                 while i < args.len() {
                     match args[i] {
@@ -188,6 +189,18 @@ impl CriuCli {
                             pid_policy = RestorePid::Same;
                             i += 1;
                         }
+                        "--lazy-pages" => {
+                            mode = RestoreMode::Lazy;
+                            i += 1;
+                        }
+                        "--ws-record" => {
+                            mode = RestoreMode::Record;
+                            i += 1;
+                        }
+                        "--ws-prefetch" => {
+                            mode = RestoreMode::Prefetch;
+                            i += 1;
+                        }
                         other => return Err(usage(&format!("unknown restore flag {other}"))),
                     }
                 }
@@ -195,6 +208,7 @@ impl CriuCli {
                 let opts = RestoreOptions {
                     images_dir: dir,
                     pid: pid_policy,
+                    mode,
                     costs: self.costs.clone(),
                 };
                 Ok(CliOutcome::Restored(restore(kernel, self.caller, &opts)?))
@@ -228,12 +242,7 @@ impl CriuCli {
 /// # Errors
 ///
 /// As [`dump`].
-pub fn criu_dump(
-    kernel: &mut Kernel,
-    caller: Pid,
-    target: Pid,
-    dir: &str,
-) -> SysResult<DumpStats> {
+pub fn criu_dump(kernel: &mut Kernel, caller: Pid, target: Pid, dir: &str) -> SysResult<DumpStats> {
     dump(kernel, caller, &DumpOptions::new(target, dir))
 }
 

@@ -27,6 +27,10 @@ pub struct CriuCosts {
     pub restore_per_page: SimDuration,
     /// Re-opening one file descriptor at restore.
     pub restore_per_fd: SimDuration,
+    /// Registering the restored address space with the fault handler in a
+    /// lazy-mode restore (`userfaultfd` open + `UFFDIO_REGISTER` ioctls,
+    /// amortised over the whole space).
+    pub lazy_register: SimDuration,
 }
 
 impl CriuCosts {
@@ -39,6 +43,7 @@ impl CriuCosts {
             restore_per_vma: SimDuration::from_micros(10),
             restore_per_page: SimDuration::from_nanos(150),
             restore_per_fd: SimDuration::from_micros(150),
+            lazy_register: SimDuration::from_micros(300),
         }
     }
 
@@ -51,6 +56,7 @@ impl CriuCosts {
             restore_per_vma: SimDuration::ZERO,
             restore_per_page: SimDuration::ZERO,
             restore_per_fd: SimDuration::ZERO,
+            lazy_register: SimDuration::ZERO,
         }
     }
 }
@@ -86,5 +92,14 @@ mod tests {
         let c = CriuCosts::free();
         assert!(c.restore_base.is_zero());
         assert!(c.parasite_inject.is_zero());
+        assert!(c.lazy_register.is_zero());
+    }
+
+    #[test]
+    fn lazy_register_far_below_restore_base() {
+        // Lazy restore only pays off if registration is much cheaper than
+        // the eager page reinstatement it displaces.
+        let c = CriuCosts::paper_calibrated();
+        assert!(c.lazy_register.as_nanos() * 10 < c.restore_base.as_nanos());
     }
 }

@@ -169,6 +169,7 @@ fn collect_images_inner(
         mm: MmImage { vmas },
         pages,
         files: FilesImage { fds },
+        ws: None,
     })
 }
 
@@ -195,8 +196,7 @@ pub fn dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResult<D
     kernel.ptrace_freeze(tracer, target)?;
     let freeze_start = kernel.now();
 
-    let set =
-        collect_images_inner(kernel, tracer, target, &opts.costs, opts.parent.is_some())?;
+    let set = collect_images_inner(kernel, tracer, target, &opts.costs, opts.parent.is_some())?;
     let frozen_for = kernel.now() - freeze_start;
 
     // Write the image files (the target could already run again here,
@@ -312,36 +312,75 @@ pub fn pre_dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResu
 /// [`Errno::Enoent`] for missing files, [`Errno::Einval`] for corrupt
 /// images.
 pub fn read_images(kernel: &mut Kernel, images_dir: &str) -> SysResult<ImageSet> {
+    read_images_with(kernel, images_dir, false)
+}
+
+/// Reads an image set for a lazy-mode restore. Metadata images (`core`,
+/// `mm`, `pagemap`, `files` and `ws` when present) are charged as normal
+/// reads, but the page payload is *mapped*, not read — CRIU's
+/// `--lazy-pages` serves `pages.img` over userfaultfd, so its bytes
+/// travel only when faulted (or prefetched). Only `mmap` bookkeeping is
+/// charged for the payload here; the per-page transfer is charged at
+/// fault or prefetch time by the kernel.
+///
+/// # Errors
+///
+/// Same as [`read_images`].
+pub fn read_images_lazy(kernel: &mut Kernel, images_dir: &str) -> SysResult<ImageSet> {
+    read_images_with(kernel, images_dir, true)
+}
+
+fn read_images_with(kernel: &mut Kernel, images_dir: &str, lazy: bool) -> SysResult<ImageSet> {
     let read = |kernel: &mut Kernel, name: &str| -> SysResult<bytes::Bytes> {
         kernel.fs_read_file(&prebake_sim::fs::join_path(images_dir, name))
+    };
+    let read_payload = |kernel: &mut Kernel, path: &str| -> SysResult<bytes::Bytes> {
+        if lazy {
+            let cost = kernel.costs().mmap_base;
+            kernel.charge(cost);
+            let path = path.to_owned();
+            kernel.uncharged(move |k| k.fs_read_file(&path))
+        } else {
+            kernel.fs_read_file(path)
+        }
     };
     let core_bytes = read(kernel, ImageSet::CORE_NAME)?;
     let mm_bytes = read(kernel, ImageSet::MM_NAME)?;
     let pagemap_bytes = read(kernel, ImageSet::PAGEMAP_NAME)?;
-    let pages_bytes = read(kernel, ImageSet::PAGES_NAME)?;
+    let pages_bytes = read_payload(
+        kernel,
+        &prebake_sim::fs::join_path(images_dir, ImageSet::PAGES_NAME),
+    )?;
     let files_bytes = read(kernel, ImageSet::FILES_NAME)?;
+    let ws_path = prebake_sim::fs::join_path(images_dir, ImageSet::WS_NAME);
+    let ws = if kernel.fs_exists(&ws_path) {
+        let ws_bytes = kernel.fs_read_file(&ws_path)?;
+        Some(crate::image::WsImage::parse(&ws_bytes).map_err(|_| Errno::Einval)?)
+    } else {
+        None
+    };
 
-    let mut pages =
-        PagesImage::parse(&pagemap_bytes, &pages_bytes).map_err(|_| Errno::Einval)?;
+    let mut pages = PagesImage::parse(&pagemap_bytes, &pages_bytes).map_err(|_| Errno::Einval)?;
 
     // Incremental image: follow the parent link and resolve the deferred
-    // pages so the returned set is self-contained.
+    // pages so the returned set is self-contained. Parent payload is part
+    // of the same mapped-image model in lazy mode.
     if pages.parent_pages() > 0 {
-        let link_path =
-            prebake_sim::fs::join_path(images_dir, ImageSet::PARENT_LINK);
+        let link_path = prebake_sim::fs::join_path(images_dir, ImageSet::PARENT_LINK);
         let link = kernel.fs_read_file(&link_path)?;
-        let parent_dir =
-            std::str::from_utf8(&link).map_err(|_| Errno::Einval)?.to_owned();
+        let parent_dir = std::str::from_utf8(&link)
+            .map_err(|_| Errno::Einval)?
+            .to_owned();
         let parent_pagemap = kernel.fs_read_file(&prebake_sim::fs::join_path(
             &parent_dir,
             ImageSet::PAGEMAP_NAME,
         ))?;
-        let parent_pages_bytes = kernel.fs_read_file(&prebake_sim::fs::join_path(
-            &parent_dir,
-            ImageSet::PAGES_NAME,
-        ))?;
-        let parent = PagesImage::parse(&parent_pagemap, &parent_pages_bytes)
-            .map_err(|_| Errno::Einval)?;
+        let parent_pages_bytes = read_payload(
+            kernel,
+            &prebake_sim::fs::join_path(&parent_dir, ImageSet::PAGES_NAME),
+        )?;
+        let parent =
+            PagesImage::parse(&parent_pagemap, &parent_pages_bytes).map_err(|_| Errno::Einval)?;
         pages = pages.resolve_parent(&parent).map_err(|_| Errno::Einval)?;
     }
 
@@ -350,6 +389,7 @@ pub fn read_images(kernel: &mut Kernel, images_dir: &str) -> SysResult<ImageSet>
         mm: MmImage::parse(&mm_bytes).map_err(|_| Errno::Einval)?,
         pages,
         files: FilesImage::parse(&files_bytes).map_err(|_| Errno::Einval)?,
+        ws,
     })
 }
 

@@ -242,6 +242,7 @@ const KIND_MM: u8 = 2;
 const KIND_PAGEMAP: u8 = 3;
 const KIND_PAGES: u8 = 4;
 const KIND_FILES: u8 = 5;
+const KIND_WS: u8 = 6;
 
 impl CoreImage {
     /// Serialises the core image.
@@ -467,7 +468,10 @@ impl PagesImage {
 
     /// Number of pages whose payload is stored in *this* image.
     pub fn stored_pages(&self) -> usize {
-        self.entries.iter().filter(|e| !e.zero && !e.in_parent).count()
+        self.entries
+            .iter()
+            .filter(|e| !e.zero && !e.in_parent)
+            .count()
     }
 
     /// Number of zero-deduplicated pages.
@@ -604,6 +608,71 @@ impl PagesImage {
     }
 }
 
+// --------------------------------------------------------------------- ws
+
+/// `ws.img`: the working set recorded during the first post-restore
+/// invocation — page indices in the *order* they were demand-faulted.
+///
+/// A prefetch-mode restore bulk-loads exactly these pages before
+/// resuming the task (REAP's "record-and-prefetch"); everything else
+/// stays missing and is served on demand. Order is preserved so a
+/// streaming loader could begin with the pages needed soonest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WsImage {
+    /// Faulted page indices, first fault first. Entries are unique: a
+    /// resolved page can never refault.
+    pub pages: Vec<u64>,
+}
+
+impl WsImage {
+    /// Builds a working-set image from an ordered fault log (as returned
+    /// by the kernel's `uffd_take_log`).
+    pub fn from_fault_log(log: Vec<u64>) -> WsImage {
+        WsImage { pages: log }
+    }
+
+    /// Number of recorded pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether no faults were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Bytes the working set spans in guest memory.
+    pub fn span_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE as u64
+    }
+
+    /// Serialises the working-set image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_WS);
+        w.u32(self.pages.len() as u32);
+        for &p in &self.pages {
+            w.u64(p);
+        }
+        w.finish()
+    }
+
+    /// Parses a working-set image.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ImageError`] describing the malformation.
+    pub fn parse(bytes: &[u8]) -> Result<WsImage, ImageError> {
+        let mut r = Reader::open(bytes, KIND_WS)?;
+        let count = r.u32()?;
+        let mut pages = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            pages.push(r.u64()?);
+        }
+        r.done()?;
+        Ok(WsImage { pages })
+    }
+}
+
 // ------------------------------------------------------------------ files
 
 /// `files.img`: the dumped descriptor table.
@@ -684,6 +753,10 @@ pub struct ImageSet {
     pub pages: PagesImage,
     /// Descriptor table.
     pub files: FilesImage,
+    /// Recorded first-invocation working set, if a record-mode run has
+    /// produced one (`ws.img` is optional: eager and plain-lazy restores
+    /// work without it).
+    pub ws: Option<WsImage>,
 }
 
 impl ImageSet {
@@ -697,6 +770,8 @@ impl ImageSet {
     pub const PAGES_NAME: &'static str = "pages.img";
     /// `files.img`.
     pub const FILES_NAME: &'static str = "files.img";
+    /// `ws.img` — the recorded working set (optional).
+    pub const WS_NAME: &'static str = "ws.img";
     /// The parent link file written by incremental dumps (CRIU uses a
     /// symlink named `parent`; we store the path as file contents).
     pub const PARENT_LINK: &'static str = "parent";
@@ -717,24 +792,27 @@ impl ImageSet {
                 .map(|(_, d)| d.as_ref())
                 .ok_or(ImageError::Truncated)
         };
+        let ws = match get(ImageSet::WS_NAME) {
+            Ok(bytes) => Some(WsImage::parse(bytes)?),
+            Err(_) => None,
+        };
         Ok(ImageSet {
             core: CoreImage::parse(get(ImageSet::CORE_NAME)?)?,
             mm: MmImage::parse(get(ImageSet::MM_NAME)?)?,
-            pages: PagesImage::parse(
-                get(ImageSet::PAGEMAP_NAME)?,
-                get(ImageSet::PAGES_NAME)?,
-            )?,
+            pages: PagesImage::parse(get(ImageSet::PAGEMAP_NAME)?, get(ImageSet::PAGES_NAME)?)?,
             files: FilesImage::parse(get(ImageSet::FILES_NAME)?)?,
+            ws,
         })
     }
 
-    /// Total serialised size across all image files.
+    /// Total serialised size across all image files, `ws.img` included.
     pub fn total_bytes(&self) -> u64 {
         (self.core.encode().len()
             + self.mm.encode().len()
             + self.pages.encode_pagemap().len()
             + self.pages.encode_pages().len()
-            + self.files.encode().len()) as u64
+            + self.files.encode().len()
+            + self.ws.as_ref().map_or(0, |w| w.encode().len())) as u64
     }
 }
 
@@ -751,11 +829,17 @@ mod tests {
             threads: vec![
                 ThreadImage {
                     tid: Tid(42),
-                    regs: Regs { ip: 0x1234, sp: 0x7FFF_0000 },
+                    regs: Regs {
+                        ip: 0x1234,
+                        sp: 0x7FFF_0000,
+                    },
                 },
                 ThreadImage {
                     tid: Tid(43),
-                    regs: Regs { ip: 0x9999, sp: 0x7FFE_0000 },
+                    regs: Regs {
+                        ip: 0x9999,
+                        sp: 0x7FFE_0000,
+                    },
                 },
             ],
         }
@@ -814,8 +898,7 @@ mod tests {
         assert_eq!(p.stored_pages(), 2);
         assert_eq!(p.zero_pages(), 1);
 
-        let back =
-            PagesImage::parse(&p.encode_pagemap(), &p.encode_pages()).unwrap();
+        let back = PagesImage::parse(&p.encode_pagemap(), &p.encode_pages()).unwrap();
         assert_eq!(back, p);
         let collected: Vec<(u64, bool)> = back
             .iter_pages()
@@ -849,8 +932,7 @@ mod tests {
 
         assert_eq!(child.parent_pages(), 2);
         assert_eq!(child.stored_pages(), 1);
-        let back =
-            PagesImage::parse(&child.encode_pagemap(), &child.encode_pages()).unwrap();
+        let back = PagesImage::parse(&child.encode_pagemap(), &child.encode_pages()).unwrap();
         assert_eq!(back, child);
 
         let resolved = back.resolve_parent(&parent).unwrap();
@@ -869,10 +951,7 @@ mod tests {
         let mut child = PagesImage::default();
         child.push_parent_ref(99);
         let empty = PagesImage::default();
-        assert_eq!(
-            child.resolve_parent(&empty),
-            Err(ImageError::BadPages)
-        );
+        assert_eq!(child.resolve_parent(&empty), Err(ImageError::BadPages));
     }
 
     #[test]
@@ -944,10 +1023,44 @@ mod tests {
             mm: sample_mm(),
             pages,
             files: FilesImage::default(),
+            ws: None,
         };
         let total = set.total_bytes();
         assert!(total > 100 * PAGE_SIZE as u64);
         assert!(total < 110 * PAGE_SIZE as u64);
+        // A working set adds its serialised bytes to the total.
+        let mut with_ws = set.clone();
+        with_ws.ws = Some(WsImage::from_fault_log((0..50).collect()));
+        assert_eq!(
+            with_ws.total_bytes(),
+            total + with_ws.ws.as_ref().unwrap().encode().len() as u64
+        );
+    }
+
+    #[test]
+    fn ws_roundtrip_preserves_order() {
+        let ws = WsImage::from_fault_log(vec![900, 3, 77, 12]);
+        assert_eq!(ws.len(), 4);
+        assert!(!ws.is_empty());
+        assert_eq!(ws.span_bytes(), 4 * PAGE_SIZE as u64);
+        let back = WsImage::parse(&ws.encode()).unwrap();
+        assert_eq!(back, ws);
+        assert_eq!(back.pages, vec![900, 3, 77, 12], "fault order kept");
+
+        let empty = WsImage::default();
+        assert!(empty.is_empty());
+        assert_eq!(WsImage::parse(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn ws_corruption_and_kind_confusion_detected() {
+        let mut bytes = WsImage::from_fault_log(vec![1, 2, 3]).encode();
+        bytes[9] ^= 0xFF;
+        assert_eq!(WsImage::parse(&bytes), Err(ImageError::BadChecksum));
+        assert!(matches!(
+            WsImage::parse(&sample_core().encode()),
+            Err(ImageError::WrongKind { .. })
+        ));
     }
 
     #[test]

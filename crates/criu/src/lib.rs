@@ -56,6 +56,8 @@ pub use cache::ImageCache;
 pub use check::{check, CheckReport};
 pub use cli::{criu_dump, criu_restore, CliOutcome, CriuCli};
 pub use costs::CriuCosts;
-pub use dump::{collect_images, dump, pre_dump, read_images, DumpOptions, DumpStats};
-pub use image::{ImageError, ImageSet};
-pub use restore::{restore, restore_set, RestoreOptions, RestorePid, RestoreStats};
+pub use dump::{
+    collect_images, dump, pre_dump, read_images, read_images_lazy, DumpOptions, DumpStats,
+};
+pub use image::{ImageError, ImageSet, WsImage};
+pub use restore::{restore, restore_set, RestoreMode, RestoreOptions, RestorePid, RestoreStats};

@@ -15,8 +15,10 @@ use prebake_sim::mem::{AddressSpace, Page};
 use prebake_sim::proc::{FdEntry, FdTable, Pid, ProcState, Thread, ThreadState};
 use prebake_sim::time::SimDuration;
 
+use prebake_sim::uffd::UffdBackend;
+
 use crate::costs::CriuCosts;
-use crate::dump::read_images;
+use crate::dump::{read_images, read_images_lazy};
 use crate::image::ImageSet;
 
 /// How the restored process's pid is chosen.
@@ -31,6 +33,37 @@ pub enum RestorePid {
     Fresh,
 }
 
+/// How memory is reinstated at restore.
+///
+/// `Eager` is CRIU's default (`criu restore` copies every dumped page
+/// before resuming). The other three model `--lazy-pages` as REAP
+/// (ASPLOS '21) refined it: the address space is mapped with its payload
+/// *withheld* behind the fault handler, so the process resumes after
+/// only metadata work and pages arrive on first touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestoreMode {
+    /// Install every dumped page before resume.
+    #[default]
+    Eager,
+    /// Map everything missing; serve each page on first touch (pure
+    /// demand paging — worst-case fault count, minimal restore latency).
+    Lazy,
+    /// As [`RestoreMode::Lazy`], additionally recording the ordered
+    /// first-touch working set so it can be persisted as `ws.img`.
+    Record,
+    /// As [`RestoreMode::Lazy`], but first bulk-load the recorded
+    /// working set (`ws.img`) in one batched copy; only residual pages
+    /// outside the working set fault.
+    Prefetch,
+}
+
+impl RestoreMode {
+    /// Whether this mode defers page payload behind the fault handler.
+    pub fn is_lazy(self) -> bool {
+        !matches!(self, RestoreMode::Eager)
+    }
+}
+
 /// Options for a restore.
 #[derive(Debug, Clone)]
 pub struct RestoreOptions {
@@ -38,17 +71,28 @@ pub struct RestoreOptions {
     pub images_dir: String,
     /// Pid policy.
     pub pid: RestorePid,
+    /// Memory reinstatement policy.
+    pub mode: RestoreMode,
     /// Cost table.
     pub costs: CriuCosts,
 }
 
 impl RestoreOptions {
-    /// Paper-calibrated options with fresh-pid policy.
+    /// Paper-calibrated options with fresh-pid policy and eager memory.
     pub fn new(images_dir: impl Into<String>) -> RestoreOptions {
         RestoreOptions {
             images_dir: images_dir.into(),
             pid: RestorePid::Fresh,
+            mode: RestoreMode::Eager,
             costs: CriuCosts::paper_calibrated(),
+        }
+    }
+
+    /// Same, with an explicit memory mode.
+    pub fn with_mode(images_dir: impl Into<String>, mode: RestoreMode) -> RestoreOptions {
+        RestoreOptions {
+            mode,
+            ..RestoreOptions::new(images_dir)
         }
     }
 }
@@ -64,6 +108,12 @@ pub struct RestoreStats {
     pub pages_installed: usize,
     /// Zero pages satisfied by demand-zero mappings.
     pub zero_pages: usize,
+    /// Pages left withheld behind the fault handler at resume (lazy
+    /// modes; zero for eager).
+    pub pages_lazy: usize,
+    /// Working-set pages bulk-loaded before resume
+    /// ([`RestoreMode::Prefetch`] only).
+    pub pages_prefetched: usize,
     /// File descriptors re-opened.
     pub fds: usize,
     /// Virtual time the restore took.
@@ -84,8 +134,18 @@ pub fn restore(
     requester: Pid,
     opts: &RestoreOptions,
 ) -> SysResult<RestoreStats> {
-    let set = read_images(kernel, &opts.images_dir)?;
-    restore_set(kernel, requester, &set, opts)
+    let t0 = kernel.now();
+    let set = if opts.mode.is_lazy() {
+        read_images_lazy(kernel, &opts.images_dir)?
+    } else {
+        read_images(kernel, &opts.images_dir)?
+    };
+    let mut stats = restore_set(kernel, requester, &set, opts)?;
+    // Account the image read too: `elapsed` is the full `criu restore`
+    // wall time, which is what lazy modes shrink by deferring the
+    // payload read.
+    stats.elapsed = kernel.now() - t0;
+    Ok(stats)
 }
 
 /// Restores a process from an already-loaded [`ImageSet`] (the in-memory
@@ -123,7 +183,37 @@ pub fn restore_set(
         }
     }
     let mut installed = 0usize;
-    {
+    let mut pages_lazy = 0usize;
+    let mut pages_prefetched = 0usize;
+    if opts.mode.is_lazy() {
+        // Defer the payload behind the fault handler: collect every
+        // non-zero page into a backend, register it, and let first
+        // touches (or an up-front prefetch of the recorded working set)
+        // pull pages in. Zero pages stay demand-zero either way.
+        let mut backend = UffdBackend::new();
+        for (page_index, source) in set.pages.iter_pages() {
+            match source {
+                crate::image::PageSource::Bytes(bytes) => {
+                    let page = Page::from_bytes(bytes.try_into().map_err(|_| Errno::Einval)?);
+                    backend.insert_page(page_index, page);
+                }
+                crate::image::PageSource::Zero => {}
+                crate::image::PageSource::Parent => return Err(Errno::Einval),
+            }
+        }
+        pages_lazy = backend.len();
+        kernel.charge(opts.costs.lazy_register);
+        kernel.uffd_register(pid, backend)?;
+        match opts.mode {
+            RestoreMode::Record => kernel.uffd_set_record(pid, true)?,
+            RestoreMode::Prefetch => {
+                let ws = set.ws.as_ref().ok_or(Errno::Einval)?;
+                pages_prefetched = kernel.uffd_prefetch(pid, &ws.pages)? as usize;
+                pages_lazy -= pages_prefetched;
+            }
+            RestoreMode::Lazy | RestoreMode::Eager => {}
+        }
+    } else {
         // Install payload pages; zero pages stay demand-zero. Unresolved
         // parent references mean the caller skipped `read_images`'s
         // parent resolution — refuse rather than restore holes.
@@ -131,8 +221,7 @@ pub fn restore_set(
         for (page_index, source) in set.pages.iter_pages() {
             match source {
                 crate::image::PageSource::Bytes(bytes) => {
-                    let page =
-                        Page::from_bytes(bytes.try_into().map_err(|_| Errno::Einval)?);
+                    let page = Page::from_bytes(bytes.try_into().map_err(|_| Errno::Einval)?);
                     proc.mem.install_page(page_index, page)?;
                     installed += 1;
                 }
@@ -140,8 +229,8 @@ pub fn restore_set(
                 crate::image::PageSource::Parent => return Err(Errno::Einval),
             }
         }
+        kernel.charge(opts.costs.restore_per_page * installed as u64);
     }
-    kernel.charge(opts.costs.restore_per_page * installed as u64);
 
     // Descriptors.
     kernel.charge(opts.costs.restore_per_fd * set.files.fds.len() as u64);
@@ -155,10 +244,7 @@ pub fn restore_set(
                 kernel.sys_listen_at(pid, *fd, *port)?;
             }
             other => {
-                kernel
-                    .process_mut(pid)?
-                    .fds
-                    .insert_at(*fd, other.clone())?;
+                kernel.process_mut(pid)?.fds.insert_at(*fd, other.clone())?;
             }
         }
     }
@@ -188,6 +274,8 @@ pub fn restore_set(
         vmas: set.mm.vmas.len(),
         pages_installed: installed,
         zero_pages: set.pages.zero_pages(),
+        pages_lazy,
+        pages_prefetched,
         fds: set.files.fds.len(),
         elapsed: kernel.now() - t0,
     })
@@ -315,6 +403,125 @@ mod tests {
         assert_eq!(proc.mem.resident_pages(), 0);
         let bytes = k.mem_read(stats.pid, VirtAddr(a.0), 64).unwrap();
         assert!(bytes.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn lazy_restore_defers_pages_and_faults_on_touch() {
+        let (mut k, tracer, payload) = checkpointed_kernel();
+        let stats = restore(
+            &mut k,
+            tracer,
+            &RestoreOptions::with_mode("/img", RestoreMode::Lazy),
+        )
+        .unwrap();
+        assert_eq!(stats.pages_installed, 0, "nothing installed eagerly");
+        assert_eq!(stats.pages_lazy, 2, "5000 bytes = 2 withheld pages");
+        assert_eq!(stats.pages_prefetched, 0);
+
+        let pid = stats.pid;
+        assert!(k.uffd_registered(pid));
+        assert_eq!(k.process(pid).unwrap().mem.missing_pages(), 2);
+
+        // First touch resolves through the fault handler and the content
+        // matches the checkpoint byte-for-byte.
+        let vma = k.process(pid).unwrap().mem.vmas().next().unwrap().clone();
+        let bytes = k.mem_read(pid, vma.start, payload.len() as u64).unwrap();
+        assert_eq!(bytes, payload);
+        let (major, _) = k.uffd_fault_counts(pid);
+        assert_eq!(major, 2);
+        assert_eq!(k.process(pid).unwrap().mem.missing_pages(), 0);
+    }
+
+    #[test]
+    fn record_then_prefetch_round_trip() {
+        use crate::image::WsImage;
+
+        let (mut k, tracer, payload) = checkpointed_kernel();
+
+        // Record pass: restore lazily, drive one "invocation" (read the
+        // payload), harvest the ordered working set.
+        let rec = restore(
+            &mut k,
+            tracer,
+            &RestoreOptions::with_mode("/img", RestoreMode::Record),
+        )
+        .unwrap();
+        let vma = k
+            .process(rec.pid)
+            .unwrap()
+            .mem
+            .vmas()
+            .next()
+            .unwrap()
+            .clone();
+        k.mem_read(rec.pid, vma.start, payload.len() as u64)
+            .unwrap();
+        let log = k.uffd_take_log(rec.pid).unwrap();
+        assert_eq!(log.len(), 2);
+        let ws = WsImage::from_fault_log(log);
+        k.fs_write_file("/img/ws.img", ws.encode()).unwrap();
+        k.sys_exit(rec.pid, 0).unwrap(); // retire the record replica, freeing the port
+
+        // Prefetch pass: the whole working set arrives before resume, so
+        // touching it again faults zero times.
+        let pre = restore(
+            &mut k,
+            tracer,
+            &RestoreOptions::with_mode("/img", RestoreMode::Prefetch),
+        )
+        .unwrap();
+        assert_eq!(pre.pages_prefetched, 2);
+        assert_eq!(pre.pages_lazy, 0);
+        let bytes = k
+            .mem_read(pre.pid, vma.start, payload.len() as u64)
+            .unwrap();
+        assert_eq!(bytes, payload);
+        assert_eq!(k.uffd_fault_counts(pre.pid), (0, 0));
+    }
+
+    #[test]
+    fn prefetch_without_recorded_working_set_is_einval() {
+        let (mut k, tracer, _) = checkpointed_kernel();
+        assert_eq!(
+            restore(
+                &mut k,
+                tracer,
+                &RestoreOptions::with_mode("/img", RestoreMode::Prefetch),
+            )
+            .unwrap_err(),
+            Errno::Einval
+        );
+    }
+
+    #[test]
+    fn lazy_restore_resumes_faster_than_eager() {
+        use prebake_sim::cost::CostModel;
+        use prebake_sim::noise::Noise;
+
+        let mut elapsed = Vec::new();
+        for mode in [RestoreMode::Eager, RestoreMode::Lazy] {
+            let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+            let tracer = k.sys_clone(INIT_PID).unwrap();
+            let target = k.sys_clone(INIT_PID).unwrap();
+            let pages = 512u64;
+            let a = k
+                .sys_mmap(
+                    target,
+                    pages * PAGE_SIZE as u64,
+                    Prot::RW,
+                    VmaKind::RuntimeHeap,
+                )
+                .unwrap();
+            k.mem_write(target, a, &vec![3u8; (pages * PAGE_SIZE as u64) as usize])
+                .unwrap();
+            dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap();
+            let stats = restore(&mut k, tracer, &RestoreOptions::with_mode("/img", mode)).unwrap();
+            elapsed.push(stats.elapsed);
+        }
+        assert!(
+            elapsed[1] < elapsed[0],
+            "lazy resume beats eager: {elapsed:?}"
+        );
     }
 
     #[test]

@@ -17,7 +17,12 @@ fn setup(pages: u64) -> (Kernel, Pid, Pid, VirtAddr) {
     let tracer = k.sys_clone(INIT_PID).unwrap();
     let target = k.sys_clone(INIT_PID).unwrap();
     let addr = k
-        .sys_mmap(target, pages * PAGE_SIZE as u64, Prot::RW, VmaKind::RuntimeHeap)
+        .sys_mmap(
+            target,
+            pages * PAGE_SIZE as u64,
+            Prot::RW,
+            VmaKind::RuntimeHeap,
+        )
         .unwrap();
     for i in 0..pages {
         let fill = vec![(i % 250 + 1) as u8; PAGE_SIZE];
@@ -66,18 +71,14 @@ fn incremental_restore_is_byte_faithful() {
     k.mem_write(target, addr, b"mutated-after-predump").unwrap();
     k.mem_write(target, addr.add(9 * PAGE_SIZE as u64), &[0x42; 128])
         .unwrap();
-    let expected: Vec<u8> = k
-        .mem_read(target, addr, 32 * PAGE_SIZE as u64)
-        .unwrap();
+    let expected: Vec<u8> = k.mem_read(target, addr, 32 * PAGE_SIZE as u64).unwrap();
 
     let mut opts = DumpOptions::new(target, "/final");
     opts.parent = Some("/pre".to_owned());
     dump(&mut k, tracer, &opts).unwrap();
 
     let stats = restore(&mut k, tracer, &RestoreOptions::new("/final")).unwrap();
-    let restored = k
-        .mem_read(stats.pid, addr, 32 * PAGE_SIZE as u64)
-        .unwrap();
+    let restored = k.mem_read(stats.pid, addr, 32 * PAGE_SIZE as u64).unwrap();
     assert_eq!(restored, expected, "parent + residue reassemble exactly");
 }
 
@@ -151,7 +152,9 @@ fn cli_drives_the_incremental_flow() {
         other => panic!("expected dump, got {other:?}"),
     }
 
-    let out = cli.run(&mut k, &["criu", "restore", "-D", "/final"]).unwrap();
+    let out = cli
+        .run(&mut k, &["criu", "restore", "-D", "/final"])
+        .unwrap();
     match out {
         CliOutcome::Restored(s) => {
             let bytes = k.mem_read(s.pid, addr, 100).unwrap();
@@ -169,7 +172,15 @@ fn prev_images_dir_requires_track_mem() {
     let err = cli
         .run(
             &mut k,
-            &["dump", "-t", &pid_str, "-D", "/x", "--prev-images-dir", "/pre"],
+            &[
+                "dump",
+                "-t",
+                &pid_str,
+                "-D",
+                "/x",
+                "--prev-images-dir",
+                "/pre",
+            ],
         )
         .unwrap_err();
     assert!(err.to_string().contains("--track-mem"), "{err}");
@@ -191,13 +202,7 @@ fn restore_without_parent_resolution_refuses() {
     let mut pages = PagesImage::default();
     pages.push_parent_ref(set.mm.vmas[0].first_page());
     set.pages = pages;
-    let err = restore_set(
-        &mut k,
-        tracer,
-        &set,
-        &RestoreOptions::new("/full"),
-    )
-    .unwrap_err();
+    let err = restore_set(&mut k, tracer, &set, &RestoreOptions::new("/full")).unwrap_err();
     assert_eq!(err, prebake_sim::Errno::Einval);
     let _ = ImageSet::PARENT_LINK;
 }

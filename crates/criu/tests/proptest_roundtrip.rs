@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use prebake_criu::dump::{dump, DumpOptions};
-use prebake_criu::image::{CoreImage, FilesImage, MmImage, PagesImage, ThreadImage};
-use prebake_criu::restore::{restore, RestoreOptions};
+use prebake_criu::image::{CoreImage, FilesImage, MmImage, PagesImage, ThreadImage, WsImage};
+use prebake_criu::restore::{restore, RestoreMode, RestoreOptions};
 use prebake_sim::kernel::{Kernel, INIT_PID};
 use prebake_sim::mem::{Page, Prot, Vma, VmaKind, PAGE_SIZE};
 use prebake_sim::proc::{FdEntry, Pid, Regs, Tid};
@@ -120,5 +120,53 @@ proptest! {
             prop_assert_eq!(back, data);
         }
         prop_assert_eq!(kernel.port_owner(port), Some(stats.pid));
+    }
+
+    /// `ws.img` round-trips arbitrary fault logs, preserving order and
+    /// repeats exactly.
+    #[test]
+    fn ws_image_roundtrip(log in prop::collection::vec(any::<u64>(), 0..256)) {
+        let ws = WsImage::from_fault_log(log.clone());
+        prop_assert_eq!(&ws.pages, &log);
+        let back = WsImage::parse(&ws.encode()).unwrap();
+        prop_assert_eq!(back, ws);
+    }
+
+    /// A record-mode restore over the same seed and process shape yields
+    /// the identical fault sequence and identical fault counters: the
+    /// demand-paging path is deterministic.
+    #[test]
+    fn recorded_fault_sequence_is_deterministic(
+        regions in prop::collection::vec((1u64..8, prop::collection::vec(any::<u8>(), 1..1500)), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let run = |seed: u64| -> (Vec<u64>, (u64, u64)) {
+            let mut kernel = Kernel::new(seed);
+            let tracer = kernel.sys_clone(INIT_PID).unwrap();
+            let target = kernel.sys_clone(INIT_PID).unwrap();
+            let mut writes = Vec::new();
+            for (pages, data) in &regions {
+                let len = pages * PAGE_SIZE as u64;
+                let addr = kernel.sys_mmap(target, len, Prot::RW, VmaKind::RuntimeHeap).unwrap();
+                let data = &data[..data.len().min(len as usize)];
+                kernel.mem_write(target, addr, data).unwrap();
+                writes.push((addr, data.len() as u64));
+            }
+            dump(&mut kernel, tracer, &DumpOptions::new(target, "/img")).unwrap();
+            let opts = RestoreOptions::with_mode("/img", RestoreMode::Record);
+            let stats = restore(&mut kernel, tracer, &opts).unwrap();
+            // Drive the "first invocation": touch every region in order.
+            for (addr, len) in writes {
+                kernel.mem_read(stats.pid, addr, len).unwrap();
+            }
+            let log = kernel.uffd_take_log(stats.pid).unwrap();
+            let counts = kernel.uffd_fault_counts(stats.pid);
+            (log, counts)
+        };
+        let (log_a, counts_a) = run(seed);
+        let (log_b, counts_b) = run(seed);
+        prop_assert_eq!(&log_a, &log_b, "fault order differs across identical runs");
+        prop_assert_eq!(counts_a, counts_b);
+        prop_assert_eq!(log_a.len() as u64, counts_a.0, "every major fault is logged");
     }
 }

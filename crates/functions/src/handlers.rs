@@ -192,8 +192,7 @@ impl Handler for ImageResizerHandler {
 
         // Read + decode the source (the paper's "loads a 1MB image").
         let compressed_bytes = ctx.read_file(&self.source_path)?;
-        let compressed =
-            CompressedImage::parse(&compressed_bytes).map_err(|_| Errno::Einval)?;
+        let compressed = CompressedImage::parse(&compressed_bytes).map_err(|_| Errno::Einval)?;
         let pixels = compressed.width as u64 * compressed.height as u64;
         ctx.charge(per_byte(pixels, IMG_DECODE_NS_PER_PIXEL));
         let bitmap = compressed.decode();
@@ -307,8 +306,7 @@ mod tests {
         // end-to-end check lives in prebake-core's calibration tests.
         let noop_init_ms = std::hint::black_box(NOOP_INIT).as_millis_f64();
         assert!(noop_init_ms < 35.0);
-        let decode_ms =
-            std::hint::black_box(IMG_DECODE_NS_PER_PIXEL) * 3440.0 * 1440.0 / 1e6;
+        let decode_ms = std::hint::black_box(IMG_DECODE_NS_PER_PIXEL) * 3440.0 * 1440.0 / 1e6;
         assert!(decode_ms > 150.0);
         assert!(std::hint::black_box(MD_SERVICE_NS_PER_BYTE) > 0.0);
     }

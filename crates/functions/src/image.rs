@@ -295,11 +295,7 @@ pub fn resize_box(src: &Bitmap, scale: f64) -> Bitmap {
             out.set_pixel(
                 ox,
                 oy,
-                [
-                    (acc[0] / n) as u8,
-                    (acc[1] / n) as u8,
-                    (acc[2] / n) as u8,
-                ],
+                [(acc[0] / n) as u8, (acc[1] / n) as u8, (acc[2] / n) as u8],
             );
         }
     }

@@ -186,10 +186,7 @@ pub fn render(input: &str) -> String {
                 let rest = trimmed[level..].trim();
                 // Headings require a space after the hashes (or be bare).
                 if trimmed.chars().nth(level).is_none_or(|c| c == ' ') {
-                    out.push_str(&format!(
-                        "<h{level}>{}</h{level}>\n",
-                        render_inline(rest)
-                    ));
+                    out.push_str(&format!("<h{level}>{}</h{level}>\n", render_inline(rest)));
                     i += 1;
                     continue;
                 }
@@ -197,8 +194,7 @@ pub fn render(input: &str) -> String {
         }
 
         // horizontal rule
-        if trimmed.chars().all(|c| c == '-' || c == ' ') && trimmed.matches('-').count() >= 3
-        {
+        if trimmed.chars().all(|c| c == '-' || c == ' ') && trimmed.matches('-').count() >= 3 {
             out.push_str("<hr />\n");
             i += 1;
             continue;
@@ -390,10 +386,7 @@ mod tests {
     #[test]
     fn mixed_list_kinds_split() {
         let html = render("- a\n1. b");
-        assert_eq!(
-            html,
-            "<ul>\n<li>a</li>\n</ul>\n<ol>\n<li>b</li>\n</ol>\n"
-        );
+        assert_eq!(html, "<ul>\n<li>a</li>\n</ul>\n<ol>\n<li>b</li>\n</ol>\n");
     }
 
     #[test]

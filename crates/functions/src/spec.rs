@@ -13,9 +13,7 @@ use prebake_sim::error::SysResult;
 use prebake_sim::fs::join_path;
 use prebake_sim::kernel::Kernel;
 
-use crate::handlers::{
-    ImageResizerHandler, MarkdownHandler, NoopHandler, SyntheticHandler,
-};
+use crate::handlers::{ImageResizerHandler, MarkdownHandler, NoopHandler, SyntheticHandler};
 use crate::image::CompressedImage;
 
 /// The paper's synthetic-function sizes (§4.2.2): class count and total
@@ -113,7 +111,9 @@ pub fn sample_markdown() -> String {
             "> Errata {section}: see the **known issues** list before taping out.\n\n",
         ));
     }
-    doc.push_str("## License\n\nReleased under a **permissive** license; see [LICENSE](LICENSE).\n");
+    doc.push_str(
+        "## License\n\nReleased under a **permissive** license; see [LICENSE](LICENSE).\n",
+    );
     doc
 }
 
@@ -349,7 +349,11 @@ mod tests {
         let spec = FunctionSpec::image_resizer();
         let (name, data) = &spec.resources[0];
         assert_eq!(name, "source.pbic");
-        assert!((1_000_000..1_100_000).contains(&data.len()), "{}", data.len());
+        assert!(
+            (1_000_000..1_100_000).contains(&data.len()),
+            "{}",
+            data.len()
+        );
     }
 
     #[test]
@@ -393,9 +397,6 @@ mod tests {
         let noop = FunctionSpec::noop();
         assert_eq!(noop.make_handler("/app/noop").name(), "noop");
         let synth = FunctionSpec::synthetic(SyntheticSize::Medium);
-        assert_eq!(
-            synth.make_handler("/app/s").name(),
-            "synthetic-medium"
-        );
+        assert_eq!(synth.make_handler("/app/s").name(), "synthetic-medium");
     }
 }

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use prebake_functions::image::{
-    resize_bilinear, resize_box, Bitmap, CompressedImage,
-};
+use prebake_functions::image::{resize_bilinear, resize_box, Bitmap, CompressedImage};
 use prebake_functions::markdown::{escape_html, render};
 
 proptest! {

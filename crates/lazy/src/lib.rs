@@ -1,0 +1,257 @@
+//! # prebake-lazy
+//!
+//! Lazy restore with working-set recording and prefetch — the REAP-style
+//! (ASPLOS '21) refinement of prebaking's eager snapshot restore, built
+//! over [`prebake_criu`]'s `--lazy-pages` analogue.
+//!
+//! The paper restores snapshots *eagerly*: every dumped page is read and
+//! installed before the replica resumes, so restore time grows with
+//! snapshot size (Fig. 5). But a function's first invocation touches only
+//! a fraction of those pages. This crate packages the three-step remedy:
+//!
+//! 1. **Record** ([`record_working_set`]) — restore once in
+//!    [`RestoreMode::Record`], drive the first invocation, and harvest
+//!    the *ordered* page-fault log as a [`WsImage`] (`ws.img`) stored
+//!    beside the other snapshot images.
+//! 2. **Prefetch** ([`RestoreMode::Prefetch`]) — later restores map the
+//!    address space empty, bulk-load exactly the recorded working set in
+//!    one batched copy, and resume; the cost is proportional to the
+//!    working set, not the snapshot.
+//! 3. **Demand-fault the rest** — residual pages outside the working set
+//!    arrive through the fault handler on first touch.
+//!
+//! [`PrefetchPlan`] quantifies the trade: working-set coverage of the
+//! snapshot and the residual page count a prefetch restore may still
+//! fault on.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use prebake_criu::restore::{restore, RestoreMode, RestoreOptions};
+use prebake_criu::{ImageSet, WsImage};
+use prebake_sim::error::SysResult;
+use prebake_sim::fs::join_path;
+use prebake_sim::kernel::Kernel;
+use prebake_sim::proc::Pid;
+use prebake_sim::time::SimDuration;
+
+/// Outcome of a working-set recording pass.
+#[derive(Debug, Clone)]
+pub struct RecordOutcome {
+    /// The replica the record restore produced. It has served the drive
+    /// closure's invocation; the caller retires it (`sys_exit`) or keeps
+    /// serving with it.
+    pub pid: Pid,
+    /// The recorded working set, already persisted to [`RecordOutcome::ws_path`].
+    pub ws: WsImage,
+    /// Guest path the working set was written to (`<images_dir>/ws.img`).
+    pub ws_path: String,
+    /// Major faults the drive took (equals `ws.len()`).
+    pub major_faults: u64,
+    /// Minor (demand-zero) faults the drive took.
+    pub minor_faults: u64,
+    /// Virtual time of the whole pass: restore + drive + persist.
+    pub elapsed: SimDuration,
+}
+
+/// Restores the snapshot in `images_dir` in [`RestoreMode::Record`],
+/// drives the first invocation via `drive`, and persists the ordered
+/// fault log as `ws.img` next to the other images.
+///
+/// This is the bake-time step of the record/prefetch cycle: the builder
+/// runs it once per function version, and the `ws.img` it writes ships in
+/// the container image with the rest of the snapshot.
+///
+/// # Errors
+///
+/// Propagates restore, drive and filesystem errors.
+pub fn record_working_set<F>(
+    kernel: &mut Kernel,
+    requester: Pid,
+    images_dir: &str,
+    drive: F,
+) -> SysResult<RecordOutcome>
+where
+    F: FnOnce(&mut Kernel, Pid) -> SysResult<()>,
+{
+    let t0 = kernel.now();
+    let opts = RestoreOptions::with_mode(images_dir, RestoreMode::Record);
+    let stats = restore(kernel, requester, &opts)?;
+    drive(kernel, stats.pid)?;
+    let log = kernel.uffd_take_log(stats.pid)?;
+    let (major_faults, minor_faults) = kernel.uffd_fault_counts(stats.pid);
+    let ws = WsImage::from_fault_log(log);
+    let ws_path = join_path(images_dir, ImageSet::WS_NAME);
+    kernel.fs_write_file(&ws_path, ws.encode())?;
+    Ok(RecordOutcome {
+        pid: stats.pid,
+        ws,
+        ws_path,
+        major_faults,
+        minor_faults,
+        elapsed: kernel.now() - t0,
+    })
+}
+
+/// Loads a previously recorded working set, if one exists beside the
+/// snapshot images.
+///
+/// # Errors
+///
+/// Filesystem errors; a present-but-corrupt `ws.img` is
+/// [`prebake_sim::Errno::Einval`].
+pub fn load_working_set(kernel: &mut Kernel, images_dir: &str) -> SysResult<Option<WsImage>> {
+    let path = join_path(images_dir, ImageSet::WS_NAME);
+    if !kernel.fs_exists(&path) {
+        return Ok(None);
+    }
+    let bytes = kernel.fs_read_file(&path)?;
+    Ok(Some(
+        WsImage::parse(&bytes).map_err(|_| prebake_sim::Errno::Einval)?,
+    ))
+}
+
+/// What a prefetch-mode restore of an image set would load up front
+/// versus leave to demand faulting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchPlan {
+    /// Entries in the recorded working set (repeats included: the log
+    /// preserves fault order).
+    pub ws_entries: usize,
+    /// Distinct pages the prefetch will bulk-load.
+    pub unique_ws_pages: usize,
+    /// Non-zero pages stored in the snapshot.
+    pub snapshot_pages: usize,
+}
+
+impl PrefetchPlan {
+    /// Builds the plan for `set`; `None` if the set has no recorded
+    /// working set.
+    pub fn of(set: &ImageSet) -> Option<PrefetchPlan> {
+        let ws = set.ws.as_ref()?;
+        let unique: std::collections::BTreeSet<u64> = ws.pages.iter().copied().collect();
+        Some(PrefetchPlan {
+            ws_entries: ws.len(),
+            unique_ws_pages: unique.len(),
+            snapshot_pages: set.pages.stored_pages(),
+        })
+    }
+
+    /// Fraction of the snapshot's stored pages the prefetch covers.
+    pub fn coverage(&self) -> f64 {
+        if self.snapshot_pages == 0 {
+            return 1.0;
+        }
+        self.unique_ws_pages as f64 / self.snapshot_pages as f64
+    }
+
+    /// Pages a prefetch-mode restore may still major-fault on.
+    pub fn residual_pages(&self) -> usize {
+        self.snapshot_pages.saturating_sub(self.unique_ws_pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebake_criu::dump::{dump, read_images, DumpOptions};
+    use prebake_sim::kernel::INIT_PID;
+    use prebake_sim::mem::{Prot, VmaKind, PAGE_SIZE};
+
+    fn checkpointed(seed: u64, pages: u64) -> (Kernel, Pid, prebake_sim::mem::VirtAddr) {
+        let mut k = Kernel::new(seed);
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        let target = k.sys_clone(INIT_PID).unwrap();
+        let a = k
+            .sys_mmap(
+                target,
+                pages * PAGE_SIZE as u64,
+                Prot::RW,
+                VmaKind::RuntimeHeap,
+            )
+            .unwrap();
+        for i in 0..pages {
+            k.mem_write(
+                target,
+                a.add(i * PAGE_SIZE as u64),
+                &[(i % 200 + 1) as u8; 64],
+            )
+            .unwrap();
+        }
+        dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap();
+        (k, tracer, a)
+    }
+
+    #[test]
+    fn record_persists_the_touched_prefix() {
+        let (mut k, tracer, a) = checkpointed(1, 8);
+        // The "first invocation" touches only the first 3 pages.
+        let outcome = record_working_set(&mut k, tracer, "/img", |k, pid| {
+            k.mem_read(pid, a, 3 * PAGE_SIZE as u64)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(outcome.ws.len(), 3);
+        assert_eq!(outcome.major_faults, 3);
+        assert!(k.fs_exists("/img/ws.img"));
+        assert_eq!(
+            load_working_set(&mut k, "/img").unwrap().unwrap(),
+            outcome.ws
+        );
+        k.sys_exit(outcome.pid, 0).unwrap();
+
+        // A prefetch restore now loads exactly those 3 and leaves 5.
+        let set = read_images(&mut k, "/img").unwrap();
+        let plan = PrefetchPlan::of(&set).unwrap();
+        assert_eq!(plan.unique_ws_pages, 3);
+        assert_eq!(plan.snapshot_pages, 8);
+        assert_eq!(plan.residual_pages(), 5);
+        assert!((plan.coverage() - 0.375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefetch_after_record_serves_without_major_faults() {
+        let (mut k, tracer, a) = checkpointed(2, 6);
+        let outcome = record_working_set(&mut k, tracer, "/img", |k, pid| {
+            k.mem_read(pid, a, 6 * PAGE_SIZE as u64)?;
+            Ok(())
+        })
+        .unwrap();
+        k.sys_exit(outcome.pid, 0).unwrap();
+
+        let opts = RestoreOptions::with_mode("/img", RestoreMode::Prefetch);
+        let stats = restore(&mut k, tracer, &opts).unwrap();
+        assert_eq!(stats.pages_prefetched, 6);
+        k.mem_read(stats.pid, a, 6 * PAGE_SIZE as u64).unwrap();
+        assert_eq!(k.uffd_fault_counts(stats.pid), (0, 0));
+    }
+
+    #[test]
+    fn missing_working_set_is_none() {
+        let (mut k, _, _) = checkpointed(3, 2);
+        assert!(load_working_set(&mut k, "/img").unwrap().is_none());
+        let set = read_images(&mut k, "/img").unwrap();
+        assert!(PrefetchPlan::of(&set).is_none());
+    }
+
+    #[test]
+    fn corrupt_working_set_is_einval() {
+        let (mut k, _, _) = checkpointed(4, 2);
+        k.fs_write_file("/img/ws.img", vec![0xAB; 40]).unwrap();
+        assert_eq!(
+            load_working_set(&mut k, "/img").unwrap_err(),
+            prebake_sim::Errno::Einval
+        );
+    }
+
+    #[test]
+    fn empty_plan_coverage_is_total() {
+        let plan = PrefetchPlan {
+            ws_entries: 0,
+            unique_ws_pages: 0,
+            snapshot_pages: 0,
+        };
+        assert!((plan.coverage() - 1.0).abs() < 1e-9);
+        assert_eq!(plan.residual_pages(), 0);
+    }
+}

@@ -6,7 +6,8 @@
 //! optional warm-up script, and checkpoint the process into the image.
 
 use prebake_core::env::{export_images, provision_machine, Deployment};
-use prebake_core::prebaker::{bake, SnapshotPolicy};
+use prebake_core::prebaker::{bake, record_working_set, SnapshotPolicy};
+use prebake_criu::RestoreMode;
 use prebake_functions::FunctionSpec;
 use prebake_sim::error::SysResult;
 use prebake_sim::kernel::Kernel;
@@ -20,6 +21,10 @@ pub struct Template {
     pub name: String,
     /// Snapshot policy the build applies; `None` builds a plain image.
     pub prebake: Option<SnapshotPolicy>,
+    /// How replicas of the built image reinstate snapshot memory
+    /// (ignored for plain templates). Prefetch templates additionally
+    /// run the working-set record pass at build time.
+    pub restore: RestoreMode,
 }
 
 impl Template {
@@ -28,6 +33,7 @@ impl Template {
         Template {
             name: "java11".to_owned(),
             prebake: None,
+            restore: RestoreMode::Eager,
         }
     }
 
@@ -36,6 +42,7 @@ impl Template {
         Template {
             name: "java11-criu".to_owned(),
             prebake: Some(SnapshotPolicy::AfterReady),
+            restore: RestoreMode::Eager,
         }
     }
 
@@ -44,6 +51,28 @@ impl Template {
         Template {
             name: format!("java11-criu-warm{n}"),
             prebake: Some(SnapshotPolicy::AfterWarmup(n)),
+            restore: RestoreMode::Eager,
+        }
+    }
+
+    /// The lazy-restore CRIU template: the 1-warm-up snapshot restored
+    /// with demand paging only (`prebake-lazy`, no prefetch).
+    pub fn java11_criu_lazy() -> Template {
+        Template {
+            name: "java11-criu-lazy".to_owned(),
+            prebake: Some(SnapshotPolicy::AfterWarmup(1)),
+            restore: RestoreMode::Lazy,
+        }
+    }
+
+    /// The prefetching CRIU template: the 1-warm-up snapshot plus a
+    /// build-time working-set record pass; replicas bulk-load `ws.img`
+    /// and demand-fault the rest (`prebake-lazy`, REAP-style).
+    pub fn java11_criu_prefetch() -> Template {
+        Template {
+            name: "java11-criu-prefetch".to_owned(),
+            prebake: Some(SnapshotPolicy::AfterWarmup(1)),
+            restore: RestoreMode::Prefetch,
         }
     }
 
@@ -53,6 +82,8 @@ impl Template {
             Template::java11(),
             Template::java11_criu(),
             Template::java11_criu_warm(1),
+            Template::java11_criu_lazy(),
+            Template::java11_criu_prefetch(),
         ]
     }
 
@@ -80,11 +111,7 @@ impl FunctionBuilder {
     /// # Errors
     ///
     /// Propagates build/bake errors.
-    pub fn build(
-        &self,
-        spec: FunctionSpec,
-        template: &Template,
-    ) -> SysResult<ContainerImage> {
+    pub fn build(&self, spec: FunctionSpec, template: &Template) -> SysResult<ContainerImage> {
         let snapshot_files = match template.prebake {
             None => Vec::new(),
             Some(policy) => {
@@ -97,6 +124,11 @@ impl FunctionBuilder {
                 // production restore.
                 prebake_criu::check(&mut kernel, &dep.images_dir())
                     .map_err(|_| prebake_sim::Errno::Einval)?;
+                if template.restore == RestoreMode::Prefetch {
+                    // Record pass: `ws.img` ships in the image alongside
+                    // the other snapshot files.
+                    record_working_set(&mut kernel, builder_proc, &dep, &dep.images_dir())?;
+                }
                 export_images(&mut kernel, &dep.images_dir())?
             }
         };
@@ -105,6 +137,7 @@ impl FunctionBuilder {
             template: template.name.clone(),
             snapshot_files,
             policy: template.prebake,
+            restore_mode: template.restore,
             version: 0,
         })
     }
@@ -116,7 +149,7 @@ mod tests {
 
     #[test]
     fn template_repository_and_lookup() {
-        assert_eq!(Template::repository().len(), 3);
+        assert_eq!(Template::repository().len(), 5);
         assert_eq!(Template::lookup("java11"), Some(Template::java11()));
         assert_eq!(
             Template::lookup("java11-criu").unwrap().prebake,
@@ -126,7 +159,35 @@ mod tests {
             Template::lookup("java11-criu-warm3").unwrap().prebake,
             Some(SnapshotPolicy::AfterWarmup(3))
         );
+        assert_eq!(
+            Template::lookup("java11-criu-lazy").unwrap().restore,
+            RestoreMode::Lazy
+        );
+        assert_eq!(
+            Template::lookup("java11-criu-prefetch").unwrap().restore,
+            RestoreMode::Prefetch
+        );
         assert!(Template::lookup("go").is_none());
+    }
+
+    #[test]
+    fn prefetch_build_ships_the_working_set() {
+        let image = FunctionBuilder
+            .build(FunctionSpec::noop(), &Template::java11_criu_prefetch())
+            .unwrap();
+        assert_eq!(image.restore_mode, RestoreMode::Prefetch);
+        let names: Vec<&str> = image
+            .snapshot_files
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert!(names.contains(&"ws.img"), "record pass output ships");
+
+        // Lazy (no prefetch) builds skip the record pass.
+        let lazy = FunctionBuilder
+            .build(FunctionSpec::noop(), &Template::java11_criu_lazy())
+            .unwrap();
+        assert!(!lazy.snapshot_files.iter().any(|(n, _)| n == "ws.img"));
     }
 
     #[test]

@@ -147,8 +147,16 @@ mod tests {
         .unwrap();
         p2.run().unwrap();
 
-        let l1: Vec<u64> = p1.completed().iter().map(|r| r.completed.as_nanos()).collect();
-        let l2: Vec<u64> = p2.completed().iter().map(|r| r.completed.as_nanos()).collect();
+        let l1: Vec<u64> = p1
+            .completed()
+            .iter()
+            .map(|r| r.completed.as_nanos())
+            .collect();
+        let l2: Vec<u64> = p2
+            .completed()
+            .iter()
+            .map(|r| r.completed.as_nanos())
+            .collect();
         assert_eq!(l1, l2);
     }
 

@@ -120,16 +120,9 @@ struct QueuedRequest {
 
 #[derive(Debug)]
 enum Event {
-    Arrival {
-        function: String,
-        req: Request,
-    },
-    ReplicaReady {
-        container: u64,
-    },
-    RequestDone {
-        container: u64,
-    },
+    Arrival { function: String, req: Request },
+    ReplicaReady { container: u64 },
+    RequestDone { container: u64 },
     IdleSweep,
 }
 
@@ -305,14 +298,16 @@ impl Platform {
                     Some(c) => c.function.clone(),
                     None => return Ok(()),
                 };
-                *self.starting.entry(function.clone()).or_default() =
-                    self.starting.get(&function).copied().unwrap_or(1).saturating_sub(1);
+                *self.starting.entry(function.clone()).or_default() = self
+                    .starting
+                    .get(&function)
+                    .copied()
+                    .unwrap_or(1)
+                    .saturating_sub(1);
                 self.dispatch(&function)?;
                 // Schedule the idle sweep that may reap this replica.
-                self.events.schedule(
-                    self.now + self.config.idle_timeout,
-                    Event::IdleSweep,
-                );
+                self.events
+                    .schedule(self.now + self.config.idle_timeout, Event::IdleSweep);
                 Ok(())
             }
             Event::RequestDone { container } => {
@@ -321,10 +316,8 @@ impl Platform {
                     None => return Ok(()),
                 };
                 self.dispatch(&function)?;
-                self.events.schedule(
-                    self.now + self.config.idle_timeout,
-                    Event::IdleSweep,
-                );
+                self.events
+                    .schedule(self.now + self.config.idle_timeout, Event::IdleSweep);
                 Ok(())
             }
             Event::IdleSweep => {
@@ -344,15 +337,9 @@ impl Platform {
                 return Ok(());
             }
             // Find an idle, ready container.
-            let Some((&cid, _)) = self
-                .containers
-                .iter()
-                .find(|(_, c)| {
-                    c.function == function
-                        && c.ready_at <= self.now
-                        && c.busy_until <= self.now
-                })
-            else {
+            let Some((&cid, _)) = self.containers.iter().find(|(_, c)| {
+                c.function == function && c.ready_at <= self.now && c.busy_until <= self.now
+            }) else {
                 return Ok(());
             };
             let qreq = self.queues.get_mut(function).unwrap().pop_front().unwrap();
@@ -409,7 +396,8 @@ impl Platform {
             m.request_errors.inc();
         }
         self.completed.push(record);
-        self.events.schedule(done, Event::RequestDone { container: cid });
+        self.events
+            .schedule(done, Event::RequestDone { container: cid });
         Ok(())
     }
 
@@ -427,7 +415,9 @@ impl Platform {
         let free_soon = self
             .containers
             .values()
-            .filter(|c| c.function == function && c.busy_until <= self.now && c.ready_at <= self.now)
+            .filter(|c| {
+                c.function == function && c.busy_until <= self.now && c.ready_at <= self.now
+            })
             .count();
         let deficit = queued.saturating_sub(free_soon + starting);
         let headroom = self.config.max_replicas.saturating_sub(live + starting);
@@ -477,7 +467,7 @@ impl Platform {
         kernel.advance_to(start_at);
         let started_at = self.now;
         let starter: Box<dyn Starter> = if image.is_prebaked() {
-            Box::new(PrebakeStarter::new())
+            Box::new(PrebakeStarter::with_mode(image.restore_mode))
         } else {
             Box::new(VanillaStarter)
         };
@@ -609,7 +599,8 @@ mod tests {
     #[test]
     fn single_request_cold_starts_then_completes() {
         let mut p = platform_with(&Template::java11(), PlatformConfig::default());
-        p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        p.submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
         p.run().unwrap();
         assert_eq!(p.completed().len(), 1);
         let r = &p.completed()[0];
@@ -626,7 +617,8 @@ mod tests {
     #[test]
     fn warm_replica_serves_fast() {
         let mut p = platform_with(&Template::java11(), PlatformConfig::default());
-        p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        p.submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
         p.submit(
             SimInstant::EPOCH + SimDuration::from_secs(1),
             "noop",
@@ -637,7 +629,11 @@ mod tests {
         assert_eq!(p.completed().len(), 2);
         let warm = &p.completed()[1];
         assert!(!warm.cold);
-        assert!(warm.latency_ms() < 10.0, "warm latency {}", warm.latency_ms());
+        assert!(
+            warm.latency_ms() < 10.0,
+            "warm latency {}",
+            warm.latency_ms()
+        );
         assert_eq!(
             p.metrics().get("noop").unwrap().replicas_started.get(),
             1,
@@ -649,12 +645,16 @@ mod tests {
     fn concurrent_requests_scale_out() {
         let mut p = platform_with(&Template::java11(), PlatformConfig::default());
         for _ in 0..3 {
-            p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+            p.submit(SimInstant::EPOCH, "noop", Request::empty())
+                .unwrap();
         }
         p.run().unwrap();
         assert_eq!(p.completed().len(), 3);
         let started = p.metrics().get("noop").unwrap().replicas_started.get();
-        assert!(started >= 2, "busy replicas trigger scale-out, got {started}");
+        assert!(
+            started >= 2,
+            "busy replicas trigger scale-out, got {started}"
+        );
     }
 
     #[test]
@@ -665,7 +665,8 @@ mod tests {
         };
         let mut p = platform_with(&Template::java11(), config);
         for _ in 0..5 {
-            p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+            p.submit(SimInstant::EPOCH, "noop", Request::empty())
+                .unwrap();
         }
         p.run().unwrap();
         assert_eq!(p.completed().len(), 5, "all served eventually");
@@ -683,7 +684,8 @@ mod tests {
             ..PlatformConfig::default()
         };
         let mut p = platform_with(&Template::java11(), config);
-        p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        p.submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
         p.run().unwrap();
         assert_eq!(p.replica_count("noop"), 0, "scale-to-zero after idle");
         assert_eq!(p.metrics().get("noop").unwrap().replicas_reaped.get(), 1);
@@ -697,7 +699,8 @@ mod tests {
             ..PlatformConfig::default()
         };
         let mut p = platform_with(&Template::java11(), config);
-        p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        p.submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
         p.run().unwrap();
         assert_eq!(p.replica_count("noop"), 1, "pool floor kept");
         // A request long after idle-time is warm thanks to the pool.
@@ -729,6 +732,33 @@ mod tests {
         let p = prebaked.completed()[0].latency_ms();
 
         assert!(p < v, "prebaked cold start {p}ms !< vanilla {v}ms");
+    }
+
+    #[test]
+    fn prefetch_image_serves_cold_and_warm_requests() {
+        // End-to-end: a prefetch-template image (snapshot + ws.img)
+        // restores with working-set prefetch, serves the cold request,
+        // and keeps serving warm ones.
+        let mut p = platform_with(&Template::java11_criu_prefetch(), PlatformConfig::default());
+        p.submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
+        p.submit(
+            SimInstant::EPOCH + SimDuration::from_secs(1),
+            "noop",
+            Request::empty(),
+        )
+        .unwrap();
+        p.run().unwrap();
+        assert_eq!(p.completed().len(), 2);
+        assert!(p.completed()[0].cold);
+        assert!(!p.completed()[1].cold);
+
+        // And the pure-lazy template works too.
+        let mut lazy = platform_with(&Template::java11_criu_lazy(), PlatformConfig::default());
+        lazy.submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
+        lazy.run().unwrap();
+        assert_eq!(lazy.completed().len(), 1);
     }
 
     #[test]
@@ -806,7 +836,8 @@ mod tests {
         };
         let mut p = platform_with(&Template::java11(), config);
         // Warm one replica up.
-        p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        p.submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
         p.run().unwrap();
         assert_eq!(p.completed().len(), 1);
 
@@ -844,7 +875,8 @@ mod tests {
         };
         let mut p = platform_with(&Template::java11(), config);
         for _ in 0..6 {
-            p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+            p.submit(SimInstant::EPOCH, "noop", Request::empty())
+                .unwrap();
         }
         p.run().unwrap();
         assert_eq!(p.completed().len(), 6, "all served despite tiny cluster");
@@ -872,7 +904,8 @@ mod tests {
         for i in 0..3 {
             let name = format!("fn-{i}");
             p.deploy_function(&name).unwrap();
-            p.submit(SimInstant::EPOCH, &name, Request::empty()).unwrap();
+            p.submit(SimInstant::EPOCH, &name, Request::empty())
+                .unwrap();
         }
         p.run().unwrap();
         assert_eq!(p.completed().len(), 3);
@@ -887,7 +920,8 @@ mod tests {
     #[test]
     fn metrics_render_after_traffic() {
         let mut p = platform_with(&Template::java11(), PlatformConfig::default());
-        p.submit(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+        p.submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
         p.run().unwrap();
         let text = p.metrics().render();
         assert!(text.contains("faas_requests_total{function=\"noop\"} 1"));

@@ -14,6 +14,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 
 use prebake_core::SnapshotPolicy;
+use prebake_criu::RestoreMode;
 use prebake_functions::FunctionSpec;
 
 /// A built, pushable container image for one function version.
@@ -28,6 +29,9 @@ pub struct ContainerImage {
     pub snapshot_files: Vec<(String, Bytes)>,
     /// The snapshot policy used at build time, if any.
     pub policy: Option<SnapshotPolicy>,
+    /// How replicas reinstate snapshot memory (from the build template;
+    /// meaningless for plain images).
+    pub restore_mode: RestoreMode,
     /// Monotonic version, bumped on every push.
     pub version: u32,
 }
@@ -40,7 +44,10 @@ impl ContainerImage {
 
     /// Total bytes of the baked snapshot.
     pub fn snapshot_bytes(&self) -> u64 {
-        self.snapshot_files.iter().map(|(_, d)| d.len() as u64).sum()
+        self.snapshot_files
+            .iter()
+            .map(|(_, d)| d.len() as u64)
+            .sum()
     }
 }
 
@@ -109,6 +116,7 @@ mod tests {
             template: template.to_owned(),
             snapshot_files: Vec::new(),
             policy: None,
+            restore_mode: RestoreMode::Eager,
             version: 0,
         }
     }

@@ -160,8 +160,7 @@ impl Archive {
             if pos + 2 > payload.len() {
                 return Err(ArchiveError::Truncated);
             }
-            let name_len =
-                u16::from_be_bytes(payload[pos..pos + 2].try_into().unwrap()) as usize;
+            let name_len = u16::from_be_bytes(payload[pos..pos + 2].try_into().unwrap()) as usize;
             pos += 2;
             if pos + name_len + 4 > payload.len() {
                 return Err(ArchiveError::Truncated);
@@ -170,8 +169,7 @@ impl Archive {
                 .map_err(|_| ArchiveError::BadName)?
                 .to_owned();
             pos += name_len;
-            let data_len =
-                u32::from_be_bytes(payload[pos..pos + 4].try_into().unwrap()) as usize;
+            let data_len = u32::from_be_bytes(payload[pos..pos + 4].try_into().unwrap()) as usize;
             pos += 4;
             if pos + data_len > payload.len() {
                 return Err(ArchiveError::Truncated);

@@ -94,7 +94,10 @@ impl fmt::Display for ClassError {
                 method,
                 offset,
                 opcode,
-            } => write!(f, "method {method}: unknown opcode {opcode:#04x} at {offset}"),
+            } => write!(
+                f,
+                "method {method}: unknown opcode {opcode:#04x} at {offset}"
+            ),
             ClassError::StackUnderflow { method, offset } => {
                 write!(f, "method {method}: stack underflow at {offset}")
             }
@@ -409,8 +412,7 @@ impl ClassFile {
                 let op = Op::from_byte(m.code[pos]).unwrap();
                 match op {
                     Op::Load | Op::Store => {
-                        let idx =
-                            u16::from_be_bytes(m.code[pos + 1..pos + 3].try_into().unwrap());
+                        let idx = u16::from_be_bytes(m.code[pos + 1..pos + 3].try_into().unwrap());
                         if idx >= pool_len {
                             return Err(ClassError::BadConstIndex {
                                 method: mi,
@@ -419,8 +421,7 @@ impl ClassFile {
                         }
                     }
                     Op::Jmp => {
-                        let rel =
-                            u16::from_be_bytes(m.code[pos + 1..pos + 3].try_into().unwrap());
+                        let rel = u16::from_be_bytes(m.code[pos + 1..pos + 3].try_into().unwrap());
                         let target = pos as i64 + op.encoded_len() as i64 + rel as i64;
                         let ok = target == m.code.len() as i64
                             || boundaries.binary_search(&(target as usize)).is_ok();
@@ -477,7 +478,7 @@ mod tests {
                 // PUSH 5; LOAD #0; ADD; POP; RET
                 code: vec![
                     0x02, 0, 0, 0, 5, // PUSH 5
-                    0x06, 0, 0, // LOAD #0
+                    0x06, 0, 0,    // LOAD #0
                     0x04, // ADD
                     0x03, // POP
                     0x0A, // RET
@@ -538,10 +539,7 @@ mod tests {
     fn verify_rejects_stack_underflow() {
         let mut c = tiny_class();
         c.methods[0].code = vec![0x03, 0x0A]; // POP on empty stack; RET
-        assert!(matches!(
-            c.verify(),
-            Err(ClassError::StackUnderflow { .. })
-        ));
+        assert!(matches!(c.verify(), Err(ClassError::StackUnderflow { .. })));
     }
 
     #[test]

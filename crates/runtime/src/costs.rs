@@ -142,11 +142,10 @@ mod tests {
         // parse + verify + JIT must sum to ~30 ms/MiB (Table 1 PB-NoWarmup
         // slope), and with the cold read (~6.7) reach the ~36.7 vanilla slope.
         let c = RuntimeCosts::paper_calibrated();
-        let per_mib = (c.class_parse_ns_per_byte
-            + c.class_verify_ns_per_byte
-            + c.jit_compile_ns_per_byte)
-            * (1024.0 * 1024.0)
-            / 1e6;
+        let per_mib =
+            (c.class_parse_ns_per_byte + c.class_verify_ns_per_byte + c.jit_compile_ns_per_byte)
+                * (1024.0 * 1024.0)
+                / 1e6;
         assert!((per_mib - 30.0).abs() < 0.1, "load slope {per_mib} ms/MiB");
     }
 

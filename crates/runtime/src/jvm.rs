@@ -98,8 +98,7 @@ impl Jlvm {
 
         // Service threads + core-class metadata.
         kernel.charge(costs.rts_services_init);
-        let metaspace =
-            kernel.sys_mmap(pid, METASPACE_REGION_LEN, Prot::RW, VmaKind::Metaspace)?;
+        let metaspace = kernel.sys_mmap(pid, METASPACE_REGION_LEN, Prot::RW, VmaKind::Metaspace)?;
         let core_meta = pattern_bytes(0x4D45, costs.base_footprint.metaspace_touch as usize);
         kernel.mem_write(pid, metaspace, &core_meta)?;
         state.metaspace_base = metaspace.0;
@@ -211,11 +210,7 @@ impl Jlvm {
         }
         let archive = self.archive.as_ref().ok_or(Errno::Einval)?;
         let (off, len) = archive.entry_offset(name).ok_or(Errno::Enoent)?;
-        let bytes = kernel.mem_read(
-            self.pid,
-            VirtAddr(self.state.jar_base + off),
-            len,
-        )?;
+        let bytes = kernel.mem_read(self.pid, VirtAddr(self.state.jar_base + off), len)?;
         let class = ClassFile::parse(&bytes).map_err(|_| Errno::Einval)?;
         class.verify().map_err(|_| Errno::Einval)?;
         let costs = &self.config.costs;
@@ -626,7 +621,9 @@ mod tests {
         let names: Vec<String> = classes.iter().map(|c| c.name.clone()).collect();
         let archive = Archive::from_classes(&classes);
         kernel.fs_create_dir_all("/app").unwrap();
-        kernel.fs_write_file("/app/fn.jlar", archive.encode()).unwrap();
+        kernel
+            .fs_write_file("/app/fn.jlar", archive.encode())
+            .unwrap();
         kernel
             .fs_write_file("/bin/jlvm", vec![0x7F; 512 << 10])
             .ok();
@@ -740,7 +737,9 @@ mod tests {
         kernel.fs_create_dir_all("/app").unwrap();
         let classes = synth_class_set("app", 5, 6, 30_000);
         let archive = Archive::from_classes(&classes);
-        kernel.fs_write_file("/app/fn.jlar", archive.encode()).unwrap();
+        kernel
+            .fs_write_file("/app/fn.jlar", archive.encode())
+            .unwrap();
         kernel.fs_create_dir_all("/bin").unwrap();
         kernel.fs_write_file("/bin/jlvm", vec![1u8; 1024]).unwrap();
         let pid = kernel.sys_clone(INIT_PID).unwrap();

@@ -330,19 +330,13 @@ mod tests {
     fn corruption_detected() {
         let mut bytes = sample().encode();
         bytes[10] ^= 0x80;
-        assert_eq!(
-            RuntimeState::parse(&bytes),
-            Err(StateError::BadChecksum)
-        );
+        assert_eq!(RuntimeState::parse(&bytes), Err(StateError::BadChecksum));
     }
 
     #[test]
     fn truncation_detected() {
         let bytes = sample().encode();
-        assert_eq!(
-            RuntimeState::parse(&bytes[..6]),
-            Err(StateError::Truncated)
-        );
+        assert_eq!(RuntimeState::parse(&bytes[..6]), Err(StateError::Truncated));
     }
 
     #[test]

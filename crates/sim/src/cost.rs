@@ -59,6 +59,16 @@ pub struct CostModel {
     pub page_touch: SimDuration,
     /// Copying one page of memory (used by reads/writes of resident pages).
     pub page_copy: SimDuration,
+    /// Trap + handler round-trip for one *major* demand-paging fault: the
+    /// `userfaultfd(2)` wakeup, handler dispatch and `UFFDIO_COPY` ioctl,
+    /// excluding the data movement (charged per byte at the warm read
+    /// rate) and the page copy itself. REAP (ASPLOS '21) reports ~5-8 µs
+    /// per userfaultfd round-trip.
+    pub fault_trap: SimDuration,
+    /// Bookkeeping overhead for a *minor* fault (first touch of a
+    /// demand-zero page) while the address space is fault-registered.
+    /// Charged on top of [`CostModel::page_touch`].
+    pub fault_minor: SimDuration,
 
     // -- filesystem -----------------------------------------------------
     /// Metadata operation (open/stat/close/mkdir/unlink).
@@ -113,6 +123,8 @@ impl CostModel {
             munmap_base: SimDuration::from_micros(5),
             page_touch: SimDuration::from_nanos(180),
             page_copy: SimDuration::from_nanos(220),
+            fault_trap: SimDuration::from_micros(6),
+            fault_minor: SimDuration::from_nanos(250),
 
             fs_meta: SimDuration::from_micros(15),
             fs_read_cold_ns_per_byte: ms_per_mib_to_ns_per_byte(6.7),
@@ -147,6 +159,8 @@ impl CostModel {
             munmap_base: SimDuration::ZERO,
             page_touch: SimDuration::ZERO,
             page_copy: SimDuration::ZERO,
+            fault_trap: SimDuration::ZERO,
+            fault_minor: SimDuration::ZERO,
             fs_meta: SimDuration::ZERO,
             fs_read_cold_ns_per_byte: 0.0,
             fs_read_warm_ns_per_byte: 0.0,
@@ -243,6 +257,16 @@ mod tests {
         let p = CostModel::paper_calibrated();
         assert_eq!(d.clone_call, p.clone_call);
         assert_eq!(d.exec_base, p.exec_base);
+    }
+
+    #[test]
+    fn major_fault_dominated_by_trap_not_copy() {
+        // A userfaultfd round-trip costs microseconds while the in-kernel
+        // page copy costs hundreds of nanoseconds — the trap must dominate,
+        // otherwise lazy restore would never lose to prefetch on hot pages.
+        let costs = CostModel::paper_calibrated();
+        assert!(costs.fault_trap.as_nanos() > 10 * costs.page_copy.as_nanos());
+        assert!(costs.fault_minor.as_nanos() < costs.fault_trap.as_nanos());
     }
 
     #[test]

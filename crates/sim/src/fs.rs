@@ -135,10 +135,7 @@ impl SimFs {
         Ok(cur)
     }
 
-    fn parent_dir_mut(
-        &mut self,
-        path: &str,
-    ) -> SysResult<(&mut BTreeMap<String, Node>, String)> {
+    fn parent_dir_mut(&mut self, path: &str) -> SysResult<(&mut BTreeMap<String, Node>, String)> {
         let parts = split_path(path)?;
         let (name, dirs) = parts.split_last().ok_or(Errno::Einval)?;
         let mut cur = &mut self.root;
@@ -325,12 +322,7 @@ impl Default for SimFs {
 
 impl fmt::Display for SimFs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn walk(
-            node: &Node,
-            name: &str,
-            depth: usize,
-            f: &mut fmt::Formatter<'_>,
-        ) -> fmt::Result {
+        fn walk(node: &Node, name: &str, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             let pad = "  ".repeat(depth);
             match node {
                 Node::File(file) => {

@@ -10,16 +10,15 @@ use bytes::Bytes;
 
 use std::collections::BTreeMap;
 
-use crate::cost::CostModel;
+use crate::cost::{per_byte, CostModel};
 use crate::error::{Errno, SysResult};
 use crate::fs::{SimFs, Stat};
 use crate::mem::{Page, Prot, VirtAddr, VmaKind, PAGE_SIZE};
 use crate::noise::Noise;
 use crate::probe::{ProbeEvent, ProbeKind};
-use crate::proc::{
-    Cap, CapSet, FdEntry, Pid, ProcState, Process, ThreadState, Tid,
-};
+use crate::proc::{Cap, CapSet, FdEntry, Pid, ProcState, Process, ThreadState, Tid};
 use crate::time::{Clock, SimDuration, SimInstant};
+use crate::uffd::UffdBackend;
 
 /// Pid of the always-present init process.
 pub const INIT_PID: Pid = Pid(1);
@@ -51,6 +50,8 @@ pub struct Kernel {
     bound_ports: BTreeMap<u16, Pid>,
     tracing: bool,
     trace: Vec<ProbeEvent>,
+    /// Demand-paging registrations (`userfaultfd` analogue), per process.
+    uffd: BTreeMap<Pid, UffdBackend>,
 }
 
 impl Kernel {
@@ -77,6 +78,7 @@ impl Kernel {
             bound_ports: BTreeMap::new(),
             tracing: false,
             trace: Vec::new(),
+            uffd: BTreeMap::new(),
         }
     }
 
@@ -187,6 +189,16 @@ impl Kernel {
         }
     }
 
+    fn probe_fault(&mut self, pid: Pid, major: bool) {
+        if self.tracing {
+            self.trace.push(ProbeEvent {
+                time: self.clock.now(),
+                pid,
+                kind: ProbeKind::PageFault { major },
+            });
+        }
+    }
+
     // ------------------------------------------------------------ processes
 
     /// Immutable access to a process.
@@ -243,6 +255,11 @@ impl Kernel {
         child.caps = parent_proc.caps;
         child.cmdline = parent_proc.cmdline.clone();
         self.procs.insert(pid, child);
+        // The copied address space keeps its missing marks, so the child
+        // needs the backend too (UFFD_FEATURE_FORK semantics).
+        if let Some(backend) = self.uffd.get(&parent).cloned() {
+            self.uffd.insert(pid, backend);
+        }
         self.probe_exit(parent, "clone");
         Ok(pid)
     }
@@ -290,6 +307,7 @@ impl Kernel {
         self.charge(exec_cost + read_cost);
 
         let comm = path.rsplit('/').next().unwrap_or(path).to_owned();
+        self.uffd.remove(&pid); // exec tears down the registered regions
         let proc = self.procs.get_mut(&pid).ok_or(Errno::Esrch)?;
         proc.mem = crate::mem::AddressSpace::new();
         proc.comm = comm;
@@ -323,6 +341,7 @@ impl Kernel {
         proc.mem = crate::mem::AddressSpace::new();
         proc.fds = crate::proc::FdTable::new();
         self.bound_ports.retain(|_, owner| *owner != pid);
+        self.uffd.remove(&pid);
         Ok(())
     }
 
@@ -336,6 +355,7 @@ impl Kernel {
         let proc = self.procs.get(&pid).ok_or(Errno::Esrch)?;
         let code = proc.exit_code.ok_or(Errno::Echild)?;
         self.procs.remove(&pid);
+        self.uffd.remove(&pid);
         Ok(code)
     }
 
@@ -413,12 +433,14 @@ impl Kernel {
             .map(|_| ())
     }
 
-    /// Writes guest memory, charging fault + copy costs.
+    /// Writes guest memory, charging fault + copy costs. Missing pages in
+    /// the range are demand-paged in first (major faults).
     ///
     /// # Errors
     ///
     /// [`Errno::Efault`] / [`Errno::Eperm`] per address-space rules.
     pub fn mem_write(&mut self, pid: Pid, addr: VirtAddr, bytes: &[u8]) -> SysResult<()> {
+        self.resolve_faults(pid, addr, bytes.len() as u64)?;
         let stats = self
             .procs
             .get_mut(&pid)
@@ -428,15 +450,30 @@ impl Kernel {
         let cost = self.costs.page_touch * stats.pages_materialized
             + self.costs.page_copy * stats.pages_touched;
         self.charge(cost);
+        if stats.pages_materialized > 0 && self.uffd.contains_key(&pid) {
+            // Demand-zero materialisation under a registered region is a
+            // minor fault: counted and lightly charged, no content fetch.
+            let minor_cost = self.costs.fault_minor * stats.pages_materialized;
+            self.charge(minor_cost);
+            self.uffd
+                .get_mut(&pid)
+                .expect("registration checked above")
+                .note_minor(stats.pages_materialized);
+            for _ in 0..stats.pages_materialized {
+                self.probe_fault(pid, false);
+            }
+        }
         Ok(())
     }
 
-    /// Reads guest memory, charging copy costs.
+    /// Reads guest memory, charging copy costs. Missing pages in the range
+    /// are demand-paged in first (major faults).
     ///
     /// # Errors
     ///
     /// [`Errno::Efault`] per address-space rules.
     pub fn mem_read(&mut self, pid: Pid, addr: VirtAddr, len: u64) -> SysResult<Vec<u8>> {
+        self.resolve_faults(pid, addr, len)?;
         let (data, stats) = self
             .procs
             .get(&pid)
@@ -446,6 +483,151 @@ impl Kernel {
         let cost = self.costs.page_copy * stats.pages_touched;
         self.charge(cost);
         Ok(data)
+    }
+
+    // ------------------------------------------------------- demand paging
+
+    /// Registers a demand-paging backend for `pid` — the `UFFDIO_REGISTER`
+    /// analogue. Every page the backend holds is marked missing in the
+    /// process's address space; the first touch of each resolves it as a
+    /// *major* fault, charging [`CostModel::fault_trap`] plus a warm
+    /// per-byte fetch and a page copy. The registration lives until the
+    /// process exits or execs.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process, [`Errno::Ebusy`] if already
+    /// registered, [`Errno::Efault`] if a backend page is outside any
+    /// mapping, [`Errno::Eexist`] if one is already materialised.
+    pub fn uffd_register(&mut self, pid: Pid, backend: UffdBackend) -> SysResult<()> {
+        if self.uffd.contains_key(&pid) {
+            return Err(Errno::Ebusy);
+        }
+        let cost = self.costs.mmap_base;
+        self.charge(cost);
+        let proc = self.procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+        // Validate before mutating so a bad backend leaves no stray marks.
+        for idx in backend.page_indices() {
+            let addr = VirtAddr(idx * PAGE_SIZE as u64);
+            if proc.mem.find_vma(addr).is_none() {
+                return Err(Errno::Efault);
+            }
+            if proc.mem.page(idx).is_some() {
+                return Err(Errno::Eexist);
+            }
+        }
+        for idx in backend.page_indices() {
+            proc.mem.mark_missing(idx)?;
+        }
+        self.uffd.insert(pid, backend);
+        Ok(())
+    }
+
+    /// Whether `pid` has a registered demand-paging backend.
+    pub fn uffd_registered(&self, pid: Pid) -> bool {
+        self.uffd.contains_key(&pid)
+    }
+
+    /// Turns working-set recording on or off for `pid`'s backend. While
+    /// on, each major fault appends its page index to an ordered log.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if `pid` has no registered backend.
+    pub fn uffd_set_record(&mut self, pid: Pid, on: bool) -> SysResult<()> {
+        self.uffd
+            .get_mut(&pid)
+            .ok_or(Errno::Esrch)?
+            .set_recording(on);
+        Ok(())
+    }
+
+    /// Takes the ordered major-fault log recorded for `pid` and stops
+    /// recording. First-faulted page first; refaults never appear because
+    /// a resolved page is no longer missing.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if `pid` has no registered backend.
+    pub fn uffd_take_log(&mut self, pid: Pid) -> SysResult<Vec<u64>> {
+        Ok(self.uffd.get_mut(&pid).ok_or(Errno::Esrch)?.take_log())
+    }
+
+    /// `(major, minor)` fault counts for `pid`'s backend; zeros if none is
+    /// registered.
+    pub fn uffd_fault_counts(&self, pid: Pid) -> (u64, u64) {
+        self.uffd
+            .get(&pid)
+            .map(|b| (b.major_faults(), b.minor_faults()))
+            .unwrap_or((0, 0))
+    }
+
+    /// Bulk-installs `pages` from `pid`'s backend in one batched copy —
+    /// the prefetch path. Unlike per-touch faulting there is no per-page
+    /// trap: the batch charges one warm read of the combined span plus a
+    /// page copy per page. Pages that are not missing (already resolved)
+    /// or unknown to the backend are skipped. Returns the number of pages
+    /// installed.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if `pid` has no registered backend or no process.
+    pub fn uffd_prefetch(&mut self, pid: Pid, pages: &[u64]) -> SysResult<u64> {
+        let backend = self.uffd.get(&pid).ok_or(Errno::Esrch)?;
+        let proc = self.procs.get(&pid).ok_or(Errno::Esrch)?;
+        let mut seen = std::collections::BTreeSet::new();
+        let mut to_install: Vec<(u64, Page)> = Vec::new();
+        for &idx in pages {
+            if !seen.insert(idx) || !proc.mem.is_missing(idx) {
+                continue;
+            }
+            if let Some(p) = backend.page(idx) {
+                to_install.push((idx, p.clone()));
+            }
+        }
+        let n = to_install.len() as u64;
+        if n == 0 {
+            return Ok(0);
+        }
+        let cost = per_byte(n * PAGE_SIZE as u64, self.costs.fs_read_warm_ns_per_byte)
+            + self.costs.page_copy * n;
+        self.charge(cost);
+        let proc = self.procs.get_mut(&pid).expect("looked up above");
+        for (idx, page) in to_install {
+            proc.mem.install_page(idx, page)?;
+        }
+        Ok(n)
+    }
+
+    /// Resolves any missing pages in `[addr, addr+len)` before a touch:
+    /// each is a major fault served from the registered backend.
+    fn resolve_faults(&mut self, pid: Pid, addr: VirtAddr, len: u64) -> SysResult<()> {
+        if !self.uffd.contains_key(&pid) {
+            return Ok(());
+        }
+        let missing = match self.procs.get(&pid) {
+            Some(p) => p.mem.missing_in_range(addr, len),
+            None => return Ok(()),
+        };
+        for idx in missing {
+            let backend = self.uffd.get_mut(&pid).expect("registration checked above");
+            // A missing page always has backend content (uffd_register
+            // marks exactly the backend's pages); zero-fill is a safety
+            // net should the invariant ever be violated.
+            let page = backend.page(idx).cloned().unwrap_or_else(Page::zeroed);
+            backend.note_major(idx);
+            let cost = self.costs.fault_trap
+                + per_byte(PAGE_SIZE as u64, self.costs.fs_read_warm_ns_per_byte)
+                + self.costs.page_copy;
+            self.charge(cost);
+            self.probe_fault(pid, true);
+            self.procs
+                .get_mut(&pid)
+                .ok_or(Errno::Esrch)?
+                .mem
+                .install_page(idx, page)?;
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------ filesystem
@@ -580,9 +762,7 @@ impl Kernel {
         let slice = data[offset as usize..end as usize].to_vec();
         let cost = self.costs.fs_read(slice.len() as u64, cached);
         self.charge(cost);
-        if let FdEntry::File { offset, .. } =
-            self.procs.get_mut(&pid).unwrap().fds.get_mut(fd)?
-        {
+        if let FdEntry::File { offset, .. } = self.procs.get_mut(&pid).unwrap().fds.get_mut(fd)? {
             *offset = end;
         }
         Ok(slice)
@@ -754,11 +934,16 @@ impl Kernel {
         target: Pid,
         page_index: u64,
     ) -> SysResult<Page> {
-        let tgt = self.procs.get(&target).ok_or(Errno::Esrch)?;
-        if tgt.traced_by != Some(tracer) {
-            return Err(Errno::Eperm);
+        {
+            let tgt = self.procs.get(&target).ok_or(Errno::Esrch)?;
+            if tgt.traced_by != Some(tracer) {
+                return Err(Errno::Eperm);
+            }
         }
         let addr = VirtAddr(page_index * PAGE_SIZE as u64);
+        // A dump of a lazily restored task must observe backend content.
+        self.resolve_faults(target, addr, PAGE_SIZE as u64)?;
+        let tgt = self.procs.get(&target).expect("looked up above");
         if tgt.mem.find_vma(addr).is_none() {
             return Err(Errno::Efault);
         }
@@ -794,6 +979,7 @@ impl Kernel {
         let pages = bytes.len().div_ceil(PAGE_SIZE) as u64;
         let cost = self.costs.ptrace_xfer_per_page * pages.max(1);
         self.charge(cost);
+        self.resolve_faults(target, addr, bytes.len() as u64)?;
         // Poke ignores write protection: temporarily raise it.
         let tgt = self.procs.get_mut(&target).unwrap();
         let vma = tgt.mem.find_vma(addr).ok_or(Errno::Efault)?.clone();
@@ -1160,7 +1346,9 @@ mod tests {
         k.mem_write(target, addr, &[0xCD; 32]).unwrap();
         k.ptrace_seize(tracer, target).unwrap();
         k.ptrace_freeze(tracer, target).unwrap();
-        let page = k.ptrace_peek_page(tracer, target, addr.page_index()).unwrap();
+        let page = k
+            .ptrace_peek_page(tracer, target, addr.page_index())
+            .unwrap();
         assert_eq!(page.bytes()[0], 0xCD);
         assert_eq!(
             k.ptrace_peek_page(tracer, target, 0).unwrap_err(),
@@ -1227,6 +1415,7 @@ mod tests {
                 ProbeKind::SyscallEnter(n) => format!("enter:{n}"),
                 ProbeKind::SyscallExit(n) => format!("exit:{n}"),
                 ProbeKind::Marker(m) => format!("mark:{m}"),
+                ProbeKind::PageFault { major } => format!("fault:major={major}"),
             })
             .collect();
         assert_eq!(
@@ -1324,7 +1513,8 @@ mod tests {
             .sys_mmap(pid, 4 * PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
             .unwrap();
         k.mem_write(pid, addr, &[1u8]).unwrap();
-        k.mem_write(pid, addr.add(2 * PAGE_SIZE as u64), &[2u8]).unwrap();
+        k.mem_write(pid, addr.add(2 * PAGE_SIZE as u64), &[2u8])
+            .unwrap();
         assert_eq!(k.proc_pagemap_soft_dirty(pid, addr).unwrap().len(), 2);
         k.proc_clear_soft_dirty(pid).unwrap();
         assert!(k.proc_pagemap_soft_dirty(pid, addr).unwrap().is_empty());
@@ -1335,6 +1525,181 @@ mod tests {
         );
         // present view unaffected by clears
         assert_eq!(k.proc_pagemap(pid, addr).unwrap().len(), 2);
+    }
+
+    fn lazy_proc(k: &mut Kernel, pages: u64) -> (Pid, VirtAddr, UffdBackend) {
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(pid, pages * PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+            .unwrap();
+        let mut backend = UffdBackend::new();
+        for i in 0..pages {
+            backend.insert_page(
+                addr.page_index() + i,
+                Page::from_bytes(&[i as u8 + 1; PAGE_SIZE]),
+            );
+        }
+        (pid, addr, backend)
+    }
+
+    #[test]
+    fn major_fault_serves_backend_content() {
+        let mut k = Kernel::free(30);
+        let (pid, addr, backend) = lazy_proc(&mut k, 4);
+        k.uffd_register(pid, backend).unwrap();
+        assert!(k.uffd_registered(pid));
+        assert_eq!(k.process(pid).unwrap().mem.missing_pages(), 4);
+        assert_eq!(k.process(pid).unwrap().mem.resident_pages(), 0);
+
+        // First touch demand-pages the content in.
+        let got = k.mem_read(pid, addr.add(2 * PAGE_SIZE as u64), 8).unwrap();
+        assert_eq!(got, vec![3u8; 8]);
+        assert_eq!(k.uffd_fault_counts(pid), (1, 0));
+        assert_eq!(k.process(pid).unwrap().mem.missing_pages(), 3);
+
+        // Refault of the same page: already resolved, no new fault.
+        k.mem_read(pid, addr.add(2 * PAGE_SIZE as u64), 8).unwrap();
+        assert_eq!(k.uffd_fault_counts(pid), (1, 0));
+
+        // A write faults the old content in before applying the store.
+        k.mem_write(pid, addr, &[0xEE; 4]).unwrap();
+        let page0 = k.mem_read(pid, addr, PAGE_SIZE as u64).unwrap();
+        assert_eq!(&page0[..4], &[0xEE; 4]);
+        assert_eq!(&page0[4..8], &[1u8; 4], "rest of the faulted page kept");
+        assert_eq!(k.uffd_fault_counts(pid), (2, 0));
+    }
+
+    #[test]
+    fn minor_faults_counted_while_registered() {
+        let mut k = Kernel::free(31);
+        let (pid, addr, _) = lazy_proc(&mut k, 2);
+        // Register a backend for page 0 only; page 1 stays demand-zero.
+        let mut backend = UffdBackend::new();
+        backend.insert_page(addr.page_index(), Page::from_bytes(&[7u8; PAGE_SIZE]));
+        k.uffd_register(pid, backend).unwrap();
+        k.set_tracing(true);
+        k.mem_write(pid, addr.add(PAGE_SIZE as u64), &[1u8])
+            .unwrap();
+        assert_eq!(k.uffd_fault_counts(pid), (0, 1));
+        let trace = k.take_trace();
+        let faults: Vec<bool> = trace
+            .iter()
+            .filter_map(|e| e.kind.as_page_fault())
+            .collect();
+        assert_eq!(faults, vec![false]);
+    }
+
+    #[test]
+    fn record_logs_fault_order() {
+        let mut k = Kernel::free(32);
+        let (pid, addr, backend) = lazy_proc(&mut k, 5);
+        k.uffd_register(pid, backend).unwrap();
+        k.uffd_set_record(pid, true).unwrap();
+        let base = addr.page_index();
+        // Touch pages out of address order; log must keep touch order.
+        for i in [3u64, 0, 4, 0, 2] {
+            k.mem_read(pid, addr.add(i * PAGE_SIZE as u64), 1).unwrap();
+        }
+        let log = k.uffd_take_log(pid).unwrap();
+        assert_eq!(log, vec![base + 3, base, base + 4, base + 2]);
+        // Recording stopped: later faults are counted but not logged.
+        k.mem_read(pid, addr.add(PAGE_SIZE as u64), 1).unwrap();
+        assert!(k.uffd_take_log(pid).unwrap().is_empty());
+        assert_eq!(k.uffd_fault_counts(pid).0, 5);
+    }
+
+    #[test]
+    fn prefetch_batches_cheaper_than_faulting() {
+        let n_pages = 64u64;
+        let run = |prefetch: bool| -> (SimDuration, u64) {
+            let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+            let (pid, addr, backend) = lazy_proc(&mut k, n_pages);
+            let indices = backend.page_indices();
+            k.uffd_register(pid, backend).unwrap();
+            let t0 = k.now();
+            if prefetch {
+                assert_eq!(k.uffd_prefetch(pid, &indices).unwrap(), n_pages);
+            }
+            // Touch every page either way.
+            k.mem_read(pid, addr, n_pages * PAGE_SIZE as u64).unwrap();
+            (k.now() - t0, k.uffd_fault_counts(pid).0)
+        };
+        let (fault_time, fault_majors) = run(false);
+        let (prefetch_time, prefetch_majors) = run(true);
+        assert_eq!(fault_majors, n_pages);
+        assert_eq!(prefetch_majors, 0, "prefetched pages never fault");
+        assert!(
+            prefetch_time < fault_time,
+            "batched prefetch {prefetch_time} must beat per-fault traps {fault_time}"
+        );
+    }
+
+    #[test]
+    fn prefetch_skips_resolved_and_unknown_pages() {
+        let mut k = Kernel::free(33);
+        let (pid, addr, backend) = lazy_proc(&mut k, 3);
+        let base = addr.page_index();
+        k.uffd_register(pid, backend).unwrap();
+        k.mem_read(pid, addr, 1).unwrap(); // resolves page 0 by faulting
+        let n = k
+            .uffd_prefetch(pid, &[base, base + 1, base + 1, base + 99])
+            .unwrap();
+        assert_eq!(n, 1, "only the still-missing known page installs");
+        assert_eq!(k.process(pid).unwrap().mem.missing_pages(), 1);
+    }
+
+    #[test]
+    fn uffd_register_validates_and_is_exclusive() {
+        let mut k = Kernel::free(34);
+        let (pid, addr, backend) = lazy_proc(&mut k, 2);
+        // Backend page outside any mapping is rejected without side effects.
+        let mut bad = UffdBackend::new();
+        bad.insert_page(9999999, Page::zeroed());
+        assert_eq!(k.uffd_register(pid, bad).unwrap_err(), Errno::Efault);
+        assert_eq!(k.process(pid).unwrap().mem.missing_pages(), 0);
+        // Already-materialised page is rejected.
+        k.mem_write(pid, addr, &[1]).unwrap();
+        let mut dup = UffdBackend::new();
+        dup.insert_page(addr.page_index(), Page::zeroed());
+        assert_eq!(k.uffd_register(pid, dup).unwrap_err(), Errno::Eexist);
+        // Valid registration, then a second one is busy.
+        let mut ok = UffdBackend::new();
+        ok.insert_page(addr.page_index() + 1, Page::zeroed());
+        k.uffd_register(pid, ok).unwrap();
+        assert_eq!(k.uffd_register(pid, backend).unwrap_err(), Errno::Ebusy);
+        // Exit clears the registration.
+        k.sys_exit(pid, 0).unwrap();
+        assert!(!k.uffd_registered(pid));
+        assert_eq!(k.uffd_take_log(pid).unwrap_err(), Errno::Esrch);
+    }
+
+    #[test]
+    fn ptrace_peek_resolves_missing_pages() {
+        let mut k = Kernel::free(35);
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        let (pid, addr, backend) = lazy_proc(&mut k, 2);
+        k.uffd_register(pid, backend).unwrap();
+        k.ptrace_seize(tracer, pid).unwrap();
+        k.ptrace_freeze(tracer, pid).unwrap();
+        let page = k.ptrace_peek_page(tracer, pid, addr.page_index()).unwrap();
+        assert_eq!(page.bytes()[0], 1, "dump sees withheld content");
+        assert_eq!(k.uffd_fault_counts(pid), (1, 0));
+    }
+
+    #[test]
+    fn fault_charges_are_deterministic_per_seed() {
+        let run = |seed: u64| -> (u64, (u64, u64)) {
+            let mut k = Kernel::new(seed);
+            let (pid, addr, backend) = lazy_proc(&mut k, 8);
+            k.uffd_register(pid, backend).unwrap();
+            k.mem_read(pid, addr, 8 * PAGE_SIZE as u64).unwrap();
+            (k.now().as_nanos(), k.uffd_fault_counts(pid))
+        };
+        assert_eq!(run(42), run(42), "same seed, same clock and counts");
+        let (t_a, counts_a) = run(42);
+        let (t_b, counts_b) = run(43);
+        assert_eq!(counts_a, counts_b);
+        assert_ne!(t_a, t_b, "different seed perturbs the jitter");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! - [`kernel`] — the machine: syscall surface, ptrace, `/proc`, probes
 //! - [`event`] — a discrete-event queue for the platform layer
 //! - [`probe`] — syscall/marker trace events (the `bpftrace` analogue)
+//! - [`uffd`] — demand-paging fault backends (the `userfaultfd` analogue)
 //! - [`error`] — POSIX-style error numbers
 //!
 //! ## Example
@@ -58,6 +59,7 @@ pub mod noise;
 pub mod probe;
 pub mod proc;
 pub mod time;
+pub mod uffd;
 
 pub use error::{Errno, SysResult};
 pub use kernel::{Kernel, INIT_PID};

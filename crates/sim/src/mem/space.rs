@@ -43,6 +43,11 @@ pub struct AddressSpace {
     /// `/proc/<pid>/clear_refs` + pagemap soft-dirty mechanism CRIU's
     /// incremental pre-dump relies on.
     dirty: std::collections::BTreeSet<u64>,
+    /// Pages mapped `MAP_MISSING`: inside a VMA but with their content
+    /// held back by a demand-paging backend (the `userfaultfd` analogue).
+    /// Touching one without resolving it first is a fault; the kernel
+    /// resolves them through its registered fault handler.
+    missing: std::collections::BTreeSet<u64>,
     next_map: u64,
 }
 
@@ -53,6 +58,7 @@ impl AddressSpace {
             vmas: BTreeMap::new(),
             pages: BTreeMap::new(),
             dirty: std::collections::BTreeSet::new(),
+            missing: std::collections::BTreeSet::new(),
             next_map: MMAP_BASE,
         }
     }
@@ -147,6 +153,10 @@ impl AddressSpace {
             self.pages.remove(&k);
             self.dirty.remove(&k);
         }
+        let gone: Vec<u64> = self.missing.range(first..last).copied().collect();
+        for k in gone {
+            self.missing.remove(&k);
+        }
         Ok(vma)
     }
 
@@ -158,6 +168,7 @@ impl AddressSpace {
     /// if the mapping is not writable.
     pub fn write(&mut self, addr: VirtAddr, bytes: &[u8]) -> SysResult<TouchStats> {
         self.check_range(addr, bytes.len() as u64, true)?;
+        self.check_resolved(addr, bytes.len() as u64)?;
         let mut stats = TouchStats::default();
         let mut off = 0usize;
         let mut cur = addr;
@@ -169,8 +180,7 @@ impl AddressSpace {
                 stats.pages_materialized += 1;
                 Page::zeroed()
             });
-            page.bytes_mut()[in_page..in_page + chunk]
-                .copy_from_slice(&bytes[off..off + chunk]);
+            page.bytes_mut()[in_page..in_page + chunk].copy_from_slice(&bytes[off..off + chunk]);
             self.dirty.insert(page_idx);
             stats.pages_touched += 1;
             off += chunk;
@@ -186,6 +196,7 @@ impl AddressSpace {
     /// [`Errno::Efault`] if the range is not fully mapped.
     pub fn read(&self, addr: VirtAddr, len: u64) -> SysResult<(Vec<u8>, TouchStats)> {
         self.check_range(addr, len, false)?;
+        self.check_resolved(addr, len)?;
         let mut out = vec![0u8; len as usize];
         let mut stats = TouchStats::default();
         let mut off = 0usize;
@@ -195,8 +206,7 @@ impl AddressSpace {
             let in_page = cur.page_offset();
             let chunk = (PAGE_SIZE - in_page).min(len as usize - off);
             if let Some(page) = self.pages.get(&page_idx) {
-                out[off..off + chunk]
-                    .copy_from_slice(&page.bytes()[in_page..in_page + chunk]);
+                out[off..off + chunk].copy_from_slice(&page.bytes()[in_page..in_page + chunk]);
             }
             stats.pages_touched += 1;
             off += chunk;
@@ -210,7 +220,9 @@ impl AddressSpace {
         self.pages.get(&page_index)
     }
 
-    /// Installs a full page of bytes (restore fast path).
+    /// Installs a full page of bytes (restore fast path). Clears any
+    /// `missing` mark on the page — this is how a demand-paging fault is
+    /// resolved (`UFFDIO_COPY`).
     ///
     /// # Errors
     ///
@@ -220,9 +232,62 @@ impl AddressSpace {
         if self.find_vma(addr).is_none() {
             return Err(Errno::Efault);
         }
+        self.missing.remove(&page_index);
         self.pages.insert(page_index, page);
         self.dirty.insert(page_index);
         Ok(())
+    }
+
+    /// Marks a mapped page as `missing`: its content is held by a
+    /// demand-paging backend and any touch must first resolve it via
+    /// [`install_page`](AddressSpace::install_page). This is the
+    /// `UFFDIO_REGISTER` analogue, applied per page.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Efault`] if the page is not inside any mapping,
+    /// [`Errno::Eexist`] if the page is already materialised.
+    pub fn mark_missing(&mut self, page_index: u64) -> SysResult<()> {
+        let addr = VirtAddr(page_index * PAGE_SIZE as u64);
+        if self.find_vma(addr).is_none() {
+            return Err(Errno::Efault);
+        }
+        if self.pages.contains_key(&page_index) {
+            return Err(Errno::Eexist);
+        }
+        self.missing.insert(page_index);
+        Ok(())
+    }
+
+    /// Returns `true` if the page is marked missing.
+    pub fn is_missing(&self, page_index: u64) -> bool {
+        self.missing.contains(&page_index)
+    }
+
+    /// Missing page indices intersecting `[addr, addr + len)`, ascending.
+    pub fn missing_in_range(&self, addr: VirtAddr, len: u64) -> Vec<u64> {
+        if len == 0 || self.missing.is_empty() {
+            return Vec::new();
+        }
+        let first = addr.page_index();
+        let last = VirtAddr(addr.0 + len - 1).page_index() + 1;
+        self.missing.range(first..last).copied().collect()
+    }
+
+    /// Total pages currently marked missing.
+    pub fn missing_pages(&self) -> u64 {
+        self.missing.len() as u64
+    }
+
+    fn check_resolved(&self, addr: VirtAddr, len: u64) -> SysResult<()> {
+        if self.missing_in_range(addr, len).is_empty() {
+            Ok(())
+        } else {
+            // A touch of an unresolved missing page. The kernel resolves
+            // faults before calling in here; hitting this means the caller
+            // bypassed fault delivery.
+            Err(Errno::Efault)
+        }
     }
 
     /// Clears the soft-dirty bits (`echo 4 > /proc/<pid>/clear_refs`).
@@ -523,6 +588,57 @@ mod tests {
         let (mut s, a) = space_with_map(PAGE_SIZE as u64);
         s.install_page(a.page_index(), Page::zeroed()).unwrap();
         assert!(s.is_soft_dirty(a.page_index()));
+    }
+
+    #[test]
+    fn missing_pages_fault_until_installed() {
+        let (mut s, a) = space_with_map(4 * PAGE_SIZE as u64);
+        let idx = a.page_index() + 1;
+        s.mark_missing(idx).unwrap();
+        assert!(s.is_missing(idx));
+        assert_eq!(s.missing_pages(), 1);
+
+        // Touching the missing page faults; untouched pages still work.
+        assert_eq!(
+            s.read(a.add(PAGE_SIZE as u64), 8).unwrap_err(),
+            Errno::Efault
+        );
+        assert_eq!(
+            s.write(a.add(PAGE_SIZE as u64), &[1]).unwrap_err(),
+            Errno::Efault
+        );
+        s.read(a, 8).unwrap();
+
+        // A spanning access reports the missing page.
+        assert_eq!(
+            s.missing_in_range(a, 2 * PAGE_SIZE as u64),
+            vec![idx],
+            "range walk finds the hole"
+        );
+        assert!(s.missing_in_range(a, PAGE_SIZE as u64).is_empty());
+
+        // Resolving via install_page clears the mark.
+        s.install_page(idx, Page::from_bytes(&[3u8; PAGE_SIZE]))
+            .unwrap();
+        assert!(!s.is_missing(idx));
+        let (back, _) = s.read(a.add(PAGE_SIZE as u64), 4).unwrap();
+        assert_eq!(back, vec![3u8; 4]);
+    }
+
+    #[test]
+    fn mark_missing_rejects_unmapped_and_materialised() {
+        let (mut s, a) = space_with_map(PAGE_SIZE as u64);
+        assert_eq!(s.mark_missing(9999999).unwrap_err(), Errno::Efault);
+        s.write(a, &[1]).unwrap();
+        assert_eq!(s.mark_missing(a.page_index()).unwrap_err(), Errno::Eexist);
+    }
+
+    #[test]
+    fn munmap_clears_missing_marks() {
+        let (mut s, a) = space_with_map(2 * PAGE_SIZE as u64);
+        s.mark_missing(a.page_index()).unwrap();
+        s.munmap(a).unwrap();
+        assert_eq!(s.missing_pages(), 0);
     }
 
     #[test]

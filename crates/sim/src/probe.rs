@@ -31,6 +31,14 @@ pub enum ProbeKind {
     /// A named user-level marker (runtime log line), e.g. `rts-start`,
     /// `main-entry`, `ready`.
     Marker(String),
+    /// A demand-paging fault resolved by the kernel's `userfaultfd`
+    /// analogue. `major` is true when the page content had to be fetched
+    /// from a registered fault backend (snapshot image), false for a
+    /// minor fault (demand-zero materialization while registered).
+    PageFault {
+        /// Whether the fault was backed by snapshot content.
+        major: bool,
+    },
 }
 
 impl ProbeKind {
@@ -62,6 +70,65 @@ impl ProbeKind {
             _ => None,
         }
     }
+
+    /// Returns `Some(major)` if this is a page-fault event.
+    pub fn as_page_fault(&self) -> Option<bool> {
+        match self {
+            ProbeKind::PageFault { major } => Some(*major),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate counts over a probe trace.
+///
+/// The `bpftrace` scripts the paper uses end with a `count()` aggregation
+/// per tracepoint; this is the equivalent fold over a recorded
+/// [`ProbeEvent`] stream. Used by the lazy-restore ablation harness to
+/// report major/minor fault totals next to latency percentiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeCounters {
+    /// Number of syscall-enter events.
+    pub syscall_enters: u64,
+    /// Number of syscall-exit events.
+    pub syscall_exits: u64,
+    /// Number of user-level markers.
+    pub markers: u64,
+    /// Major demand-paging faults (content served from a fault backend).
+    pub major_faults: u64,
+    /// Minor demand-paging faults (demand-zero while registered).
+    pub minor_faults: u64,
+}
+
+impl ProbeCounters {
+    /// Folds a probe trace into per-kind counts.
+    pub fn from_events(events: &[ProbeEvent]) -> ProbeCounters {
+        let mut c = ProbeCounters::default();
+        for ev in events {
+            match &ev.kind {
+                ProbeKind::SyscallEnter(_) => c.syscall_enters += 1,
+                ProbeKind::SyscallExit(_) => c.syscall_exits += 1,
+                ProbeKind::Marker(_) => c.markers += 1,
+                ProbeKind::PageFault { major: true } => c.major_faults += 1,
+                ProbeKind::PageFault { major: false } => c.minor_faults += 1,
+            }
+        }
+        c
+    }
+
+    /// Total page faults of either kind.
+    pub fn total_faults(&self) -> u64 {
+        self.major_faults + self.minor_faults
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &ProbeCounters) {
+        self.syscall_enters += other.syscall_enters;
+        self.syscall_exits += other.syscall_exits;
+        self.markers += other.markers;
+        self.major_faults += other.major_faults;
+        self.minor_faults += other.minor_faults;
+    }
 }
 
 #[cfg(test)]
@@ -81,5 +148,67 @@ mod tests {
 
         let x = ProbeKind::SyscallExit("execve");
         assert_eq!(x.as_exit(), Some("execve"));
+
+        let f = ProbeKind::PageFault { major: true };
+        assert_eq!(f.as_page_fault(), Some(true));
+        assert_eq!(f.as_marker(), None);
+        assert_eq!(m.as_page_fault(), None);
+    }
+
+    #[test]
+    fn counters_fold_a_trace() {
+        use crate::time::SimInstant;
+        let at = SimInstant::EPOCH;
+        let pid = Pid(1);
+        let events = vec![
+            ProbeEvent {
+                time: at,
+                pid,
+                kind: ProbeKind::SyscallEnter("clone"),
+            },
+            ProbeEvent {
+                time: at,
+                pid,
+                kind: ProbeKind::SyscallExit("clone"),
+            },
+            ProbeEvent {
+                time: at,
+                pid,
+                kind: ProbeKind::marker("ready"),
+            },
+            ProbeEvent {
+                time: at,
+                pid,
+                kind: ProbeKind::PageFault { major: true },
+            },
+            ProbeEvent {
+                time: at,
+                pid,
+                kind: ProbeKind::PageFault { major: true },
+            },
+            ProbeEvent {
+                time: at,
+                pid,
+                kind: ProbeKind::PageFault { major: false },
+            },
+        ];
+        let c = ProbeCounters::from_events(&events);
+        assert_eq!(c.syscall_enters, 1);
+        assert_eq!(c.syscall_exits, 1);
+        assert_eq!(c.markers, 1);
+        assert_eq!(c.major_faults, 2);
+        assert_eq!(c.minor_faults, 1);
+        assert_eq!(c.total_faults(), 3);
+
+        let mut m = ProbeCounters::default();
+        m.merge(&c);
+        m.merge(&c);
+        assert_eq!(m.major_faults, 4);
+        assert_eq!(m.syscall_enters, 2);
+    }
+
+    #[test]
+    fn counters_of_empty_trace_are_zero() {
+        assert_eq!(ProbeCounters::from_events(&[]), ProbeCounters::default());
     }
 }

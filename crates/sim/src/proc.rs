@@ -73,9 +73,7 @@ impl CapSet {
 
     /// All modelled capabilities (a root-ish task).
     pub const fn all() -> Self {
-        CapSet(
-            Cap::SysAdmin.bit() | Cap::SysPtrace.bit() | Cap::CheckpointRestore.bit(),
-        )
+        CapSet(Cap::SysAdmin.bit() | Cap::SysPtrace.bit() | Cap::CheckpointRestore.bit())
     }
 
     /// Returns a copy with `cap` added.
@@ -291,9 +289,7 @@ impl Process {
 
     /// Returns `true` if every thread is frozen.
     pub fn all_frozen(&self) -> bool {
-        self.threads
-            .iter()
-            .all(|t| t.state == ThreadState::Frozen)
+        self.threads.iter().all(|t| t.state == ThreadState::Frozen)
     }
 
     /// Returns `true` if the process has exited.

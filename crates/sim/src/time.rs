@@ -341,10 +341,7 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
-        assert_eq!(
-            SimDuration::from_millis(1),
-            SimDuration::from_micros(1000)
-        );
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
     }
 
@@ -400,24 +397,15 @@ mod tests {
     fn instant_arithmetic() {
         let t = SimInstant::EPOCH + SimDuration::from_millis(100);
         assert_eq!(t.as_nanos(), 100_000_000);
-        assert_eq!(
-            t - SimInstant::EPOCH,
-            SimDuration::from_millis(100)
-        );
-        assert_eq!(
-            (t - SimDuration::from_millis(40)).as_nanos(),
-            60_000_000
-        );
+        assert_eq!(t - SimInstant::EPOCH, SimDuration::from_millis(100));
+        assert_eq!((t - SimDuration::from_millis(40)).as_nanos(), 60_000_000);
     }
 
     #[test]
     fn instant_saturating_duration_since() {
         let early = SimInstant::from_nanos(10);
         let late = SimInstant::from_nanos(50);
-        assert_eq!(
-            early.saturating_duration_since(late),
-            SimDuration::ZERO
-        );
+        assert_eq!(early.saturating_duration_since(late), SimDuration::ZERO);
         assert_eq!(
             late.saturating_duration_since(early),
             SimDuration::from_nanos(40)

@@ -1,0 +1,140 @@
+//! Demand-paging fault backends — the `userfaultfd(2)` analogue.
+//!
+//! Lazy restore (the paper's §7 future work, realised by REAP at
+//! ASPLOS '21) maps a checkpointed address space *without* its page
+//! contents and registers the region with `userfaultfd`. Every first
+//! touch traps to a handler that copies the page in from the snapshot
+//! image (`UFFDIO_COPY`). This module models that mechanism: a
+//! [`UffdBackend`] holds the withheld pages for one process, counts
+//! major/minor faults and — when recording — logs the *order* in which
+//! pages were demanded, which is exactly the working set a later
+//! prefetch-mode restore loads up front.
+//!
+//! The kernel owns the registration table (see
+//! [`Kernel::uffd_register`](crate::kernel::Kernel::uffd_register)) and
+//! resolves faults transparently inside `mem_read`/`mem_write`/ptrace
+//! accesses, charging [`CostModel::fault_trap`](crate::cost::CostModel)
+//! plus the data movement per major fault.
+
+use std::collections::BTreeMap;
+
+use crate::mem::Page;
+
+/// Per-process demand-paging backend: withheld page contents plus fault
+/// accounting, registered with the kernel via `uffd_register`.
+#[derive(Debug, Clone, Default)]
+pub struct UffdBackend {
+    pages: BTreeMap<u64, Page>,
+    recording: bool,
+    log: Vec<u64>,
+    major_faults: u64,
+    minor_faults: u64,
+}
+
+impl UffdBackend {
+    /// An empty backend.
+    pub fn new() -> Self {
+        UffdBackend::default()
+    }
+
+    /// Adds the content for one withheld page.
+    pub fn insert_page(&mut self, page_index: u64, page: Page) {
+        self.pages.insert(page_index, page);
+    }
+
+    /// Looks up a withheld page.
+    pub fn page(&self, page_index: u64) -> Option<&Page> {
+        self.pages.get(&page_index)
+    }
+
+    /// Number of withheld pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the backend holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Page indices the backend holds, ascending.
+    pub fn page_indices(&self) -> Vec<u64> {
+        self.pages.keys().copied().collect()
+    }
+
+    /// Turns working-set recording on or off. While on, every major
+    /// fault appends its page index to the ordered log.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+    }
+
+    /// Whether working-set recording is active.
+    pub fn is_recording(&self) -> bool {
+        self.recording
+    }
+
+    /// Takes the recorded fault log (ordered, first fault first) and
+    /// stops recording.
+    pub fn take_log(&mut self) -> Vec<u64> {
+        self.recording = false;
+        std::mem::take(&mut self.log)
+    }
+
+    /// Notes a resolved major fault on `page_index`.
+    pub fn note_major(&mut self, page_index: u64) {
+        self.major_faults += 1;
+        if self.recording {
+            self.log.push(page_index);
+        }
+    }
+
+    /// Notes `n` minor faults.
+    pub fn note_minor(&mut self, n: u64) {
+        self.minor_faults += n;
+    }
+
+    /// Major faults resolved so far.
+    pub fn major_faults(&self) -> u64 {
+        self.major_faults
+    }
+
+    /// Minor faults observed so far.
+    pub fn minor_faults(&self) -> u64 {
+        self.minor_faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::page::PAGE_SIZE;
+
+    #[test]
+    fn backend_holds_pages() {
+        let mut b = UffdBackend::new();
+        assert!(b.is_empty());
+        b.insert_page(7, Page::from_bytes(&[1u8; PAGE_SIZE]));
+        b.insert_page(3, Page::zeroed());
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.page_indices(), vec![3, 7]);
+        assert_eq!(b.page(7).unwrap().bytes()[0], 1);
+        assert!(b.page(8).is_none());
+    }
+
+    #[test]
+    fn recording_logs_major_fault_order() {
+        let mut b = UffdBackend::new();
+        b.note_major(5); // not recording yet: counted, not logged
+        b.set_recording(true);
+        assert!(b.is_recording());
+        b.note_major(9);
+        b.note_major(2);
+        b.note_major(9); // refaults may repeat in the log
+        b.note_minor(3);
+        assert_eq!(b.major_faults(), 4);
+        assert_eq!(b.minor_faults(), 3);
+        assert_eq!(b.take_log(), vec![9, 2, 9]);
+        assert!(!b.is_recording());
+        assert!(b.take_log().is_empty(), "log is consumed");
+    }
+}

@@ -152,14 +152,7 @@ pub fn hodges_lehmann(a: &[f64], b: &[f64], level: f64) -> (f64, ConfInterval) {
 
     let lo = diffs[k];
     let hi = diffs[diffs.len() - 1 - k];
-    (
-        estimate,
-        ConfInterval {
-            lo,
-            hi,
-            level,
-        },
-    )
+    (estimate, ConfInterval { lo, hi, level })
 }
 
 #[cfg(test)]
@@ -248,12 +241,7 @@ mod tests {
 
     #[test]
     fn rank_midranks_correct() {
-        let mut pooled: Vec<(f64, usize)> = vec![
-            (10.0, 0),
-            (20.0, 1),
-            (20.0, 2),
-            (30.0, 3),
-        ];
+        let mut pooled: Vec<(f64, usize)> = vec![(10.0, 0), (20.0, 1), (20.0, 2), (30.0, 3)];
         let (ranks, tie_term) = midranks(&mut pooled);
         assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
         assert_eq!(tie_term, 2.0 * 2.0 * 2.0 - 2.0);

@@ -51,7 +51,8 @@ pub fn shapiro_wilk(data: &[f64]) -> ShapiroWilk {
     // Royston's polynomial-corrected coefficients.
     let rsn = 1.0 / (n as f64).sqrt();
     let c_n = m[n - 1] / ssq_m.sqrt();
-    let a_n = -2.706056 * rsn.powi(5) + 4.434685 * rsn.powi(4) - 2.071190 * rsn.powi(3)
+    let a_n = -2.706056 * rsn.powi(5) + 4.434685 * rsn.powi(4)
+        - 2.071190 * rsn.powi(3)
         - 0.147981 * rsn.powi(2)
         + 0.221157 * rsn
         + c_n;
@@ -98,8 +99,7 @@ pub fn shapiro_wilk(data: &[f64]) -> ShapiroWilk {
         let nf = n as f64;
         let gamma = -2.273 + 0.459 * nf;
         let mu = 0.5440 - 0.39978 * nf + 0.025054 * nf * nf - 0.0006714 * nf * nf * nf;
-        let sigma =
-            (1.3822 - 0.77857 * nf + 0.062767 * nf * nf - 0.0020322 * nf * nf * nf).exp();
+        let sigma = (1.3822 - 0.77857 * nf + 0.062767 * nf * nf - 0.0020322 * nf * nf * nf).exp();
         let z = (-((gamma - (1.0 - w).ln()).ln()) - mu) / sigma;
         1.0 - normal::cdf(z)
     } else {

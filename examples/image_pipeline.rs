@@ -28,7 +28,10 @@ fn main() {
     let mut vanilla = VanillaStarter
         .start(&mut kernel, watchdog, &dep)
         .expect("vanilla start");
-    println!("vanilla start-up : {:>8.2} ms", vanilla.startup.as_millis_f64());
+    println!(
+        "vanilla start-up : {:>8.2} ms",
+        vanilla.startup.as_millis_f64()
+    );
     println!("  phases         : {}", vanilla.phases);
     let resident_mb = kernel
         .process(vanilla.replica.pid())
@@ -71,7 +74,10 @@ fn main() {
     let mut prebaked = PrebakeStarter::new()
         .start(&mut kernel, watchdog, &dep)
         .expect("prebaked start");
-    println!("prebaked start-up: {:>8.2} ms", prebaked.startup.as_millis_f64());
+    println!(
+        "prebaked start-up: {:>8.2} ms",
+        prebaked.startup.as_millis_f64()
+    );
 
     let restored_response = prebaked
         .replica

@@ -37,7 +37,9 @@ fn main() {
     let project = criu
         .new_project(FunctionSpec::markdown(), "java11-criu-warm1")
         .expect("faas-cli new");
-    let image = criu.build(&project).expect("faas-cli build (bakes snapshot)");
+    let image = criu
+        .build(&project)
+        .expect("faas-cli build (bakes snapshot)");
     println!(
         "[java11-criu]     built image (prebaked: {}, snapshot {:.1} MB)",
         image.is_prebaked(),

@@ -19,8 +19,8 @@ fn main() {
     let watchdog = provision_machine(&mut kernel).expect("provision machine");
 
     // Deploy the Markdown Render function.
-    let dep = Deployment::install(&mut kernel, FunctionSpec::markdown(), 8080)
-        .expect("install function");
+    let dep =
+        Deployment::install(&mut kernel, FunctionSpec::markdown(), 8080).expect("install function");
     let request = dep.spec.sample_request();
 
     // 1) Vanilla cold start: clone + exec + runtime bootstrap + app init.
@@ -32,11 +32,16 @@ fn main() {
         .replica
         .handle(&mut kernel, &request)
         .expect("vanilla request");
-    println!("vanilla start-up : {:>8.2} ms", vanilla.startup.as_millis_f64());
+    println!(
+        "vanilla start-up : {:>8.2} ms",
+        vanilla.startup.as_millis_f64()
+    );
     println!("  phases         : {}", vanilla.phases);
 
     // The vanilla replica's job is done; free its port for the demo.
-    kernel.sys_exit(vanilla.replica.pid(), 0).expect("stop replica");
+    kernel
+        .sys_exit(vanilla.replica.pid(), 0)
+        .expect("stop replica");
     kernel.reap(vanilla.replica.pid()).expect("reap replica");
 
     // 2) Prebake: boot once at "build time", warm with one request, dump.
@@ -64,7 +69,10 @@ fn main() {
         .replica
         .handle(&mut kernel, &request)
         .expect("prebaked request");
-    println!("prebaked start-up: {:>8.2} ms", prebaked.startup.as_millis_f64());
+    println!(
+        "prebaked start-up: {:>8.2} ms",
+        prebaked.startup.as_millis_f64()
+    );
     println!("  phases         : {}", prebaked.phases);
 
     // Same function, same answer.

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md): everything a PR must keep green.
+# Runs the release build, the full test suite, formatting and lints.
+set -u
+
+fail=0
+
+run() {
+  echo "==> $*"
+  "$@" 2>&1 | tail -n 40
+  local status=${PIPESTATUS[0]}
+  if [ "$status" -ne 0 ]; then
+    echo "FAILED ($status): $*"
+    fail=1
+  fi
+}
+
+cd "$(dirname "$0")/.."
+
+run cargo build --release
+run cargo test -q
+run cargo fmt --all --check
+run cargo clippy --all-targets -- -D warnings
+
+if [ "$fail" -ne 0 ]; then
+  echo "tier-1: FAILED"
+  exit 1
+fi
+echo "tier-1: OK"

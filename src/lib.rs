@@ -15,6 +15,7 @@
 //! | [`prebake_sim`] | virtual-clock kernel: processes, pages, VMAs, simfs + page cache, ptrace, `/proc`, capabilities |
 //! | [`prebake_runtime`] | "JLVM" managed runtime: real class-file parsing/verification, lazy JIT, in-guest state |
 //! | [`prebake_criu`] | checkpoint/restore: parasite dump pipeline, image format, privileged restore, image cache |
+//! | [`prebake_lazy`] | lazy restore: working-set recording, `ws.img`, prefetch planning over the demand-paging kernel |
 //! | [`prebake_functions`] | the paper's workloads: NOOP, Markdown renderer, Image Resizer, synthetic class sets |
 //! | [`prebake_core`] | the contribution: snapshot policies, vanilla vs prebake starters, phase measurement, trial harness |
 //! | [`prebake_platform`] | SPEC-RG / OpenFaaS platform: registry, builder templates, autoscaler, gateway, load generation |
@@ -43,6 +44,7 @@
 pub use prebake_core as core;
 pub use prebake_criu as criu;
 pub use prebake_functions as functions;
+pub use prebake_lazy as lazy;
 pub use prebake_platform as platform;
 pub use prebake_runtime as runtime;
 pub use prebake_sim as sim;

@@ -16,10 +16,7 @@ fn identical_seeds_identical_trials() {
             let b = runner_b.startup_trial(seed).unwrap();
             assert_eq!(a.startup_ms, b.startup_ms, "mode {mode:?} seed {seed}");
             assert_eq!(a.first_response_ms, b.first_response_ms);
-            assert_eq!(
-                a.phases.appinit.as_nanos(),
-                b.phases.appinit.as_nanos()
-            );
+            assert_eq!(a.phases.appinit.as_nanos(), b.phases.appinit.as_nanos());
         }
     }
 }

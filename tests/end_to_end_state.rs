@@ -67,7 +67,9 @@ fn restored_replica_serves_identical_responses() {
         &dep.images_dir(),
     )
     .unwrap();
-    let mut restored = PrebakeStarter::new().start(&mut kernel, watchdog, &dep).unwrap();
+    let mut restored = PrebakeStarter::new()
+        .start(&mut kernel, watchdog, &dep)
+        .unwrap();
     let response = restored.replica.handle(&mut kernel, &req).unwrap();
 
     assert_eq!(reference.status, response.status);
@@ -124,8 +126,7 @@ fn warm_restored_replica_skips_all_loading() {
     )
     .unwrap();
     let handler = dep.spec.make_handler(&dep.app_dir);
-    let mut replica =
-        Replica::attach(&mut kernel, stats.pid, dep.jlvm_config(), handler).unwrap();
+    let mut replica = Replica::attach(&mut kernel, stats.pid, dep.jlvm_config(), handler).unwrap();
 
     // The first request on a warm restore does no loading, no JIT, no
     // lazy link: it must complete in single-digit milliseconds.
@@ -163,8 +164,7 @@ fn cold_restored_replica_still_pays_lazy_work() {
     )
     .unwrap();
     let handler = dep.spec.make_handler(&dep.app_dir);
-    let mut replica =
-        Replica::attach(&mut kernel, stats.pid, dep.jlvm_config(), handler).unwrap();
+    let mut replica = Replica::attach(&mut kernel, stats.pid, dep.jlvm_config(), handler).unwrap();
 
     let t0 = kernel.now();
     replica

@@ -116,8 +116,7 @@ fn incremental_rebake_preserves_prebake_speed() {
     // Restore and re-attach: the replica is warm and state-identical.
     let stats = restore(&mut kernel, watchdog, &RestoreOptions::new("/final")).unwrap();
     let handler = dep.spec.make_handler(&dep.app_dir);
-    let mut restored =
-        Replica::attach(&mut kernel, stats.pid, dep.jlvm_config(), handler).unwrap();
+    let mut restored = Replica::attach(&mut kernel, stats.pid, dep.jlvm_config(), handler).unwrap();
     assert_eq!(restored.jvm().state(), &expected_state);
     let t0 = kernel.now();
     restored

@@ -112,8 +112,8 @@ fn fig4_phase_structure() {
     let rts = t.phases.rts.as_millis_f64();
     assert!((60.0..80.0).contains(&rts), "RTS {rts}ms, paper ~70ms");
 
-    let runner = TrialRunner::new(FunctionSpec::noop(), StartMode::PrebakeNoWarmup)
-        .expect("runner");
+    let runner =
+        TrialRunner::new(FunctionSpec::noop(), StartMode::PrebakeNoWarmup).expect("runner");
     let t = runner.startup_trial(3).expect("trial");
     assert_eq!(t.phases.rts.as_millis_f64(), 0.0, "prebake RTS = 0");
     assert_eq!(t.phases.exec.as_millis_f64(), 0.0, "prebake EXEC = 0");
@@ -135,8 +135,14 @@ fn table1_small_synthetic_three_techniques() {
     // Fig. 6 ratios
     let r_nw = v / nw * 100.0;
     let r_w = v / w * 100.0;
-    assert!((115.0..140.0).contains(&r_nw), "paper 127.45%, got {r_nw:.1}%");
-    assert!((330.0..480.0).contains(&r_w), "paper 403.96%, got {r_w:.1}%");
+    assert!(
+        (115.0..140.0).contains(&r_nw),
+        "paper 127.45%, got {r_nw:.1}%"
+    );
+    assert!(
+        (330.0..480.0).contains(&r_w),
+        "paper 403.96%, got {r_w:.1}%"
+    );
 }
 
 #[test]

@@ -31,12 +31,8 @@ fn mixed_functions_share_one_platform() {
     gw.invoke_at(t0, "noop", Request::empty()).unwrap();
     gw.invoke_at(t0, "markdown-render", Request::with_body(md_body.clone()))
         .unwrap();
-    gw.invoke_at(
-        t0 + SimDuration::from_secs(1),
-        "noop",
-        Request::empty(),
-    )
-    .unwrap();
+    gw.invoke_at(t0 + SimDuration::from_secs(1), "noop", Request::empty())
+        .unwrap();
     gw.invoke_at(
         t0 + SimDuration::from_secs(1),
         "markdown-render",
@@ -117,7 +113,8 @@ fn scale_to_zero_and_second_cold_start() {
     gw.push(image);
     gw.deploy("noop").unwrap();
 
-    gw.invoke_at(SimInstant::EPOCH, "noop", Request::empty()).unwrap();
+    gw.invoke_at(SimInstant::EPOCH, "noop", Request::empty())
+        .unwrap();
     gw.invoke_at(
         SimInstant::EPOCH + SimDuration::from_secs(120),
         "noop",

@@ -1,0 +1,71 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stabilised since the real crate's scoped
+//! threads were written). Panics in spawned threads propagate out of
+//! [`thread::scope`] as panics rather than an `Err`, which is
+//! equivalent for callers that `.expect()` the result.
+
+/// Scoped thread spawning, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Result type returned by [`scope`].
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle passed to the closure given to [`scope`]; spawned
+    /// closures receive a copy so they can spawn further threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, like
+        /// crossbeam's `|_|` convention.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment
+    /// can be spawned; joins them all before returning.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in this shim: panics from spawned threads
+    /// resurface as panics when the scope joins.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut data = vec![0u64; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = i as u64 * 2;
+                });
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(data[7], 14);
+    }
+}

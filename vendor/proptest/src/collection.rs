@@ -1,0 +1,159 @@
+//! Collection strategies: `vec`, `btree_set`, `btree_map`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Inclusive-exclusive size bound for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_excl: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        debug_assert!(self.min < self.max_excl);
+        self.min + rng.below((self.max_excl - self.min) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max_excl: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max_excl: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            min: n,
+            max_excl: n + 1,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates vectors whose length falls in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy producing `BTreeSet`s; duplicates collapse, so the final
+/// size can fall below the requested minimum (same as real proptest's
+/// behaviour for narrow domains).
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates sets from up to `size` draws of `element`.
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy producing `BTreeMap`s; duplicate keys collapse.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let len = self.size.pick(rng);
+        (0..len)
+            .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+            .collect()
+    }
+}
+
+/// Generates maps from up to `size` draws of `(key, value)`.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl Into<SizeRange>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn sizes_respected() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..100 {
+            let v = vec(any::<u8>(), 2..7).sample(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            let s = btree_set(0u64..1_000_000, 3..5).sample(&mut rng);
+            assert!(s.len() <= 4);
+            let m = btree_map(0u32..100, any::<bool>(), 1..4).sample(&mut rng);
+            assert!(m.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace
+//! vendors a small property-testing engine with the same call-site
+//! surface the tests use: the `proptest!` macro, `prop_assert*!` /
+//! `prop_assume!`, `any::<T>()`, numeric-range and char-class string
+//! strategies, and `prop::collection::{vec, btree_set, btree_map}`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with the failure message;
+//!   inputs are not minimised.
+//! - **Deterministic seeding.** The RNG seed derives from the test's
+//!   module path and name, so every run explores the same cases. That
+//!   determinism is a feature for this repo's reproducibility goals.
+//! - **64 cases by default** (real proptest runs 256); override with
+//!   `ProptestConfig::with_cases`.
+
+use std::fmt;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Input rejected by `prop_assume!`; another case is drawn.
+    Reject(Reason),
+    /// Assertion failure; the whole test fails.
+    Fail(Reason),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(reason: impl Into<Reason>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(reason: impl Into<Reason>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Human-readable cause attached to a [`TestCaseError`].
+#[derive(Debug, Clone)]
+pub struct Reason(String);
+
+impl fmt::Display for Reason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<String> for Reason {
+    fn from(s: String) -> Reason {
+        Reason(s)
+    }
+}
+
+impl From<&str> for Reason {
+    fn from(s: &str) -> Reason {
+        Reason(s.to_owned())
+    }
+}
+
+/// Deterministic RNG driving strategy sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an explicit value.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            state: seed | 1, // never all-zero
+        }
+    }
+
+    /// Seeds deterministically from a test's fully qualified name.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a 64-bit over the name.
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::from_seed(hash)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Everything tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Any, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig, Reason,
+        TestCaseError,
+    };
+
+    /// Namespace mirror of real proptest's `prop::` re-exports.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`: {}\n  left: `{:?}`\n right: `{:?}`",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: `{:?}`",
+                left
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Declares property tests. Mirrors real proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..100, s in "[a-z]{1,8}") { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(8).saturating_add(256),
+                    "proptest {}: too many rejected cases",
+                    stringify!($name)
+                );
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = ($strat).sample(&mut rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => continue,
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(reason)) => {
+                        panic!("proptest {} failed: {}", stringify!($name), reason)
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 5u32..50, y in 1u8..=3, f in -2.0f64..2.0) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn strings_match_class(s in "[a-c]{2,4}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "bad len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn collections_and_tuples(
+            v in prop::collection::vec((0u8..3, any::<bool>()), 1..6),
+            set in prop::collection::btree_set(0u64..100, 1..10),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(set.len() < 10);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        use crate::strategy::Strategy;
+        let mut a = crate::TestRng::for_test("t");
+        let mut b = crate::TestRng::for_test("t");
+        for _ in 0..50 {
+            assert_eq!((0u64..1000).sample(&mut a), (0u64..1000).sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The [`Strategy`] trait and the built-in value strategies: numeric
+//! ranges, tuples, and char-class string patterns.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::TestRng;
+
+/// Produces random values of an associated type from a [`TestRng`].
+///
+/// Unlike real proptest there is no value tree / shrinking: `sample`
+/// returns a finished value directly.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy for `any::<T>()`; see [`crate::arbitrary::any`].
+pub struct Any<T> {
+    pub(crate) _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_unsigned_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end as u128 - self.start as u128;
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = end as u128 - start as u128 + 1;
+                start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// `&str` strategies are char-class patterns of the form
+/// `"[<class>]{m}"` or `"[<class>]{m,n}"`, e.g. `"[a-z0-9._]{1,8}"`.
+/// The class supports ranges (`a-z`) and literal characters (including
+/// a literal newline written as `\n` in Rust source).
+impl Strategy for str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_char_class(self);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[class]{m}` / `[class]{m,n}` into (alphabet, min, max).
+fn parse_char_class(pattern: &str) -> (Vec<char>, usize, usize) {
+    fn bad(pattern: &str) -> ! {
+        panic!("unsupported string strategy pattern: {pattern:?}")
+    }
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| bad(pattern));
+    let (class, reps) = rest.split_once(']').unwrap_or_else(|| bad(pattern));
+
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "bad char range in {pattern:?}");
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty char class in {pattern:?}");
+
+    let reps = reps
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| bad(pattern));
+    let (min, max) = match reps.split_once(',') {
+        Some((m, n)) => (
+            m.trim().parse().unwrap_or_else(|_| bad(pattern)),
+            n.trim().parse().unwrap_or_else(|_| bad(pattern)),
+        ),
+        None => {
+            let n = reps.trim().parse().unwrap_or_else(|_| bad(pattern));
+            (n, n)
+        }
+    };
+    assert!(min <= max, "bad repetition in {pattern:?}");
+    (alphabet, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_class_parsing() {
+        let (alpha, min, max) = parse_char_class("[a-cz.]{2,5}");
+        assert_eq!(alpha, vec!['a', 'b', 'c', 'z', '.']);
+        assert_eq!((min, max), (2, 5));
+
+        let (alpha, min, max) = parse_char_class("[ -~\n]{0,10}");
+        assert!(alpha.contains(&' ') && alpha.contains(&'~') && alpha.contains(&'\n'));
+        assert_eq!((min, max), (0, 10));
+
+        let (_, min, max) = parse_char_class("[x]{3}");
+        assert_eq!((min, max), (3, 3));
+    }
+
+    #[test]
+    fn signed_range_sampling() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..200 {
+            let v = (-50i32..50).sample(&mut rng);
+            assert!((-50..50).contains(&v));
+        }
+    }
+}
