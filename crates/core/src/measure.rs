@@ -42,6 +42,15 @@ pub enum StartMode {
     /// bulk-load exactly those pages and demand-fault the rest
     /// (`prebake-lazy`, REAP-style). `n = 0` bakes after readiness.
     PrebakePrefetch(u32),
+    /// Restore the `n`-warm-up snapshot copy-on-write from the machine's
+    /// content-addressed page store: every stored page is mapped as a
+    /// shared frame, replicas pay the copy only on first write
+    /// (`pagestore.img`). `n = 0` bakes after readiness.
+    PrebakeCow(u32),
+    /// As [`StartMode::PrebakeCow`] for the recorded working set, with
+    /// residual pages left behind the fault handler as in
+    /// [`StartMode::PrebakePrefetch`]. `n = 0` bakes after readiness.
+    PrebakeCowPrefetch(u32),
 }
 
 impl StartMode {
@@ -51,7 +60,10 @@ impl StartMode {
             StartMode::Vanilla => None,
             StartMode::PrebakeNoWarmup => Some(SnapshotPolicy::AfterReady),
             StartMode::PrebakeWarmup(n) => Some(SnapshotPolicy::AfterWarmup(*n)),
-            StartMode::PrebakeLazy(n) | StartMode::PrebakePrefetch(n) => Some(if *n == 0 {
+            StartMode::PrebakeLazy(n)
+            | StartMode::PrebakePrefetch(n)
+            | StartMode::PrebakeCow(n)
+            | StartMode::PrebakeCowPrefetch(n) => Some(if *n == 0 {
                 SnapshotPolicy::AfterReady
             } else {
                 SnapshotPolicy::AfterWarmup(*n)
@@ -66,12 +78,14 @@ impl StartMode {
             StartMode::PrebakeNoWarmup | StartMode::PrebakeWarmup(_) => Some(RestoreMode::Eager),
             StartMode::PrebakeLazy(_) => Some(RestoreMode::Lazy),
             StartMode::PrebakePrefetch(_) => Some(RestoreMode::Prefetch),
+            StartMode::PrebakeCow(_) => Some(RestoreMode::Cow),
+            StartMode::PrebakeCowPrefetch(_) => Some(RestoreMode::CowPrefetch),
         }
     }
 
     /// Whether baking must also run the working-set record pass.
     pub fn needs_working_set(&self) -> bool {
-        matches!(self, StartMode::PrebakePrefetch(_))
+        self.restore_mode().is_some_and(RestoreMode::needs_ws)
     }
 
     /// Label used in reports (matches the paper's terminology).
@@ -85,6 +99,10 @@ impl StartMode {
             StartMode::PrebakeLazy(n) => format!("pb-lazy-{n}"),
             StartMode::PrebakePrefetch(1) => "pb-prefetch".to_owned(),
             StartMode::PrebakePrefetch(n) => format!("pb-prefetch-{n}"),
+            StartMode::PrebakeCow(1) => "pb-cow".to_owned(),
+            StartMode::PrebakeCow(n) => format!("pb-cow-{n}"),
+            StartMode::PrebakeCowPrefetch(1) => "pb-cow-prefetch".to_owned(),
+            StartMode::PrebakeCowPrefetch(n) => format!("pb-cow-prefetch-{n}"),
         }
     }
 
@@ -107,6 +125,17 @@ impl StartMode {
             StartMode::PrebakePrefetch(1),
         ]
     }
+
+    /// The page-store ablation trio: the paper's eager warm restore
+    /// against the two copy-on-write strategies, all over the same
+    /// 1-warm-up snapshot (`ablation_pagestore`).
+    pub fn cow_ablation() -> [StartMode; 3] {
+        [
+            StartMode::PrebakeWarmup(1),
+            StartMode::PrebakeCow(1),
+            StartMode::PrebakeCowPrefetch(1),
+        ]
+    }
 }
 
 /// One cold-start observation.
@@ -123,10 +152,35 @@ pub struct StartupTrial {
     pub phases: Phases,
     /// Snapshot size behind this start (0 for vanilla).
     pub snapshot_bytes: u64,
+    /// Stored (non-zero) pages in the snapshot behind this start (0 for
+    /// vanilla).
+    pub pages_stored: usize,
+    /// Distinct page contents among those stored pages — the page-store
+    /// frame count the dedup view collapses them to (equals
+    /// `pages_stored` when nothing dedups; 0 for vanilla).
+    pub pages_unique: usize,
     /// Probe counters over the whole window (start-up **and** first
     /// request): syscalls, markers, and — under lazy restore modes —
-    /// major/minor page faults.
+    /// major/minor page faults and copy-on-write breaks.
     pub probes: ProbeCounters,
+}
+
+impl StartupTrial {
+    /// Fraction of stored pages that another stored page's content
+    /// already covers (`0.0` when nothing dedups or nothing is stored).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.pages_stored == 0 {
+            0.0
+        } else {
+            (self.pages_stored - self.pages_unique) as f64 / self.pages_stored as f64
+        }
+    }
+
+    /// Copy-on-write breaks taken across start-up and first request
+    /// (non-zero only under the CoW restore modes).
+    pub fn cow_breaks(&self) -> u64 {
+        self.probes.cow_breaks
+    }
 }
 
 /// A fixed (function, mode) pair that can run many independent trials.
@@ -140,6 +194,8 @@ pub struct TrialRunner {
     port: u16,
     baked_images: Option<Vec<(String, Bytes)>>,
     snapshot_bytes: u64,
+    pages_stored: usize,
+    pages_unique: usize,
 }
 
 impl TrialRunner {
@@ -150,8 +206,8 @@ impl TrialRunner {
     /// Propagates build/bake errors.
     pub fn new(spec: FunctionSpec, mode: StartMode) -> SysResult<TrialRunner> {
         let port = 8080;
-        let (baked_images, snapshot_bytes) = match mode.policy() {
-            None => (None, 0),
+        let (baked_images, snapshot_bytes, pages_stored, pages_unique) = match mode.policy() {
+            None => (None, 0, 0, 0),
             Some(policy) => {
                 // The builder machine: where `faas-cli build` would run.
                 let mut kernel = Kernel::new(0xBA5E);
@@ -165,7 +221,12 @@ impl TrialRunner {
                     record_working_set(&mut kernel, builder, &dep, &dep.images_dir())?;
                 }
                 let files = export_images(&mut kernel, &dep.images_dir())?;
-                (Some(files), report.snapshot_bytes())
+                (
+                    Some(files),
+                    report.snapshot_bytes(),
+                    report.dump.pages_stored,
+                    report.dump.pages_unique,
+                )
             }
         };
         Ok(TrialRunner {
@@ -174,6 +235,8 @@ impl TrialRunner {
             port,
             baked_images,
             snapshot_bytes,
+            pages_stored,
+            pages_unique,
         })
     }
 
@@ -190,6 +253,17 @@ impl TrialRunner {
     /// Size of the baked snapshot (0 for vanilla).
     pub fn snapshot_bytes(&self) -> u64 {
         self.snapshot_bytes
+    }
+
+    /// Stored pages in the baked snapshot (0 for vanilla).
+    pub fn pages_stored(&self) -> usize {
+        self.pages_stored
+    }
+
+    /// Distinct page contents in the baked snapshot's dedup view (0 for
+    /// vanilla).
+    pub fn pages_unique(&self) -> usize {
+        self.pages_unique
     }
 
     /// Builds the trial machine: provision, deploy, ship snapshot images,
@@ -246,6 +320,8 @@ impl TrialRunner {
             first_response_ms: first_response.as_millis_f64(),
             phases,
             snapshot_bytes: self.snapshot_bytes,
+            pages_stored: self.pages_stored,
+            pages_unique: self.pages_unique,
             probes,
         })
     }
@@ -338,6 +414,74 @@ mod tests {
         assert!(StartMode::PrebakePrefetch(1).needs_working_set());
         assert!(!StartMode::PrebakeLazy(1).needs_working_set());
         assert_eq!(StartMode::lazy_ablation().len(), 3);
+    }
+
+    #[test]
+    fn cow_mode_labels_policies_and_restore_modes() {
+        assert_eq!(StartMode::PrebakeCow(1).label(), "pb-cow");
+        assert_eq!(StartMode::PrebakeCow(2).label(), "pb-cow-2");
+        assert_eq!(StartMode::PrebakeCowPrefetch(1).label(), "pb-cow-prefetch");
+        assert_eq!(
+            StartMode::PrebakeCow(0).policy(),
+            Some(SnapshotPolicy::AfterReady)
+        );
+        assert_eq!(
+            StartMode::PrebakeCowPrefetch(2).policy(),
+            Some(SnapshotPolicy::AfterWarmup(2))
+        );
+        assert_eq!(
+            StartMode::PrebakeCow(1).restore_mode(),
+            Some(RestoreMode::Cow)
+        );
+        assert_eq!(
+            StartMode::PrebakeCowPrefetch(1).restore_mode(),
+            Some(RestoreMode::CowPrefetch)
+        );
+        assert!(StartMode::PrebakeCowPrefetch(1).needs_working_set());
+        assert!(!StartMode::PrebakeCow(1).needs_working_set());
+        assert_eq!(StartMode::cow_ablation().len(), 3);
+    }
+
+    #[test]
+    fn cow_trials_report_dedup_and_break_counters() {
+        let spec = FunctionSpec::synthetic(SyntheticSize::Small);
+        let eager = TrialRunner::new(spec.clone(), StartMode::PrebakeWarmup(1)).unwrap();
+        let cow = TrialRunner::new(spec, StartMode::PrebakeCow(1)).unwrap();
+        let t_e = eager.startup_trial(1).unwrap();
+        let t_c = cow.startup_trial(1).unwrap();
+
+        // The dedup view is a property of the snapshot, not the restore
+        // strategy: both runners bake the same function and report the
+        // same unique/total page split.
+        assert_eq!(t_e.pages_stored, t_c.pages_stored);
+        assert_eq!(t_e.pages_unique, t_c.pages_unique);
+        assert!(t_c.pages_unique > 0);
+        assert!(
+            t_c.pages_unique < t_c.pages_stored,
+            "runtime images carry duplicate pages ({} unique of {})",
+            t_c.pages_unique,
+            t_c.pages_stored
+        );
+        assert!(t_c.dedup_ratio() > 0.0 && t_c.dedup_ratio() < 1.0);
+
+        // Only the CoW restore takes write-protect breaks; the first
+        // invocation writes some shared pages but far from all of them.
+        assert_eq!(t_e.cow_breaks(), 0);
+        assert!(t_c.cow_breaks() > 0, "first request breaks written pages");
+        assert!(
+            (t_c.cow_breaks() as usize) < t_c.pages_stored,
+            "read-mostly pages stay shared"
+        );
+    }
+
+    #[test]
+    fn vanilla_trials_have_no_dedup_view() {
+        let runner = TrialRunner::new(FunctionSpec::noop(), StartMode::Vanilla).unwrap();
+        assert_eq!(runner.pages_stored(), 0);
+        assert_eq!(runner.pages_unique(), 0);
+        let t = runner.startup_trial(3).unwrap();
+        assert_eq!(t.dedup_ratio(), 0.0);
+        assert_eq!(t.cow_breaks(), 0);
     }
 
     #[test]

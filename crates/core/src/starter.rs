@@ -128,6 +128,8 @@ impl Starter for PrebakeStarter {
             RestoreMode::Lazy => "prebake-lazy",
             RestoreMode::Record => "prebake-record",
             RestoreMode::Prefetch => "prebake-prefetch",
+            RestoreMode::Cow => "prebake-cow",
+            RestoreMode::CowPrefetch => "prebake-cow-prefetch",
         }
     }
 

@@ -9,13 +9,22 @@
 //!
 //! The cache can be bounded: [`ImageCache::with_capacity`] sets a byte
 //! budget, and inserts evict least-recently-used snapshots until the
-//! encoded size of everything resident — *including* recorded
+//! charged size of everything resident — *including* recorded
 //! working-set images (`ws.img`) — fits the bound.
+//!
+//! Accounting is dedup-aware. A snapshot carrying a page store
+//! (`pagestore.img`) is charged its metadata plus each *distinct* page
+//! frame once; frames shared between resident snapshots — two replicas
+//! of one function, or different functions with identical runtime pages
+//! — are charged once cache-wide, mirroring how a memfd-backed host
+//! pool would hold them. Snapshots without a store (incremental dumps,
+//! pre-dedup images) are charged their full encoded size.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use prebake_sim::error::SysResult;
 use prebake_sim::kernel::Kernel;
+use prebake_sim::mem::PAGE_SIZE;
 use prebake_sim::proc::Pid;
 
 use crate::dump::read_images;
@@ -56,9 +65,40 @@ impl ImageCache {
         self.sets.is_empty()
     }
 
-    /// Encoded bytes of everything resident, `ws.img` included.
+    /// Raw encoded bytes of everything resident, `ws.img` and
+    /// `pagestore.img` included — what the snapshots would occupy
+    /// *without* cross-snapshot dedup. The byte budget is enforced
+    /// against [`ImageCache::charged_bytes`] instead.
     pub fn total_bytes(&self) -> u64 {
         self.sets.values().map(ImageSet::total_bytes).sum()
+    }
+
+    /// Bytes actually charged against the budget: per-snapshot metadata
+    /// (everything but page payload) plus one [`PAGE_SIZE`] charge per
+    /// distinct page frame across all resident page stores. Snapshots
+    /// without a store are charged their full encoded size.
+    pub fn charged_bytes(&self) -> u64 {
+        let mut frames: HashSet<u64> = HashSet::new();
+        let mut total = 0u64;
+        for set in self.sets.values() {
+            match &set.pagestore {
+                Some(store) => {
+                    total += set.non_payload_bytes();
+                    frames.extend(store.hashes.iter().copied());
+                }
+                None => total += set.total_bytes(),
+            }
+        }
+        total + (frames.len() * PAGE_SIZE) as u64
+    }
+
+    /// What one snapshot would be charged standing alone: its dedup-aware
+    /// footprint, before any cross-snapshot frame sharing.
+    pub fn standalone_bytes(set: &ImageSet) -> u64 {
+        match &set.pagestore {
+            Some(store) => set.non_payload_bytes() + store.unique_bytes(),
+            None => set.total_bytes(),
+        }
     }
 
     /// The configured byte budget, if any.
@@ -67,13 +107,14 @@ impl ImageCache {
     }
 
     /// Inserts a snapshot under `name`, returning the names evicted to
-    /// honour the byte budget (oldest first). A snapshot larger than the
-    /// whole budget is refused: it comes back as the sole "evicted" name
-    /// without displacing anything resident.
+    /// honour the byte budget (oldest first). A snapshot whose
+    /// standalone (dedup-aware) footprint exceeds the whole budget is
+    /// refused: it comes back as the sole "evicted" name without
+    /// displacing anything resident.
     pub fn insert(&mut self, name: impl Into<String>, set: ImageSet) -> Vec<String> {
         let name = name.into();
         if let Some(cap) = self.capacity_bytes {
-            if set.total_bytes() > cap {
+            if ImageCache::standalone_bytes(&set) > cap {
                 return vec![name];
             }
         }
@@ -140,7 +181,7 @@ impl ImageCache {
             return Vec::new();
         };
         let mut evicted = Vec::new();
-        while self.total_bytes() > cap && self.recency.len() > 1 {
+        while self.charged_bytes() > cap && self.recency.len() > 1 {
             let victim = self.recency.remove(0);
             self.sets.remove(&victim);
             evicted.push(victim);
@@ -220,39 +261,67 @@ mod tests {
         assert!(cache.is_empty());
     }
 
+    /// Dumps a snapshot whose pages are all distinct from each other
+    /// *and* from any other `tag`'s pages, so cross-snapshot dedup
+    /// shares nothing between different tags.
+    fn distinct_snapshot(k: &mut Kernel, tag: u8, pages: u64) -> ImageSet {
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        let target = k.sys_clone(INIT_PID).unwrap();
+        let dir = format!("/img-{tag}");
+        let a = k
+            .sys_mmap(
+                target,
+                pages * PAGE_SIZE as u64,
+                Prot::RW,
+                VmaKind::RuntimeHeap,
+            )
+            .unwrap();
+        for i in 0..pages {
+            k.mem_write(target, a.add(i * PAGE_SIZE as u64), &[tag, i as u8, 1])
+                .unwrap();
+        }
+        dump(k, tracer, &DumpOptions::new(target, &dir)).unwrap();
+        read_images(k, &dir).unwrap()
+    }
+
     #[test]
     fn capacity_evicts_least_recently_used() {
-        let (mut k, _) = kernel_with_snapshot();
-        let set = read_images(&mut k, "/img").unwrap();
-        let one = set.total_bytes() as u64;
+        let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+        let sets: Vec<ImageSet> = (1u8..=3)
+            .map(|t| distinct_snapshot(&mut k, t, 64))
+            .collect();
+        let one = ImageCache::standalone_bytes(&sets[0]);
 
-        // Room for two snapshots, not three.
+        // Room for two unrelated snapshots, not three.
         let mut cache = ImageCache::with_capacity(2 * one + one / 2);
-        assert!(cache.insert("a", set.clone()).is_empty());
-        assert!(cache.insert("b", set.clone()).is_empty());
-        assert_eq!(cache.total_bytes(), 2 * one);
+        assert!(cache.insert("a", sets[0].clone()).is_empty());
+        assert!(cache.insert("b", sets[1].clone()).is_empty());
+        assert_eq!(cache.charged_bytes(), 2 * one);
 
         // "a" is refreshed, so inserting "c" evicts "b".
         let _ = cache.get("a");
         cache.touch("a");
-        let evicted = cache.insert("c", set.clone());
+        let evicted = cache.insert("c", sets[2].clone());
         assert_eq!(evicted, vec!["b".to_owned()]);
         assert!(cache.get("a").is_some());
         assert!(cache.get("c").is_some());
-        assert!(cache.total_bytes() <= cache.capacity_bytes().unwrap());
+        assert!(cache.charged_bytes() <= cache.capacity_bytes().unwrap());
     }
 
     #[test]
     fn ws_image_bytes_count_toward_the_bound() {
-        let (mut k, _) = kernel_with_snapshot();
-        let plain = read_images(&mut k, "/img").unwrap();
-        let mut with_ws = plain.clone();
+        let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+        let plain = distinct_snapshot(&mut k, 1, 64);
+        let mut with_ws = distinct_snapshot(&mut k, 2, 64);
         with_ws.ws = Some(WsImage::from_fault_log((0..4096).collect()));
-        assert!(with_ws.total_bytes() > plain.total_bytes());
+        assert!(
+            ImageCache::standalone_bytes(&with_ws) > ImageCache::standalone_bytes(&plain),
+            "ws.img bytes are charged"
+        );
 
-        // Bound fits two plain sets but not plain + ws-augmented: the
-        // ws.img bytes must tip it over and evict the older entry.
-        let cap = plain.total_bytes() as u64 * 2 + 16;
+        // Bound fits two plain-size sets but not plain + ws-augmented:
+        // the ws.img bytes must tip it over and evict the older entry.
+        let cap = ImageCache::standalone_bytes(&plain) * 2 + 16;
         let mut cache = ImageCache::with_capacity(cap);
         assert!(cache.insert("plain", plain).is_empty());
         let evicted = cache.insert("with-ws", with_ws);
@@ -263,5 +332,59 @@ mod tests {
         let huge = cache.evict("with-ws").unwrap();
         assert_eq!(tiny.insert("huge", huge), vec!["huge".to_owned()]);
         assert!(tiny.is_empty());
+    }
+
+    #[test]
+    fn identical_snapshots_do_not_double_charge_the_cap() {
+        // Regression: eviction accounting used raw per-set totals, so two
+        // byte-identical snapshots charged twice and the second insert
+        // evicted the first even though their frames are shared.
+        let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+        let a = distinct_snapshot(&mut k, 1, 64);
+        let b = a.clone();
+        let one = ImageCache::standalone_bytes(&a);
+
+        // The budget fits one-and-a-half standalone snapshots: under
+        // additive accounting the pair would not fit.
+        let mut cache = ImageCache::with_capacity(one + one / 2);
+        assert!(cache.insert("a", a).is_empty());
+        assert!(
+            cache.insert("b", b).is_empty(),
+            "identical twin shares every frame; nothing to evict"
+        );
+        assert_eq!(cache.len(), 2);
+
+        // Charged: two metadata bases + ONE copy of the shared frames.
+        let base = cache.get("a").unwrap().non_payload_bytes();
+        let unique = cache
+            .get("a")
+            .unwrap()
+            .pagestore
+            .as_ref()
+            .unwrap()
+            .unique_bytes();
+        assert_eq!(cache.charged_bytes(), 2 * base + unique);
+        assert!(cache.charged_bytes() < 2 * one);
+        assert!(
+            cache.total_bytes() > cache.charged_bytes(),
+            "raw total still reports the undeduped footprint"
+        );
+    }
+
+    #[test]
+    fn cow_restore_straight_from_the_cache() {
+        use crate::restore::RestoreMode;
+        let (mut k, tracer) = kernel_with_snapshot();
+        let mut cache = ImageCache::new();
+        cache.preload(&mut k, "fn", "/img").unwrap();
+        let opts = RestoreOptions::with_mode("/img", RestoreMode::Cow);
+        let s1 = cache.restore_cached(&mut k, tracer, "fn", &opts).unwrap();
+        let s2 = cache.restore_cached(&mut k, tracer, "fn", &opts).unwrap();
+        assert_eq!(s1.pages_cow, 512);
+        assert_eq!(s2.pages_cow, 512);
+        // 512 identical 3u8 pages dedup to ONE machine frame, mapped 1024
+        // times across the two replicas.
+        assert_eq!(k.page_store().frame_count(), 1);
+        assert_eq!(k.page_store().external_refs(), 1024);
     }
 }

@@ -31,6 +31,9 @@ pub struct CheckReport {
     pub pages_stored: usize,
     /// Zero-deduplicated pages.
     pub zero_pages: usize,
+    /// Distinct page frames in `pagestore.img`, when the snapshot
+    /// carries one (`None` for pre-dedup or incremental images).
+    pub pages_unique: Option<usize>,
     /// Open descriptors recorded.
     pub fds: usize,
     /// Threads recorded.
@@ -135,12 +138,28 @@ pub fn check(kernel: &mut Kernel, images_dir: &str) -> SysResult<CheckReport> {
         warnings.push("no page payload: snapshot is empty".to_owned());
     }
 
+    // Page store (when present) must mirror the pages image exactly —
+    // a divergent dedup view would CoW-restore the wrong bytes.
+    let pages_unique = match &set.pagestore {
+        Some(store) => {
+            store
+                .verify_against(&set.pages)
+                .map_err(|_| Errno::Einval)?;
+            Some(store.unique_pages())
+        }
+        None => {
+            warnings.push("no page store: CoW restore unavailable".to_owned());
+            None
+        }
+    };
+
     Ok(CheckReport {
         pid: set.core.pid.0,
         vmas: set.mm.vmas.len(),
         pages: set.pages.entries.len(),
         pages_stored: set.pages.stored_pages(),
         zero_pages: set.pages.zero_pages(),
+        pages_unique,
         fds: set.files.fds.len(),
         threads: set.core.threads.len(),
         warnings,
@@ -194,6 +213,31 @@ mod tests {
         bad[n / 2] ^= 0xF0;
         k.fs_mut().write_file(&path, bad).unwrap();
         assert_eq!(check(&mut k, &dir).unwrap_err(), Errno::Einval);
+    }
+
+    #[test]
+    fn divergent_page_store_detected() {
+        let (mut k, dir) = checkpointed();
+        // Re-point the store at different (self-consistent) content: it
+        // parses fine but no longer mirrors pages.img.
+        let mut pages = crate::image::PagesImage::default();
+        let mut page = prebake_sim::mem::Page::zeroed();
+        page.bytes_mut().fill(0x99);
+        pages.push(0, &page);
+        let bogus = crate::image::PageStoreImage::from_pages(&pages).unwrap();
+        k.fs_mut()
+            .write_file(&format!("{dir}/pagestore.img"), bogus.encode())
+            .unwrap();
+        assert_eq!(check(&mut k, &dir).unwrap_err(), Errno::Einval);
+    }
+
+    #[test]
+    fn missing_page_store_only_warns() {
+        let (mut k, dir) = checkpointed();
+        k.fs_remove_file(&format!("{dir}/pagestore.img")).unwrap();
+        let report = check(&mut k, &dir).unwrap();
+        assert_eq!(report.pages_unique, None);
+        assert!(report.warnings.iter().any(|w| w.contains("no page store")));
     }
 
     #[test]

@@ -201,6 +201,14 @@ impl CriuCli {
                             mode = RestoreMode::Prefetch;
                             i += 1;
                         }
+                        "--cow" => {
+                            mode = RestoreMode::Cow;
+                            i += 1;
+                        }
+                        "--cow-prefetch" => {
+                            mode = RestoreMode::CowPrefetch;
+                            i += 1;
+                        }
                         other => return Err(usage(&format!("unknown restore flag {other}"))),
                     }
                 }
@@ -348,6 +356,32 @@ mod tests {
         assert!(matches!(
             cli.run(&mut k, &["check"]).unwrap_err(),
             CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn cow_flag_parsed() {
+        let (mut k, caller, target) = setup();
+        let cli = CriuCli::new(caller).with_costs(CriuCosts::free());
+        let pid_str = target.0.to_string();
+        cli.run(&mut k, &["dump", "-t", &pid_str, "-D", "/img"])
+            .unwrap();
+        let out = cli
+            .run(&mut k, &["restore", "-D", "/img", "--cow"])
+            .unwrap();
+        match out {
+            CliOutcome::Restored(s) => {
+                assert_eq!(s.pages_cow, 1);
+                assert_eq!(s.pages_installed, 0);
+            }
+            other => panic!("expected restore, got {other:?}"),
+        }
+        // --cow-prefetch without a recorded working set is an error the
+        // CLI surfaces, not a parse failure.
+        assert!(matches!(
+            cli.run(&mut k, &["restore", "-D", "/img", "--cow-prefetch"])
+                .unwrap_err(),
+            CliError::Sys(Errno::Einval)
         ));
     }
 

@@ -31,6 +31,11 @@ pub struct CriuCosts {
     /// lazy-mode restore (`userfaultfd` open + `UFFDIO_REGISTER` ioctls,
     /// amortised over the whole space).
     pub lazy_register: SimDuration,
+    /// Mapping one shared frame copy-on-write at restore: a PTE pointing
+    /// at an existing physical page, write-protected. No payload copy —
+    /// that is deferred to the first write (priced by the kernel's
+    /// `cow_break`) — so this sits well below `restore_per_page`.
+    pub restore_per_cow_page: SimDuration,
 }
 
 impl CriuCosts {
@@ -44,6 +49,7 @@ impl CriuCosts {
             restore_per_page: SimDuration::from_nanos(150),
             restore_per_fd: SimDuration::from_micros(150),
             lazy_register: SimDuration::from_micros(300),
+            restore_per_cow_page: SimDuration::from_nanos(40),
         }
     }
 
@@ -57,6 +63,7 @@ impl CriuCosts {
             restore_per_page: SimDuration::ZERO,
             restore_per_fd: SimDuration::ZERO,
             lazy_register: SimDuration::ZERO,
+            restore_per_cow_page: SimDuration::ZERO,
         }
     }
 }
@@ -93,6 +100,16 @@ mod tests {
         assert!(c.restore_base.is_zero());
         assert!(c.parasite_inject.is_zero());
         assert!(c.lazy_register.is_zero());
+    }
+
+    #[test]
+    fn cow_mapping_cheaper_than_page_install() {
+        // CoW restore only wins if pointing a PTE at a shared frame is
+        // cheaper than installing a private copy of the page.
+        let c = CriuCosts::paper_calibrated();
+        assert!(c.restore_per_cow_page.as_nanos() < c.restore_per_page.as_nanos());
+        assert!(c.restore_per_cow_page.as_nanos() > 0);
+        assert!(CriuCosts::free().restore_per_cow_page.is_zero());
     }
 
     #[test]

@@ -14,7 +14,9 @@ use prebake_sim::proc::Pid;
 use prebake_sim::time::SimDuration;
 
 use crate::costs::CriuCosts;
-use crate::image::{CoreImage, FilesImage, ImageSet, MmImage, PagesImage, ThreadImage};
+use crate::image::{
+    CoreImage, FilesImage, ImageSet, MmImage, PageStoreImage, PagesImage, ThreadImage,
+};
 
 /// Options for a dump.
 #[derive(Debug, Clone)]
@@ -61,6 +63,12 @@ pub struct DumpStats {
     pub zero_pages: usize,
     /// Pages deferred to the parent snapshot (incremental dump).
     pub parent_pages: usize,
+    /// Distinct page contents among the stored pages (the page-store
+    /// frame count). Equals `pages_stored` when no dedup view was built.
+    pub pages_unique: usize,
+    /// Stored pages whose content another stored page already carries
+    /// (`pages_stored - pages_unique`).
+    pub pages_duplicate: usize,
     /// Total bytes across image files.
     pub image_bytes: u64,
     /// Virtual time the dump took.
@@ -158,6 +166,11 @@ fn collect_images_inner(
     // Cure: drop the parasite mapping.
     kernel.remote_munmap(tracer, target, parasite)?;
 
+    // Dedup view: hash every stored page and collapse identical contents
+    // to one frame. Incremental dumps defer payload to a parent and so
+    // carry no store (`from_pages` returns `None` for them).
+    let pagestore = PageStoreImage::from_pages(&pages);
+
     Ok(ImageSet {
         core: CoreImage {
             pid: target,
@@ -170,6 +183,7 @@ fn collect_images_inner(
         pages,
         files: FilesImage { fds },
         ws: None,
+        pagestore,
     })
 }
 
@@ -210,6 +224,9 @@ pub fn dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResult<D
         (ImageSet::PAGES_NAME, set.pages.encode_pages()),
         (ImageSet::FILES_NAME, set.files.encode()),
     ];
+    if let Some(store) = &set.pagestore {
+        files.push((ImageSet::PAGESTORE_NAME, store.encode()));
+    }
     if let Some(parent) = &opts.parent {
         files.push((ImageSet::PARENT_LINK, parent.as_bytes().to_vec()));
     }
@@ -229,12 +246,16 @@ pub fn dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResult<D
         kernel.reap(target)?;
     }
 
+    let stored = set.pages.stored_pages();
+    let unique = set.pagestore.as_ref().map_or(stored, |s| s.unique_pages());
     Ok(DumpStats {
         vmas: set.mm.vmas.len(),
         pages_total: set.pages.entries.len(),
-        pages_stored: set.pages.stored_pages(),
+        pages_stored: stored,
         zero_pages: set.pages.zero_pages(),
         parent_pages: set.pages.parent_pages(),
+        pages_unique: unique,
+        pages_duplicate: stored - unique,
         image_bytes,
         elapsed: kernel.now() - t0,
         frozen_for,
@@ -297,6 +318,8 @@ pub fn pre_dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResu
         pages_stored: pages.stored_pages(),
         zero_pages: pages.zero_pages(),
         parent_pages: 0,
+        pages_unique: pages.stored_pages(),
+        pages_duplicate: 0,
         image_bytes,
         elapsed: kernel.now() - t0,
         frozen_for: SimDuration::ZERO,
@@ -359,8 +382,19 @@ fn read_images_with(kernel: &mut Kernel, images_dir: &str, lazy: bool) -> SysRes
     } else {
         None
     };
-
     let mut pages = PagesImage::parse(&pagemap_bytes, &pages_bytes).map_err(|_| Errno::Einval)?;
+
+    // The page store on disk is metadata only — frame hashes plus the
+    // reference table — so it reads at ordinary (small-file) cost in
+    // every mode; the frame payload is rebuilt from the pages image just
+    // loaded, never from a second on-disk copy.
+    let pagestore_path = prebake_sim::fs::join_path(images_dir, ImageSet::PAGESTORE_NAME);
+    let pagestore = if kernel.fs_exists(&pagestore_path) {
+        let store_bytes = kernel.fs_read_file(&pagestore_path)?;
+        Some(PageStoreImage::parse(&store_bytes, &pages).map_err(|_| Errno::Einval)?)
+    } else {
+        None
+    };
 
     // Incremental image: follow the parent link and resolve the deferred
     // pages so the returned set is self-contained. Parent payload is part
@@ -390,6 +424,7 @@ fn read_images_with(kernel: &mut Kernel, images_dir: &str, lazy: bool) -> SysRes
         pages,
         files: FilesImage::parse(&files_bytes).map_err(|_| Errno::Einval)?,
         ws,
+        pagestore,
     })
 }
 
@@ -507,5 +542,52 @@ mod tests {
     fn missing_images_dir_is_enoent() {
         let mut k = Kernel::free(9);
         assert_eq!(read_images(&mut k, "/nope").unwrap_err(), Errno::Enoent);
+    }
+
+    #[test]
+    fn dump_emits_dedup_page_store() {
+        let mut k = Kernel::free(4);
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        let target = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(target, 8 * PAGE_SIZE as u64, Prot::RW, VmaKind::RuntimeHeap)
+            .unwrap();
+        // Three identical full pages and one distinct page.
+        for i in [0u64, 1, 2] {
+            k.mem_write(target, addr.add(i * PAGE_SIZE as u64), &[0xCC; PAGE_SIZE])
+                .unwrap();
+        }
+        k.mem_write(target, addr.add(3 * PAGE_SIZE as u64), &[0xDD; PAGE_SIZE])
+            .unwrap();
+
+        let stats = dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap();
+        assert_eq!(stats.pages_stored, 4);
+        assert_eq!(stats.pages_unique, 2, "0xCC and 0xDD frames");
+        assert_eq!(stats.pages_duplicate, 2);
+        assert!(k.fs_exists(&format!("/img/{}", ImageSet::PAGESTORE_NAME)));
+
+        let set = read_images(&mut k, "/img").unwrap();
+        let store = set.pagestore.expect("page store read back");
+        assert_eq!(store.unique_pages(), 2);
+        assert_eq!(store.total_refs(), 4);
+        store.verify_against(&set.pages).unwrap();
+    }
+
+    #[test]
+    fn incremental_dump_skips_page_store() {
+        let (mut k, tracer, target) = setup();
+        let mut pre = DumpOptions::new(target, "/pre");
+        pre.leave_running = true;
+        pre_dump(&mut k, tracer, &pre).unwrap();
+        let mut opts = DumpOptions::new(target, "/img");
+        opts.parent = Some("/pre".into());
+        dump(&mut k, tracer, &opts).unwrap();
+        assert!(
+            !k.fs_exists(&format!("/img/{}", ImageSet::PAGESTORE_NAME)),
+            "incremental dumps carry no dedup view"
+        );
+        // read_images resolves the parent; the set simply has no store.
+        let set = read_images(&mut k, "/img").unwrap();
+        assert!(set.pagestore.is_none());
     }
 }

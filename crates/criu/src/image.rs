@@ -42,6 +42,11 @@ pub enum ImageError {
     /// Pages payload length is not a multiple of the page size, or does
     /// not match the pagemap.
     BadPages,
+    /// Page-store image is internally inconsistent: payload size
+    /// disagrees with the frame table, a frame's content hash does not
+    /// match its declared hash, or a reference points past the frame
+    /// table.
+    BadPageStore,
 }
 
 impl fmt::Display for ImageError {
@@ -57,6 +62,9 @@ impl fmt::Display for ImageError {
             ImageError::BadString => write!(f, "image string is not utf-8"),
             ImageError::BadTag(t) => write!(f, "bad discriminant {t}"),
             ImageError::BadPages => write!(f, "pages payload inconsistent with pagemap"),
+            ImageError::BadPageStore => {
+                write!(f, "page-store image inconsistent with its frame table")
+            }
         }
     }
 }
@@ -70,6 +78,18 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
+}
+
+/// Content hash of a page frame, as used by the dedup page store.
+///
+/// This is the key under which identical pages collapse to one frame —
+/// both inside `pagestore.img` and in the machine-wide shared pool at
+/// restore time. FNV-1a over the raw page bytes: cheap, deterministic,
+/// and good enough for a simulator where collisions would require
+/// adversarial inputs (real systems use memfd offsets or KSM's full
+/// memcmp instead of trusting the hash).
+pub fn page_content_hash(bytes: &[u8]) -> u64 {
+    fnv1a(bytes)
 }
 
 // ----------------------------------------------------------------- writer
@@ -243,6 +263,7 @@ const KIND_PAGEMAP: u8 = 3;
 const KIND_PAGES: u8 = 4;
 const KIND_FILES: u8 = 5;
 const KIND_WS: u8 = 6;
+const KIND_PAGESTORE: u8 = 7;
 
 impl CoreImage {
     /// Serialises the core image.
@@ -673,6 +694,209 @@ impl WsImage {
     }
 }
 
+// -------------------------------------------------------------- pagestore
+
+/// `pagestore.img`: the content-addressed dedup view of a snapshot's
+/// stored pages.
+///
+/// Where `pages.img` stores one payload slot per stored page,
+/// this image stores each *distinct* page content exactly once (a frame)
+/// and a reference list mapping every stored guest page to its frame.
+/// Two consequences:
+///
+/// - the image cache can charge a snapshot for its unique bytes only,
+///   and share frames *across* snapshots of the same function;
+/// - a copy-on-write restore can map frames into the replica instead of
+///   byte-copying them, deferring the copy to first write.
+///
+/// On disk the store is *metadata only* — frame hashes plus the
+/// reference table. The frame payload already lives in `pages.img`, so
+/// serialising it again would double the snapshot's footprint;
+/// [`PageStoreImage::parse`] rebuilds the in-memory payload from the
+/// pages image instead, verifying every page against its frame's
+/// declared content hash along the way.
+///
+/// Incremental dumps (entries deferring to a parent snapshot) have no
+/// page-store view: their payload is split across files, so
+/// [`PageStoreImage::from_pages`] returns `None` for them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PageStoreImage {
+    /// Content hash of each unique frame, in payload order.
+    pub hashes: Vec<u64>,
+    /// Concatenated unique page payload, one [`PAGE_SIZE`] slot per
+    /// hash. In-memory only: [`PageStoreImage::encode`] does not write
+    /// it, [`PageStoreImage::parse`] reconstructs it from `pages.img`.
+    pub payload: Vec<u8>,
+    /// `(page_index, frame_index)` for every non-zero stored page, in
+    /// pagemap order. `frame_index` indexes [`PageStoreImage::hashes`].
+    pub refs: Vec<(u64, u32)>,
+}
+
+impl PageStoreImage {
+    /// Builds the dedup view of a self-contained pages image. Returns
+    /// `None` when `pages` defers any payload to a parent snapshot
+    /// (incremental dumps carry no page store).
+    pub fn from_pages(pages: &PagesImage) -> Option<PageStoreImage> {
+        use std::collections::HashMap;
+        if pages.parent_pages() > 0 {
+            return None;
+        }
+        let mut store = PageStoreImage::default();
+        let mut frame_of: HashMap<u64, u32> = HashMap::new();
+        for (page_index, src) in pages.iter_pages() {
+            let bytes = match src {
+                PageSource::Bytes(b) => b,
+                PageSource::Zero => continue,
+                PageSource::Parent => unreachable!("parent pages ruled out above"),
+            };
+            let hash = page_content_hash(bytes);
+            let frame_idx = *frame_of.entry(hash).or_insert_with(|| {
+                store.hashes.push(hash);
+                store.payload.extend_from_slice(bytes);
+                (store.hashes.len() - 1) as u32
+            });
+            store.refs.push((page_index, frame_idx));
+        }
+        Some(store)
+    }
+
+    /// Number of unique frames.
+    pub fn unique_pages(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Number of referencing guest pages (equals the pages image's
+    /// stored-page count).
+    pub fn total_refs(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Stored pages whose payload another page already carries.
+    pub fn duplicate_pages(&self) -> usize {
+        self.refs.len() - self.hashes.len()
+    }
+
+    /// Bytes of unique page payload.
+    pub fn unique_bytes(&self) -> u64 {
+        self.payload.len() as u64
+    }
+
+    /// Payload slice of frame `frame_index`.
+    pub fn frame_bytes(&self, frame_index: u32) -> &[u8] {
+        let at = frame_index as usize * PAGE_SIZE;
+        &self.payload[at..at + PAGE_SIZE]
+    }
+
+    /// Iterates `(page_index, frame_hash, frame_bytes)` over every
+    /// reference, in pagemap order.
+    pub fn iter_refs(&self) -> impl Iterator<Item = (u64, u64, &[u8])> {
+        self.refs.iter().map(|&(page_index, frame_idx)| {
+            (
+                page_index,
+                self.hashes[frame_idx as usize],
+                self.frame_bytes(frame_idx),
+            )
+        })
+    }
+
+    /// Serialises the page-store image: frame hashes and the reference
+    /// table, *not* the payload — that ships once, in `pages.img`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_PAGESTORE);
+        w.u32(self.hashes.len() as u32);
+        for &h in &self.hashes {
+            w.u64(h);
+        }
+        w.u32(self.refs.len() as u32);
+        for &(page_index, frame_idx) in &self.refs {
+            w.u64(page_index);
+            w.u32(frame_idx);
+        }
+        w.finish()
+    }
+
+    /// Parses a page-store image against the pages image it mirrors,
+    /// rebuilding the in-memory frame payload from the stored pages and
+    /// verifying every page's content against its frame's declared hash.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::BadPageStore`] when the reference table does not
+    /// line up with `pages` (count, page order, or frame range), when a
+    /// page's content does not hash to its frame's declared value, or
+    /// when a frame is never referenced; or any codec error.
+    pub fn parse(bytes: &[u8], pages: &PagesImage) -> Result<PageStoreImage, ImageError> {
+        let mut r = Reader::open(bytes, KIND_PAGESTORE)?;
+        let frame_count = r.u32()? as usize;
+        let mut hashes = Vec::with_capacity(frame_count);
+        for _ in 0..frame_count {
+            hashes.push(r.u64()?);
+        }
+        let ref_count = r.u32()? as usize;
+        let mut refs = Vec::with_capacity(ref_count);
+        for _ in 0..ref_count {
+            refs.push((r.u64()?, r.u32()?));
+        }
+        r.done()?;
+
+        if ref_count != pages.stored_pages() {
+            return Err(ImageError::BadPageStore);
+        }
+        let mut payload = vec![0u8; frame_count * PAGE_SIZE];
+        let mut filled = vec![false; frame_count];
+        let stored = pages.iter_pages().filter_map(|(idx, src)| match src {
+            PageSource::Bytes(b) => Some((idx, b)),
+            _ => None,
+        });
+        for (&(page_index, frame_idx), (idx, bytes)) in refs.iter().zip(stored) {
+            let frame_idx = frame_idx as usize;
+            if frame_idx >= frame_count
+                || idx != page_index
+                || page_content_hash(bytes) != hashes[frame_idx]
+            {
+                return Err(ImageError::BadPageStore);
+            }
+            if !filled[frame_idx] {
+                payload[frame_idx * PAGE_SIZE..(frame_idx + 1) * PAGE_SIZE].copy_from_slice(bytes);
+                filled[frame_idx] = true;
+            }
+        }
+        if filled.iter().any(|&f| !f) {
+            return Err(ImageError::BadPageStore);
+        }
+        Ok(PageStoreImage {
+            hashes,
+            payload,
+            refs,
+        })
+    }
+
+    /// Checks the store against the pages image it claims to mirror:
+    /// same stored pages, identical payload per page.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::BadPageStore`] when the views disagree.
+    pub fn verify_against(&self, pages: &PagesImage) -> Result<(), ImageError> {
+        let mut refs = self.iter_refs();
+        for (page_index, src) in pages.iter_pages() {
+            let bytes = match src {
+                PageSource::Bytes(b) => b,
+                PageSource::Zero => continue,
+                PageSource::Parent => return Err(ImageError::BadPageStore),
+            };
+            match refs.next() {
+                Some((idx, _, frame)) if idx == page_index && frame == bytes => {}
+                _ => return Err(ImageError::BadPageStore),
+            }
+        }
+        if refs.next().is_some() {
+            return Err(ImageError::BadPageStore);
+        }
+        Ok(())
+    }
+}
+
 // ------------------------------------------------------------------ files
 
 /// `files.img`: the dumped descriptor table.
@@ -757,6 +981,10 @@ pub struct ImageSet {
     /// produced one (`ws.img` is optional: eager and plain-lazy restores
     /// work without it).
     pub ws: Option<WsImage>,
+    /// Content-addressed dedup view of the stored pages
+    /// (`pagestore.img`). Optional: pre-dedup snapshots and incremental
+    /// dumps lack it, and every non-CoW restore path ignores it.
+    pub pagestore: Option<PageStoreImage>,
 }
 
 impl ImageSet {
@@ -772,6 +1000,8 @@ impl ImageSet {
     pub const FILES_NAME: &'static str = "files.img";
     /// `ws.img` — the recorded working set (optional).
     pub const WS_NAME: &'static str = "ws.img";
+    /// `pagestore.img` — the content-addressed dedup view (optional).
+    pub const PAGESTORE_NAME: &'static str = "pagestore.img";
     /// The parent link file written by incremental dumps (CRIU uses a
     /// symlink named `parent`; we store the path as file contents).
     pub const PARENT_LINK: &'static str = "parent";
@@ -796,23 +1026,40 @@ impl ImageSet {
             Ok(bytes) => Some(WsImage::parse(bytes)?),
             Err(_) => None,
         };
+        let pages = PagesImage::parse(get(ImageSet::PAGEMAP_NAME)?, get(ImageSet::PAGES_NAME)?)?;
+        let pagestore = match get(ImageSet::PAGESTORE_NAME) {
+            Ok(bytes) => Some(PageStoreImage::parse(bytes, &pages)?),
+            Err(_) => None,
+        };
         Ok(ImageSet {
             core: CoreImage::parse(get(ImageSet::CORE_NAME)?)?,
             mm: MmImage::parse(get(ImageSet::MM_NAME)?)?,
-            pages: PagesImage::parse(get(ImageSet::PAGEMAP_NAME)?, get(ImageSet::PAGES_NAME)?)?,
+            pages,
             files: FilesImage::parse(get(ImageSet::FILES_NAME)?)?,
             ws,
+            pagestore,
         })
     }
 
-    /// Total serialised size across all image files, `ws.img` included.
+    /// Total serialised size across all image files, `ws.img` and
+    /// `pagestore.img` included.
     pub fn total_bytes(&self) -> u64 {
         (self.core.encode().len()
             + self.mm.encode().len()
             + self.pages.encode_pagemap().len()
             + self.pages.encode_pages().len()
             + self.files.encode().len()
-            + self.ws.as_ref().map_or(0, |w| w.encode().len())) as u64
+            + self.ws.as_ref().map_or(0, |w| w.encode().len())
+            + self.pagestore.as_ref().map_or(0, |p| p.encode().len())) as u64
+    }
+
+    /// Bytes this set contributes *besides* page payload: metadata images
+    /// plus the page-store's reference table and frame hashes (the store
+    /// carries no payload on disk). A dedup-aware cache charges this base
+    /// per snapshot and the unique frame payload once per distinct frame
+    /// across all residents.
+    pub fn non_payload_bytes(&self) -> u64 {
+        self.total_bytes() - (self.pages.stored_pages() * PAGE_SIZE) as u64
     }
 }
 
@@ -1024,6 +1271,7 @@ mod tests {
             pages,
             files: FilesImage::default(),
             ws: None,
+            pagestore: None,
         };
         let total = set.total_bytes();
         assert!(total > 100 * PAGE_SIZE as u64);
@@ -1068,6 +1316,7 @@ mod tests {
         for e in [
             ImageError::Truncated,
             ImageError::BadPages,
+            ImageError::BadPageStore,
             ImageError::BadTag(9),
             ImageError::WrongKind {
                 expected: 1,
@@ -1076,5 +1325,122 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    fn filled(fill: u8) -> Page {
+        let mut p = Page::zeroed();
+        p.bytes_mut().fill(fill);
+        p
+    }
+
+    #[test]
+    fn pagestore_dedups_identical_pages() {
+        let mut pages = PagesImage::default();
+        pages.push(10, &filled(0xAA));
+        pages.push(11, &filled(0xBB));
+        pages.push(12, &Page::zeroed());
+        pages.push(13, &filled(0xAA));
+        pages.push(14, &filled(0xAA));
+
+        let store = PageStoreImage::from_pages(&pages).unwrap();
+        assert_eq!(store.unique_pages(), 2, "0xAA and 0xBB frames");
+        assert_eq!(store.total_refs(), 4, "zero page carries no ref");
+        assert_eq!(store.duplicate_pages(), 2);
+        assert_eq!(store.unique_bytes(), 2 * PAGE_SIZE as u64);
+        store.verify_against(&pages).unwrap();
+
+        let refs: Vec<(u64, u8)> = store
+            .iter_refs()
+            .map(|(idx, _, bytes)| (idx, bytes[0]))
+            .collect();
+        assert_eq!(refs, vec![(10, 0xAA), (11, 0xBB), (13, 0xAA), (14, 0xAA)]);
+        let (_, h13, _) = store.iter_refs().nth(2).unwrap();
+        let (_, h10, _) = store.iter_refs().next().unwrap();
+        assert_eq!(h10, h13, "identical content shares one hash");
+    }
+
+    #[test]
+    fn pagestore_roundtrip_and_validation() {
+        let mut pages = PagesImage::default();
+        pages.push(1, &filled(1));
+        pages.push(2, &filled(2));
+        pages.push(3, &filled(1));
+        let store = PageStoreImage::from_pages(&pages).unwrap();
+        // The encoding is metadata-only; parse rebuilds the payload from
+        // the pages image and lands on the identical in-memory store.
+        assert!(store.encode().len() < PAGE_SIZE, "no payload on disk");
+        let back = PageStoreImage::parse(&store.encode(), &pages).unwrap();
+        assert_eq!(back, store);
+
+        // Flipping a page byte breaks its frame's declared content hash.
+        let mut tampered = pages.clone();
+        tampered.payload[100] ^= 0xFF;
+        assert_eq!(
+            PageStoreImage::parse(&store.encode(), &tampered),
+            Err(ImageError::BadPageStore)
+        );
+
+        // A declared hash no page hashes to is rejected.
+        let mut bad_hash = store.clone();
+        bad_hash.hashes[0] ^= 1;
+        assert_eq!(
+            PageStoreImage::parse(&bad_hash.encode(), &pages),
+            Err(ImageError::BadPageStore)
+        );
+
+        // A reference list that disagrees with the pagemap is rejected.
+        let mut oob = store.clone();
+        oob.refs.push((9, 99));
+        assert_eq!(
+            PageStoreImage::parse(&oob.encode(), &pages),
+            Err(ImageError::BadPageStore)
+        );
+
+        // verify_against catches a store for the wrong pages image.
+        let mut other = PagesImage::default();
+        other.push(1, &filled(7));
+        assert_eq!(store.verify_against(&other), Err(ImageError::BadPageStore));
+    }
+
+    #[test]
+    fn pagestore_absent_for_incremental_dumps() {
+        let mut pages = PagesImage::default();
+        pages.push(1, &filled(1));
+        pages.push_parent_ref(2);
+        assert!(PageStoreImage::from_pages(&pages).is_none());
+    }
+
+    #[test]
+    fn image_set_charges_pagestore_and_exposes_non_payload_base() {
+        let mut pages = PagesImage::default();
+        for i in 0..8 {
+            pages.push(i, &filled(0x11)); // 8 refs, 1 unique frame
+        }
+        let store = PageStoreImage::from_pages(&pages).unwrap();
+        let without = ImageSet {
+            core: sample_core(),
+            mm: sample_mm(),
+            pages,
+            files: FilesImage::default(),
+            ws: None,
+            pagestore: None,
+        };
+        let mut with = without.clone();
+        with.pagestore = Some(store.clone());
+
+        assert_eq!(
+            with.total_bytes(),
+            without.total_bytes() + store.encode().len() as u64
+        );
+        // The store adds only its table to the total: payload still ships
+        // once, in `pages.img`. The non-payload base grows by exactly the
+        // table overhead — well under one page.
+        let plain_base = without.total_bytes() - 8 * PAGE_SIZE as u64;
+        let dedup_base = with.non_payload_bytes();
+        assert_eq!(dedup_base, plain_base + store.encode().len() as u64);
+        assert!(
+            dedup_base < plain_base + PAGE_SIZE as u64,
+            "table, not payload"
+        );
     }
 }

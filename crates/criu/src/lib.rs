@@ -59,5 +59,5 @@ pub use costs::CriuCosts;
 pub use dump::{
     collect_images, dump, pre_dump, read_images, read_images_lazy, DumpOptions, DumpStats,
 };
-pub use image::{ImageError, ImageSet, WsImage};
+pub use image::{page_content_hash, ImageError, ImageSet, PageStoreImage, WsImage};
 pub use restore::{restore, restore_set, RestoreMode, RestoreOptions, RestorePid, RestoreStats};

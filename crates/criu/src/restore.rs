@@ -55,12 +55,47 @@ pub enum RestoreMode {
     /// working set (`ws.img`) in one batched copy; only residual pages
     /// outside the working set fault.
     Prefetch,
+    /// Map every stored page copy-on-write from the machine's shared
+    /// frame pool instead of byte-copying it. Replicas restored from the
+    /// same snapshot (or any snapshot sharing page content) reference
+    /// one physical frame per distinct page; the copy is deferred to
+    /// first *write*. Requires `pagestore.img`.
+    Cow,
+    /// As [`RestoreMode::Cow`] for the recorded working set, with the
+    /// residual stored pages left behind the fault handler as in
+    /// [`RestoreMode::Prefetch`]. Requires `pagestore.img` and `ws.img`.
+    CowPrefetch,
 }
 
 impl RestoreMode {
-    /// Whether this mode defers page payload behind the fault handler.
+    /// Whether this mode defers page payload behind a mapping instead of
+    /// reading it up front (every mode but eager: the image payload is
+    /// mmapped, not copied, at restore).
     pub fn is_lazy(self) -> bool {
         !matches!(self, RestoreMode::Eager)
+    }
+
+    /// Whether this mode maps shared frames copy-on-write.
+    pub fn is_cow(self) -> bool {
+        matches!(self, RestoreMode::Cow | RestoreMode::CowPrefetch)
+    }
+
+    /// Whether this mode consumes a recorded working set (`ws.img`) —
+    /// builders must run the record pass before shipping such images.
+    pub fn needs_ws(self) -> bool {
+        matches!(self, RestoreMode::Prefetch | RestoreMode::CowPrefetch)
+    }
+
+    /// Whether this mode registers a userfaultfd backend for pages left
+    /// missing at resume.
+    pub fn uses_uffd(self) -> bool {
+        matches!(
+            self,
+            RestoreMode::Lazy
+                | RestoreMode::Record
+                | RestoreMode::Prefetch
+                | RestoreMode::CowPrefetch
+        )
     }
 }
 
@@ -114,6 +149,9 @@ pub struct RestoreStats {
     /// Working-set pages bulk-loaded before resume
     /// ([`RestoreMode::Prefetch`] only).
     pub pages_prefetched: usize,
+    /// Pages mapped copy-on-write from the shared frame pool
+    /// ([`RestoreMode::Cow`]/[`RestoreMode::CowPrefetch`] only).
+    pub pages_cow: usize,
     /// File descriptors re-opened.
     pub fds: usize,
     /// Virtual time the restore took.
@@ -185,51 +223,91 @@ pub fn restore_set(
     let mut installed = 0usize;
     let mut pages_lazy = 0usize;
     let mut pages_prefetched = 0usize;
-    if opts.mode.is_lazy() {
-        // Defer the payload behind the fault handler: collect every
-        // non-zero page into a backend, register it, and let first
-        // touches (or an up-front prefetch of the recorded working set)
-        // pull pages in. Zero pages stay demand-zero either way.
-        let mut backend = UffdBackend::new();
-        for (page_index, source) in set.pages.iter_pages() {
-            match source {
-                crate::image::PageSource::Bytes(bytes) => {
-                    let page = Page::from_bytes(bytes.try_into().map_err(|_| Errno::Einval)?);
-                    backend.insert_page(page_index, page);
+    let mut pages_cow = 0usize;
+    match opts.mode {
+        RestoreMode::Cow | RestoreMode::CowPrefetch => {
+            // Map stored pages copy-on-write from the machine's shared
+            // frame pool: one PTE per page, no payload copy. The dedup
+            // view tells us each page's content hash, which keys the
+            // pool — replicas of the same snapshot resolve to the same
+            // physical frames. Zero pages stay demand-zero.
+            let store = set.pagestore.as_ref().ok_or(Errno::Einval)?;
+            let ws_filter: Option<std::collections::BTreeSet<u64>> =
+                if opts.mode == RestoreMode::CowPrefetch {
+                    let ws = set.ws.as_ref().ok_or(Errno::Einval)?;
+                    Some(ws.pages.iter().copied().collect())
+                } else {
+                    None
+                };
+            let mut backend = UffdBackend::new();
+            for (page_index, hash, bytes) in store.iter_refs() {
+                let frame: &[u8; prebake_sim::mem::PAGE_SIZE] =
+                    bytes.try_into().map_err(|_| Errno::Einval)?;
+                let in_working_set = ws_filter.as_ref().is_none_or(|ws| ws.contains(&page_index));
+                if in_working_set {
+                    kernel.cow_map(pid, page_index, hash, || Page::from_bytes(frame))?;
+                    pages_cow += 1;
+                } else {
+                    backend.insert_page(page_index, Page::from_bytes(frame));
                 }
-                crate::image::PageSource::Zero => {}
-                crate::image::PageSource::Parent => return Err(Errno::Einval),
+            }
+            kernel.charge(opts.costs.restore_per_cow_page * pages_cow as u64);
+            if opts.mode == RestoreMode::CowPrefetch {
+                // Residual pages outside the working set are served on
+                // demand, exactly as a prefetch-mode restore leaves them.
+                pages_lazy = backend.len();
+                kernel.charge(opts.costs.lazy_register);
+                kernel.uffd_register(pid, backend)?;
             }
         }
-        pages_lazy = backend.len();
-        kernel.charge(opts.costs.lazy_register);
-        kernel.uffd_register(pid, backend)?;
-        match opts.mode {
-            RestoreMode::Record => kernel.uffd_set_record(pid, true)?,
-            RestoreMode::Prefetch => {
-                let ws = set.ws.as_ref().ok_or(Errno::Einval)?;
-                pages_prefetched = kernel.uffd_prefetch(pid, &ws.pages)? as usize;
-                pages_lazy -= pages_prefetched;
-            }
-            RestoreMode::Lazy | RestoreMode::Eager => {}
-        }
-    } else {
-        // Install payload pages; zero pages stay demand-zero. Unresolved
-        // parent references mean the caller skipped `read_images`'s
-        // parent resolution — refuse rather than restore holes.
-        let proc = kernel.process_mut(pid)?;
-        for (page_index, source) in set.pages.iter_pages() {
-            match source {
-                crate::image::PageSource::Bytes(bytes) => {
-                    let page = Page::from_bytes(bytes.try_into().map_err(|_| Errno::Einval)?);
-                    proc.mem.install_page(page_index, page)?;
-                    installed += 1;
+        RestoreMode::Lazy | RestoreMode::Record | RestoreMode::Prefetch => {
+            // Defer the payload behind the fault handler: collect every
+            // non-zero page into a backend, register it, and let first
+            // touches (or an up-front prefetch of the recorded working
+            // set) pull pages in. Zero pages stay demand-zero either way.
+            let mut backend = UffdBackend::new();
+            for (page_index, source) in set.pages.iter_pages() {
+                match source {
+                    crate::image::PageSource::Bytes(bytes) => {
+                        let page = Page::from_bytes(bytes.try_into().map_err(|_| Errno::Einval)?);
+                        backend.insert_page(page_index, page);
+                    }
+                    crate::image::PageSource::Zero => {}
+                    crate::image::PageSource::Parent => return Err(Errno::Einval),
                 }
-                crate::image::PageSource::Zero => {}
-                crate::image::PageSource::Parent => return Err(Errno::Einval),
+            }
+            pages_lazy = backend.len();
+            kernel.charge(opts.costs.lazy_register);
+            kernel.uffd_register(pid, backend)?;
+            match opts.mode {
+                RestoreMode::Record => kernel.uffd_set_record(pid, true)?,
+                RestoreMode::Prefetch => {
+                    let ws = set.ws.as_ref().ok_or(Errno::Einval)?;
+                    pages_prefetched = kernel.uffd_prefetch(pid, &ws.pages)? as usize;
+                    pages_lazy -= pages_prefetched;
+                }
+                _ => {}
             }
         }
-        kernel.charge(opts.costs.restore_per_page * installed as u64);
+        RestoreMode::Eager => {
+            // Install payload pages; zero pages stay demand-zero.
+            // Unresolved parent references mean the caller skipped
+            // `read_images`'s parent resolution — refuse rather than
+            // restore holes.
+            let proc = kernel.process_mut(pid)?;
+            for (page_index, source) in set.pages.iter_pages() {
+                match source {
+                    crate::image::PageSource::Bytes(bytes) => {
+                        let page = Page::from_bytes(bytes.try_into().map_err(|_| Errno::Einval)?);
+                        proc.mem.install_page(page_index, page)?;
+                        installed += 1;
+                    }
+                    crate::image::PageSource::Zero => {}
+                    crate::image::PageSource::Parent => return Err(Errno::Einval),
+                }
+            }
+            kernel.charge(opts.costs.restore_per_page * installed as u64);
+        }
     }
 
     // Descriptors.
@@ -276,6 +354,7 @@ pub fn restore_set(
         zero_pages: set.pages.zero_pages(),
         pages_lazy,
         pages_prefetched,
+        pages_cow,
         fds: set.files.fds.len(),
         elapsed: kernel.now() - t0,
     })
@@ -521,6 +600,150 @@ mod tests {
         assert!(
             elapsed[1] < elapsed[0],
             "lazy resume beats eager: {elapsed:?}"
+        );
+    }
+
+    /// Dump a listener-free target (so many replicas can restore from
+    /// one snapshot without port clashes).
+    fn checkpointed_portless(seed: u64) -> (Kernel, Pid, Vec<u8>) {
+        let mut k = Kernel::free(seed);
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        let target = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(target, 4 * PAGE_SIZE as u64, Prot::RW, VmaKind::RuntimeHeap)
+            .unwrap();
+        let payload: Vec<u8> = (0..5000u32).map(|i| (i % 250 + 1) as u8).collect();
+        k.mem_write(target, addr, &payload).unwrap();
+        dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap();
+        (k, tracer, payload)
+    }
+
+    #[test]
+    fn cow_restore_shares_frames_and_isolates_writes() {
+        let (mut k, tracer, payload) = checkpointed_portless(11);
+        let opts = RestoreOptions::with_mode("/img", RestoreMode::Cow);
+        let a = restore(&mut k, tracer, &opts).unwrap();
+        let b = restore(&mut k, tracer, &opts).unwrap();
+        assert_eq!(a.pages_cow, 2, "5000 bytes = 2 shared pages");
+        assert_eq!(a.pages_installed, 0);
+        assert_eq!(a.pages_lazy, 0);
+        assert!(!k.uffd_registered(a.pid), "pure CoW needs no fault handler");
+
+        // One physical frame per distinct page, two mappings each.
+        assert_eq!(k.page_store().frame_count(), 2);
+        assert_eq!(k.page_store().external_refs(), 4);
+
+        // Both replicas read the checkpointed bytes.
+        let vma = k.process(a.pid).unwrap().mem.vmas().next().unwrap().clone();
+        for pid in [a.pid, b.pid] {
+            assert_eq!(
+                k.mem_read(pid, vma.start, payload.len() as u64).unwrap(),
+                payload
+            );
+        }
+
+        // A write in one replica breaks only its own mapping.
+        k.mem_write(a.pid, vma.start, &[0xEE; 8]).unwrap();
+        assert_eq!(
+            k.mem_read(b.pid, vma.start, payload.len() as u64).unwrap(),
+            payload,
+            "replica b unaffected by a's write"
+        );
+        assert_eq!(k.page_store().external_refs(), 3, "a dropped one frame ref");
+        let broken = k.mem_read(a.pid, vma.start, 8).unwrap();
+        assert_eq!(broken, [0xEE; 8]);
+    }
+
+    #[test]
+    fn cow_restore_without_pagestore_is_einval() {
+        let (mut k, tracer, _) = checkpointed_portless(12);
+        k.fs_remove_file(&format!("/img/{}", ImageSet::PAGESTORE_NAME))
+            .unwrap();
+        assert_eq!(
+            restore(
+                &mut k,
+                tracer,
+                &RestoreOptions::with_mode("/img", RestoreMode::Cow),
+            )
+            .unwrap_err(),
+            Errno::Einval
+        );
+    }
+
+    #[test]
+    fn cow_prefetch_maps_ws_and_defers_residue() {
+        use crate::image::WsImage;
+        let (mut k, tracer, payload) = checkpointed_portless(13);
+
+        // Record a working set covering only the first page.
+        let rec = restore(
+            &mut k,
+            tracer,
+            &RestoreOptions::with_mode("/img", RestoreMode::Record),
+        )
+        .unwrap();
+        let vma = k
+            .process(rec.pid)
+            .unwrap()
+            .mem
+            .vmas()
+            .next()
+            .unwrap()
+            .clone();
+        k.mem_read(rec.pid, vma.start, 64).unwrap();
+        let log = k.uffd_take_log(rec.pid).unwrap();
+        assert_eq!(log.len(), 1);
+        k.fs_write_file("/img/ws.img", WsImage::from_fault_log(log).encode())
+            .unwrap();
+        k.sys_exit(rec.pid, 0).unwrap();
+
+        let stats = restore(
+            &mut k,
+            tracer,
+            &RestoreOptions::with_mode("/img", RestoreMode::CowPrefetch),
+        )
+        .unwrap();
+        assert_eq!(stats.pages_cow, 1, "ws page mapped CoW");
+        assert_eq!(stats.pages_lazy, 1, "residual page behind the handler");
+        assert!(k.uffd_registered(stats.pid));
+
+        // The whole payload still reads back; the residue major-faults.
+        let bytes = k
+            .mem_read(stats.pid, vma.start, payload.len() as u64)
+            .unwrap();
+        assert_eq!(bytes, payload);
+        let (major, _) = k.uffd_fault_counts(stats.pid);
+        assert_eq!(major, 1);
+    }
+
+    #[test]
+    fn cow_restore_resumes_no_slower_than_eager() {
+        use prebake_sim::cost::CostModel;
+        use prebake_sim::noise::Noise;
+
+        let mut elapsed = Vec::new();
+        for mode in [RestoreMode::Eager, RestoreMode::Cow] {
+            let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+            let tracer = k.sys_clone(INIT_PID).unwrap();
+            let target = k.sys_clone(INIT_PID).unwrap();
+            let pages = 512u64;
+            let a = k
+                .sys_mmap(
+                    target,
+                    pages * PAGE_SIZE as u64,
+                    Prot::RW,
+                    VmaKind::RuntimeHeap,
+                )
+                .unwrap();
+            k.mem_write(target, a, &vec![3u8; (pages * PAGE_SIZE as u64) as usize])
+                .unwrap();
+            dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap();
+            let stats = restore(&mut k, tracer, &RestoreOptions::with_mode("/img", mode)).unwrap();
+            elapsed.push(stats.elapsed);
+        }
+        assert!(
+            elapsed[1] < elapsed[0],
+            "CoW resume beats eager: {elapsed:?}"
         );
     }
 

@@ -76,6 +76,28 @@ impl Template {
         }
     }
 
+    /// The copy-on-write CRIU template: the 1-warm-up snapshot restored
+    /// by mapping shared frames from the machine's content-addressed
+    /// page store; replicas pay the page copy on first write only.
+    pub fn java11_criu_cow() -> Template {
+        Template {
+            name: "java11-criu-cow".to_owned(),
+            prebake: Some(SnapshotPolicy::AfterWarmup(1)),
+            restore: RestoreMode::Cow,
+        }
+    }
+
+    /// The CoW-prefetch CRIU template: the recorded working set maps
+    /// copy-on-write, residual pages demand-fault (page store + `ws.img`,
+    /// both produced at build time).
+    pub fn java11_criu_cow_prefetch() -> Template {
+        Template {
+            name: "java11-criu-cow-prefetch".to_owned(),
+            prebake: Some(SnapshotPolicy::AfterWarmup(1)),
+            restore: RestoreMode::CowPrefetch,
+        }
+    }
+
     /// The built-in template repository.
     pub fn repository() -> Vec<Template> {
         vec![
@@ -84,6 +106,8 @@ impl Template {
             Template::java11_criu_warm(1),
             Template::java11_criu_lazy(),
             Template::java11_criu_prefetch(),
+            Template::java11_criu_cow(),
+            Template::java11_criu_cow_prefetch(),
         ]
     }
 
@@ -124,7 +148,7 @@ impl FunctionBuilder {
                 // production restore.
                 prebake_criu::check(&mut kernel, &dep.images_dir())
                     .map_err(|_| prebake_sim::Errno::Einval)?;
-                if template.restore == RestoreMode::Prefetch {
+                if template.restore.needs_ws() {
                     // Record pass: `ws.img` ships in the image alongside
                     // the other snapshot files.
                     record_working_set(&mut kernel, builder_proc, &dep, &dep.images_dir())?;
@@ -149,7 +173,7 @@ mod tests {
 
     #[test]
     fn template_repository_and_lookup() {
-        assert_eq!(Template::repository().len(), 5);
+        assert_eq!(Template::repository().len(), 7);
         assert_eq!(Template::lookup("java11"), Some(Template::java11()));
         assert_eq!(
             Template::lookup("java11-criu").unwrap().prebake,
@@ -167,7 +191,42 @@ mod tests {
             Template::lookup("java11-criu-prefetch").unwrap().restore,
             RestoreMode::Prefetch
         );
+        assert_eq!(
+            Template::lookup("java11-criu-cow").unwrap().restore,
+            RestoreMode::Cow
+        );
+        assert_eq!(
+            Template::lookup("java11-criu-cow-prefetch")
+                .unwrap()
+                .restore,
+            RestoreMode::CowPrefetch
+        );
         assert!(Template::lookup("go").is_none());
+    }
+
+    #[test]
+    fn cow_builds_ship_the_page_store() {
+        let cow = FunctionBuilder
+            .build(FunctionSpec::noop(), &Template::java11_criu_cow())
+            .unwrap();
+        let names: Vec<&str> = cow.snapshot_files.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"pagestore.img"), "dedup view ships");
+        assert!(
+            !names.contains(&"ws.img"),
+            "plain CoW skips the record pass"
+        );
+
+        // CoW-prefetch additionally records the working set.
+        let cowpf = FunctionBuilder
+            .build(FunctionSpec::noop(), &Template::java11_criu_cow_prefetch())
+            .unwrap();
+        let names: Vec<&str> = cowpf
+            .snapshot_files
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert!(names.contains(&"pagestore.img"));
+        assert!(names.contains(&"ws.img"));
     }
 
     #[test]

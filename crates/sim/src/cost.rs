@@ -69,6 +69,11 @@ pub struct CostModel {
     /// demand-zero page) while the address space is fault-registered.
     /// Charged on top of [`CostModel::page_touch`].
     pub fault_minor: SimDuration,
+    /// Write-protect fault on a shared (copy-on-write) page: trap,
+    /// private-copy allocation and the page copy itself. Priced like a
+    /// hardware CoW break (trap ≪ `userfaultfd` round-trip) — the moment
+    /// a restored replica first writes a shared frame.
+    pub cow_break: SimDuration,
 
     // -- filesystem -----------------------------------------------------
     /// Metadata operation (open/stat/close/mkdir/unlink).
@@ -125,6 +130,7 @@ impl CostModel {
             page_copy: SimDuration::from_nanos(220),
             fault_trap: SimDuration::from_micros(6),
             fault_minor: SimDuration::from_nanos(250),
+            cow_break: SimDuration::from_micros(4),
 
             fs_meta: SimDuration::from_micros(15),
             fs_read_cold_ns_per_byte: ms_per_mib_to_ns_per_byte(6.7),
@@ -161,6 +167,7 @@ impl CostModel {
             page_copy: SimDuration::ZERO,
             fault_trap: SimDuration::ZERO,
             fault_minor: SimDuration::ZERO,
+            cow_break: SimDuration::ZERO,
             fs_meta: SimDuration::ZERO,
             fs_read_cold_ns_per_byte: 0.0,
             fs_read_warm_ns_per_byte: 0.0,
@@ -267,6 +274,16 @@ mod tests {
         let costs = CostModel::paper_calibrated();
         assert!(costs.fault_trap.as_nanos() > 10 * costs.page_copy.as_nanos());
         assert!(costs.fault_minor.as_nanos() < costs.fault_trap.as_nanos());
+    }
+
+    #[test]
+    fn cow_break_between_copy_and_uffd_trap() {
+        // A hardware write-protect fault is far cheaper than a
+        // userfaultfd round-trip but dearer than the bare page copy it
+        // defers — otherwise CoW restore could never win over eager.
+        let costs = CostModel::paper_calibrated();
+        assert!(costs.cow_break < costs.fault_trap);
+        assert!(costs.cow_break.as_nanos() > costs.page_copy.as_nanos());
     }
 
     #[test]

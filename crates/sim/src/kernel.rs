@@ -15,6 +15,7 @@ use crate::error::{Errno, SysResult};
 use crate::fs::{SimFs, Stat};
 use crate::mem::{Page, Prot, VirtAddr, VmaKind, PAGE_SIZE};
 use crate::noise::Noise;
+use crate::pagestore::SharedPageStore;
 use crate::probe::{ProbeEvent, ProbeKind};
 use crate::proc::{Cap, CapSet, FdEntry, Pid, ProcState, Process, ThreadState, Tid};
 use crate::time::{Clock, SimDuration, SimInstant};
@@ -52,6 +53,9 @@ pub struct Kernel {
     trace: Vec<ProbeEvent>,
     /// Demand-paging registrations (`userfaultfd` analogue), per process.
     uffd: BTreeMap<Pid, UffdBackend>,
+    /// Machine-wide content-addressed pool of shared page frames backing
+    /// copy-on-write restores.
+    page_store: SharedPageStore,
 }
 
 impl Kernel {
@@ -79,6 +83,7 @@ impl Kernel {
             tracing: false,
             trace: Vec::new(),
             uffd: BTreeMap::new(),
+            page_store: SharedPageStore::new(),
         }
     }
 
@@ -195,6 +200,16 @@ impl Kernel {
                 time: self.clock.now(),
                 pid,
                 kind: ProbeKind::PageFault { major },
+            });
+        }
+    }
+
+    fn probe_cow_break(&mut self, pid: Pid) {
+        if self.tracing {
+            self.trace.push(ProbeEvent {
+                time: self.clock.now(),
+                pid,
+                kind: ProbeKind::CowBreak,
             });
         }
     }
@@ -342,6 +357,9 @@ impl Kernel {
         proc.fds = crate::proc::FdTable::new();
         self.bound_ports.retain(|_, owner| *owner != pid);
         self.uffd.remove(&pid);
+        // Dropping the address space released its shared-frame
+        // references; frames no replica maps any more go with it.
+        self.page_store.reclaim();
         Ok(())
     }
 
@@ -450,6 +468,15 @@ impl Kernel {
         let cost = self.costs.page_touch * stats.pages_materialized
             + self.costs.page_copy * stats.pages_touched;
         self.charge(cost);
+        if stats.cow_broken > 0 {
+            // Write-protect faults on shared frames: the deferred
+            // private copy is paid now, once per broken page.
+            let break_cost = self.costs.cow_break * stats.cow_broken;
+            self.charge(break_cost);
+            for _ in 0..stats.cow_broken {
+                self.probe_cow_break(pid);
+            }
+        }
         if stats.pages_materialized > 0 && self.uffd.contains_key(&pid) {
             // Demand-zero materialisation under a registered region is a
             // minor fault: counted and lightly charged, no content fetch.
@@ -628,6 +655,44 @@ impl Kernel {
                 .install_page(idx, page)?;
         }
         Ok(())
+    }
+
+    // ------------------------------------------------- shared page frames
+
+    /// The machine's content-addressed shared frame pool.
+    pub fn page_store(&self) -> &SharedPageStore {
+        &self.page_store
+    }
+
+    /// Mutable access to the shared frame pool (restore engines insert
+    /// frames here; tests reclaim through it).
+    pub fn page_store_mut(&mut self) -> &mut SharedPageStore {
+        &mut self.page_store
+    }
+
+    /// Maps the pool frame for `hash` at `page_index` of `pid`,
+    /// copy-on-write, inserting the frame from `make` on first use
+    /// machine-wide. No bytes move — the restore engine prices the
+    /// mapping itself; the copy is deferred to the first write
+    /// ([`CostModel::cow_break`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process; [`Errno::Efault`] /
+    /// [`Errno::Eexist`] per [`crate::mem::AddressSpace::map_shared`].
+    pub fn cow_map(
+        &mut self,
+        pid: Pid,
+        page_index: u64,
+        hash: u64,
+        make: impl FnOnce() -> Page,
+    ) -> SysResult<()> {
+        let frame = self.page_store.get_or_insert(hash, make);
+        self.procs
+            .get_mut(&pid)
+            .ok_or(Errno::Esrch)?
+            .mem
+            .map_shared(page_index, frame)
     }
 
     // ------------------------------------------------------------ filesystem
@@ -1416,6 +1481,7 @@ mod tests {
                 ProbeKind::SyscallExit(n) => format!("exit:{n}"),
                 ProbeKind::Marker(m) => format!("mark:{m}"),
                 ProbeKind::PageFault { major } => format!("fault:major={major}"),
+                ProbeKind::CowBreak => "cow-break".to_owned(),
             })
             .collect();
         assert_eq!(
@@ -1442,6 +1508,107 @@ mod tests {
         k.sys_execve(pid, "/bin/app", &[]).unwrap();
         k.emit_marker(pid, "ready");
         assert!(k.take_trace().is_empty());
+    }
+
+    #[test]
+    fn cow_map_dedups_frames_and_write_breaks_with_charge_and_probe() {
+        let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+        let a_pid = k.sys_clone(INIT_PID).unwrap();
+        let b_pid = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(a_pid, 2 * PAGE_SIZE as u64, Prot::RW, VmaKind::RuntimeHeap)
+            .unwrap();
+        let addr_b = k
+            .sys_mmap(b_pid, 2 * PAGE_SIZE as u64, Prot::RW, VmaKind::RuntimeHeap)
+            .unwrap();
+        assert_eq!(addr, addr_b, "fresh spaces allocate identically");
+
+        // Two replicas map the same content hash: one frame machine-wide.
+        for pid in [a_pid, b_pid] {
+            k.cow_map(pid, addr.page_index(), 0xC0FFEE, || {
+                Page::from_bytes(&[6u8; PAGE_SIZE])
+            })
+            .unwrap();
+        }
+        assert_eq!(k.page_store().frame_count(), 1);
+        assert_eq!(k.page_store().external_refs(), 2);
+
+        // Reads observe shared content and never break.
+        assert_eq!(k.mem_read(a_pid, addr, 4).unwrap(), vec![6u8; 4]);
+        assert_eq!(k.page_store().external_refs(), 2);
+
+        // The first write pays exactly one cow_break beyond the plain
+        // write cost, and emits the CowBreak probe.
+        k.set_tracing(true);
+        let before = k.now();
+        k.mem_write(a_pid, addr, &[1u8; 8]).unwrap();
+        let with_break = k.now() - before;
+        let breaks: Vec<_> = k
+            .take_trace()
+            .into_iter()
+            .filter(|e| e.kind.is_cow_break())
+            .collect();
+        assert_eq!(breaks.len(), 1);
+        assert_eq!(breaks[0].pid, a_pid);
+        k.set_tracing(false);
+
+        let before = k.now();
+        k.mem_write(a_pid, addr, &[2u8; 8]).unwrap();
+        let plain = k.now() - before;
+        assert_eq!(
+            (with_break - plain).as_nanos(),
+            k.costs().cow_break.as_nanos(),
+            "break charged exactly once"
+        );
+
+        // Replica B still sees the pristine shared content.
+        assert_eq!(k.mem_read(b_pid, addr, 4).unwrap(), vec![6u8; 4]);
+        assert_eq!(k.page_store().external_refs(), 1);
+    }
+
+    #[test]
+    fn exit_releases_shared_frames() {
+        let mut k = Kernel::free(77);
+        let a_pid = k.sys_clone(INIT_PID).unwrap();
+        let b_pid = k.sys_clone(INIT_PID).unwrap();
+        for pid in [a_pid, b_pid] {
+            let addr = k
+                .sys_mmap(pid, PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+                .unwrap();
+            k.cow_map(pid, addr.page_index(), 9, || {
+                Page::from_bytes(&[9u8; PAGE_SIZE])
+            })
+            .unwrap();
+        }
+        assert_eq!(k.page_store().external_refs(), 2);
+        k.sys_exit(a_pid, 0).unwrap();
+        assert_eq!(k.page_store().external_refs(), 1);
+        assert_eq!(k.page_store().frame_count(), 1, "still mapped by b");
+        k.sys_exit(b_pid, 0).unwrap();
+        assert_eq!(k.page_store().external_refs(), 0);
+        assert!(k.page_store().is_empty(), "last unmap reclaims the frame");
+    }
+
+    #[test]
+    fn ptrace_peek_sees_shared_frames() {
+        // A dump of a CoW-restored process must read page content through
+        // the shared mapping, exactly like private pages.
+        let mut k = Kernel::free(78);
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        k.grant_cap(tracer, Cap::CheckpointRestore).unwrap();
+        let target = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(target, PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+            .unwrap();
+        k.cow_map(target, addr.page_index(), 5, || {
+            Page::from_bytes(&[5u8; PAGE_SIZE])
+        })
+        .unwrap();
+        k.ptrace_seize(tracer, target).unwrap();
+        let page = k
+            .ptrace_peek_page(tracer, target, addr.page_index())
+            .unwrap();
+        assert!(page.bytes().iter().all(|&b| b == 5));
     }
 
     #[test]

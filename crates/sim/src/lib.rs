@@ -26,6 +26,8 @@
 //! - [`event`] — a discrete-event queue for the platform layer
 //! - [`probe`] — syscall/marker trace events (the `bpftrace` analogue)
 //! - [`uffd`] — demand-paging fault backends (the `userfaultfd` analogue)
+//! - [`pagestore`] — the content-addressed shared frame pool behind
+//!   copy-on-write restore
 //! - [`error`] — POSIX-style error numbers
 //!
 //! ## Example
@@ -56,6 +58,7 @@ pub mod fs;
 pub mod kernel;
 pub mod mem;
 pub mod noise;
+pub mod pagestore;
 pub mod probe;
 pub mod proc;
 pub mod time;

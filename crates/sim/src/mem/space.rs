@@ -1,6 +1,7 @@
 //! Per-process address spaces.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::error::{Errno, SysResult};
 use crate::mem::page::{pages_for, Page, PAGE_SIZE};
@@ -17,6 +18,9 @@ pub struct TouchStats {
     pub pages_touched: u64,
     /// Pages that had to be materialised (first write — a minor fault).
     pub pages_materialized: u64,
+    /// Shared frames that were broken (first write to a copy-on-write
+    /// page — the deferred private copy was paid here).
+    pub cow_broken: u64,
 }
 
 impl TouchStats {
@@ -24,6 +28,7 @@ impl TouchStats {
     pub fn merge(&mut self, other: TouchStats) {
         self.pages_touched += other.pages_touched;
         self.pages_materialized += other.pages_materialized;
+        self.cow_broken += other.cow_broken;
     }
 }
 
@@ -38,6 +43,12 @@ impl TouchStats {
 pub struct AddressSpace {
     vmas: BTreeMap<u64, Vma>,
     pages: BTreeMap<u64, Page>,
+    /// Shared, write-protected frames mapped copy-on-write from a page
+    /// store (the memfd/KSM analogue). Reads go through the shared
+    /// frame; the first write breaks the mapping into a private page in
+    /// `pages`. Frames are reference-counted via [`Arc`]: dropping the
+    /// mapping (munmap/exit) releases this space's reference.
+    cow: BTreeMap<u64, Arc<Page>>,
     /// Soft-dirty set: pages written since the last
     /// [`clear_soft_dirty`](AddressSpace::clear_soft_dirty) — the
     /// `/proc/<pid>/clear_refs` + pagemap soft-dirty mechanism CRIU's
@@ -57,6 +68,7 @@ impl AddressSpace {
         AddressSpace {
             vmas: BTreeMap::new(),
             pages: BTreeMap::new(),
+            cow: BTreeMap::new(),
             dirty: std::collections::BTreeSet::new(),
             missing: std::collections::BTreeSet::new(),
             next_map: MMAP_BASE,
@@ -153,6 +165,11 @@ impl AddressSpace {
             self.pages.remove(&k);
             self.dirty.remove(&k);
         }
+        let shared: Vec<u64> = self.cow.range(first..last).map(|(k, _)| *k).collect();
+        for k in shared {
+            self.cow.remove(&k);
+            self.dirty.remove(&k);
+        }
         let gone: Vec<u64> = self.missing.range(first..last).copied().collect();
         for k in gone {
             self.missing.remove(&k);
@@ -176,6 +193,12 @@ impl AddressSpace {
             let page_idx = cur.page_index();
             let in_page = cur.page_offset();
             let chunk = (PAGE_SIZE - in_page).min(bytes.len() - off);
+            if let Some(frame) = self.cow.remove(&page_idx) {
+                // Write-protect fault on a shared frame: break the
+                // mapping into a private copy before the write lands.
+                self.pages.insert(page_idx, frame.as_ref().clone());
+                stats.cow_broken += 1;
+            }
             let page = self.pages.entry(page_idx).or_insert_with(|| {
                 stats.pages_materialized += 1;
                 Page::zeroed()
@@ -205,7 +228,7 @@ impl AddressSpace {
             let page_idx = cur.page_index();
             let in_page = cur.page_offset();
             let chunk = (PAGE_SIZE - in_page).min(len as usize - off);
-            if let Some(page) = self.pages.get(&page_idx) {
+            if let Some(page) = self.page(page_idx) {
                 out[off..off + chunk].copy_from_slice(&page.bytes()[in_page..in_page + chunk]);
             }
             stats.pages_touched += 1;
@@ -215,9 +238,11 @@ impl AddressSpace {
         Ok((out, stats))
     }
 
-    /// Direct view of one materialised page, if present.
+    /// Direct view of one resident page — private or shared — if present.
     pub fn page(&self, page_index: u64) -> Option<&Page> {
-        self.pages.get(&page_index)
+        self.pages
+            .get(&page_index)
+            .or_else(|| self.cow.get(&page_index).map(Arc::as_ref))
     }
 
     /// Installs a full page of bytes (restore fast path). Clears any
@@ -233,9 +258,43 @@ impl AddressSpace {
             return Err(Errno::Efault);
         }
         self.missing.remove(&page_index);
+        self.cow.remove(&page_index);
         self.pages.insert(page_index, page);
         self.dirty.insert(page_index);
         Ok(())
+    }
+
+    /// Maps a shared frame at `page_index` copy-on-write: reads observe
+    /// the frame's content, the first write breaks it into a private
+    /// copy. Clears any `missing` mark — a shared mapping *is* resident.
+    /// This is the restore-time `mmap(MAP_PRIVATE)`-over-memfd analogue.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Efault`] if the page is not inside any mapping,
+    /// [`Errno::Eexist`] if a private page is already materialised there.
+    pub fn map_shared(&mut self, page_index: u64, frame: Arc<Page>) -> SysResult<()> {
+        let addr = VirtAddr(page_index * PAGE_SIZE as u64);
+        if self.find_vma(addr).is_none() {
+            return Err(Errno::Efault);
+        }
+        if self.pages.contains_key(&page_index) {
+            return Err(Errno::Eexist);
+        }
+        self.missing.remove(&page_index);
+        self.cow.insert(page_index, frame);
+        self.dirty.insert(page_index);
+        Ok(())
+    }
+
+    /// Returns `true` if the page is a shared (unbroken) CoW mapping.
+    pub fn is_cow(&self, page_index: u64) -> bool {
+        self.cow.contains_key(&page_index)
+    }
+
+    /// Shared frames still mapped copy-on-write (not yet broken).
+    pub fn cow_pages(&self) -> u64 {
+        self.cow.len() as u64
     }
 
     /// Marks a mapped page as `missing`: its content is held by a
@@ -252,7 +311,7 @@ impl AddressSpace {
         if self.find_vma(addr).is_none() {
             return Err(Errno::Efault);
         }
-        if self.pages.contains_key(&page_index) {
+        if self.pages.contains_key(&page_index) || self.cow.contains_key(&page_index) {
             return Err(Errno::Eexist);
         }
         self.missing.insert(page_index);
@@ -311,17 +370,25 @@ impl AddressSpace {
         self.dirty.contains(&page_index)
     }
 
-    /// Page indices materialised within `vma`, ascending — the
-    /// `/proc/<pid>/pagemap` "present" view.
+    /// Page indices resident within `vma` — private or shared —
+    /// ascending: the `/proc/<pid>/pagemap` "present" view.
     pub fn present_pages(&self, vma: &Vma) -> Vec<u64> {
         let first = vma.first_page();
         let last = first + vma.page_count();
-        self.pages.range(first..last).map(|(k, _)| *k).collect()
+        let mut present: Vec<u64> = self
+            .pages
+            .range(first..last)
+            .map(|(k, _)| *k)
+            .chain(self.cow.range(first..last).map(|(k, _)| *k))
+            .collect();
+        present.sort_unstable();
+        present
     }
 
-    /// Total materialised pages across the space.
+    /// Total resident pages across the space (shared frames included:
+    /// they are mapped and readable, like RSS counts shared memory).
     pub fn resident_pages(&self) -> u64 {
-        self.pages.len() as u64
+        (self.pages.len() + self.cow.len()) as u64
     }
 
     /// Total materialised bytes (RSS analogue).
@@ -362,12 +429,14 @@ impl AddressSpace {
             .pages
             .keys()
             .chain(other.pages.keys())
+            .chain(self.cow.keys())
+            .chain(other.cow.keys())
             .copied()
             .collect();
         let zero = Page::zeroed();
         for idx in all_indices {
-            let a = self.pages.get(&idx).unwrap_or(&zero);
-            let b = other.pages.get(&idx).unwrap_or(&zero);
+            let a = self.page(idx).unwrap_or(&zero);
+            let b = other.page(idx).unwrap_or(&zero);
             if a != b {
                 return false;
             }
@@ -649,5 +718,107 @@ mod tests {
             s.install_page(9999999, Page::zeroed()).unwrap_err(),
             Errno::Efault
         );
+    }
+
+    fn frame(fill: u8) -> Arc<Page> {
+        Arc::new(Page::from_bytes(&[fill; PAGE_SIZE]))
+    }
+
+    #[test]
+    fn shared_frame_reads_through_until_broken() {
+        let (mut s, a) = space_with_map(2 * PAGE_SIZE as u64);
+        let f = frame(7);
+        s.map_shared(a.page_index(), Arc::clone(&f)).unwrap();
+        assert!(s.is_cow(a.page_index()));
+        assert_eq!(s.cow_pages(), 1);
+        assert_eq!(s.resident_pages(), 1);
+        assert_eq!(Arc::strong_count(&f), 2, "space holds one reference");
+
+        // Reads observe the shared content without breaking it.
+        let (back, stats) = s.read(a, 8).unwrap();
+        assert_eq!(back, vec![7u8; 8]);
+        assert_eq!(stats.cow_broken, 0);
+        assert!(s.is_cow(a.page_index()));
+
+        // The first write breaks into a private copy preserving the
+        // untouched bytes; the frame itself stays pristine.
+        let stats = s.write(a.add(4), &[9u8; 4]).unwrap();
+        assert_eq!(stats.cow_broken, 1);
+        assert_eq!(stats.pages_materialized, 0);
+        assert!(!s.is_cow(a.page_index()));
+        assert_eq!(Arc::strong_count(&f), 1, "reference released on break");
+        let (back, _) = s.read(a, 12).unwrap();
+        assert_eq!(back, [vec![7u8; 4], vec![9u8; 4], vec![7u8; 4]].concat());
+        assert!(f.bytes().iter().all(|&b| b == 7), "frame unmodified");
+
+        // A second write to the now-private page breaks nothing.
+        let stats = s.write(a, &[1u8]).unwrap();
+        assert_eq!(stats.cow_broken, 0);
+    }
+
+    #[test]
+    fn map_shared_rejects_unmapped_and_materialised() {
+        let (mut s, a) = space_with_map(PAGE_SIZE as u64);
+        assert_eq!(s.map_shared(9999999, frame(1)).unwrap_err(), Errno::Efault);
+        s.write(a, &[1]).unwrap();
+        assert_eq!(
+            s.map_shared(a.page_index(), frame(1)).unwrap_err(),
+            Errno::Eexist
+        );
+    }
+
+    #[test]
+    fn map_shared_resolves_missing_and_blocks_remarking() {
+        let (mut s, a) = space_with_map(PAGE_SIZE as u64);
+        s.mark_missing(a.page_index()).unwrap();
+        s.map_shared(a.page_index(), frame(5)).unwrap();
+        assert!(!s.is_missing(a.page_index()));
+        assert_eq!(s.mark_missing(a.page_index()).unwrap_err(), Errno::Eexist);
+    }
+
+    #[test]
+    fn munmap_releases_shared_frames() {
+        let (mut s, a) = space_with_map(2 * PAGE_SIZE as u64);
+        let f = frame(3);
+        s.map_shared(a.page_index(), Arc::clone(&f)).unwrap();
+        s.map_shared(a.page_index() + 1, Arc::clone(&f)).unwrap();
+        assert_eq!(Arc::strong_count(&f), 3);
+        s.munmap(a).unwrap();
+        assert_eq!(Arc::strong_count(&f), 1, "munmap drops both references");
+        assert_eq!(s.cow_pages(), 0);
+    }
+
+    #[test]
+    fn present_and_observable_views_cover_shared_frames() {
+        let (mut s1, a) = space_with_map(3 * PAGE_SIZE as u64);
+        let (mut s2, _) = space_with_map(3 * PAGE_SIZE as u64);
+        s1.map_shared(a.page_index() + 1, frame(4)).unwrap();
+        s2.write(a.add(PAGE_SIZE as u64), &[4u8; PAGE_SIZE])
+            .unwrap();
+
+        let vma = s1.find_vma(a).unwrap().clone();
+        assert_eq!(s1.present_pages(&vma), vec![a.page_index() + 1]);
+        assert_eq!(s1.page(a.page_index() + 1).unwrap().bytes()[0], 4);
+        assert!(
+            s1.observably_equal(&s2),
+            "shared frame equals the same bytes held privately"
+        );
+        s2.write(a.add(PAGE_SIZE as u64), &[9u8]).unwrap();
+        assert!(!s1.observably_equal(&s2));
+    }
+
+    #[test]
+    fn clone_shares_frames_not_copies() {
+        let (mut s, a) = space_with_map(PAGE_SIZE as u64);
+        let f = frame(8);
+        s.map_shared(a.page_index(), Arc::clone(&f)).unwrap();
+        let mut child = s.clone();
+        assert_eq!(Arc::strong_count(&f), 3, "fork shares the frame");
+        // The child's break leaves the parent's mapping shared.
+        child.write(a, &[1u8]).unwrap();
+        assert_eq!(Arc::strong_count(&f), 2);
+        assert!(s.is_cow(a.page_index()));
+        let (parent_view, _) = s.read(a, 1).unwrap();
+        assert_eq!(parent_view, vec![8u8]);
     }
 }

@@ -39,6 +39,10 @@ pub enum ProbeKind {
         /// Whether the fault was backed by snapshot content.
         major: bool,
     },
+    /// A copy-on-write break: the first write to a shared page frame
+    /// (mapped from the content-addressed page store) paid its deferred
+    /// private copy.
+    CowBreak,
 }
 
 impl ProbeKind {
@@ -78,6 +82,11 @@ impl ProbeKind {
             _ => None,
         }
     }
+
+    /// Returns `true` if this is a copy-on-write break event.
+    pub fn is_cow_break(&self) -> bool {
+        matches!(self, ProbeKind::CowBreak)
+    }
 }
 
 /// Aggregate counts over a probe trace.
@@ -98,6 +107,8 @@ pub struct ProbeCounters {
     pub major_faults: u64,
     /// Minor demand-paging faults (demand-zero while registered).
     pub minor_faults: u64,
+    /// Copy-on-write breaks (first write to a shared page frame).
+    pub cow_breaks: u64,
 }
 
 impl ProbeCounters {
@@ -111,6 +122,7 @@ impl ProbeCounters {
                 ProbeKind::Marker(_) => c.markers += 1,
                 ProbeKind::PageFault { major: true } => c.major_faults += 1,
                 ProbeKind::PageFault { major: false } => c.minor_faults += 1,
+                ProbeKind::CowBreak => c.cow_breaks += 1,
             }
         }
         c
@@ -128,6 +140,7 @@ impl ProbeCounters {
         self.markers += other.markers;
         self.major_faults += other.major_faults;
         self.minor_faults += other.minor_faults;
+        self.cow_breaks += other.cow_breaks;
     }
 }
 
@@ -153,6 +166,11 @@ mod tests {
         assert_eq!(f.as_page_fault(), Some(true));
         assert_eq!(f.as_marker(), None);
         assert_eq!(m.as_page_fault(), None);
+
+        let c = ProbeKind::CowBreak;
+        assert!(c.is_cow_break());
+        assert!(!f.is_cow_break());
+        assert_eq!(c.as_page_fault(), None);
     }
 
     #[test]
@@ -191,6 +209,11 @@ mod tests {
                 pid,
                 kind: ProbeKind::PageFault { major: false },
             },
+            ProbeEvent {
+                time: at,
+                pid,
+                kind: ProbeKind::CowBreak,
+            },
         ];
         let c = ProbeCounters::from_events(&events);
         assert_eq!(c.syscall_enters, 1);
@@ -198,12 +221,14 @@ mod tests {
         assert_eq!(c.markers, 1);
         assert_eq!(c.major_faults, 2);
         assert_eq!(c.minor_faults, 1);
+        assert_eq!(c.cow_breaks, 1);
         assert_eq!(c.total_faults(), 3);
 
         let mut m = ProbeCounters::default();
         m.merge(&c);
         m.merge(&c);
         assert_eq!(m.major_faults, 4);
+        assert_eq!(m.cow_breaks, 2);
         assert_eq!(m.syscall_enters, 2);
     }
 

@@ -19,6 +19,11 @@ cd "$(dirname "$0")/.."
 
 run cargo build --release
 run cargo test -q
+# Page-store invariants (DESIGN.md §9): dedup/CoW property tests and the
+# shared-frame concurrency suite, run explicitly so a filtered `cargo
+# test` invocation can never silently skip them.
+run cargo test -q -p prebake-criu --test proptest_pagestore
+run cargo test -q -p prebake-criu --test cow_concurrency
 run cargo fmt --all --check
 run cargo clippy --all-targets -- -D warnings
 
