@@ -17,6 +17,7 @@ use prebake_sim::kernel::Kernel;
 use prebake_sim::probe::ProbeCounters;
 use prebake_sim::proc::Pid;
 use prebake_sim::time::SimDuration;
+use prebake_sim::trace::TraceSpan;
 
 use crate::env::{export_images, fresh_container, import_images, provision_machine, Deployment};
 use crate::phases::Phases;
@@ -301,6 +302,7 @@ impl TrialRunner {
             startup,
             phases,
             trace,
+            ..
         } = self.starter().start(&mut kernel, watchdog, &dep)?;
 
         // First request (held until readiness by the load generator),
@@ -324,6 +326,59 @@ impl TrialRunner {
             pages_unique: self.pages_unique,
             probes,
         })
+    }
+
+    /// As [`TrialRunner::startup_trial`], additionally recording the
+    /// span trees of the start-up window (rooted at `"startup"`) and the
+    /// first request (rooted at `"first_request"`). Span ids are unique
+    /// across the two trees, so they concatenate into one artifact —
+    /// feed it to [`prebake_sim::trace::chrome_trace_json`] or
+    /// [`prebake_sim::trace::TraceSummary`].
+    ///
+    /// Kept separate from `startup_trial` so the big repetition sweeps
+    /// stay free of span-recording overhead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel/runtime errors.
+    pub fn traced_trial(&self, seed: u64) -> SysResult<(StartupTrial, Vec<TraceSpan>)> {
+        let (mut kernel, watchdog, dep) = self.setup(seed)?;
+        kernel.set_span_tracing(true);
+        let t0 = kernel.now();
+        let Started {
+            mut replica,
+            startup,
+            phases,
+            trace,
+            spans: mut all_spans,
+        } = self.starter().start(&mut kernel, watchdog, &dep)?;
+
+        kernel.set_tracing(true);
+        let root = kernel.span_begin("first_request", replica.pid());
+        let req = dep.spec.sample_request();
+        replica.handle(&mut kernel, &req)?;
+        kernel.span_end(root);
+        let first_response = kernel.now() - t0;
+        let request_trace = kernel.take_trace();
+        kernel.set_tracing(false);
+        all_spans.extend(kernel.take_spans());
+        kernel.set_span_tracing(false);
+
+        let mut probes = ProbeCounters::from_events(&trace);
+        probes.merge(&ProbeCounters::from_events(&request_trace));
+
+        Ok((
+            StartupTrial {
+                startup_ms: startup.as_millis_f64(),
+                first_response_ms: first_response.as_millis_f64(),
+                phases,
+                snapshot_bytes: self.snapshot_bytes,
+                pages_stored: self.pages_stored,
+                pages_unique: self.pages_unique,
+                probes,
+            },
+            all_spans,
+        ))
     }
 
     /// Starts once and serves `requests` sequential invocations at a

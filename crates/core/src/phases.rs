@@ -17,6 +17,7 @@
 
 use prebake_sim::probe::ProbeEvent;
 use prebake_sim::time::{SimDuration, SimInstant};
+use prebake_sim::trace::TraceSpan;
 
 /// Durations of the four start-up components.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -131,6 +132,69 @@ impl PhaseTracker {
             appinit,
         }
     }
+
+    /// Computes the phase decomposition from a recorded span tree instead
+    /// of the flat probe stream.
+    ///
+    /// The kernel opens its `sys_clone`/`sys_execve` spans at the same
+    /// instants it records the corresponding enter/exit probes, and
+    /// markers ride on spans as annotations, so this yields *exactly* the
+    /// same [`Phases`] as [`PhaseTracker::phases`] over the probe trace
+    /// of the same window — the cross-check `trace_startup` asserts.
+    pub fn phases_from_spans(&self, spans: &[TraceSpan]) -> Phases {
+        let window = |t: SimInstant| t >= self.start && t <= self.ready;
+        let find_span = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name && window(s.start) && window(s.end))
+        };
+        let find_marker = |name: &str| {
+            spans
+                .iter()
+                .flat_map(|s| s.events.iter())
+                .filter(|e| window(e.time) && e.kind.as_marker() == Some(name))
+                .map(|e| e.time)
+                .min()
+        };
+
+        let (clone_enter, clone_exit) = match find_span("sys_clone") {
+            Some(s) => (s.start, s.end),
+            None => (self.start, self.start),
+        };
+        let clone = clone_exit.saturating_duration_since(clone_enter);
+
+        let (exec, exec_end) = match find_span("sys_execve") {
+            Some(s) => (s.end.saturating_duration_since(s.start), s.end),
+            None => (SimDuration::ZERO, clone_exit),
+        };
+
+        let (rts, rts_end) = match find_marker("main-entry") {
+            Some(main_entry) => (main_entry.saturating_duration_since(exec_end), main_entry),
+            None => (SimDuration::ZERO, exec_end),
+        };
+
+        let ready = find_marker("ready").unwrap_or(self.ready);
+        let pre_clone = clone_enter.saturating_duration_since(self.start);
+        let appinit = ready.saturating_duration_since(rts_end) + pre_clone;
+
+        Phases {
+            clone,
+            exec,
+            rts,
+            appinit,
+        }
+    }
+}
+
+/// Derives [`Phases`] from a span tree containing a `"startup"` root span
+/// (as recorded by the starters): the root's interval is the measurement
+/// window. Returns `None` when no such root exists.
+pub fn phases_from_span_tree(spans: &[TraceSpan]) -> Option<Phases> {
+    let root = spans
+        .iter()
+        .filter(|s| s.name == "startup")
+        .min_by_key(|s| s.start)?;
+    Some(PhaseTracker::new(root.start, root.end).phases_from_spans(spans))
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@ use prebake_sim::kernel::Kernel;
 use prebake_sim::probe::ProbeEvent;
 use prebake_sim::proc::{CapSet, Pid};
 use prebake_sim::time::SimDuration;
+use prebake_sim::trace::TraceSpan;
 
 use crate::env::{Deployment, RUNTIME_BIN};
 use crate::phases::{PhaseTracker, Phases};
@@ -26,6 +27,13 @@ pub struct Started {
     /// page faults) — fold it with
     /// [`ProbeCounters::from_events`](prebake_sim::probe::ProbeCounters).
     pub trace: Vec<ProbeEvent>,
+    /// The span tree of the start-up window, rooted at a `"startup"`
+    /// span, when the kernel had span tracing enabled. Empty when span
+    /// tracing was off, and also when an enclosing tracing session (a
+    /// platform cold-start span or a traced trial) owns the tree — the
+    /// starter then leaves its spans in the kernel for the session to
+    /// drain as one tree.
+    pub spans: Vec<TraceSpan>,
 }
 
 /// A mechanism for starting function replicas.
@@ -59,8 +67,16 @@ impl Starter for VanillaStarter {
     }
 
     fn start(&self, kernel: &mut Kernel, supervisor: Pid, dep: &Deployment) -> SysResult<Started> {
+        // Probe tracing is always on for the start window (the paper's
+        // bpftrace session); span recording stays at whatever the caller
+        // configured. An enclosing session (platform cold-start span,
+        // traced trial) owns the tree, so only a standalone start drains
+        // the tracer into `Started::spans`.
         kernel.set_tracing(true);
+        let outer = kernel.open_spans() > 0;
         let t0 = kernel.now();
+        let root = kernel.span_begin("startup", supervisor);
+        kernel.span_attr(root, "starter", self.label());
 
         let pid = kernel.sys_clone(supervisor)?;
         // Replicas run unprivileged.
@@ -79,13 +95,20 @@ impl Starter for VanillaStarter {
         let replica = Replica::boot(kernel, pid, config, handler)?;
 
         let ready = kernel.now();
+        kernel.span_end(root);
         let trace = kernel.take_trace();
         kernel.set_tracing(false);
+        let spans = if outer {
+            Vec::new()
+        } else {
+            kernel.take_spans()
+        };
         Ok(Started {
             replica,
             startup: ready - t0,
             phases: PhaseTracker::new(t0, ready).phases(&trace),
             trace,
+            spans,
         })
     }
 }
@@ -135,7 +158,10 @@ impl Starter for PrebakeStarter {
 
     fn start(&self, kernel: &mut Kernel, supervisor: Pid, dep: &Deployment) -> SysResult<Started> {
         kernel.set_tracing(true);
+        let outer = kernel.open_spans() > 0;
         let t0 = kernel.now();
+        let root = kernel.span_begin("startup", supervisor);
+        kernel.span_attr(root, "starter", self.label());
 
         let dir = self.images_dir.clone().unwrap_or_else(|| dep.images_dir());
         let stats = restore(
@@ -148,13 +174,20 @@ impl Starter for PrebakeStarter {
         kernel.emit_marker(stats.pid, "ready");
 
         let ready = kernel.now();
+        kernel.span_end(root);
         let trace = kernel.take_trace();
         kernel.set_tracing(false);
+        let spans = if outer {
+            Vec::new()
+        } else {
+            kernel.take_spans()
+        };
         Ok(Started {
             replica,
             startup: ready - t0,
             phases: PhaseTracker::new(t0, ready).phases(&trace),
             trace,
+            spans,
         })
     }
 }

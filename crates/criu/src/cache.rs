@@ -136,8 +136,12 @@ impl ImageCache {
         name: impl Into<String>,
         images_dir: &str,
     ) -> SysResult<Vec<String>> {
-        let set = read_images(kernel, images_dir)?;
-        Ok(self.insert(name, set))
+        let span = kernel.span_begin("cache_preload", prebake_sim::kernel::INIT_PID);
+        let set = read_images(kernel, images_dir);
+        kernel.span_end(span);
+        let evicted = self.insert(name, set?);
+        kernel.span_attr(span, "evicted", evicted.len().to_string());
+        Ok(evicted)
     }
 
     /// Looks up a cached snapshot (does not refresh its recency).
@@ -159,8 +163,16 @@ impl ImageCache {
         name: &str,
         opts: &RestoreOptions,
     ) -> SysResult<RestoreStats> {
-        let set = self.sets.get(name).ok_or(prebake_sim::Errno::Enoent)?;
-        let stats = restore_set(kernel, requester, set, opts)?;
+        let span = kernel.span_begin("cache_lookup", requester);
+        let Some(set) = self.sets.get(name) else {
+            kernel.span_attr(span, "result", "miss");
+            kernel.span_end(span);
+            return Err(prebake_sim::Errno::Enoent);
+        };
+        kernel.span_attr(span, "result", "hit");
+        let stats = restore_set(kernel, requester, set, opts);
+        kernel.span_end(span);
+        let stats = stats?;
         self.touch(name);
         Ok(stats)
     }

@@ -101,11 +101,14 @@ fn collect_images_inner(
     costs: &CriuCosts,
     incremental: bool,
 ) -> SysResult<ImageSet> {
+    let span = kernel.span_begin("criu_dump_collect", target);
     // Parasite injection: a scratch mapping plus the blob poke.
+    let inject = kernel.span_begin("parasite_inject", target);
     kernel.charge(costs.parasite_inject);
     let parasite = kernel.remote_mmap(tracer, target, 2 * PAGE_SIZE as u64, VmaKind::Parasite)?;
     let blob: Vec<u8> = (0..512u32).map(|i| (i % 251 + 1) as u8).collect();
     kernel.ptrace_poke(tracer, target, parasite, &blob)?;
+    kernel.span_end(inject);
 
     kernel.charge(costs.dump_prepare);
 
@@ -141,6 +144,7 @@ fn collect_images_inner(
     // and streams it through the pipe. Incremental dumps skip pages whose
     // soft-dirty bit is clear — their payload already sits in the parent
     // snapshot from the pre-dump.
+    let walk = kernel.span_begin("pagemap_walk", target);
     let mut pages = PagesImage::default();
     for vma in &vmas {
         let present = kernel.proc_pagemap(target, vma.start)?;
@@ -162,6 +166,8 @@ fn collect_images_inner(
             pages.push(page_index, &page);
         }
     }
+    kernel.span_attr(walk, "pages", pages.entries.len().to_string());
+    kernel.span_end(walk);
 
     // Cure: drop the parasite mapping.
     kernel.remote_munmap(tracer, target, parasite)?;
@@ -169,7 +175,10 @@ fn collect_images_inner(
     // Dedup view: hash every stored page and collapse identical contents
     // to one frame. Incremental dumps defer payload to a parent and so
     // carry no store (`from_pages` returns `None` for them).
+    let hash = kernel.span_begin("pagestore_hash", target);
     let pagestore = PageStoreImage::from_pages(&pages);
+    kernel.span_end(hash);
+    kernel.span_end(span);
 
     Ok(ImageSet {
         core: CoreImage {
@@ -206,6 +215,7 @@ pub fn dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResult<D
     let t0 = kernel.now();
     let target = opts.target;
 
+    let span = kernel.span_begin("criu_dump", target);
     kernel.ptrace_seize(tracer, target)?;
     kernel.ptrace_freeze(tracer, target)?;
     let freeze_start = kernel.now();
@@ -215,6 +225,7 @@ pub fn dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResult<D
 
     // Write the image files (the target could already run again here,
     // but our single-threaded driver finishes the writes first).
+    let write = kernel.span_begin("image_write", target);
     kernel.fs_create_dir_all(&opts.images_dir)?;
     let dir = &opts.images_dir;
     let mut files = vec![
@@ -235,6 +246,8 @@ pub fn dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResult<D
         image_bytes += data.len() as u64;
         kernel.fs_write_file(&prebake_sim::fs::join_path(dir, name), data)?;
     }
+    kernel.span_attr(write, "bytes", image_bytes.to_string());
+    kernel.span_end(write);
 
     // Resume-or-kill, then detach.
     if opts.leave_running {
@@ -245,6 +258,7 @@ pub fn dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResult<D
         kernel.sys_exit(target, 0)?;
         kernel.reap(target)?;
     }
+    kernel.span_end(span);
 
     let stored = set.pages.stored_pages();
     let unique = set.pagestore.as_ref().map_or(stored, |s| s.unique_pages());
@@ -276,6 +290,7 @@ pub fn pre_dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResu
     let t0 = kernel.now();
     let target = opts.target;
 
+    let span = kernel.span_begin("criu_predump", target);
     kernel.ptrace_seize(tracer, target)?;
     // No freeze: pages are read via the live-task path (the real CRIU
     // uses process_vm_readv + soft-dirty to tolerate concurrent writes).
@@ -311,6 +326,7 @@ pub fn pre_dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResu
         image_bytes += data.len() as u64;
         kernel.fs_write_file(&prebake_sim::fs::join_path(dir, name), data)?;
     }
+    kernel.span_end(span);
 
     Ok(DumpStats {
         vmas: vmas.len(),

@@ -173,12 +173,17 @@ pub fn restore(
     opts: &RestoreOptions,
 ) -> SysResult<RestoreStats> {
     let t0 = kernel.now();
+    let span = kernel.span_begin("criu_restore", requester);
+    let parse = kernel.span_begin("image_parse", requester);
     let set = if opts.mode.is_lazy() {
-        read_images_lazy(kernel, &opts.images_dir)?
+        read_images_lazy(kernel, &opts.images_dir)
     } else {
-        read_images(kernel, &opts.images_dir)?
+        read_images(kernel, &opts.images_dir)
     };
-    let mut stats = restore_set(kernel, requester, &set, opts)?;
+    kernel.span_end(parse);
+    let result = set.and_then(|set| restore_set(kernel, requester, &set, opts));
+    kernel.span_end(span);
+    let mut stats = result?;
     // Account the image read too: `elapsed` is the full `criu restore`
     // wall time, which is what lazy modes shrink by deferring the
     // payload read.
@@ -202,6 +207,7 @@ pub fn restore_set(
     if !kernel.process(requester)?.caps.can_checkpoint() {
         return Err(Errno::Eperm);
     }
+    let span = kernel.span_begin("criu_restore_set", requester);
     kernel.charge(opts.costs.restore_base);
 
     // Task re-creation.
@@ -211,6 +217,8 @@ pub fn restore_set(
     };
 
     // Memory: rebuild the address space exactly as dumped.
+    let vma_span = kernel.span_begin("restore_vmas", pid);
+    kernel.span_attr(vma_span, "vmas", set.mm.vmas.len().to_string());
     kernel.charge(opts.costs.restore_per_vma * set.mm.vmas.len() as u64);
     {
         let proc = kernel.process_mut(pid)?;
@@ -220,6 +228,7 @@ pub fn restore_set(
                 .mmap_fixed(vma.start, vma.len, vma.prot, vma.kind.clone())?;
         }
     }
+    kernel.span_end(vma_span);
     let mut installed = 0usize;
     let mut pages_lazy = 0usize;
     let mut pages_prefetched = 0usize;
@@ -232,6 +241,7 @@ pub fn restore_set(
             // pool — replicas of the same snapshot resolve to the same
             // physical frames. Zero pages stay demand-zero.
             let store = set.pagestore.as_ref().ok_or(Errno::Einval)?;
+            let mode_span = kernel.span_begin("restore_cow_map", pid);
             let ws_filter: Option<std::collections::BTreeSet<u64>> =
                 if opts.mode == RestoreMode::CowPrefetch {
                     let ws = set.ws.as_ref().ok_or(Errno::Einval)?;
@@ -259,12 +269,16 @@ pub fn restore_set(
                 kernel.charge(opts.costs.lazy_register);
                 kernel.uffd_register(pid, backend)?;
             }
+            kernel.span_attr(mode_span, "pages_cow", pages_cow.to_string());
+            kernel.span_attr(mode_span, "pages_lazy", pages_lazy.to_string());
+            kernel.span_end(mode_span);
         }
         RestoreMode::Lazy | RestoreMode::Record | RestoreMode::Prefetch => {
             // Defer the payload behind the fault handler: collect every
             // non-zero page into a backend, register it, and let first
             // touches (or an up-front prefetch of the recorded working
             // set) pull pages in. Zero pages stay demand-zero either way.
+            let mode_span = kernel.span_begin("restore_lazy_register", pid);
             let mut backend = UffdBackend::new();
             for (page_index, source) in set.pages.iter_pages() {
                 match source {
@@ -288,12 +302,16 @@ pub fn restore_set(
                 }
                 _ => {}
             }
+            kernel.span_attr(mode_span, "pages_lazy", pages_lazy.to_string());
+            kernel.span_attr(mode_span, "pages_prefetched", pages_prefetched.to_string());
+            kernel.span_end(mode_span);
         }
         RestoreMode::Eager => {
             // Install payload pages; zero pages stay demand-zero.
             // Unresolved parent references mean the caller skipped
             // `read_images`'s parent resolution — refuse rather than
             // restore holes.
+            let mode_span = kernel.span_begin("restore_eager_copy", pid);
             let proc = kernel.process_mut(pid)?;
             for (page_index, source) in set.pages.iter_pages() {
                 match source {
@@ -307,10 +325,14 @@ pub fn restore_set(
                 }
             }
             kernel.charge(opts.costs.restore_per_page * installed as u64);
+            kernel.span_attr(mode_span, "pages", installed.to_string());
+            kernel.span_end(mode_span);
         }
     }
 
     // Descriptors.
+    let fd_span = kernel.span_begin("restore_fds", pid);
+    kernel.span_attr(fd_span, "fds", set.files.fds.len().to_string());
     kernel.charge(opts.costs.restore_per_fd * set.files.fds.len() as u64);
     {
         let proc = kernel.process_mut(pid)?;
@@ -326,6 +348,7 @@ pub fn restore_set(
             }
         }
     }
+    kernel.span_end(fd_span);
 
     // Identity, threads, resume.
     {
@@ -346,6 +369,7 @@ pub fn restore_set(
     }
     let resume = kernel.costs().sched_resume;
     kernel.charge(resume);
+    kernel.span_end(span);
 
     Ok(RestoreStats {
         pid,

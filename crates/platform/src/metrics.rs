@@ -82,6 +82,43 @@ impl Histogram {
         self.total
     }
 
+    /// The configured bucket upper bounds (exclusive of `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the `+Inf`
+    /// overflow bucket, so the slice is one longer than
+    /// [`Histogram::bounds`].
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Folds another histogram's observations into this one, so per-trial
+    /// histograms aggregate into run totals without re-observing raw
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms were built with different bucket
+    /// bounds — merging those would silently misbucket observations.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.total += other.total;
+    }
+
     /// Mean of observations (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -137,6 +174,15 @@ pub struct FunctionMetrics {
     pub latency: Histogram,
     /// Cold-start start-up time, ms.
     pub startup: Histogram,
+    /// Start-up time of prebake (restore-path) cold starts only, ms —
+    /// the `prebake_restore_ms` series.
+    pub restore_ms: Histogram,
+    /// Major page faults observed during restore-path start windows.
+    pub restore_major_faults: Counter,
+    /// Minor page faults observed during restore-path start windows.
+    pub restore_minor_faults: Counter,
+    /// Copy-on-write breaks observed during restore-path start windows.
+    pub restore_cow_breaks: Counter,
 }
 
 /// The platform metric registry.
@@ -166,7 +212,10 @@ impl Metrics {
         self.functions.keys().map(String::as_str)
     }
 
-    /// Renders the registry in the Prometheus text exposition format.
+    /// Renders the registry in the Prometheus text exposition format:
+    /// counters as single samples, histograms as full expositions —
+    /// cumulative `_bucket{le="..."}` rows up to `le="+Inf"`, then
+    /// `_sum` and `_count`.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (name, m) in &self.functions {
@@ -191,16 +240,67 @@ impl Metrics {
                 m.replica_failures.get()
             ));
             out.push_str(&format!(
+                "faas_request_errors_total{{function=\"{name}\"}} {}\n",
+                m.request_errors.get()
+            ));
+            out.push_str(&format!(
                 "faas_latency_ms_mean{{function=\"{name}\"}} {:.3}\n",
                 m.latency.mean()
             ));
+            render_histogram(&mut out, "faas_latency_ms", name, &m.latency);
+            render_histogram(&mut out, "faas_startup_ms", name, &m.startup);
+            render_histogram(&mut out, "prebake_restore_ms", name, &m.restore_ms);
             out.push_str(&format!(
-                "faas_latency_ms_count{{function=\"{name}\"}} {}\n",
-                m.latency.count()
+                "prebake_restore_major_faults_total{{function=\"{name}\"}} {}\n",
+                m.restore_major_faults.get()
+            ));
+            out.push_str(&format!(
+                "prebake_restore_minor_faults_total{{function=\"{name}\"}} {}\n",
+                m.restore_minor_faults.get()
+            ));
+            out.push_str(&format!(
+                "prebake_restore_cow_breaks_total{{function=\"{name}\"}} {}\n",
+                m.restore_cow_breaks.get()
             ));
         }
         out
     }
+}
+
+/// Formats a bucket bound the way Prometheus clients conventionally do:
+/// integral bounds without a trailing `.0` (`le="100"`), fractional ones
+/// as-is (`le="0.5"`).
+fn fmt_le(bound: f64) -> String {
+    if bound == bound.trunc() {
+        format!("{}", bound as i64)
+    } else {
+        format!("{bound}")
+    }
+}
+
+/// Appends one histogram's full exposition: cumulative buckets including
+/// `+Inf`, then `_sum` and `_count` (which equals the `+Inf` bucket).
+fn render_histogram(out: &mut String, metric: &str, function: &str, h: &Histogram) {
+    let mut cumulative = 0u64;
+    for (bound, count) in h.bounds().iter().zip(h.bucket_counts()) {
+        cumulative += count;
+        out.push_str(&format!(
+            "{metric}_bucket{{function=\"{function}\",le=\"{}\"}} {cumulative}\n",
+            fmt_le(*bound)
+        ));
+    }
+    out.push_str(&format!(
+        "{metric}_bucket{{function=\"{function}\",le=\"+Inf\"}} {}\n",
+        h.count()
+    ));
+    out.push_str(&format!(
+        "{metric}_sum{{function=\"{function}\"}} {:.3}\n",
+        h.sum()
+    ));
+    out.push_str(&format!(
+        "{metric}_count{{function=\"{function}\"}} {}\n",
+        h.count()
+    ));
 }
 
 #[cfg(test)]
@@ -257,6 +357,104 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn unsorted_bounds_panic() {
         Histogram::new(&[5.0, 1.0]);
+    }
+
+    #[test]
+    fn merge_folds_counts_sum_and_total() {
+        let mut a = Histogram::new(&[10.0, 100.0]);
+        let mut b = Histogram::new(&[10.0, 100.0]);
+        a.observe(5.0);
+        b.observe(50.0);
+        b.observe(500.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_counts(), &[1, 1, 1]);
+        assert!((a.sum() - 555.0).abs() < 1e-9);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new(&[10.0, 100.0]));
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1.0]);
+        let b = Histogram::new(&[2.0]);
+        a.merge(&b);
+    }
+
+    /// Parses `metric_bucket{...,le="..."} value` rows of one series out
+    /// of an exposition.
+    fn buckets_of<'t>(text: &'t str, metric: &str, function: &str) -> Vec<(&'t str, u64)> {
+        let prefix = format!("{metric}_bucket{{function=\"{function}\",le=\"");
+        text.lines()
+            .filter_map(|line| {
+                let rest = line.strip_prefix(&prefix)?;
+                let (le, value) = rest.split_once("\"} ")?;
+                Some((le, value.parse().ok()?))
+            })
+            .collect()
+    }
+
+    fn series_value(text: &str, series: &str) -> Option<f64> {
+        text.lines()
+            .find_map(|l| l.strip_prefix(series).and_then(|r| r.trim().parse().ok()))
+    }
+
+    #[test]
+    fn render_is_valid_prometheus_histogram_exposition() {
+        let mut m = Metrics::new();
+        {
+            let f = m.function("fn");
+            for v in [0.5, 7.0, 30.0, 30.0, 5000.0] {
+                f.latency.observe(v);
+            }
+            f.startup.observe(42.0);
+            f.restore_ms.observe(13.0);
+            f.request_errors.inc();
+        }
+        let text = m.render();
+
+        for (metric, expected_count) in [
+            ("faas_latency_ms", 5),
+            ("faas_startup_ms", 1),
+            ("prebake_restore_ms", 1),
+        ] {
+            let buckets = buckets_of(&text, metric, "fn");
+            assert!(!buckets.is_empty(), "{metric} has bucket rows");
+            assert_eq!(buckets.last().unwrap().0, "+Inf");
+            // Bucket counts are cumulative (non-decreasing).
+            assert!(
+                buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+                "{metric} buckets cumulative: {buckets:?}"
+            );
+            // `le` bounds carry no trailing `.0` (integral formatting).
+            assert!(
+                buckets.iter().all(|(le, _)| !le.ends_with(".0")),
+                "{metric} le formatting: {buckets:?}"
+            );
+            // `_count` equals the `+Inf` bucket.
+            let count = series_value(&text, &format!("{metric}_count{{function=\"fn\"}}"))
+                .expect("count rendered");
+            assert_eq!(count as u64, buckets.last().unwrap().1);
+            assert_eq!(count as u64, expected_count);
+            assert!(
+                series_value(&text, &format!("{metric}_sum{{function=\"fn\"}}")).is_some(),
+                "{metric}_sum rendered"
+            );
+        }
+        assert!(
+            (series_value(&text, "faas_latency_ms_sum{function=\"fn\"}").unwrap() - 5067.5).abs()
+                < 1e-6
+        );
+        assert!(text.contains("faas_request_errors_total{function=\"fn\"} 1"));
+        assert!(text.contains("prebake_restore_major_faults_total{function=\"fn\"} 0"));
+
+        // Every line is `name{labels} value` with a parseable value.
+        for line in text.lines() {
+            let (_, value) = line.rsplit_once(' ').expect("space-separated sample");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
+        }
     }
 
     #[test]

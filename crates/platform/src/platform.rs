@@ -19,8 +19,10 @@ use prebake_runtime::Replica;
 use prebake_sim::error::{Errno, SysResult};
 use prebake_sim::event::EventQueue;
 use prebake_sim::kernel::Kernel;
+use prebake_sim::probe::ProbeCounters;
 use prebake_sim::proc::Pid;
 use prebake_sim::time::{SimDuration, SimInstant};
+use prebake_sim::trace::TraceSpan;
 
 use crate::metrics::Metrics;
 use crate::registry::Registry;
@@ -50,6 +52,10 @@ pub struct PlatformConfig {
     pub container_port: u16,
     /// Seed driving container-kernel noise.
     pub seed: u64,
+    /// Record [`TraceSpan`] trees on container kernels (cold starts and
+    /// requests). Off by default: spans cost allocation per operation,
+    /// and most experiments only need the aggregate metrics.
+    pub span_tracing: bool,
 }
 
 impl Default for PlatformConfig {
@@ -63,6 +69,7 @@ impl Default for PlatformConfig {
             node_capacity: 64,
             container_port: 8080,
             seed: 0xFAA5,
+            span_tracing: false,
         }
     }
 }
@@ -140,6 +147,7 @@ pub struct Platform {
     next_container: u64,
     next_request: u64,
     nodes: Vec<NodeState>,
+    spans: Vec<TraceSpan>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -170,6 +178,7 @@ impl Platform {
             next_container: 1,
             next_request: 1,
             nodes: (0..node_count).map(|_| NodeState::default()).collect(),
+            spans: Vec::new(),
         }
     }
 
@@ -213,6 +222,19 @@ impl Platform {
     /// Requests completed so far, in completion order.
     pub fn completed(&self) -> &[CompletedRequest] {
         &self.completed
+    }
+
+    /// Drains every recorded [`TraceSpan`]: spans stashed from removed
+    /// containers plus whatever live containers have accumulated so far.
+    /// Empty unless [`PlatformConfig::span_tracing`] is on. Span ids are
+    /// unique per container kernel, not across the platform, so group by
+    /// pid/tree when merging into one timeline.
+    pub fn take_spans(&mut self) -> Vec<TraceSpan> {
+        let mut spans = std::mem::take(&mut self.spans);
+        for container in self.containers.values_mut() {
+            spans.extend(container.kernel.take_spans());
+        }
+        spans
     }
 
     /// Live replicas of `function`.
@@ -350,8 +372,17 @@ impl Platform {
     fn serve(&mut self, cid: u64, qreq: QueuedRequest) -> SysResult<()> {
         let container = self.containers.get_mut(&cid).expect("container exists");
         container.kernel.advance_to(self.now);
+        let span = container
+            .kernel
+            .span_begin("request", container.replica.pid());
+        container
+            .kernel
+            .span_attr(span, "function", &container.function);
+        container.kernel.span_attr(span, "id", qreq.id.to_string());
         let mut errored = false;
-        match container.replica.handle(&mut container.kernel, &qreq.req) {
+        let outcome = container.replica.handle(&mut container.kernel, &qreq.req);
+        container.kernel.span_end(span);
+        match outcome {
             Ok(_response) => {}
             Err(Errno::Esrch | Errno::Enotconn | Errno::Ebadf | Errno::Efault) => {
                 // Watchdog: the replica process died. Replace the
@@ -445,6 +476,7 @@ impl Platform {
         // happens outside the measured timeline — the paper excludes
         // orchestration overheads — so it runs uncharged.
         let mut kernel = Kernel::new(self.config.seed ^ (cid << 8));
+        kernel.set_span_tracing(self.config.span_tracing);
         let port = self.config.container_port;
         let spec = image.spec.clone();
         let snapshot_files = image.snapshot_files.clone();
@@ -471,18 +503,33 @@ impl Platform {
         } else {
             Box::new(VanillaStarter)
         };
+        let cold_span = kernel.span_begin("cold_start", watchdog);
+        kernel.span_attr(cold_span, "function", function);
+        kernel.span_attr(cold_span, "node", node.to_string());
         let Started {
-            replica, startup, ..
+            replica,
+            startup,
+            trace,
+            ..
         } = starter.start(&mut kernel, watchdog, &dep)?;
+        kernel.span_end(cold_span);
         let ready_at = kernel.now();
         self.nodes[node].slots[slot] = ready_at;
         self.nodes[node].containers += 1;
 
-        self.metrics.function(function).replicas_started.inc();
-        self.metrics
-            .function(function)
-            .startup
-            .observe(startup.as_millis_f64());
+        let m = self.metrics.function(function);
+        m.replicas_started.inc();
+        m.startup.observe(startup.as_millis_f64());
+        if prebaked {
+            // Restore-path observability: the paper's lazy/CoW refinements
+            // trade eager copy time for faults served later, so the
+            // gateway exports both the restore latency and the fault mix.
+            m.restore_ms.observe(startup.as_millis_f64());
+            let counters = ProbeCounters::from_events(&trace);
+            m.restore_major_faults.add(counters.major_faults);
+            m.restore_minor_faults.add(counters.minor_faults);
+            m.restore_cow_breaks.add(counters.cow_breaks);
+        }
 
         self.containers.insert(
             cid,
@@ -506,7 +553,8 @@ impl Platform {
     /// Removes a container, returning its node capacity and recording
     /// the reason in metrics.
     fn remove_container(&mut self, cid: u64, reason: RemovalReason) {
-        if let Some(container) = self.containers.remove(&cid) {
+        if let Some(mut container) = self.containers.remove(&cid) {
+            self.spans.extend(container.kernel.take_spans());
             self.nodes[container.node].containers =
                 self.nodes[container.node].containers.saturating_sub(1);
             let m = self.metrics.function(&container.function);
@@ -915,6 +963,52 @@ mod tests {
             let m = p.metrics().get(&format!("fn-{i}")).unwrap();
             assert_eq!(m.replicas_started.get(), 1);
         }
+    }
+
+    #[test]
+    fn span_tracing_records_cold_start_and_request_trees() {
+        let config = PlatformConfig {
+            span_tracing: true,
+            ..PlatformConfig::default()
+        };
+        let mut p = platform_with(&Template::java11_criu(), config);
+        p.submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
+        p.run().unwrap();
+        let spans = p.take_spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        for expected in ["cold_start", "startup", "criu_restore", "request"] {
+            assert!(names.contains(&expected), "missing span {expected:?}");
+        }
+        // The startup tree hangs off the gateway's cold_start root.
+        let cold = spans.iter().find(|s| s.name == "cold_start").unwrap();
+        let startup = spans.iter().find(|s| s.name == "startup").unwrap();
+        assert_eq!(startup.parent, Some(cold.id));
+        assert!(p.take_spans().is_empty(), "take_spans drains");
+
+        // Restore-path metrics were fed from the probe trace. Eager
+        // restore copies everything up front, so no faults here.
+        let m = p.metrics().get("noop").unwrap();
+        assert_eq!(m.restore_ms.count(), 1);
+        assert_eq!(m.restore_major_faults.get(), 0);
+
+        // A lazy-restore image pays demand faults inside the startup
+        // window instead, and the gateway counts them.
+        let mut lazy = platform_with(&Template::java11_criu_lazy(), PlatformConfig::default());
+        lazy.submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
+        lazy.run().unwrap();
+        let lm = lazy.metrics().get("noop").unwrap();
+        assert_eq!(lm.restore_ms.count(), 1);
+        assert!(lm.restore_major_faults.get() > 0, "lazy restore faults");
+
+        // Off by default: no spans accumulate.
+        let mut quiet = platform_with(&Template::java11_criu(), PlatformConfig::default());
+        quiet
+            .submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
+        quiet.run().unwrap();
+        assert!(quiet.take_spans().is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::pagestore::SharedPageStore;
 use crate::probe::{ProbeEvent, ProbeKind};
 use crate::proc::{Cap, CapSet, FdEntry, Pid, ProcState, Process, ThreadState, Tid};
 use crate::time::{Clock, SimDuration, SimInstant};
+use crate::trace::{SpanId, TraceSpan, Tracer};
 use crate::uffd::UffdBackend;
 
 /// Pid of the always-present init process.
@@ -51,6 +52,8 @@ pub struct Kernel {
     bound_ports: BTreeMap<u16, Pid>,
     tracing: bool,
     trace: Vec<ProbeEvent>,
+    /// Nested span recorder (disabled by default; see [`crate::trace`]).
+    tracer: Tracer,
     /// Demand-paging registrations (`userfaultfd` analogue), per process.
     uffd: BTreeMap<Pid, UffdBackend>,
     /// Machine-wide content-addressed pool of shared page frames backing
@@ -82,6 +85,7 @@ impl Kernel {
             bound_ports: BTreeMap::new(),
             tracing: false,
             trace: Vec::new(),
+            tracer: Tracer::new(),
             uffd: BTreeMap::new(),
             page_store: SharedPageStore::new(),
         }
@@ -165,53 +169,89 @@ impl Kernel {
 
     /// Emits a user-level marker (runtime log line analogue).
     pub fn emit_marker(&mut self, pid: Pid, name: impl Into<String>) {
+        self.probe(pid, ProbeKind::Marker(name.into()));
+    }
+
+    /// Records a probe event: appended to the flat trace when probe
+    /// tracing is on, and attached to the innermost open span when span
+    /// tracing is on. Both sinks are independent, so span trees carry the
+    /// exact event stream the `PhaseTracker` folds.
+    fn probe(&mut self, pid: Pid, kind: ProbeKind) {
+        if !self.tracing && !self.tracer.enabled() {
+            return;
+        }
+        let event = ProbeEvent {
+            time: self.clock.now(),
+            pid,
+            kind,
+        };
+        if self.tracer.enabled() {
+            self.tracer.annotate(event.clone());
+        }
         if self.tracing {
-            self.trace.push(ProbeEvent {
-                time: self.clock.now(),
-                pid,
-                kind: ProbeKind::Marker(name.into()),
-            });
+            self.trace.push(event);
         }
     }
 
     fn probe_enter(&mut self, pid: Pid, name: &'static str) {
-        if self.tracing {
-            self.trace.push(ProbeEvent {
-                time: self.clock.now(),
-                pid,
-                kind: ProbeKind::SyscallEnter(name),
-            });
-        }
+        self.probe(pid, ProbeKind::SyscallEnter(name));
     }
 
     fn probe_exit(&mut self, pid: Pid, name: &'static str) {
-        if self.tracing {
-            self.trace.push(ProbeEvent {
-                time: self.clock.now(),
-                pid,
-                kind: ProbeKind::SyscallExit(name),
-            });
-        }
+        self.probe(pid, ProbeKind::SyscallExit(name));
     }
 
     fn probe_fault(&mut self, pid: Pid, major: bool) {
-        if self.tracing {
-            self.trace.push(ProbeEvent {
-                time: self.clock.now(),
-                pid,
-                kind: ProbeKind::PageFault { major },
-            });
-        }
+        self.probe(pid, ProbeKind::PageFault { major });
     }
 
     fn probe_cow_break(&mut self, pid: Pid) {
-        if self.tracing {
-            self.trace.push(ProbeEvent {
-                time: self.clock.now(),
-                pid,
-                kind: ProbeKind::CowBreak,
-            });
-        }
+        self.probe(pid, ProbeKind::CowBreak);
+    }
+
+    // --------------------------------------------------------------- spans
+
+    /// Enables or disables span recording (independent of probe tracing).
+    pub fn set_span_tracing(&mut self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    /// Whether span recording is on.
+    pub fn span_tracing(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Opens a named span at the current virtual time, nested under the
+    /// innermost open span. Returns [`SpanId::NONE`] (ignored everywhere)
+    /// while span tracing is off, so call sites bracket unconditionally.
+    pub fn span_begin(&mut self, name: &'static str, pid: Pid) -> SpanId {
+        let now = self.clock.now();
+        self.tracer.begin(name, pid, now)
+    }
+
+    /// Closes a span at the current virtual time. Open descendants are
+    /// closed at the same instant (error paths that skipped their own
+    /// `span_end` stay well-formed).
+    pub fn span_end(&mut self, id: SpanId) {
+        let now = self.clock.now();
+        self.tracer.end(id, now);
+    }
+
+    /// Attaches a key/value attribute to a recorded span.
+    pub fn span_attr(&mut self, id: SpanId, key: &'static str, value: impl Into<String>) {
+        self.tracer.attr(id, key, value);
+    }
+
+    /// Number of spans currently open — non-zero means an enclosing
+    /// tracing session owns the tree being recorded.
+    pub fn open_spans(&self) -> usize {
+        self.tracer.open_spans()
+    }
+
+    /// Drains recorded spans, closing any still open at the current time.
+    pub fn take_spans(&mut self) -> Vec<TraceSpan> {
+        let now = self.clock.now();
+        self.tracer.take(now)
     }
 
     // ------------------------------------------------------------ processes
@@ -257,6 +297,7 @@ impl Kernel {
     ///
     /// [`Errno::Esrch`] if the parent does not exist.
     pub fn sys_clone(&mut self, parent: Pid) -> SysResult<Pid> {
+        let span = self.span_begin("sys_clone", parent);
         self.probe_enter(parent, "clone");
         let cost = self.costs.clone_call;
         self.charge(cost);
@@ -276,6 +317,7 @@ impl Kernel {
             self.uffd.insert(pid, backend);
         }
         self.probe_exit(parent, "clone");
+        self.span_end(span);
         Ok(pid)
     }
 
@@ -293,6 +335,7 @@ impl Kernel {
         if self.procs.contains_key(&pid) {
             return Err(Errno::Eexist);
         }
+        let span = self.span_begin("sys_clone", parent);
         self.probe_enter(parent, "clone");
         let cost = self.costs.clone_call;
         self.charge(cost);
@@ -303,6 +346,7 @@ impl Kernel {
         self.next_pid = self.next_pid.max(pid.0 + 1);
         self.procs.insert(pid, child);
         self.probe_exit(parent, "clone");
+        self.span_end(span);
         Ok(pid)
     }
 
@@ -315,6 +359,7 @@ impl Kernel {
     ///
     /// [`Errno::Esrch`] / [`Errno::Enoent`] on missing process/binary.
     pub fn sys_execve(&mut self, pid: Pid, path: &str, argv: &[String]) -> SysResult<()> {
+        let span = self.span_begin("sys_execve", pid);
         self.probe_enter(pid, "execve");
         let (data, cached) = self.fs.read_file(path)?;
         let read_cost = self.costs.fs_read(data.len() as u64, cached);
@@ -339,6 +384,7 @@ impl Kernel {
         // 8 MiB stack, demand-zero.
         proc.mem.mmap(8 << 20, Prot::RW, VmaKind::Stack)?;
         self.probe_exit(pid, "execve");
+        self.span_end(span);
         Ok(())
     }
 
@@ -616,6 +662,8 @@ impl Kernel {
         if n == 0 {
             return Ok(0);
         }
+        let span = self.span_begin("uffd_prefetch", pid);
+        self.span_attr(span, "pages", n.to_string());
         let cost = per_byte(n * PAGE_SIZE as u64, self.costs.fs_read_warm_ns_per_byte)
             + self.costs.page_copy * n;
         self.charge(cost);
@@ -623,6 +671,7 @@ impl Kernel {
         for (idx, page) in to_install {
             proc.mem.install_page(idx, page)?;
         }
+        self.span_end(span);
         Ok(n)
     }
 
@@ -636,6 +685,11 @@ impl Kernel {
             Some(p) => p.mem.missing_in_range(addr, len),
             None => return Ok(()),
         };
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let span = self.span_begin("fault_service", pid);
+        self.span_attr(span, "pages", missing.len().to_string());
         for idx in missing {
             let backend = self.uffd.get_mut(&pid).expect("registration checked above");
             // A missing page always has backend content (uffd_register
@@ -654,6 +708,7 @@ impl Kernel {
                 .mem
                 .install_page(idx, page)?;
         }
+        self.span_end(span);
         Ok(())
     }
 

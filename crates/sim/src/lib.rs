@@ -28,6 +28,7 @@
 //! - [`uffd`] — demand-paging fault backends (the `userfaultfd` analogue)
 //! - [`pagestore`] — the content-addressed shared frame pool behind
 //!   copy-on-write restore
+//! - [`trace`] — nested span recording + Chrome-trace/critical-path exporters
 //! - [`error`] — POSIX-style error numbers
 //!
 //! ## Example
@@ -62,9 +63,11 @@ pub mod pagestore;
 pub mod probe;
 pub mod proc;
 pub mod time;
+pub mod trace;
 pub mod uffd;
 
 pub use error::{Errno, SysResult};
 pub use kernel::{Kernel, INIT_PID};
 pub use proc::Pid;
 pub use time::{SimDuration, SimInstant};
+pub use trace::{SpanId, TraceSpan, TraceSummary, Tracer};

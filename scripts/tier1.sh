@@ -24,6 +24,12 @@ run cargo test -q
 # test` invocation can never silently skip them.
 run cargo test -q -p prebake-criu --test proptest_pagestore
 run cargo test -q -p prebake-criu --test cow_concurrency
+# Tracing invariants (DESIGN.md §10): the golden Chrome-trace exporter,
+# tree well-formedness properties, and the bit-exact agreement between
+# span-derived phases and the PhaseTracker fold.
+run cargo test -q -p prebake-sim --test trace_golden
+run cargo test -q -p prebake-sim --test proptest_trace
+run cargo test -q -p prebake-core --test span_phases
 run cargo fmt --all --check
 run cargo clippy --all-targets -- -D warnings
 
