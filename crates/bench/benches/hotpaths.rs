@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use prebake_criu::{dump, restore, DumpOptions, RestoreOptions};
+use prebake_criu::{dump, restore, DumpOptions, RestoreMode, RestoreOptions};
 use prebake_functions::image::{resize_box, CompressedImage};
 use prebake_functions::{markdown, sample_markdown};
 use prebake_runtime::classfile::ClassFile;
@@ -76,6 +76,63 @@ fn bench_criu(c: &mut Criterion) {
                 stats.pages_installed
             });
         });
+    }
+    // Extent-vectored vs page-granular eager restore of one image set.
+    {
+        let (mut k, tracer, target) = kernel_with_process(1024, 0.0);
+        let mut dopts = DumpOptions::new(target, "/img");
+        dopts.leave_running = true;
+        dump(&mut k, tracer, &dopts).unwrap();
+        for (label, vectored) in [
+            ("eager_vectored_1024", true),
+            ("eager_per_page_1024", false),
+        ] {
+            let mut opts = RestoreOptions::new("/img");
+            opts.vectored = vectored;
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let stats = restore(&mut k, tracer, &opts).unwrap();
+                    k.sys_exit(stats.pid, 0).unwrap();
+                    k.reap(stats.pid).unwrap();
+                    stats.pages_installed
+                });
+            });
+        }
+    }
+    // Single-page vs batched (fault-around) lazy fault servicing: restore
+    // withholds every page, then a sequential sweep faults them all in.
+    {
+        let (mut k, tracer, target) = kernel_with_process(1024, 0.0);
+        let mut dopts = DumpOptions::new(target, "/img");
+        dopts.leave_running = true;
+        dump(&mut k, tracer, &dopts).unwrap();
+        for (label, window) in [
+            ("fault_service_single_1024", 1),
+            ("fault_service_batched_1024", 64),
+        ] {
+            let mut opts = RestoreOptions::with_mode("/img", RestoreMode::Lazy);
+            opts.fault_around = window;
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let stats = restore(&mut k, tracer, &opts).unwrap();
+                    let vma = k
+                        .process(stats.pid)
+                        .unwrap()
+                        .mem
+                        .vmas()
+                        .next()
+                        .unwrap()
+                        .clone();
+                    for i in 0..1024u64 {
+                        k.mem_read(stats.pid, vma.start.add(i * PAGE_SIZE as u64), 8)
+                            .unwrap();
+                    }
+                    k.sys_exit(stats.pid, 0).unwrap();
+                    k.reap(stats.pid).unwrap();
+                    stats.pages_lazy
+                });
+            });
+        }
     }
     // Zero-page dedup benefit.
     group.bench_function("dump_half_zero_1024", |b| {

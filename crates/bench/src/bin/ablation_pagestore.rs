@@ -187,6 +187,8 @@ fn main() {
                 pid: RestorePid::Fresh,
                 mode,
                 costs: CriuCosts::paper_calibrated(),
+                vectored: true,
+                fault_around: 1,
             };
             let mut pids = Vec::new();
             let mut elapsed = Vec::new();

@@ -74,6 +74,24 @@ fn usage(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Runs `reps` startup trials serially with the same seed schedule as
+/// [`parallel_startup_trials`] — the reference the parallel fan-out must
+/// reproduce bit-for-bit (each trial builds its own virtual machine, so
+/// host threading can never leak into virtual time).
+///
+/// # Panics
+///
+/// Panics if any trial fails.
+pub fn serial_startup_trials(runner: &TrialRunner, reps: usize, seed0: u64) -> Vec<StartupTrial> {
+    (0..reps)
+        .map(|i| {
+            runner
+                .startup_trial(seed0 + i as u64)
+                .expect("startup trial failed")
+        })
+        .collect()
+}
+
 /// Runs `reps` startup trials in parallel across host threads.
 ///
 /// # Panics
@@ -157,6 +175,21 @@ mod tests {
         let again = parallel_startup_trials(&runner, 8, 100);
         for (a, b) in trials.iter().zip(&again) {
             assert_eq!(a.startup_ms, b.startup_ms);
+        }
+    }
+
+    #[test]
+    fn parallel_trials_match_serial_bit_for_bit() {
+        // The fan-out must be a pure scheduling change: same seeds, same
+        // virtual-time results, in the same order.
+        let runner = TrialRunner::new(FunctionSpec::noop(), StartMode::PrebakeNoWarmup).unwrap();
+        let serial = serial_startup_trials(&runner, 7, 42);
+        let parallel = parallel_startup_trials(&runner, 7, 42);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.startup_ms, p.startup_ms);
+            assert_eq!(s.first_response_ms, p.first_response_ms);
+            assert_eq!(s.probes, p.probes);
         }
     }
 

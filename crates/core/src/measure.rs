@@ -197,6 +197,8 @@ pub struct TrialRunner {
     snapshot_bytes: u64,
     pages_stored: usize,
     pages_unique: usize,
+    vectored: bool,
+    fault_around: usize,
 }
 
 impl TrialRunner {
@@ -238,7 +240,25 @@ impl TrialRunner {
             snapshot_bytes,
             pages_stored,
             pages_unique,
+            vectored: true,
+            fault_around: 1,
         })
+    }
+
+    /// Selects the page-granular restore paths for every trial (the
+    /// pre-extent baseline; vectored extent restore is the default).
+    #[must_use]
+    pub fn page_granular(mut self) -> TrialRunner {
+        self.vectored = false;
+        self
+    }
+
+    /// Sets the fault-around window trials restore with (uffd-backed
+    /// modes only; 1 = no fault-around).
+    #[must_use]
+    pub fn fault_around(mut self, window: usize) -> TrialRunner {
+        self.fault_around = window;
+        self
     }
 
     /// The mode this runner measures.
@@ -285,7 +305,12 @@ impl TrialRunner {
     fn starter(&self) -> Box<dyn Starter> {
         match self.mode.restore_mode() {
             None => Box::new(VanillaStarter),
-            Some(mode) => Box::new(PrebakeStarter::with_mode(mode)),
+            Some(mode) => {
+                let mut starter = PrebakeStarter::with_mode(mode);
+                starter.vectored = self.vectored;
+                starter.fault_around = self.fault_around;
+                Box::new(starter)
+            }
         }
     }
 
@@ -560,6 +585,47 @@ mod tests {
             "prefetch {} !< lazy {}",
             t_p.first_response_ms,
             t_l.first_response_ms
+        );
+    }
+
+    #[test]
+    fn page_granular_restore_is_slower_and_issues_no_extents() {
+        let spec = FunctionSpec::synthetic(SyntheticSize::Small);
+        let vectored = TrialRunner::new(spec.clone(), StartMode::PrebakeWarmup(1)).unwrap();
+        let per_page = TrialRunner::new(spec, StartMode::PrebakeWarmup(1))
+            .unwrap()
+            .page_granular();
+        let t_v = vectored.startup_trial(1).unwrap();
+        let t_p = per_page.startup_trial(1).unwrap();
+        assert!(
+            t_v.probes.extents_restored > 0,
+            "vectored restore copies runs"
+        );
+        assert_eq!(t_p.probes.extents_restored, 0);
+        assert!(
+            t_v.startup_ms < t_p.startup_ms,
+            "vectored {} !< per-page {}",
+            t_v.startup_ms,
+            t_p.startup_ms
+        );
+    }
+
+    #[test]
+    fn fault_around_cuts_lazy_major_faults() {
+        let spec = FunctionSpec::synthetic(SyntheticSize::Small);
+        let narrow = TrialRunner::new(spec.clone(), StartMode::PrebakeLazy(1)).unwrap();
+        let wide = TrialRunner::new(spec, StartMode::PrebakeLazy(1))
+            .unwrap()
+            .fault_around(16);
+        let t_n = narrow.startup_trial(1).unwrap();
+        let t_w = wide.startup_trial(1).unwrap();
+        assert_eq!(t_n.probes.faults_avoided, 0);
+        assert!(t_w.probes.faults_avoided > 0);
+        assert!(
+            t_w.probes.major_faults < t_n.probes.major_faults / 4,
+            "window 16 traps a fraction of the faults: {} vs {}",
+            t_w.probes.major_faults,
+            t_n.probes.major_faults
         );
     }
 

@@ -120,13 +120,29 @@ impl Starter for VanillaStarter {
 /// The restore [`mode`](PrebakeStarter::mode) selects the eager page
 /// reinstatement the paper measured or the lazy/prefetch refinements
 /// (`prebake-lazy`); prefetch requires a `ws.img` recorded at bake time.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PrebakeStarter {
     /// Override for the images directory; defaults to
     /// [`Deployment::images_dir`].
     pub images_dir: Option<String>,
     /// How restore reinstates memory.
     pub mode: RestoreMode,
+    /// Reinstate memory run-at-a-time from the snapshot's extent table
+    /// (on by default); off selects the page-granular baseline.
+    pub vectored: bool,
+    /// Fault-around window for the uffd-backed modes (1 = none).
+    pub fault_around: usize,
+}
+
+impl Default for PrebakeStarter {
+    fn default() -> PrebakeStarter {
+        PrebakeStarter {
+            images_dir: None,
+            mode: RestoreMode::default(),
+            vectored: true,
+            fault_around: 1,
+        }
+    }
 }
 
 impl PrebakeStarter {
@@ -141,6 +157,20 @@ impl PrebakeStarter {
             mode,
             ..PrebakeStarter::default()
         }
+    }
+
+    /// Selects the page-granular restore paths (no extent vectoring).
+    #[must_use]
+    pub fn page_granular(mut self) -> PrebakeStarter {
+        self.vectored = false;
+        self
+    }
+
+    /// Sets the fault-around window for uffd-backed restore modes.
+    #[must_use]
+    pub fn fault_around(mut self, window: usize) -> PrebakeStarter {
+        self.fault_around = window;
+        self
     }
 }
 
@@ -164,11 +194,10 @@ impl Starter for PrebakeStarter {
         kernel.span_attr(root, "starter", self.label());
 
         let dir = self.images_dir.clone().unwrap_or_else(|| dep.images_dir());
-        let stats = restore(
-            kernel,
-            supervisor,
-            &RestoreOptions::with_mode(&dir, self.mode),
-        )?;
+        let mut opts = RestoreOptions::with_mode(&dir, self.mode);
+        opts.vectored = self.vectored;
+        opts.fault_around = self.fault_around;
+        let stats = restore(kernel, supervisor, &opts)?;
         let handler = dep.spec.make_handler(&dep.app_dir);
         let replica = Replica::attach(kernel, stats.pid, dep.jlvm_config(), handler)?;
         kernel.emit_marker(stats.pid, "ready");

@@ -384,6 +384,31 @@ mod tests {
     }
 
     #[test]
+    fn extent_table_charges_exactly_its_encoded_size() {
+        // Regression: the extent table is restore metadata, so the cache
+        // must charge it — but a coalesced image may never charge more
+        // than its per-page twin plus the table's encoded bytes.
+        let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+        let coalesced = distinct_snapshot(&mut k, 1, 64);
+        assert!(coalesced.extents.is_some(), "dump emits the extent table");
+        let mut per_page = coalesced.clone();
+        per_page.extents = None;
+
+        let table_bytes = coalesced.extents.as_ref().unwrap().encode().len() as u64;
+        let with = ImageCache::standalone_bytes(&coalesced);
+        let without = ImageCache::standalone_bytes(&per_page);
+        assert!(with > without, "the table counts toward the budget");
+        assert_eq!(with, without + table_bytes, "and no more than its size");
+
+        // The cache-wide charge obeys the same bound.
+        let mut cache = ImageCache::new();
+        cache.insert("coalesced", coalesced);
+        let mut twin = ImageCache::new();
+        twin.insert("per-page", per_page);
+        assert_eq!(cache.charged_bytes(), twin.charged_bytes() + table_bytes);
+    }
+
+    #[test]
     fn cow_restore_straight_from_the_cache() {
         use crate::restore::RestoreMode;
         let (mut k, tracer) = kernel_with_snapshot();

@@ -90,7 +90,10 @@ impl CriuCli {
     ///
     /// Supported:
     /// - `dump -t <pid> -D <dir> [--leave-running]`
-    /// - `restore -D <dir> [--same-pid]`
+    /// - `restore -D <dir> [--same-pid] [--page-granular]
+    ///   [--fault-around <pages>]` plus a memory-mode flag
+    ///   (`--lazy-pages`, `--ws-record`, `--ws-prefetch`, `--cow`,
+    ///   `--cow-prefetch`)
     ///
     /// (A leading literal `criu` argv\[0\] is accepted and skipped.)
     ///
@@ -175,6 +178,8 @@ impl CriuCli {
                 let mut dir: Option<String> = None;
                 let mut pid_policy = RestorePid::Fresh;
                 let mut mode = RestoreMode::Eager;
+                let mut vectored = true;
+                let mut fault_around = 1usize;
                 let mut i = 1;
                 while i < args.len() {
                     match args[i] {
@@ -188,6 +193,19 @@ impl CriuCli {
                         "--same-pid" => {
                             pid_policy = RestorePid::Same;
                             i += 1;
+                        }
+                        "--page-granular" => {
+                            vectored = false;
+                            i += 1;
+                        }
+                        "--fault-around" => {
+                            let v = args
+                                .get(i + 1)
+                                .ok_or_else(|| usage("--fault-around needs a window"))?;
+                            fault_around = v
+                                .parse()
+                                .map_err(|_| usage("--fault-around window must be a number"))?;
+                            i += 2;
                         }
                         "--lazy-pages" => {
                             mode = RestoreMode::Lazy;
@@ -218,6 +236,8 @@ impl CriuCli {
                     pid: pid_policy,
                     mode,
                     costs: self.costs.clone(),
+                    vectored,
+                    fault_around,
                 };
                 Ok(CliOutcome::Restored(restore(kernel, self.caller, &opts)?))
             }
@@ -382,6 +402,50 @@ mod tests {
             cli.run(&mut k, &["restore", "-D", "/img", "--cow-prefetch"])
                 .unwrap_err(),
             CliError::Sys(Errno::Einval)
+        ));
+    }
+
+    #[test]
+    fn extent_flags_parsed() {
+        let (mut k, caller, target) = setup();
+        let cli = CriuCli::new(caller).with_costs(CriuCosts::free());
+        let pid_str = target.0.to_string();
+        cli.run(&mut k, &["dump", "-t", &pid_str, "-D", "/img"])
+            .unwrap();
+        let out = cli
+            .run(&mut k, &["restore", "-D", "/img", "--page-granular"])
+            .unwrap();
+        match out {
+            CliOutcome::Restored(s) => {
+                assert_eq!(s.pages_installed, 1);
+                assert_eq!(s.extents, 0, "page-granular path issues no extents");
+            }
+            other => panic!("expected restore, got {other:?}"),
+        }
+        let out = cli
+            .run(
+                &mut k,
+                &[
+                    "restore",
+                    "-D",
+                    "/img",
+                    "--lazy-pages",
+                    "--fault-around",
+                    "8",
+                ],
+            )
+            .unwrap();
+        assert!(matches!(out, CliOutcome::Restored(s) if s.pages_lazy == 1));
+        // A window needs a number.
+        assert!(matches!(
+            cli.run(&mut k, &["restore", "-D", "/img", "--fault-around"])
+                .unwrap_err(),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            cli.run(&mut k, &["restore", "-D", "/img", "--fault-around", "wide"])
+                .unwrap_err(),
+            CliError::Usage(_)
         ));
     }
 

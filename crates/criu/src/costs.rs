@@ -36,6 +36,14 @@ pub struct CriuCosts {
     /// that is deferred to the first write (priced by the kernel's
     /// `cow_break`) — so this sits well below `restore_per_page`.
     pub restore_per_cow_page: SimDuration,
+    /// The syscall-equivalent dispatch a *page-granular* restore pays for
+    /// every single page it reinstates (one `pread`+`mmap`-slot update
+    /// per 4 KiB page — the per-page overhead REAP and Tan et al. single
+    /// out). The vectored extent path replaces this with one
+    /// `extent_setup` charge per *run*, which is where its speed-up comes
+    /// from; `restore_per_page` (the in-kernel install) is still paid by
+    /// both paths.
+    pub restore_page_op: SimDuration,
 }
 
 impl CriuCosts {
@@ -50,6 +58,7 @@ impl CriuCosts {
             restore_per_fd: SimDuration::from_micros(150),
             lazy_register: SimDuration::from_micros(300),
             restore_per_cow_page: SimDuration::from_nanos(40),
+            restore_page_op: SimDuration::from_nanos(2500),
         }
     }
 
@@ -64,6 +73,7 @@ impl CriuCosts {
             restore_per_fd: SimDuration::ZERO,
             lazy_register: SimDuration::ZERO,
             restore_per_cow_page: SimDuration::ZERO,
+            restore_page_op: SimDuration::ZERO,
         }
     }
 }
@@ -110,6 +120,16 @@ mod tests {
         assert!(c.restore_per_cow_page.as_nanos() < c.restore_per_page.as_nanos());
         assert!(c.restore_per_cow_page.as_nanos() > 0);
         assert!(CriuCosts::free().restore_per_cow_page.is_zero());
+    }
+
+    #[test]
+    fn page_op_dwarfs_page_install() {
+        // The per-page syscall dispatch is the overhead extents remove;
+        // it must dominate the in-kernel install it wraps, or coalescing
+        // runs would buy nothing (REAP's per-page-overhead observation).
+        let c = CriuCosts::paper_calibrated();
+        assert!(c.restore_page_op.as_nanos() > 10 * c.restore_per_page.as_nanos());
+        assert!(CriuCosts::free().restore_page_op.is_zero());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use prebake_sim::time::SimDuration;
 
 use crate::costs::CriuCosts;
 use crate::image::{
-    CoreImage, FilesImage, ImageSet, MmImage, PageStoreImage, PagesImage, ThreadImage,
+    CoreImage, ExtentsImage, FilesImage, ImageSet, MmImage, PageStoreImage, PagesImage, ThreadImage,
 };
 
 /// Options for a dump.
@@ -178,6 +178,13 @@ fn collect_images_inner(
     let hash = kernel.span_begin("pagestore_hash", target);
     let pagestore = PageStoreImage::from_pages(&pages);
     kernel.span_end(hash);
+
+    // Coalesce the pagemap into extent runs so restore can move whole
+    // runs per scatter-gather op instead of dispatching per page.
+    let coalesce = kernel.span_begin("extent_coalesce", target);
+    let extents = ExtentsImage::from_pages(&pages);
+    kernel.span_attr(coalesce, "runs", extents.len().to_string());
+    kernel.span_end(coalesce);
     kernel.span_end(span);
 
     Ok(ImageSet {
@@ -193,6 +200,7 @@ fn collect_images_inner(
         files: FilesImage { fds },
         ws: None,
         pagestore,
+        extents: Some(extents),
     })
 }
 
@@ -237,6 +245,9 @@ pub fn dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResult<D
     ];
     if let Some(store) = &set.pagestore {
         files.push((ImageSet::PAGESTORE_NAME, store.encode()));
+    }
+    if let Some(ext) = &set.extents {
+        files.push((ImageSet::EXTENTS_NAME, ext.encode()));
     }
     if let Some(parent) = &opts.parent {
         files.push((ImageSet::PARENT_LINK, parent.as_bytes().to_vec()));
@@ -412,6 +423,16 @@ fn read_images_with(kernel: &mut Kernel, images_dir: &str, lazy: bool) -> SysRes
         None
     };
 
+    // Extent table: optional, so pre-extent snapshots keep restoring
+    // (the vectored path recoalesces from the pagemap via `extent_view`).
+    let extents_path = prebake_sim::fs::join_path(images_dir, ImageSet::EXTENTS_NAME);
+    let mut extents = if kernel.fs_exists(&extents_path) {
+        let ext_bytes = kernel.fs_read_file(&extents_path)?;
+        Some(ExtentsImage::parse(&ext_bytes, &pages).map_err(|_| Errno::Einval)?)
+    } else {
+        None
+    };
+
     // Incremental image: follow the parent link and resolve the deferred
     // pages so the returned set is self-contained. Parent payload is part
     // of the same mapped-image model in lazy mode.
@@ -432,6 +453,9 @@ fn read_images_with(kernel: &mut Kernel, images_dir: &str, lazy: bool) -> SysRes
         let parent =
             PagesImage::parse(&parent_pagemap, &parent_pages_bytes).map_err(|_| Errno::Einval)?;
         pages = pages.resolve_parent(&parent).map_err(|_| Errno::Einval)?;
+        // The dumped runs coalesced the *incremental* pagemap; resolution
+        // turned parent refs into stored pages, so recoalesce instead.
+        extents = None;
     }
 
     Ok(ImageSet {
@@ -441,6 +465,7 @@ fn read_images_with(kernel: &mut Kernel, images_dir: &str, lazy: bool) -> SysRes
         files: FilesImage::parse(&files_bytes).map_err(|_| Errno::Einval)?,
         ws,
         pagestore,
+        extents,
     })
 }
 

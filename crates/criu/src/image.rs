@@ -47,6 +47,10 @@ pub enum ImageError {
     /// match its declared hash, or a reference points past the frame
     /// table.
     BadPageStore,
+    /// Extent table is internally inconsistent: a zero-length run, or
+    /// runs that do not match the coalescing of the pagemap they claim
+    /// to cover.
+    BadExtents,
 }
 
 impl fmt::Display for ImageError {
@@ -64,6 +68,9 @@ impl fmt::Display for ImageError {
             ImageError::BadPages => write!(f, "pages payload inconsistent with pagemap"),
             ImageError::BadPageStore => {
                 write!(f, "page-store image inconsistent with its frame table")
+            }
+            ImageError::BadExtents => {
+                write!(f, "extent table inconsistent with its pagemap")
             }
         }
     }
@@ -264,6 +271,7 @@ const KIND_PAGES: u8 = 4;
 const KIND_FILES: u8 = 5;
 const KIND_WS: u8 = 6;
 const KIND_PAGESTORE: u8 = 7;
+const KIND_EXTENTS: u8 = 8;
 
 impl CoreImage {
     /// Serialises the core image.
@@ -897,6 +905,118 @@ impl PageStoreImage {
     }
 }
 
+// ---------------------------------------------------------------- extents
+
+/// One coalesced pagemap run: `pages` consecutive guest pages starting
+/// at `start_index`, all backed by payload stored contiguously in
+/// `pages.img`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageExtent {
+    /// First guest page index of the run.
+    pub start_index: u64,
+    /// Run length in pages (always ≥ 1).
+    pub pages: u32,
+}
+
+impl PageExtent {
+    /// One past the last page index of the run.
+    pub fn end_index(&self) -> u64 {
+        self.start_index + self.pages as u64
+    }
+}
+
+/// `extents.img`: the coalesced view of the pagemap — maximal runs of
+/// consecutive-index *stored* pages (zero and parent-deferred entries
+/// break runs, since their payload is not in `pages.img`).
+///
+/// A vectored restore walks this table instead of the per-page pagemap:
+/// each run becomes one scatter-gather operation (`copy_extent`,
+/// `cow_map_extent`, vectored prefetch) — the `preadv`/iovec batching
+/// real CRIU uses to amortise per-page syscall overhead. The table is
+/// derivable from the pagemap, so the file is optional: old per-page
+/// images parse unchanged and a restore can recompute the runs on the
+/// fly via [`ExtentsImage::from_pages`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExtentsImage {
+    /// Coalesced runs in ascending `start_index` order.
+    pub extents: Vec<PageExtent>,
+}
+
+impl ExtentsImage {
+    /// Coalesces a pages image into maximal stored-page runs.
+    pub fn from_pages(pages: &PagesImage) -> ExtentsImage {
+        let mut extents: Vec<PageExtent> = Vec::new();
+        for (page_index, src) in pages.iter_pages() {
+            if !matches!(src, PageSource::Bytes(_)) {
+                continue;
+            }
+            match extents.last_mut() {
+                Some(run) if run.end_index() == page_index => run.pages += 1,
+                _ => extents.push(PageExtent {
+                    start_index: page_index,
+                    pages: 1,
+                }),
+            }
+        }
+        ExtentsImage { extents }
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Whether the table holds no runs.
+    pub fn is_empty(&self) -> bool {
+        self.extents.is_empty()
+    }
+
+    /// Total pages covered by all runs (equals the pages image's
+    /// stored-page count).
+    pub fn covered_pages(&self) -> u64 {
+        self.extents.iter().map(|e| e.pages as u64).sum()
+    }
+
+    /// Serialises the extent table.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_EXTENTS);
+        w.u32(self.extents.len() as u32);
+        for e in &self.extents {
+            w.u64(e.start_index);
+            w.u32(e.pages);
+        }
+        w.finish()
+    }
+
+    /// Parses an extent table and checks it against the pages image it
+    /// claims to coalesce.
+    ///
+    /// # Errors
+    ///
+    /// [`ImageError::BadExtents`] when the runs do not exactly match the
+    /// coalescing of `pages` (coverage, order, or adjacency), or any
+    /// codec error.
+    pub fn parse(bytes: &[u8], pages: &PagesImage) -> Result<ExtentsImage, ImageError> {
+        let mut r = Reader::open(bytes, KIND_EXTENTS)?;
+        let count = r.u32()?;
+        let mut extents = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let start_index = r.u64()?;
+            let pages = r.u32()?;
+            if pages == 0 {
+                return Err(ImageError::BadExtents);
+            }
+            extents.push(PageExtent { start_index, pages });
+        }
+        r.done()?;
+        let parsed = ExtentsImage { extents };
+        if parsed != ExtentsImage::from_pages(pages) {
+            return Err(ImageError::BadExtents);
+        }
+        Ok(parsed)
+    }
+}
+
 // ------------------------------------------------------------------ files
 
 /// `files.img`: the dumped descriptor table.
@@ -985,6 +1105,10 @@ pub struct ImageSet {
     /// (`pagestore.img`). Optional: pre-dedup snapshots and incremental
     /// dumps lack it, and every non-CoW restore path ignores it.
     pub pagestore: Option<PageStoreImage>,
+    /// Coalesced pagemap runs (`extents.img`). Optional: old per-page
+    /// images lack it and a vectored restore recomputes the runs from
+    /// the pagemap instead.
+    pub extents: Option<ExtentsImage>,
 }
 
 impl ImageSet {
@@ -1002,6 +1126,8 @@ impl ImageSet {
     pub const WS_NAME: &'static str = "ws.img";
     /// `pagestore.img` — the content-addressed dedup view (optional).
     pub const PAGESTORE_NAME: &'static str = "pagestore.img";
+    /// `extents.img` — the coalesced pagemap runs (optional).
+    pub const EXTENTS_NAME: &'static str = "extents.img";
     /// The parent link file written by incremental dumps (CRIU uses a
     /// symlink named `parent`; we store the path as file contents).
     pub const PARENT_LINK: &'static str = "parent";
@@ -1031,6 +1157,10 @@ impl ImageSet {
             Ok(bytes) => Some(PageStoreImage::parse(bytes, &pages)?),
             Err(_) => None,
         };
+        let extents = match get(ImageSet::EXTENTS_NAME) {
+            Ok(bytes) => Some(ExtentsImage::parse(bytes, &pages)?),
+            Err(_) => None,
+        };
         Ok(ImageSet {
             core: CoreImage::parse(get(ImageSet::CORE_NAME)?)?,
             mm: MmImage::parse(get(ImageSet::MM_NAME)?)?,
@@ -1038,11 +1168,12 @@ impl ImageSet {
             files: FilesImage::parse(get(ImageSet::FILES_NAME)?)?,
             ws,
             pagestore,
+            extents,
         })
     }
 
-    /// Total serialised size across all image files, `ws.img` and
-    /// `pagestore.img` included.
+    /// Total serialised size across all image files, `ws.img`,
+    /// `pagestore.img` and `extents.img` included.
     pub fn total_bytes(&self) -> u64 {
         (self.core.encode().len()
             + self.mm.encode().len()
@@ -1050,7 +1181,16 @@ impl ImageSet {
             + self.pages.encode_pages().len()
             + self.files.encode().len()
             + self.ws.as_ref().map_or(0, |w| w.encode().len())
-            + self.pagestore.as_ref().map_or(0, |p| p.encode().len())) as u64
+            + self.pagestore.as_ref().map_or(0, |p| p.encode().len())
+            + self.extents.as_ref().map_or(0, |e| e.encode().len())) as u64
+    }
+
+    /// The extent view to restore by: the dumped table when present, a
+    /// fresh coalescing of the pagemap otherwise (old per-page images).
+    pub fn extent_view(&self) -> ExtentsImage {
+        self.extents
+            .clone()
+            .unwrap_or_else(|| ExtentsImage::from_pages(&self.pages))
     }
 
     /// Bytes this set contributes *besides* page payload: metadata images
@@ -1272,6 +1412,7 @@ mod tests {
             files: FilesImage::default(),
             ws: None,
             pagestore: None,
+            extents: None,
         };
         let total = set.total_bytes();
         assert!(total > 100 * PAGE_SIZE as u64);
@@ -1411,6 +1552,110 @@ mod tests {
     }
 
     #[test]
+    fn extents_coalesce_stored_runs_only() {
+        let mut pages = PagesImage::default();
+        pages.push(10, &filled(1));
+        pages.push(11, &filled(2));
+        pages.push(12, &Page::zeroed()); // zero breaks the run
+        pages.push(13, &filled(3));
+        pages.push(20, &filled(4)); // index gap breaks the run
+        pages.push(21, &filled(5));
+        let ext = ExtentsImage::from_pages(&pages);
+        assert_eq!(
+            ext.extents,
+            vec![
+                PageExtent {
+                    start_index: 10,
+                    pages: 2
+                },
+                PageExtent {
+                    start_index: 13,
+                    pages: 1
+                },
+                PageExtent {
+                    start_index: 20,
+                    pages: 2
+                },
+            ]
+        );
+        assert_eq!(ext.len(), 3);
+        assert!(!ext.is_empty());
+        assert_eq!(ext.covered_pages() as usize, pages.stored_pages());
+        assert_eq!(ext.extents[0].end_index(), 12);
+    }
+
+    #[test]
+    fn extents_break_at_parent_refs() {
+        let mut pages = PagesImage::default();
+        pages.push(5, &filled(1));
+        pages.push_parent_ref(6);
+        pages.push(7, &filled(2));
+        let ext = ExtentsImage::from_pages(&pages);
+        assert_eq!(ext.len(), 2, "parent-deferred page is not in pages.img");
+        assert_eq!(ext.covered_pages(), 2);
+    }
+
+    #[test]
+    fn extents_roundtrip_and_validation() {
+        let mut pages = PagesImage::default();
+        pages.push(1, &filled(1));
+        pages.push(2, &filled(2));
+        pages.push(9, &filled(3));
+        let ext = ExtentsImage::from_pages(&pages);
+        let back = ExtentsImage::parse(&ext.encode(), &pages).unwrap();
+        assert_eq!(back, ext);
+
+        // An empty table round-trips against an all-zero image.
+        let mut zeros = PagesImage::default();
+        zeros.push(1, &Page::zeroed());
+        let empty = ExtentsImage::from_pages(&zeros);
+        assert!(empty.is_empty());
+        assert_eq!(ExtentsImage::parse(&empty.encode(), &zeros).unwrap(), empty);
+
+        // A table that disagrees with the pagemap is rejected.
+        assert_eq!(
+            ExtentsImage::parse(&ext.encode(), &zeros),
+            Err(ImageError::BadExtents)
+        );
+        let mut bad = ext.clone();
+        bad.extents[0].pages = 0;
+        assert_eq!(
+            ExtentsImage::parse(&bad.encode(), &pages),
+            Err(ImageError::BadExtents)
+        );
+        assert!(matches!(
+            ExtentsImage::parse(&sample_core().encode(), &pages),
+            Err(ImageError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn image_set_extent_view_derives_when_absent() {
+        let mut pages = PagesImage::default();
+        pages.push(3, &filled(1));
+        pages.push(4, &filled(2));
+        let ext = ExtentsImage::from_pages(&pages);
+        let mut set = ImageSet {
+            core: sample_core(),
+            mm: sample_mm(),
+            pages,
+            files: FilesImage::default(),
+            ws: None,
+            pagestore: None,
+            extents: None,
+        };
+        let without = set.total_bytes();
+        assert_eq!(set.extent_view(), ext, "derived from the pagemap");
+        set.extents = Some(ext.clone());
+        assert_eq!(set.extent_view(), ext, "dumped table preferred");
+        assert_eq!(
+            set.total_bytes(),
+            without + ext.encode().len() as u64,
+            "extent table counts toward the set's footprint"
+        );
+    }
+
+    #[test]
     fn image_set_charges_pagestore_and_exposes_non_payload_base() {
         let mut pages = PagesImage::default();
         for i in 0..8 {
@@ -1424,6 +1669,7 @@ mod tests {
             files: FilesImage::default(),
             ws: None,
             pagestore: None,
+            extents: None,
         };
         let mut with = without.clone();
         with.pagestore = Some(store.clone());

@@ -59,5 +59,7 @@ pub use costs::CriuCosts;
 pub use dump::{
     collect_images, dump, pre_dump, read_images, read_images_lazy, DumpOptions, DumpStats,
 };
-pub use image::{page_content_hash, ImageError, ImageSet, PageStoreImage, WsImage};
+pub use image::{
+    page_content_hash, ExtentsImage, ImageError, ImageSet, PageExtent, PageStoreImage, WsImage,
+};
 pub use restore::{restore, restore_set, RestoreMode, RestoreOptions, RestorePid, RestoreStats};

@@ -110,16 +110,29 @@ pub struct RestoreOptions {
     pub mode: RestoreMode,
     /// Cost table.
     pub costs: CriuCosts,
+    /// Reinstate memory run-at-a-time from the image's extent table
+    /// (scatter-gather copies, run-granular CoW maps, vectored
+    /// prefetch) instead of page-at-a-time. The page-granular path pays
+    /// [`CriuCosts::restore_page_op`] per page where the vectored path
+    /// pays one [`prebake_sim::cost::CostModel::extent_setup`] per run.
+    pub vectored: bool,
+    /// Fault-around window for uffd-backed modes: one trap services up
+    /// to this many consecutive withheld pages in a single batch.
+    /// Values below 1 behave as 1 (no fault-around).
+    pub fault_around: usize,
 }
 
 impl RestoreOptions {
-    /// Paper-calibrated options with fresh-pid policy and eager memory.
+    /// Paper-calibrated options with fresh-pid policy, eager memory and
+    /// the vectored extent path on.
     pub fn new(images_dir: impl Into<String>) -> RestoreOptions {
         RestoreOptions {
             images_dir: images_dir.into(),
             pid: RestorePid::Fresh,
             mode: RestoreMode::Eager,
             costs: CriuCosts::paper_calibrated(),
+            vectored: true,
+            fault_around: 1,
         }
     }
 
@@ -152,6 +165,11 @@ pub struct RestoreStats {
     /// Pages mapped copy-on-write from the shared frame pool
     /// ([`RestoreMode::Cow`]/[`RestoreMode::CowPrefetch`] only).
     pub pages_cow: usize,
+    /// Extent runs vectored in during restore (eager scatter-gather
+    /// copies and run-granular CoW maps; zero on the page-granular
+    /// path). Working-set prefetch runs surface as
+    /// [`prebake_sim::probe::ProbeKind::ExtentCopy`] events instead.
+    pub extents: usize,
     /// File descriptors re-opened.
     pub fds: usize,
     /// Virtual time the restore took.
@@ -233,6 +251,7 @@ pub fn restore_set(
     let mut pages_lazy = 0usize;
     let mut pages_prefetched = 0usize;
     let mut pages_cow = 0usize;
+    let mut extents = 0usize;
     match opts.mode {
         RestoreMode::Cow | RestoreMode::CowPrefetch => {
             // Map stored pages copy-on-write from the machine's shared
@@ -250,27 +269,54 @@ pub fn restore_set(
                     None
                 };
             let mut backend = UffdBackend::new();
+            // Run accumulator for the vectored path: consecutive in-set
+            // refs map as one scatter-gather CoW operation.
+            let mut run_start = 0u64;
+            let mut run: Vec<(u64, Page)> = Vec::new();
             for (page_index, hash, bytes) in store.iter_refs() {
                 let frame: &[u8; prebake_sim::mem::PAGE_SIZE] =
                     bytes.try_into().map_err(|_| Errno::Einval)?;
                 let in_working_set = ws_filter.as_ref().is_none_or(|ws| ws.contains(&page_index));
                 if in_working_set {
-                    kernel.cow_map(pid, page_index, hash, || Page::from_bytes(frame))?;
+                    if opts.vectored {
+                        if !run.is_empty() && run_start + run.len() as u64 != page_index {
+                            kernel.cow_map_extent(pid, run_start, &run)?;
+                            extents += 1;
+                            run.clear();
+                        }
+                        if run.is_empty() {
+                            run_start = page_index;
+                        }
+                        run.push((hash, Page::from_bytes(frame)));
+                    } else {
+                        kernel.cow_map(pid, page_index, hash, || Page::from_bytes(frame))?;
+                    }
                     pages_cow += 1;
                 } else {
                     backend.insert_page(page_index, Page::from_bytes(frame));
                 }
             }
+            if !run.is_empty() {
+                kernel.cow_map_extent(pid, run_start, &run)?;
+                extents += 1;
+            }
             kernel.charge(opts.costs.restore_per_cow_page * pages_cow as u64);
+            if !opts.vectored {
+                // The page-granular path dispatches one mapping
+                // operation per page.
+                kernel.charge(opts.costs.restore_page_op * pages_cow as u64);
+            }
             if opts.mode == RestoreMode::CowPrefetch {
                 // Residual pages outside the working set are served on
                 // demand, exactly as a prefetch-mode restore leaves them.
                 pages_lazy = backend.len();
+                backend.set_fault_around(opts.fault_around);
                 kernel.charge(opts.costs.lazy_register);
                 kernel.uffd_register(pid, backend)?;
             }
             kernel.span_attr(mode_span, "pages_cow", pages_cow.to_string());
             kernel.span_attr(mode_span, "pages_lazy", pages_lazy.to_string());
+            kernel.span_attr(mode_span, "extents", extents.to_string());
             kernel.span_end(mode_span);
         }
         RestoreMode::Lazy | RestoreMode::Record | RestoreMode::Prefetch => {
@@ -291,13 +337,22 @@ pub fn restore_set(
                 }
             }
             pages_lazy = backend.len();
+            backend.set_fault_around(opts.fault_around);
             kernel.charge(opts.costs.lazy_register);
             kernel.uffd_register(pid, backend)?;
             match opts.mode {
                 RestoreMode::Record => kernel.uffd_set_record(pid, true)?,
                 RestoreMode::Prefetch => {
                     let ws = set.ws.as_ref().ok_or(Errno::Einval)?;
-                    pages_prefetched = kernel.uffd_prefetch(pid, &ws.pages)? as usize;
+                    pages_prefetched = if opts.vectored {
+                        // Push the working set run-at-a-time: one setup
+                        // charge per coalesced extent.
+                        kernel.uffd_prefetch_vectored(pid, &ws.pages)? as usize
+                    } else {
+                        let n = kernel.uffd_prefetch(pid, &ws.pages)? as usize;
+                        kernel.charge(opts.costs.restore_page_op * n as u64);
+                        n
+                    };
                     pages_lazy -= pages_prefetched;
                 }
                 _ => {}
@@ -312,20 +367,53 @@ pub fn restore_set(
             // `read_images`'s parent resolution — refuse rather than
             // restore holes.
             let mode_span = kernel.span_begin("restore_eager_copy", pid);
-            let proc = kernel.process_mut(pid)?;
-            for (page_index, source) in set.pages.iter_pages() {
-                match source {
-                    crate::image::PageSource::Bytes(bytes) => {
-                        let page = Page::from_bytes(bytes.try_into().map_err(|_| Errno::Einval)?);
-                        proc.mem.install_page(page_index, page)?;
-                        installed += 1;
-                    }
-                    crate::image::PageSource::Zero => {}
-                    crate::image::PageSource::Parent => return Err(Errno::Einval),
+            if opts.vectored {
+                if set.pages.parent_pages() > 0 {
+                    return Err(Errno::Einval);
                 }
+                // Walk the extent table, gathering each run's payload
+                // pages (stored entries appear in pagemap order, so the
+                // runs consume them sequentially) and installing the
+                // run with one scatter-gather copy.
+                let table = set.extent_view();
+                let mut stored = set.pages.iter_pages().filter_map(|(i, s)| match s {
+                    crate::image::PageSource::Bytes(bytes) => Some((i, bytes)),
+                    _ => None,
+                });
+                for extent in &table.extents {
+                    let mut buf = Vec::with_capacity(extent.pages as usize);
+                    for _ in 0..extent.pages {
+                        let (_, bytes) = stored.next().ok_or(Errno::Einval)?;
+                        buf.push(Page::from_bytes(
+                            bytes.try_into().map_err(|_| Errno::Einval)?,
+                        ));
+                    }
+                    kernel.copy_extent(pid, extent.start_index, &buf)?;
+                    installed += buf.len();
+                    extents += 1;
+                }
+            } else {
+                let proc = kernel.process_mut(pid)?;
+                for (page_index, source) in set.pages.iter_pages() {
+                    match source {
+                        crate::image::PageSource::Bytes(bytes) => {
+                            let page =
+                                Page::from_bytes(bytes.try_into().map_err(|_| Errno::Einval)?);
+                            proc.mem.install_page(page_index, page)?;
+                            installed += 1;
+                        }
+                        crate::image::PageSource::Zero => {}
+                        crate::image::PageSource::Parent => return Err(Errno::Einval),
+                    }
+                }
+                // One page-granular dispatch per installed page — the
+                // cost the vectored path amortises into one
+                // `extent_setup` per run.
+                kernel.charge(opts.costs.restore_page_op * installed as u64);
             }
             kernel.charge(opts.costs.restore_per_page * installed as u64);
             kernel.span_attr(mode_span, "pages", installed.to_string());
+            kernel.span_attr(mode_span, "extents", extents.to_string());
             kernel.span_end(mode_span);
         }
     }
@@ -379,6 +467,7 @@ pub fn restore_set(
         pages_lazy,
         pages_prefetched,
         pages_cow,
+        extents,
         fds: set.files.fds.len(),
         elapsed: kernel.now() - t0,
     })
@@ -768,6 +857,181 @@ mod tests {
         assert!(
             elapsed[1] < elapsed[0],
             "CoW resume beats eager: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn vectored_eager_restore_matches_per_page_state() {
+        let (mut k, tracer, payload) = checkpointed_portless(21);
+        let mut per_page = RestoreOptions::new("/img");
+        per_page.vectored = false;
+        let a = restore(&mut k, tracer, &per_page).unwrap();
+        let b = restore(&mut k, tracer, &RestoreOptions::new("/img")).unwrap();
+        assert_eq!(a.pages_installed, b.pages_installed);
+        assert_eq!(a.extents, 0, "page-granular path issues no extents");
+        assert_eq!(b.extents, 1, "two contiguous stored pages = one run");
+        let mem_a = k.process(a.pid).unwrap().mem.clone();
+        let mem_b = &k.process(b.pid).unwrap().mem;
+        assert!(mem_a.observably_equal(mem_b));
+        let vma = k.process(a.pid).unwrap().mem.vmas().next().unwrap().clone();
+        for pid in [a.pid, b.pid] {
+            assert_eq!(
+                k.mem_read(pid, vma.start, payload.len() as u64).unwrap(),
+                payload
+            );
+        }
+    }
+
+    #[test]
+    fn vectored_eager_restore_is_cheaper_than_per_page() {
+        use prebake_sim::cost::CostModel;
+        use prebake_sim::noise::Noise;
+
+        let mut elapsed = Vec::new();
+        for vectored in [false, true] {
+            let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+            let tracer = k.sys_clone(INIT_PID).unwrap();
+            let target = k.sys_clone(INIT_PID).unwrap();
+            let pages = 512u64;
+            let a = k
+                .sys_mmap(
+                    target,
+                    pages * PAGE_SIZE as u64,
+                    Prot::RW,
+                    VmaKind::RuntimeHeap,
+                )
+                .unwrap();
+            k.mem_write(target, a, &vec![3u8; (pages * PAGE_SIZE as u64) as usize])
+                .unwrap();
+            dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap();
+            let mut opts = RestoreOptions::new("/img");
+            opts.vectored = vectored;
+            elapsed.push(restore(&mut k, tracer, &opts).unwrap().elapsed);
+        }
+        assert!(
+            elapsed[1] < elapsed[0],
+            "one extent copy beats 512 page dispatches: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn fault_around_batches_lazy_fault_servicing() {
+        let (mut k, tracer, payload) = checkpointed_portless(22);
+        let mut opts = RestoreOptions::with_mode("/img", RestoreMode::Lazy);
+        opts.fault_around = 4;
+        let stats = restore(&mut k, tracer, &opts).unwrap();
+        assert_eq!(stats.pages_lazy, 2);
+        let vma = k
+            .process(stats.pid)
+            .unwrap()
+            .mem
+            .vmas()
+            .next()
+            .unwrap()
+            .clone();
+        let bytes = k
+            .mem_read(stats.pid, vma.start, payload.len() as u64)
+            .unwrap();
+        assert_eq!(bytes, payload);
+        let (major, minor) = k.uffd_fault_counts(stats.pid);
+        assert_eq!(
+            (major, minor),
+            (1, 0),
+            "one trap pulls both withheld pages in"
+        );
+        assert_eq!(k.process(stats.pid).unwrap().mem.missing_pages(), 0);
+    }
+
+    #[test]
+    fn vectored_cow_restore_shares_frames_like_per_page() {
+        let (mut k, tracer, payload) = checkpointed_portless(23);
+        let mut per_page = RestoreOptions::with_mode("/img", RestoreMode::Cow);
+        per_page.vectored = false;
+        let a = restore(&mut k, tracer, &per_page).unwrap();
+        let b = restore(
+            &mut k,
+            tracer,
+            &RestoreOptions::with_mode("/img", RestoreMode::Cow),
+        )
+        .unwrap();
+        assert_eq!(a.pages_cow, 2);
+        assert_eq!(b.pages_cow, 2);
+        assert_eq!(a.extents, 0);
+        assert_eq!(b.extents, 1, "two consecutive shared frames = one run");
+        assert_eq!(
+            k.page_store().frame_count(),
+            2,
+            "both paths intern the same frames"
+        );
+        assert_eq!(k.page_store().external_refs(), 4);
+        let vma = k.process(a.pid).unwrap().mem.vmas().next().unwrap().clone();
+        for pid in [a.pid, b.pid] {
+            assert_eq!(
+                k.mem_read(pid, vma.start, payload.len() as u64).unwrap(),
+                payload
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_paths_agree_and_vectored_is_cheaper() {
+        use crate::image::WsImage;
+        use prebake_sim::cost::CostModel;
+        use prebake_sim::noise::Noise;
+
+        let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+        let tracer = k.sys_clone(INIT_PID).unwrap();
+        let target = k.sys_clone(INIT_PID).unwrap();
+        let pages = 64u64;
+        let a = k
+            .sys_mmap(
+                target,
+                pages * PAGE_SIZE as u64,
+                Prot::RW,
+                VmaKind::RuntimeHeap,
+            )
+            .unwrap();
+        k.mem_write(target, a, &vec![9u8; (pages * PAGE_SIZE as u64) as usize])
+            .unwrap();
+        dump(&mut k, tracer, &DumpOptions::new(target, "/img")).unwrap();
+
+        // Record the full working set.
+        let rec = restore(
+            &mut k,
+            tracer,
+            &RestoreOptions::with_mode("/img", RestoreMode::Record),
+        )
+        .unwrap();
+        let vma = k
+            .process(rec.pid)
+            .unwrap()
+            .mem
+            .vmas()
+            .next()
+            .unwrap()
+            .clone();
+        k.mem_read(rec.pid, vma.start, pages * PAGE_SIZE as u64)
+            .unwrap();
+        let log = k.uffd_take_log(rec.pid).unwrap();
+        k.fs_write_file("/img/ws.img", WsImage::from_fault_log(log).encode())
+            .unwrap();
+        k.sys_exit(rec.pid, 0).unwrap();
+
+        let mut elapsed = Vec::new();
+        for vectored in [false, true] {
+            let mut opts = RestoreOptions::with_mode("/img", RestoreMode::Prefetch);
+            opts.vectored = vectored;
+            let stats = restore(&mut k, tracer, &opts).unwrap();
+            assert_eq!(stats.pages_prefetched, pages as usize);
+            assert_eq!(stats.pages_lazy, 0);
+            assert_eq!(k.uffd_fault_counts(stats.pid), (0, 0));
+            assert_eq!(k.mem_read(stats.pid, vma.start, 64).unwrap(), vec![9u8; 64]);
+            elapsed.push(stats.elapsed);
+            k.sys_exit(stats.pid, 0).unwrap();
+        }
+        assert!(
+            elapsed[1] < elapsed[0],
+            "vectored prefetch beats per-page: {elapsed:?}"
         );
     }
 

@@ -122,6 +122,75 @@ proptest! {
         prop_assert_eq!(kernel.port_owner(port), Some(stats.pid));
     }
 
+    /// An extent-coalesced dump restores bit-identically to the
+    /// page-granular path in all four restore modes, and a legacy image
+    /// set without `extents.img` still round-trips (the vectored path
+    /// recoalesces runs from the pagemap).
+    #[test]
+    fn extent_restore_is_bit_identical_across_modes(
+        regions in prop::collection::vec((1u64..10, prop::collection::vec(any::<u8>(), 1..2000)), 1..4),
+        window in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut kernel = Kernel::free(seed);
+        let tracer = kernel.sys_clone(INIT_PID).unwrap();
+        let target = kernel.sys_clone(INIT_PID).unwrap();
+        let mut writes = Vec::new();
+        for (pages, data) in &regions {
+            let len = pages * PAGE_SIZE as u64;
+            let addr = kernel.sys_mmap(target, len, Prot::RW, VmaKind::RuntimeHeap).unwrap();
+            let data = &data[..data.len().min(len as usize)];
+            kernel.mem_write(target, addr, data).unwrap();
+            writes.push((addr, data.to_vec()));
+        }
+        dump(&mut kernel, tracer, &DumpOptions::new(target, "/img")).unwrap();
+
+        // Record a working set so the Prefetch mode has a `ws.img`.
+        {
+            let opts = RestoreOptions::with_mode("/img", RestoreMode::Record);
+            let stats = restore(&mut kernel, tracer, &opts).unwrap();
+            for (addr, data) in &writes {
+                kernel.mem_read(stats.pid, *addr, data.len() as u64).unwrap();
+            }
+            let log = kernel.uffd_take_log(stats.pid).unwrap();
+            kernel.fs_write_file("/img/ws.img", WsImage::from_fault_log(log).encode()).unwrap();
+            kernel.sys_exit(stats.pid, 0).unwrap();
+            kernel.reap(stats.pid).unwrap();
+        }
+
+        let expected: Vec<u8> = writes.iter().flat_map(|(_, d)| d.clone()).collect();
+        for mode in [RestoreMode::Eager, RestoreMode::Lazy, RestoreMode::Cow, RestoreMode::Prefetch] {
+            let mut restored = Vec::new();
+            for vectored in [true, false] {
+                let mut opts = RestoreOptions::with_mode("/img", mode);
+                opts.vectored = vectored;
+                opts.fault_around = window;
+                let stats = restore(&mut kernel, tracer, &opts).unwrap();
+                let mut bytes = Vec::new();
+                for (addr, data) in &writes {
+                    bytes.extend(kernel.mem_read(stats.pid, *addr, data.len() as u64).unwrap());
+                }
+                restored.push(bytes);
+                kernel.sys_exit(stats.pid, 0).unwrap();
+                kernel.reap(stats.pid).unwrap();
+            }
+            prop_assert_eq!(
+                &restored[0], &restored[1],
+                "vectored and page-granular restores diverge in {:?}", mode
+            );
+            prop_assert_eq!(&restored[0], &expected);
+        }
+
+        // Legacy image set: drop the extent table (absent entirely in
+        // pre-extent dumps) and restore on the default vectored path.
+        let _ = kernel.fs_remove_file("/img/extents.img");
+        let stats = restore(&mut kernel, tracer, &RestoreOptions::new("/img")).unwrap();
+        for (addr, data) in &writes {
+            let back = kernel.mem_read(stats.pid, *addr, data.len() as u64).unwrap();
+            prop_assert_eq!(&back, data);
+        }
+    }
+
     /// `ws.img` round-trips arbitrary fault logs, preserving order and
     /// repeats exactly.
     #[test]

@@ -183,6 +183,12 @@ pub struct FunctionMetrics {
     pub restore_minor_faults: Counter,
     /// Copy-on-write breaks observed during restore-path start windows.
     pub restore_cow_breaks: Counter,
+    /// Extent runs vectored in during restore-path start windows
+    /// (scatter-gather copies, CoW run maps, prefetch runs).
+    pub restore_extents: Counter,
+    /// Page faults avoided by fault-around batching during restore-path
+    /// start windows (neighbour pages serviced without their own trap).
+    pub restore_faults_avoided: Counter,
 }
 
 /// The platform metric registry.
@@ -261,6 +267,14 @@ impl Metrics {
             out.push_str(&format!(
                 "prebake_restore_cow_breaks_total{{function=\"{name}\"}} {}\n",
                 m.restore_cow_breaks.get()
+            ));
+            out.push_str(&format!(
+                "prebake_restore_extents_total{{function=\"{name}\"}} {}\n",
+                m.restore_extents.get()
+            ));
+            out.push_str(&format!(
+                "prebake_restore_faults_avoided_total{{function=\"{name}\"}} {}\n",
+                m.restore_faults_avoided.get()
             ));
         }
         out
@@ -455,6 +469,16 @@ mod tests {
             let (_, value) = line.rsplit_once(' ').expect("space-separated sample");
             assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
         }
+    }
+
+    #[test]
+    fn extent_restore_counters_render() {
+        let mut m = Metrics::new();
+        m.function("fn").restore_extents.add(5);
+        m.function("fn").restore_faults_avoided.add(12);
+        let text = m.render();
+        assert!(text.contains("prebake_restore_extents_total{function=\"fn\"} 5"));
+        assert!(text.contains("prebake_restore_faults_avoided_total{function=\"fn\"} 12"));
     }
 
     #[test]

@@ -529,6 +529,8 @@ impl Platform {
             m.restore_major_faults.add(counters.major_faults);
             m.restore_minor_faults.add(counters.minor_faults);
             m.restore_cow_breaks.add(counters.cow_breaks);
+            m.restore_extents.add(counters.extents_restored);
+            m.restore_faults_avoided.add(counters.faults_avoided);
         }
 
         self.containers.insert(
@@ -991,6 +993,11 @@ mod tests {
         let m = p.metrics().get("noop").unwrap();
         assert_eq!(m.restore_ms.count(), 1);
         assert_eq!(m.restore_major_faults.get(), 0);
+        assert!(
+            m.restore_extents.get() > 0,
+            "eager restore vectors its runs"
+        );
+        assert_eq!(m.restore_faults_avoided.get(), 0, "no fault-around window");
 
         // A lazy-restore image pays demand faults inside the startup
         // window instead, and the gateway counts them.

@@ -88,10 +88,13 @@ impl Jlvm {
         state.code_cache_base = code_cache.0;
         state.code_cache_cursor = stubs.len() as u64;
 
-        // Heap arenas.
+        // Heap arenas. The young generation is tiled rather than fully
+        // random: real heaps carry many byte-identical pages (zeroed-out
+        // allocation buffers, repeated object headers), which is what the
+        // snapshot dedup view collapses.
         kernel.charge(costs.rts_heap_init);
         let heap = kernel.sys_mmap(pid, HEAP_REGION_LEN, Prot::RW, VmaKind::RuntimeHeap)?;
-        let young = pattern_bytes(0x48EA, costs.base_footprint.heap_touch as usize);
+        let young = tiled_pattern_bytes(0x48EA, costs.base_footprint.heap_touch as usize, 4);
         kernel.mem_write(pid, heap, &young)?;
         state.heap_base = heap.0;
         state.heap_cursor = young.len() as u64;
@@ -349,6 +352,21 @@ impl Jlvm {
 /// dedup, like real runtime data).
 pub fn pattern_bytes(tag: u64, len: usize) -> Vec<u8> {
     SplitMix64::new(tag).nonzero_bytes(len)
+}
+
+/// As [`pattern_bytes`], but repeating with a period of `period_pages`
+/// pages: pages beyond the first period are byte-identical to their
+/// counterpart in it. Models memory regions where whole pages recur —
+/// the duplicate content a content-addressed snapshot view dedups.
+pub fn tiled_pattern_bytes(tag: u64, len: usize, period_pages: usize) -> Vec<u8> {
+    let period = period_pages.max(1) * prebake_sim::mem::PAGE_SIZE;
+    let tile = pattern_bytes(tag, period.min(len));
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let take = (len - out.len()).min(tile.len());
+        out.extend_from_slice(&tile[..take]);
+    }
+    out
 }
 
 /// The view handed to application [`Handler`]s: scoped access to the
@@ -800,6 +818,18 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.iter().all(|&x| x != 0));
         assert_ne!(pattern_bytes(8, 64), pattern_bytes(7, 64));
+    }
+
+    #[test]
+    fn tiled_pattern_repeats_page_content() {
+        let tiled = tiled_pattern_bytes(7, 10 * PAGE_SIZE, 4);
+        assert_eq!(tiled.len(), 10 * PAGE_SIZE);
+        assert!(tiled.iter().all(|&x| x != 0));
+        // Page 4 repeats page 0; pages within a period stay distinct.
+        assert_eq!(tiled[..PAGE_SIZE], tiled[4 * PAGE_SIZE..5 * PAGE_SIZE]);
+        assert_ne!(tiled[..PAGE_SIZE], tiled[PAGE_SIZE..2 * PAGE_SIZE]);
+        // Short fills truncate the tile.
+        assert_eq!(tiled_pattern_bytes(7, 100, 4).len(), 100);
     }
 
     #[test]

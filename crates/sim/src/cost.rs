@@ -74,6 +74,15 @@ pub struct CostModel {
     /// hardware CoW break (trap ≪ `userfaultfd` round-trip) — the moment
     /// a restored replica first writes a shared frame.
     pub cow_break: SimDuration,
+    /// Fixed setup charge for one scatter-gather memory operation over a
+    /// run of contiguous pages (`copy_extent`, `cow_map_extent`,
+    /// vectored prefetch): the single syscall-equivalent entry
+    /// (`preadv`/iovec dispatch, VMA lookup, TLB bookkeeping) that a
+    /// vectored op pays *once* where the per-page path pays it per page.
+    /// The per-page streaming share stays with the caller (criu's
+    /// per-page install charge and the warm read rate) — bytes move at
+    /// the same rate on both gears.
+    pub extent_setup: SimDuration,
 
     // -- filesystem -----------------------------------------------------
     /// Metadata operation (open/stat/close/mkdir/unlink).
@@ -131,6 +140,7 @@ impl CostModel {
             fault_trap: SimDuration::from_micros(6),
             fault_minor: SimDuration::from_nanos(250),
             cow_break: SimDuration::from_micros(4),
+            extent_setup: SimDuration::from_micros(2),
 
             fs_meta: SimDuration::from_micros(15),
             fs_read_cold_ns_per_byte: ms_per_mib_to_ns_per_byte(6.7),
@@ -168,6 +178,7 @@ impl CostModel {
             fault_trap: SimDuration::ZERO,
             fault_minor: SimDuration::ZERO,
             cow_break: SimDuration::ZERO,
+            extent_setup: SimDuration::ZERO,
             fs_meta: SimDuration::ZERO,
             fs_read_cold_ns_per_byte: 0.0,
             fs_read_warm_ns_per_byte: 0.0,
@@ -284,6 +295,18 @@ mod tests {
         let costs = CostModel::paper_calibrated();
         assert!(costs.cow_break < costs.fault_trap);
         assert!(costs.cow_break.as_nanos() > costs.page_copy.as_nanos());
+    }
+
+    #[test]
+    fn extent_setup_amortises_over_a_run() {
+        // A vectored op only wins if its one-time setup is far below the
+        // per-page costs it replaces across a typical run: setup must sit
+        // between a single page copy (else never worth batching) and the
+        // cost of a uffd trap (else batched fault servicing is pointless).
+        let costs = CostModel::paper_calibrated();
+        assert!(costs.extent_setup.as_nanos() > costs.page_copy.as_nanos());
+        assert!(costs.extent_setup < costs.fault_trap);
+        assert!(CostModel::free().extent_setup.is_zero());
     }
 
     #[test]

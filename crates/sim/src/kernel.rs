@@ -209,6 +209,14 @@ impl Kernel {
         self.probe(pid, ProbeKind::CowBreak);
     }
 
+    fn probe_extent_copy(&mut self, pid: Pid, pages: u64) {
+        self.probe(pid, ProbeKind::ExtentCopy { pages });
+    }
+
+    fn probe_fault_around(&mut self, pid: Pid, pages: u64) {
+        self.probe(pid, ProbeKind::FaultAround { pages });
+    }
+
     // --------------------------------------------------------------- spans
 
     /// Enables or disables span recording (independent of probe tracing).
@@ -558,6 +566,61 @@ impl Kernel {
         Ok(data)
     }
 
+    // --------------------------------------------------- scatter-gather ops
+
+    /// Installs a run of contiguous pages starting at `start_index` as
+    /// one vectored copy — the `preadv`/iovec analogue the extent-based
+    /// restore uses. Charges one [`CostModel::extent_setup`] for the
+    /// whole run and emits a single [`ProbeKind::ExtentCopy`] event. The
+    /// per-page streaming share is the caller's to charge (criu's
+    /// `restore_per_page` install cost): bytes move at the same rate on
+    /// both gears, so pricing it here would double-charge the vectored
+    /// path relative to the page-granular one.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process; [`Errno::Efault`] if any page
+    /// of the run is outside a mapping (pages before the bad one stay
+    /// installed, as a partial `pwritev` would leave them).
+    pub fn copy_extent(&mut self, pid: Pid, start_index: u64, pages: &[Page]) -> SysResult<()> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        let n = pages.len() as u64;
+        let cost = self.costs.extent_setup;
+        self.charge(cost);
+        self.probe_extent_copy(pid, n);
+        let proc = self.procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+        for (i, page) in pages.iter().enumerate() {
+            proc.mem
+                .install_page(start_index + i as u64, page.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Marks a run of contiguous pages missing in one vectored operation
+    /// — the extent-granular `UFFDIO_REGISTER` analogue a lazy restore
+    /// uses to withhold whole runs. Charges one
+    /// [`CostModel::extent_setup`] for the run.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process; [`Errno::Efault`] /
+    /// [`Errno::Eexist`] per [`crate::mem::AddressSpace::mark_missing`]
+    /// (pages before the bad one stay marked).
+    pub fn map_extent(&mut self, pid: Pid, start_index: u64, pages: u64) -> SysResult<()> {
+        if pages == 0 {
+            return Ok(());
+        }
+        let cost = self.costs.extent_setup;
+        self.charge(cost);
+        let proc = self.procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+        for idx in start_index..start_index + pages {
+            proc.mem.mark_missing(idx)?;
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------- demand paging
 
     /// Registers a demand-paging backend for `pid` — the `UFFDIO_REGISTER`
@@ -612,6 +675,22 @@ impl Kernel {
             .get_mut(&pid)
             .ok_or(Errno::Esrch)?
             .set_recording(on);
+        Ok(())
+    }
+
+    /// Sets the fault-around window for `pid`'s backend: one trapping
+    /// fault services up to `window` pages (trap page plus
+    /// forward-consecutive withheld neighbours) under a single service
+    /// charge. `0`/`1` disable fault-around.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if `pid` has no registered backend.
+    pub fn uffd_set_fault_around(&mut self, pid: Pid, window: usize) -> SysResult<()> {
+        self.uffd
+            .get_mut(&pid)
+            .ok_or(Errno::Esrch)?
+            .set_fault_around(window);
         Ok(())
     }
 
@@ -675,6 +754,66 @@ impl Kernel {
         Ok(n)
     }
 
+    /// Vectored prefetch: like [`Kernel::uffd_prefetch`] but the
+    /// still-missing pages are coalesced into runs of consecutive
+    /// indices, each moved as one scatter-gather operation — one
+    /// [`CostModel::extent_setup`] charge per run instead of a dispatch
+    /// per page, plus the same streaming cost. Returns the number of
+    /// pages installed.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if `pid` has no registered backend or no process.
+    pub fn uffd_prefetch_vectored(&mut self, pid: Pid, pages: &[u64]) -> SysResult<u64> {
+        let backend = self.uffd.get(&pid).ok_or(Errno::Esrch)?;
+        let proc = self.procs.get(&pid).ok_or(Errno::Esrch)?;
+        let mut seen = std::collections::BTreeSet::new();
+        let mut to_install: Vec<(u64, Page)> = Vec::new();
+        for &idx in pages {
+            if !seen.insert(idx) || !proc.mem.is_missing(idx) {
+                continue;
+            }
+            if let Some(p) = backend.page(idx) {
+                to_install.push((idx, p.clone()));
+            }
+        }
+        let n = to_install.len() as u64;
+        if n == 0 {
+            return Ok(0);
+        }
+        // Coalesce into maximal runs of consecutive page indices. The
+        // batch keeps request order for non-adjacent pages (working-set
+        // order), so runs only form where indices actually neighbour.
+        let mut sorted = to_install;
+        sorted.sort_by_key(|&(idx, _)| idx);
+        let mut runs: Vec<Vec<(u64, Page)>> = Vec::new();
+        for (idx, page) in sorted {
+            match runs.last_mut() {
+                Some(run) if run.last().is_some_and(|&(last, _)| idx == last + 1) => {
+                    run.push((idx, page));
+                }
+                _ => runs.push(vec![(idx, page)]),
+            }
+        }
+        let span = self.span_begin("uffd_prefetch", pid);
+        self.span_attr(span, "pages", n.to_string());
+        self.span_attr(span, "runs", runs.len().to_string());
+        for run in runs {
+            let len = run.len() as u64;
+            let cost = self.costs.extent_setup
+                + per_byte(len * PAGE_SIZE as u64, self.costs.fs_read_warm_ns_per_byte)
+                + self.costs.page_copy * len;
+            self.charge(cost);
+            self.probe_extent_copy(pid, len);
+            let proc = self.procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+            for (idx, page) in run {
+                proc.mem.install_page(idx, page)?;
+            }
+        }
+        self.span_end(span);
+        Ok(n)
+    }
+
     /// Resolves any missing pages in `[addr, addr+len)` before a touch:
     /// each is a major fault served from the registered backend.
     fn resolve_faults(&mut self, pid: Pid, addr: VirtAddr, len: u64) -> SysResult<()> {
@@ -691,22 +830,50 @@ impl Kernel {
         let span = self.span_begin("fault_service", pid);
         self.span_attr(span, "pages", missing.len().to_string());
         for idx in missing {
+            // Fault-around servicing of an earlier trap may have already
+            // installed this page — it never traps then.
+            let still_missing = self.procs.get(&pid).is_some_and(|p| p.mem.is_missing(idx));
+            if !still_missing {
+                continue;
+            }
             let backend = self.uffd.get_mut(&pid).expect("registration checked above");
             // A missing page always has backend content (uffd_register
             // marks exactly the backend's pages); zero-fill is a safety
             // net should the invariant ever be violated.
             let page = backend.page(idx).cloned().unwrap_or_else(Page::zeroed);
             backend.note_major(idx);
+            // One trap services up to `window` pages: the trapping page
+            // plus forward-consecutive withheld neighbours, all moved
+            // under the single fault's service charge (the handler
+            // answering one uffd message with a multi-page copy).
+            let window = backend.fault_around() as u64;
+            let mut batch: Vec<(u64, Page)> = vec![(idx, page)];
+            if window > 1 {
+                let proc = self.procs.get(&pid).ok_or(Errno::Esrch)?;
+                let backend = self.uffd.get(&pid).expect("registration checked above");
+                for next in idx + 1..idx + window {
+                    if !proc.mem.is_missing(next) {
+                        break;
+                    }
+                    match backend.page(next) {
+                        Some(p) => batch.push((next, p.clone())),
+                        None => break,
+                    }
+                }
+            }
+            let n = batch.len() as u64;
             let cost = self.costs.fault_trap
-                + per_byte(PAGE_SIZE as u64, self.costs.fs_read_warm_ns_per_byte)
-                + self.costs.page_copy;
+                + per_byte(n * PAGE_SIZE as u64, self.costs.fs_read_warm_ns_per_byte)
+                + self.costs.page_copy * n;
             self.charge(cost);
             self.probe_fault(pid, true);
-            self.procs
-                .get_mut(&pid)
-                .ok_or(Errno::Esrch)?
-                .mem
-                .install_page(idx, page)?;
+            if n > 1 {
+                self.probe_fault_around(pid, n - 1);
+            }
+            let proc = self.procs.get_mut(&pid).ok_or(Errno::Esrch)?;
+            for (page_index, page) in batch {
+                proc.mem.install_page(page_index, page)?;
+            }
         }
         self.span_end(span);
         Ok(())
@@ -748,6 +915,41 @@ impl Kernel {
             .ok_or(Errno::Esrch)?
             .mem
             .map_shared(page_index, frame)
+    }
+
+    /// Maps a run of contiguous shared frames copy-on-write in one
+    /// vectored operation, starting at `start_index`: each `(hash, page)`
+    /// pair is interned in the pool and its frame mapped at the next
+    /// index. One [`CostModel::extent_setup`] charge and one
+    /// [`ProbeKind::ExtentCopy`] event cover the whole run; like
+    /// [`Kernel::cow_map`], the frame mappings themselves move no bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Esrch`] if no such process; [`Errno::Efault`] /
+    /// [`Errno::Eexist`] per [`crate::mem::AddressSpace::map_shared`]
+    /// (pages before the bad one stay mapped).
+    pub fn cow_map_extent(
+        &mut self,
+        pid: Pid,
+        start_index: u64,
+        frames: &[(u64, Page)],
+    ) -> SysResult<()> {
+        if frames.is_empty() {
+            return Ok(());
+        }
+        let cost = self.costs.extent_setup;
+        self.charge(cost);
+        self.probe_extent_copy(pid, frames.len() as u64);
+        for (i, (hash, page)) in frames.iter().enumerate() {
+            let frame = self.page_store.get_or_insert(*hash, || page.clone());
+            self.procs
+                .get_mut(&pid)
+                .ok_or(Errno::Esrch)?
+                .mem
+                .map_shared(start_index + i as u64, frame)?;
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------ filesystem
@@ -1537,6 +1739,8 @@ mod tests {
                 ProbeKind::Marker(m) => format!("mark:{m}"),
                 ProbeKind::PageFault { major } => format!("fault:major={major}"),
                 ProbeKind::CowBreak => "cow-break".to_owned(),
+                ProbeKind::ExtentCopy { pages } => format!("extent:{pages}"),
+                ProbeKind::FaultAround { pages } => format!("fault-around:{pages}"),
             })
             .collect();
         assert_eq!(
@@ -1868,6 +2072,198 @@ mod tests {
             .unwrap();
         assert_eq!(n, 1, "only the still-missing known page installs");
         assert_eq!(k.process(pid).unwrap().mem.missing_pages(), 1);
+    }
+
+    #[test]
+    fn fault_around_services_neighbours_in_one_trap() {
+        let mut k = Kernel::free(38);
+        let (pid, addr, backend) = lazy_proc(&mut k, 8);
+        k.uffd_register(pid, backend).unwrap();
+        k.uffd_set_fault_around(pid, 4).unwrap();
+        k.set_tracing(true);
+
+        // One touch traps once but installs the whole window.
+        let got = k.mem_read(pid, addr, 8).unwrap();
+        assert_eq!(got, vec![1u8; 8]);
+        assert_eq!(k.uffd_fault_counts(pid), (1, 0), "one trap for the window");
+        assert_eq!(k.process(pid).unwrap().mem.missing_pages(), 4);
+        // The neighbours carry their backend content, not zeroes.
+        let got = k.mem_read(pid, addr.add(3 * PAGE_SIZE as u64), 4).unwrap();
+        assert_eq!(got, vec![4u8; 4], "fault-around installed real content");
+        assert_eq!(k.uffd_fault_counts(pid), (1, 0), "no refault in the window");
+
+        let counters = crate::probe::ProbeCounters::from_events(&k.take_trace());
+        assert_eq!(counters.major_faults, 1);
+        assert_eq!(counters.faults_avoided, 3, "window 4 = trap + 3 neighbours");
+    }
+
+    #[test]
+    fn fault_around_window_stops_at_backend_gaps() {
+        let mut k = Kernel::free(39);
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(pid, 6 * PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+            .unwrap();
+        let base = addr.page_index();
+        // Backend covers pages 0,1 and 3 — page 2 is demand-zero.
+        let mut backend = UffdBackend::new();
+        for i in [0u64, 1, 3] {
+            backend.insert_page(base + i, Page::from_bytes(&[i as u8 + 1; PAGE_SIZE]));
+        }
+        k.uffd_register(pid, backend).unwrap();
+        k.uffd_set_fault_around(pid, 16).unwrap();
+        k.mem_read(pid, addr, 1).unwrap();
+        // The run stops at the gap: pages 0 and 1 installed, 3 still missing.
+        assert_eq!(k.uffd_fault_counts(pid).0, 1);
+        assert_eq!(k.process(pid).unwrap().mem.missing_pages(), 1);
+        assert!(k.process(pid).unwrap().mem.is_missing(base + 3));
+    }
+
+    #[test]
+    fn fault_around_cuts_majors_and_wall_time_on_sequential_touch() {
+        let n_pages = 64u64;
+        let run = |window: usize| -> (SimDuration, u64) {
+            let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+            let (pid, addr, backend) = lazy_proc(&mut k, n_pages);
+            k.uffd_register(pid, backend).unwrap();
+            k.uffd_set_fault_around(pid, window).unwrap();
+            let t0 = k.now();
+            k.mem_read(pid, addr, n_pages * PAGE_SIZE as u64).unwrap();
+            (k.now() - t0, k.uffd_fault_counts(pid).0)
+        };
+        let (single_time, single_majors) = run(1);
+        let (batched_time, batched_majors) = run(16);
+        assert_eq!(single_majors, n_pages);
+        assert_eq!(batched_majors, n_pages / 16, "one trap per window");
+        assert!(
+            batched_time < single_time,
+            "fault-around {batched_time} must beat per-page traps {single_time}"
+        );
+    }
+
+    #[test]
+    fn copy_extent_installs_a_run_under_one_setup_charge() {
+        let mut k = Kernel::with_config(CostModel::paper_calibrated(), Noise::disabled());
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(pid, 16 * PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+            .unwrap();
+        let pages: Vec<Page> = (0..16)
+            .map(|i| Page::from_bytes(&[i as u8 + 1; PAGE_SIZE]))
+            .collect();
+        k.set_tracing(true);
+        let t0 = k.now();
+        k.copy_extent(pid, addr.page_index(), &pages).unwrap();
+        let charged = k.now() - t0;
+        let costs = CostModel::paper_calibrated();
+        assert_eq!(
+            charged, costs.extent_setup,
+            "run length does not scale the charge"
+        );
+        assert_eq!(k.process(pid).unwrap().mem.resident_pages(), 16);
+        let got = k.mem_read(pid, addr.add(5 * PAGE_SIZE as u64), 4).unwrap();
+        assert_eq!(got, vec![6u8; 4]);
+        let counters = crate::probe::ProbeCounters::from_events(&k.take_trace());
+        assert_eq!(counters.extents_restored, 1, "one run, one probe");
+
+        // Empty runs are free no-ops.
+        let t1 = k.now();
+        k.copy_extent(pid, addr.page_index(), &[]).unwrap();
+        assert_eq!(k.now(), t1);
+    }
+
+    #[test]
+    fn copy_extent_faults_past_the_mapping_after_partial_install() {
+        let mut k = Kernel::free(40);
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(pid, 2 * PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+            .unwrap();
+        let pages = vec![Page::zeroed(); 4];
+        let err = k.copy_extent(pid, addr.page_index(), &pages).unwrap_err();
+        assert_eq!(err, Errno::Efault);
+        assert_eq!(
+            k.process(pid).unwrap().mem.resident_pages(),
+            2,
+            "pages before the fault stay installed, like a partial pwritev"
+        );
+    }
+
+    #[test]
+    fn map_extent_marks_a_run_missing() {
+        let mut k = Kernel::free(41);
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(pid, 8 * PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+            .unwrap();
+        k.map_extent(pid, addr.page_index(), 8).unwrap();
+        assert_eq!(k.process(pid).unwrap().mem.missing_pages(), 8);
+        k.map_extent(pid, addr.page_index(), 0).unwrap();
+        assert_eq!(
+            k.map_extent(pid, addr.page_index() + 8, 1).unwrap_err(),
+            Errno::Efault
+        );
+    }
+
+    #[test]
+    fn cow_map_extent_interns_and_maps_a_run() {
+        let mut k = Kernel::free(42);
+        let make_proc = |k: &mut Kernel| {
+            let pid = k.sys_clone(INIT_PID).unwrap();
+            let addr = k
+                .sys_mmap(pid, 4 * PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+                .unwrap();
+            (pid, addr)
+        };
+        let frames: Vec<(u64, Page)> = (0..4u64)
+            .map(|i| (1000 + i, Page::from_bytes(&[i as u8 + 9; PAGE_SIZE])))
+            .collect();
+        let (pid1, addr1) = make_proc(&mut k);
+        let (pid2, addr2) = make_proc(&mut k);
+        k.set_tracing(true);
+        k.cow_map_extent(pid1, addr1.page_index(), &frames).unwrap();
+        k.cow_map_extent(pid2, addr2.page_index(), &frames).unwrap();
+        assert_eq!(
+            k.page_store().frame_count(),
+            4,
+            "second mapping reuses the interned frames"
+        );
+        let got = k.mem_read(pid2, addr2.add(PAGE_SIZE as u64), 2).unwrap();
+        assert_eq!(got, vec![10u8; 2]);
+        let counters = crate::probe::ProbeCounters::from_events(&k.take_trace());
+        assert_eq!(
+            counters.extents_restored, 2,
+            "one probe per run per process"
+        );
+    }
+
+    #[test]
+    fn vectored_prefetch_coalesces_runs_and_matches_state() {
+        let mut k = Kernel::free(43);
+        let pid = k.sys_clone(INIT_PID).unwrap();
+        let addr = k
+            .sys_mmap(pid, 8 * PAGE_SIZE as u64, Prot::RW, VmaKind::Anon)
+            .unwrap();
+        let base = addr.page_index();
+        let mut backend = UffdBackend::new();
+        for i in [0u64, 1, 2, 5, 6] {
+            backend.insert_page(base + i, Page::from_bytes(&[i as u8 + 1; PAGE_SIZE]));
+        }
+        k.uffd_register(pid, backend).unwrap();
+        k.set_tracing(true);
+        let n = k
+            .uffd_prefetch_vectored(pid, &[base + 5, base, base + 1, base + 2, base + 6, base])
+            .unwrap();
+        assert_eq!(n, 5, "all missing known pages install, dupes skipped");
+        assert_eq!(k.process(pid).unwrap().mem.missing_pages(), 0);
+        assert_eq!(k.uffd_fault_counts(pid), (0, 0), "prefetch never faults");
+        let counters = crate::probe::ProbeCounters::from_events(&k.take_trace());
+        assert_eq!(counters.extents_restored, 2, "runs [0..3] and [5..7]");
+        // Content is the backend's, not zeroes.
+        let got = k.mem_read(pid, addr.add(6 * PAGE_SIZE as u64), 3).unwrap();
+        assert_eq!(got, vec![7u8; 3]);
+        // Nothing left to prefetch.
+        assert_eq!(k.uffd_prefetch_vectored(pid, &[base]).unwrap(), 0);
     }
 
     #[test]

@@ -43,6 +43,19 @@ pub enum ProbeKind {
     /// (mapped from the content-addressed page store) paid its deferred
     /// private copy.
     CowBreak,
+    /// One vectored scatter-gather operation over a run of contiguous
+    /// pages (`copy_extent` / `cow_map_extent` / vectored prefetch):
+    /// `pages` pages moved under a single setup charge.
+    ExtentCopy {
+        /// Pages covered by the run.
+        pages: u64,
+    },
+    /// Batched fault servicing woke `pages` *extra* neighbouring pages
+    /// alongside one trapping fault — each a major fault avoided.
+    FaultAround {
+        /// Neighbour pages installed without trapping.
+        pages: u64,
+    },
 }
 
 impl ProbeKind {
@@ -87,6 +100,22 @@ impl ProbeKind {
     pub fn is_cow_break(&self) -> bool {
         matches!(self, ProbeKind::CowBreak)
     }
+
+    /// Returns the run length if this is an extent-copy event.
+    pub fn as_extent_copy(&self) -> Option<u64> {
+        match self {
+            ProbeKind::ExtentCopy { pages } => Some(*pages),
+            _ => None,
+        }
+    }
+
+    /// Returns the neighbour count if this is a fault-around event.
+    pub fn as_fault_around(&self) -> Option<u64> {
+        match self {
+            ProbeKind::FaultAround { pages } => Some(*pages),
+            _ => None,
+        }
+    }
 }
 
 /// Aggregate counts over a probe trace.
@@ -109,6 +138,11 @@ pub struct ProbeCounters {
     pub minor_faults: u64,
     /// Copy-on-write breaks (first write to a shared page frame).
     pub cow_breaks: u64,
+    /// Vectored extent operations performed (runs, not pages).
+    pub extents_restored: u64,
+    /// Major faults avoided by fault-around servicing (sum of the extra
+    /// neighbour pages installed without their own trap).
+    pub faults_avoided: u64,
 }
 
 impl ProbeCounters {
@@ -123,6 +157,8 @@ impl ProbeCounters {
                 ProbeKind::PageFault { major: true } => c.major_faults += 1,
                 ProbeKind::PageFault { major: false } => c.minor_faults += 1,
                 ProbeKind::CowBreak => c.cow_breaks += 1,
+                ProbeKind::ExtentCopy { .. } => c.extents_restored += 1,
+                ProbeKind::FaultAround { pages } => c.faults_avoided += pages,
             }
         }
         c
@@ -141,6 +177,8 @@ impl ProbeCounters {
         self.major_faults += other.major_faults;
         self.minor_faults += other.minor_faults;
         self.cow_breaks += other.cow_breaks;
+        self.extents_restored += other.extents_restored;
+        self.faults_avoided += other.faults_avoided;
     }
 }
 
@@ -171,6 +209,16 @@ mod tests {
         assert!(c.is_cow_break());
         assert!(!f.is_cow_break());
         assert_eq!(c.as_page_fault(), None);
+
+        let ext = ProbeKind::ExtentCopy { pages: 16 };
+        assert_eq!(ext.as_extent_copy(), Some(16));
+        assert_eq!(ext.as_fault_around(), None);
+        assert_eq!(c.as_extent_copy(), None);
+
+        let fa = ProbeKind::FaultAround { pages: 3 };
+        assert_eq!(fa.as_fault_around(), Some(3));
+        assert_eq!(fa.as_extent_copy(), None);
+        assert_eq!(fa.as_page_fault(), None);
     }
 
     #[test]
@@ -214,6 +262,21 @@ mod tests {
                 pid,
                 kind: ProbeKind::CowBreak,
             },
+            ProbeEvent {
+                time: at,
+                pid,
+                kind: ProbeKind::ExtentCopy { pages: 8 },
+            },
+            ProbeEvent {
+                time: at,
+                pid,
+                kind: ProbeKind::ExtentCopy { pages: 2 },
+            },
+            ProbeEvent {
+                time: at,
+                pid,
+                kind: ProbeKind::FaultAround { pages: 3 },
+            },
         ];
         let c = ProbeCounters::from_events(&events);
         assert_eq!(c.syscall_enters, 1);
@@ -222,6 +285,8 @@ mod tests {
         assert_eq!(c.major_faults, 2);
         assert_eq!(c.minor_faults, 1);
         assert_eq!(c.cow_breaks, 1);
+        assert_eq!(c.extents_restored, 2, "extent runs counted, not pages");
+        assert_eq!(c.faults_avoided, 3, "fault-around sums neighbour pages");
         assert_eq!(c.total_faults(), 3);
 
         let mut m = ProbeCounters::default();
@@ -230,6 +295,8 @@ mod tests {
         assert_eq!(m.major_faults, 4);
         assert_eq!(m.cow_breaks, 2);
         assert_eq!(m.syscall_enters, 2);
+        assert_eq!(m.extents_restored, 4);
+        assert_eq!(m.faults_avoided, 6);
     }
 
     #[test]

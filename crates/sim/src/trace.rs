@@ -216,6 +216,8 @@ pub fn probe_label(kind: &ProbeKind) -> String {
         ProbeKind::PageFault { major: true } => "fault:major".to_owned(),
         ProbeKind::PageFault { major: false } => "fault:minor".to_owned(),
         ProbeKind::CowBreak => "cow-break".to_owned(),
+        ProbeKind::ExtentCopy { pages } => format!("extent:{pages}"),
+        ProbeKind::FaultAround { pages } => format!("fault-around:{pages}"),
     }
 }
 
@@ -551,6 +553,14 @@ mod tests {
             "fault:minor"
         );
         assert_eq!(probe_label(&ProbeKind::CowBreak), "cow-break");
+        assert_eq!(
+            probe_label(&ProbeKind::ExtentCopy { pages: 64 }),
+            "extent:64"
+        );
+        assert_eq!(
+            probe_label(&ProbeKind::FaultAround { pages: 3 }),
+            "fault-around:3"
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub struct UffdBackend {
     log: Vec<u64>,
     major_faults: u64,
     minor_faults: u64,
+    fault_around: usize,
 }
 
 impl UffdBackend {
@@ -60,6 +61,20 @@ impl UffdBackend {
     /// Page indices the backend holds, ascending.
     pub fn page_indices(&self) -> Vec<u64> {
         self.pages.keys().copied().collect()
+    }
+
+    /// Sets the fault-around window: one trapping fault services up to
+    /// `window` pages (the trap page plus forward-consecutive withheld
+    /// neighbours) under a single service charge, like the handler
+    /// answering one `userfaultfd` message with a multi-page
+    /// `UFFDIO_COPY`. `0` and `1` both mean fault-around off.
+    pub fn set_fault_around(&mut self, window: usize) {
+        self.fault_around = window;
+    }
+
+    /// The effective fault-around window (always ≥ 1).
+    pub fn fault_around(&self) -> usize {
+        self.fault_around.max(1)
     }
 
     /// Turns working-set recording on or off. While on, every major
@@ -119,6 +134,16 @@ mod tests {
         assert_eq!(b.page_indices(), vec![3, 7]);
         assert_eq!(b.page(7).unwrap().bytes()[0], 1);
         assert!(b.page(8).is_none());
+    }
+
+    #[test]
+    fn fault_around_window_normalises_to_at_least_one() {
+        let mut b = UffdBackend::new();
+        assert_eq!(b.fault_around(), 1, "default is off");
+        b.set_fault_around(0);
+        assert_eq!(b.fault_around(), 1);
+        b.set_fault_around(16);
+        assert_eq!(b.fault_around(), 16);
     }
 
     #[test]

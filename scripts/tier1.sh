@@ -30,6 +30,12 @@ run cargo test -q -p prebake-criu --test cow_concurrency
 run cargo test -q -p prebake-sim --test trace_golden
 run cargo test -q -p prebake-sim --test proptest_trace
 run cargo test -q -p prebake-core --test span_phases
+# Extent-restore invariants (DESIGN.md §11): vectored vs page-granular
+# bit-identity across all four restore modes plus legacy-image fallback,
+# and a smoke run of the extent ablation, which asserts the >=20% eager
+# p50 win and the fault-around major-fault collapse.
+run cargo test -q -p prebake-criu --test proptest_roundtrip
+run cargo run --release -q -p prebake-bench --bin ablation_extent_restore -- --quick
 run cargo fmt --all --check
 run cargo clippy --all-targets -- -D warnings
 
