@@ -42,7 +42,7 @@ fn warmed_replica(spec: FunctionSpec, seed: u64) -> (Kernel, Pid, Pid) {
 }
 
 fn main() {
-    let _args = HarnessArgs::parse();
+    let args = HarnessArgs::parse();
     println!("Extension — full dump vs pre-dump + incremental dump (warmed synthetics)");
     hr();
     println!(
@@ -55,14 +55,14 @@ fn main() {
         let spec = FunctionSpec::synthetic(size);
 
         // Full dump: freeze for the whole page walk.
-        let (mut kernel, watchdog, pid) = warmed_replica(spec.clone(), 1);
+        let (mut kernel, watchdog, pid) = warmed_replica(spec.clone(), args.seed);
         let mut opts = DumpOptions::new(pid, "/full");
         opts.leave_running = true;
         let full = dump(&mut kernel, watchdog, &opts).expect("full dump");
 
         // Incremental: pre-dump while serving, touch a little state
         // (one more request), then dump only the residue.
-        let (mut kernel, watchdog, pid) = warmed_replica(spec, 2);
+        let (mut kernel, watchdog, pid) = warmed_replica(spec, args.seed + 1);
         let pre =
             pre_dump(&mut kernel, watchdog, &DumpOptions::new(pid, "/pre")).expect("pre-dump");
         // the function keeps serving between pre-dump and final dump

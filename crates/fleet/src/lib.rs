@@ -1,0 +1,40 @@
+//! Fleet scheduler: multi-worker placement, keep-alive policies, and
+//! trace-driven workloads over the prebake simulator.
+//!
+//! Where the rest of the workspace measures how fast *one* replica can
+//! start, this crate asks the control-plane question: across a fleet of
+//! workers with finite memory, which keep-alive policy and which restore
+//! gear minimise cold starts and tail latency for a multi-tenant
+//! workload? The pieces:
+//!
+//! - [`profile`] — per-function start-cost profiles measured with the
+//!   single-machine trial harness, one [`GearCost`] per restore [`Gear`].
+//! - [`policy`] — the pluggable policy engine: [`KeepAlive`] (fixed TTL,
+//!   LRU-under-pressure, histogram-adaptive with predictive pre-warm)
+//!   crossed with [`StartSelection`] (fixed gear or adaptive).
+//! - [`worker`] — one node's replica pool, memory budget with
+//!   dedup-aware image-cache charging, and cold-start concurrency slots.
+//! - [`sim`] — the deterministic event-driven scheduler itself:
+//!   admission control, per-function queues, deficit scale-up,
+//!   least-loaded placement, expiry sweeps, and span-traced invocations.
+//! - [`metrics`] — Prometheus-format fleet counters and latency
+//!   histograms.
+//!
+//! Workloads come from `prebake_platform::loadgen::Schedule` — synthetic
+//! (constant/Poisson/Pareto/empirical) or replayed from CSV traces. The
+//! `ablation_fleet` bench sweeps policy × fleet size × memory budget on
+//! the paper's Fig. 5 function mix.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod policy;
+pub mod profile;
+pub mod sim;
+pub mod worker;
+
+pub use metrics::FleetMetrics;
+pub use policy::{ArrivalStats, KeepAlive, Policy, StartSelection};
+pub use profile::{FunctionProfile, Gear, GearCost};
+pub use sim::{FleetConfig, FleetError, FleetRequest, FleetSim};
+pub use worker::{Replica, ReplicaState, Worker};

@@ -1,0 +1,131 @@
+//! Fleet-level Prometheus metrics.
+//!
+//! Reuses the platform's [`Counter`]/[`Histogram`] primitives so fleet
+//! series render in the same exposition format the gateway exports.
+
+use prebake_platform::metrics::{Counter, Histogram};
+
+/// Scheduler-level counters and latency distributions.
+#[derive(Debug, Clone)]
+pub struct FleetMetrics {
+    /// Requests admitted to the fleet.
+    pub requests: Counter,
+    /// Admitted requests that waited on a cold start.
+    pub cold_starts: Counter,
+    /// Arrivals shed by admission control (queue over capacity).
+    pub shed: Counter,
+    /// Idle replicas evicted early under memory pressure.
+    pub evictions: Counter,
+    /// Idle replicas expired by their keep-alive TTL.
+    pub expirations: Counter,
+    /// Replicas started predictively by the pre-warm policy.
+    pub prewarm_starts: Counter,
+    /// Replica starts of any kind.
+    pub replicas_started: Counter,
+    /// Arrival → dispatch queueing delay, ms.
+    pub queue_delay: Histogram,
+    /// Arrival → completion latency, ms.
+    pub latency: Histogram,
+}
+
+/// Latency buckets wide enough for cold starts behind deep queues.
+const LATENCY_BOUNDS_MS: [f64; 12] = [
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 10_000.0,
+];
+
+impl Default for FleetMetrics {
+    fn default() -> Self {
+        FleetMetrics {
+            requests: Counter::default(),
+            cold_starts: Counter::default(),
+            shed: Counter::default(),
+            evictions: Counter::default(),
+            expirations: Counter::default(),
+            prewarm_starts: Counter::default(),
+            replicas_started: Counter::default(),
+            queue_delay: Histogram::new(&LATENCY_BOUNDS_MS),
+            latency: Histogram::new(&LATENCY_BOUNDS_MS),
+        }
+    }
+}
+
+impl FleetMetrics {
+    /// Fraction of admitted requests that waited on a cold start.
+    pub fn cold_fraction(&self) -> f64 {
+        if self.requests.get() == 0 {
+            0.0
+        } else {
+            self.cold_starts.get() as f64 / self.requests.get() as f64
+        }
+    }
+
+    /// Renders the fleet series in the Prometheus text exposition format;
+    /// `worker_high_water` adds one gauge row per worker.
+    pub fn render(&self, worker_high_water: &[u64]) -> String {
+        let mut out = String::new();
+        for (name, value) in [
+            ("fleet_requests_total", self.requests.get()),
+            ("fleet_cold_starts_total", self.cold_starts.get()),
+            ("fleet_shed_total", self.shed.get()),
+            ("fleet_evictions_total", self.evictions.get()),
+            ("fleet_expirations_total", self.expirations.get()),
+            ("fleet_prewarm_starts_total", self.prewarm_starts.get()),
+            ("fleet_replicas_started_total", self.replicas_started.get()),
+        ] {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        render_histogram(&mut out, "fleet_queue_delay_ms", &self.queue_delay);
+        render_histogram(&mut out, "fleet_latency_ms", &self.latency);
+        for (worker, hw) in worker_high_water.iter().enumerate() {
+            out.push_str(&format!(
+                "fleet_worker_mem_high_water_bytes{{worker=\"{worker}\"}} {hw}\n"
+            ));
+        }
+        out
+    }
+}
+
+/// One histogram's exposition: cumulative buckets, `+Inf`, sum, count.
+fn render_histogram(out: &mut String, metric: &str, h: &Histogram) {
+    let mut cumulative = 0u64;
+    for (bound, count) in h.bounds().iter().zip(h.bucket_counts()) {
+        cumulative += count;
+        out.push_str(&format!("{metric}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{metric}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{metric}_sum {:.3}\n", h.sum()));
+    out.push_str(&format!("{metric}_count {}\n", h.count()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_fraction_handles_empty() {
+        let m = FleetMetrics::default();
+        assert_eq!(m.cold_fraction(), 0.0);
+    }
+
+    #[test]
+    fn render_includes_every_series() {
+        let mut m = FleetMetrics::default();
+        m.requests.add(10);
+        m.cold_starts.add(3);
+        m.queue_delay.observe(2.0);
+        m.latency.observe(120.0);
+        let text = m.render(&[512, 1024]);
+        assert!(text.contains("fleet_requests_total 10"));
+        assert!(text.contains("fleet_cold_starts_total 3"));
+        assert!(text.contains("fleet_latency_ms_count 1"));
+        assert!(text.contains("fleet_queue_delay_ms_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("fleet_worker_mem_high_water_bytes{worker=\"0\"} 512"));
+        assert!(text.contains("fleet_worker_mem_high_water_bytes{worker=\"1\"} 1024"));
+        assert!((m.cold_fraction() - 0.3).abs() < 1e-9);
+        // Every line parses as `name{labels} value`.
+        for line in text.lines() {
+            let (_, value) = line.rsplit_once(' ').expect("space-separated sample");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
+        }
+    }
+}

@@ -1,0 +1,1096 @@
+//! The deterministic fleet scheduler.
+//!
+//! [`FleetSim`] runs an arrival [`Schedule`] against N workers over the
+//! simulator's virtual clock: arrivals are admitted (or shed) into
+//! per-function queues, dispatched to idle replicas, and trigger cold
+//! starts placed least-loaded-first under each worker's memory budget.
+//! The configured [`Policy`] decides which restore gear cold starts use
+//! and how long idle replicas survive — including LRU eviction under
+//! memory pressure and histogram-driven predictive pre-warm.
+//!
+//! Everything is deterministic for a fixed seed: all state lives in
+//! `BTreeMap`s, the event queue breaks time ties FIFO, and the only
+//! randomness is the seeded log-normal jitter applied to profiled costs.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use prebake_platform::loadgen::Schedule;
+use prebake_sim::event::EventQueue;
+use prebake_sim::noise::Noise;
+use prebake_sim::proc::Pid;
+use prebake_sim::time::{SimDuration, SimInstant};
+use prebake_sim::trace::{TraceSpan, Tracer};
+
+use crate::metrics::FleetMetrics;
+use crate::policy::{ArrivalStats, Policy};
+use crate::profile::FunctionProfile;
+use crate::worker::{Replica, ReplicaState, Worker};
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker nodes.
+    pub workers: usize,
+    /// Memory budget per worker, bytes (replicas + cached images).
+    pub mem_budget_bytes: u64,
+    /// Concurrent cold starts one worker drives before they convoy.
+    pub cold_start_concurrency: usize,
+    /// Per-function queue depth beyond which arrivals are shed.
+    pub queue_cap: usize,
+    /// Replica ceiling per function across the fleet.
+    pub max_replicas_per_function: usize,
+    /// Keep-alive × start-selection policy.
+    pub policy: Policy,
+    /// Seed for the service/start jitter stream.
+    pub seed: u64,
+    /// Relative jitter applied to profiled costs (0 disables).
+    pub noise_sigma: f64,
+    /// Record scheduler span trees per completed invocation.
+    pub span_tracing: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 4,
+            mem_budget_bytes: 1 << 30,
+            cold_start_concurrency: 4,
+            queue_cap: 256,
+            max_replicas_per_function: 16,
+            policy: Policy::vanilla_baseline(SimDuration::from_secs(60)),
+            seed: 1,
+            noise_sigma: 0.02,
+            span_tracing: false,
+        }
+    }
+}
+
+/// Why the fleet rejected an input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// An arrival names a function no profile was registered for.
+    UnknownFunction(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::UnknownFunction(name) => {
+                write!(f, "no profile registered for function {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// One completed invocation, as observed at the fleet gateway.
+#[derive(Debug, Clone)]
+pub struct FleetRequest {
+    /// Admission order.
+    pub id: u64,
+    /// Function served.
+    pub function: String,
+    /// Worker that served it.
+    pub worker: usize,
+    /// Arrival at the gateway.
+    pub arrived: SimInstant,
+    /// Dispatch to a ready replica.
+    pub dispatched: SimInstant,
+    /// Response completion.
+    pub completed: SimInstant,
+    /// Whether the request waited on a cold start.
+    pub cold: bool,
+}
+
+impl FleetRequest {
+    /// End-to-end latency, ms.
+    pub fn latency_ms(&self) -> f64 {
+        (self.completed - self.arrived).as_millis_f64()
+    }
+
+    /// Arrival → dispatch queueing delay, ms.
+    pub fn queue_delay_ms(&self) -> f64 {
+        (self.dispatched - self.arrived).as_millis_f64()
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    id: u64,
+    arrived: SimInstant,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival { function: String },
+    ReplicaReady { worker: usize, replica: u64 },
+    ServeDone { worker: usize, replica: u64 },
+    ExpireCheck,
+    Prewarm { function: String },
+}
+
+/// The fleet scheduler.
+pub struct FleetSim {
+    config: FleetConfig,
+    profiles: BTreeMap<String, FunctionProfile>,
+    workers: Vec<Worker>,
+    queues: BTreeMap<String, VecDeque<Pending>>,
+    stats: BTreeMap<String, ArrivalStats>,
+    events: EventQueue<Event>,
+    now: SimInstant,
+    noise: Noise,
+    metrics: FleetMetrics,
+    completed: Vec<FleetRequest>,
+    tracer: Tracer,
+    next_request: u64,
+    next_replica: u64,
+}
+
+impl fmt::Debug for FleetSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetSim")
+            .field("now", &self.now)
+            .field("workers", &self.workers.len())
+            .field("functions", &self.profiles.len())
+            .field("completed", &self.completed.len())
+            .finish()
+    }
+}
+
+impl FleetSim {
+    /// Creates an empty fleet.
+    pub fn new(config: FleetConfig) -> FleetSim {
+        let workers = (0..config.workers.max(1))
+            .map(|id| Worker::new(id, config.mem_budget_bytes))
+            .collect();
+        let mut tracer = Tracer::new();
+        tracer.set_enabled(config.span_tracing);
+        FleetSim {
+            noise: Noise::new(config.seed, config.noise_sigma),
+            workers,
+            config,
+            profiles: BTreeMap::new(),
+            queues: BTreeMap::new(),
+            stats: BTreeMap::new(),
+            events: EventQueue::new(),
+            now: SimInstant::EPOCH,
+            metrics: FleetMetrics::default(),
+            completed: Vec::new(),
+            tracer,
+            next_request: 1,
+            next_replica: 1,
+        }
+    }
+
+    /// Registers a function's start-cost profile, making it routable.
+    pub fn register(&mut self, profile: FunctionProfile) {
+        let name = profile.name().to_owned();
+        self.queues.entry(name.clone()).or_default();
+        self.stats.entry(name.clone()).or_default();
+        self.profiles.insert(name, profile);
+    }
+
+    /// Schedules one arrival.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownFunction`] if no profile is registered.
+    pub fn submit(&mut self, at: SimInstant, function: &str) -> Result<(), FleetError> {
+        if !self.profiles.contains_key(function) {
+            return Err(FleetError::UnknownFunction(function.to_owned()));
+        }
+        self.events.schedule(
+            at.max(self.now),
+            Event::Arrival {
+                function: function.to_owned(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Submits every arrival of `schedule`, then runs to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownFunction`] if the schedule names an
+    /// unregistered function (checked before anything runs).
+    pub fn run(&mut self, schedule: &Schedule) -> Result<(), FleetError> {
+        for arrival in schedule.arrivals() {
+            if !self.profiles.contains_key(&arrival.function) {
+                return Err(FleetError::UnknownFunction(arrival.function.clone()));
+            }
+        }
+        for arrival in schedule.arrivals() {
+            self.submit(arrival.at, &arrival.function)?;
+        }
+        self.drain();
+        Ok(())
+    }
+
+    /// Drains the event queue.
+    fn drain(&mut self) {
+        while let Some((t, event)) = self.events.pop() {
+            self.now = self.now.max(t);
+            self.handle(event);
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Completed invocations in completion-scheduling order.
+    pub fn completed(&self) -> &[FleetRequest] {
+        &self.completed
+    }
+
+    /// Fleet metrics.
+    pub fn metrics(&self) -> &FleetMetrics {
+        &self.metrics
+    }
+
+    /// Per-worker memory high-water marks, bytes.
+    pub fn worker_high_water(&self) -> Vec<u64> {
+        self.workers.iter().map(|w| w.mem_high_water).collect()
+    }
+
+    /// Live replicas (any state) of `function` across the fleet.
+    pub fn replica_count(&self, function: &str) -> usize {
+        self.workers.iter().map(|w| w.replicas_of(function)).sum()
+    }
+
+    /// Renders every fleet metric in the Prometheus exposition format.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.render(&self.worker_high_water())
+    }
+
+    /// Drains recorded scheduler span trees (empty unless
+    /// [`FleetConfig::span_tracing`] is on). One tree per completed
+    /// invocation: `sched_invocation` → `sched_enqueue`, `sched_place`,
+    /// `sched_start`/`sched_reuse`, `sched_serve`.
+    pub fn take_spans(&mut self) -> Vec<TraceSpan> {
+        self.tracer.take(self.now)
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Arrival { function } => self.on_arrival(&function),
+            Event::ReplicaReady { worker, replica } => self.on_ready(worker, replica),
+            Event::ServeDone { worker, replica } => self.on_serve_done(worker, replica),
+            Event::ExpireCheck => self.on_expire_check(),
+            Event::Prewarm { function } => self.on_prewarm(&function),
+        }
+    }
+
+    fn on_arrival(&mut self, function: &str) {
+        self.stats
+            .get_mut(function)
+            .expect("registered")
+            .observe(self.now);
+        let queue = self.queues.get_mut(function).expect("registered");
+        if queue.len() >= self.config.queue_cap {
+            self.metrics.shed.inc();
+            return;
+        }
+        let id = self.next_request;
+        self.next_request += 1;
+        self.metrics.requests.inc();
+        queue.push_back(Pending {
+            id,
+            arrived: self.now,
+        });
+        self.dispatch(function);
+        self.scale_up(function);
+    }
+
+    fn on_ready(&mut self, worker: usize, replica: u64) {
+        let Some(r) = self.workers[worker].replicas.get_mut(&replica) else {
+            return;
+        };
+        r.state = ReplicaState::Idle { since: self.now };
+        r.last_used = self.now;
+        let function = r.function.clone();
+        self.dispatch(&function);
+        self.schedule_expiry(&function);
+    }
+
+    fn on_serve_done(&mut self, worker: usize, replica: u64) {
+        let Some(r) = self.workers[worker].replicas.get_mut(&replica) else {
+            return;
+        };
+        r.state = ReplicaState::Idle { since: self.now };
+        r.last_used = self.now;
+        let function = r.function.clone();
+        self.dispatch(&function);
+        // A placement deferred for lack of memory retries when load moves.
+        self.scale_up(&function);
+        self.schedule_expiry(&function);
+    }
+
+    /// Schedules the expire check that may reap an idle replica of
+    /// `function` at the end of its current TTL.
+    fn schedule_expiry(&mut self, function: &str) {
+        let ttl = self.stats[function].keep_alive_for(&self.config.policy.keep_alive);
+        self.events.schedule(self.now + ttl, Event::ExpireCheck);
+    }
+
+    /// Serves queued requests of `function` on idle ready replicas,
+    /// lowest (worker, replica) id first.
+    fn dispatch(&mut self, function: &str) {
+        loop {
+            if self
+                .queues
+                .get(function)
+                .is_none_or(std::collections::VecDeque::is_empty)
+            {
+                return;
+            }
+            let mut found = None;
+            'workers: for w in &self.workers {
+                for (&rid, r) in &w.replicas {
+                    if r.function == function && matches!(r.state, ReplicaState::Idle { .. }) {
+                        found = Some((w.id, rid));
+                        break 'workers;
+                    }
+                }
+            }
+            let Some((wid, rid)) = found else { return };
+            let pending = self
+                .queues
+                .get_mut(function)
+                .expect("registered")
+                .pop_front()
+                .expect("non-empty");
+            self.serve(wid, rid, pending);
+        }
+    }
+
+    fn serve(&mut self, worker: usize, replica: u64, pending: Pending) {
+        let profile = &self.profiles[&self.workers[worker].replicas[&replica].function.clone()];
+        let r = self.workers[worker]
+            .replicas
+            .get_mut(&replica)
+            .expect("exists");
+        let cost = profile.cost(r.gear).expect("gear was profiled");
+        let base_ms = if r.served == 0 {
+            cost.first_service_ms
+        } else {
+            cost.warm_service_ms
+        };
+        let service = self
+            .noise
+            .jitter(SimDuration::from_millis_f64(base_ms))
+            .max(SimDuration::from_nanos(1));
+        let done = self.now + service;
+        r.served += 1;
+        r.state = ReplicaState::Busy { until: done };
+        r.last_used = done;
+        let cold = r.started_at >= pending.arrived;
+        let record = FleetRequest {
+            id: pending.id,
+            function: r.function.clone(),
+            worker,
+            arrived: pending.arrived,
+            dispatched: self.now,
+            completed: done,
+            cold,
+        };
+        let (start_began, ready_at) = (r.start_began, r.ready_at);
+
+        self.metrics.queue_delay.observe(record.queue_delay_ms());
+        self.metrics.latency.observe(record.latency_ms());
+        if cold {
+            self.metrics.cold_starts.inc();
+        }
+        self.emit_spans(&record, start_began, ready_at);
+        self.completed.push(record);
+        self.events
+            .schedule(done, Event::ServeDone { worker, replica });
+    }
+
+    /// Emits the invocation's span tree retroactively (the tracer is
+    /// clock-agnostic, so recorded instants replay exactly). Building the
+    /// whole tree at completion keeps concurrent invocations from
+    /// interleaving on the tracer's span stack.
+    fn emit_spans(&mut self, record: &FleetRequest, start_began: SimInstant, ready_at: SimInstant) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let pid = Pid(record.worker as u32 + 1);
+        let root = self.tracer.begin("sched_invocation", pid, record.arrived);
+        self.tracer.attr(root, "function", record.function.clone());
+        self.tracer.attr(root, "id", record.id.to_string());
+        let enqueue = self.tracer.begin("sched_enqueue", pid, record.arrived);
+        self.tracer.end(enqueue, record.dispatched);
+        let place = self.tracer.begin("sched_place", pid, record.dispatched);
+        self.tracer.attr(place, "worker", record.worker.to_string());
+        self.tracer.end(place, record.dispatched);
+        if record.cold {
+            let start = self.tracer.begin("sched_start", pid, start_began);
+            self.tracer.end(start, ready_at);
+        } else {
+            let reuse = self.tracer.begin("sched_reuse", pid, record.dispatched);
+            self.tracer.end(reuse, record.dispatched);
+        }
+        let serve = self.tracer.begin("sched_serve", pid, record.dispatched);
+        self.tracer.end(serve, record.completed);
+        self.tracer.end(root, record.completed);
+    }
+
+    /// Starts replicas to cover the queue deficit, bounded by the
+    /// per-function ceiling and worker memory.
+    fn scale_up(&mut self, function: &str) {
+        let queued = self.queues.get(function).map_or(0, VecDeque::len);
+        if queued == 0 {
+            return;
+        }
+        let mut live = 0;
+        let mut pipeline = 0; // starting or idle: capacity the queue will get
+        for w in &self.workers {
+            for r in w.replicas.values() {
+                if r.function == function {
+                    live += 1;
+                    if !matches!(r.state, ReplicaState::Busy { .. }) {
+                        pipeline += 1;
+                    }
+                }
+            }
+        }
+        let deficit = queued.saturating_sub(pipeline);
+        let headroom = self.config.max_replicas_per_function.saturating_sub(live);
+        for _ in 0..deficit.min(headroom) {
+            if !self.start_replica(function, false) {
+                break; // no memory anywhere: wait for expiry/eviction
+            }
+        }
+    }
+
+    /// Picks a gear and a worker, then starts a replica. Returns `false`
+    /// when no worker can fit it (even after pressure eviction).
+    fn start_replica(&mut self, function: &str, prewarm: bool) -> bool {
+        let profile = &self.profiles[function];
+        let mut gear = self.config.policy.start.gear_for(profile);
+        if profile.cost(gear).is_none() {
+            // The fixed gear was never profiled for this function: fall
+            // back to the best measured one rather than refusing service.
+            gear = profile.best_gear();
+        }
+        // A gear whose footprint exceeds even an empty worker would leave
+        // the function unservable; fall back to the fastest gear that
+        // fits the budget at all.
+        let budget = self.config.mem_budget_bytes;
+        let feasible = |g| {
+            profile
+                .cost(g)
+                .is_some_and(|c| c.replica_mem_bytes + c.image_bytes <= budget)
+        };
+        if !feasible(gear) {
+            let Some(fallback) = profile.gears().filter(|&g| feasible(g)).min_by(|&a, &b| {
+                let (ca, cb) = (profile.cost(a), profile.cost(b));
+                ca.expect("measured")
+                    .cold_to_first_response_ms()
+                    .partial_cmp(&cb.expect("measured").cold_to_first_response_ms())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            }) else {
+                return false; // nothing fits: stays queued until config changes
+            };
+            gear = fallback;
+        }
+        let cost = *profile.cost(gear).expect("best gear is measured");
+        let Some(worker) = self.place(function, cost.replica_mem_bytes, cost.image_bytes) else {
+            return false;
+        };
+        let (slot, start_at) =
+            self.workers[worker].reserve_slot(self.now, self.config.cold_start_concurrency);
+        let startup = self
+            .noise
+            .jitter(SimDuration::from_millis_f64(cost.cold_ms))
+            .max(SimDuration::from_nanos(1));
+        let ready_at = start_at + startup;
+        let rid = self.next_replica;
+        self.next_replica += 1;
+        self.workers[worker].add_replica(
+            rid,
+            Replica {
+                function: function.to_owned(),
+                gear,
+                state: ReplicaState::Starting { ready_at },
+                mem_bytes: cost.replica_mem_bytes,
+                started_at: self.now,
+                start_began: start_at,
+                ready_at,
+                last_used: ready_at,
+                served: 0,
+            },
+            cost.image_bytes,
+        );
+        self.workers[worker].occupy_slot(slot, ready_at);
+        self.metrics.replicas_started.inc();
+        if prewarm {
+            self.metrics.prewarm_starts.inc();
+        }
+        self.events.schedule(
+            ready_at,
+            Event::ReplicaReady {
+                worker,
+                replica: rid,
+            },
+        );
+        true
+    }
+
+    /// Chooses the worker for a new replica: among workers with memory
+    /// headroom, the least loaded (fewest replicas, then least memory,
+    /// then lowest id). Under an LRU-pressure policy a full fleet may
+    /// evict idle replicas — oldest first, lowest worker id first — to
+    /// make room.
+    fn place(&mut self, function: &str, replica_mem: u64, image_bytes: u64) -> Option<usize> {
+        let fit = self
+            .workers
+            .iter()
+            .filter(|w| w.fits(w.charge_for(function, replica_mem, image_bytes)))
+            .map(|w| (w.replicas.len(), w.mem_in_use(), w.id))
+            .min()
+            .map(|(_, _, id)| id);
+        if fit.is_some() {
+            return fit;
+        }
+        if !self.config.policy.keep_alive.evicts_under_pressure() {
+            return None;
+        }
+        for wid in 0..self.workers.len() {
+            let Some(victims) =
+                self.workers[wid].pressure_victims(function, replica_mem, image_bytes)
+            else {
+                continue; // even a full idle purge wouldn't fit
+            };
+            for rid in victims {
+                self.workers[wid].remove_replica(rid);
+                self.metrics.evictions.inc();
+            }
+            return Some(wid);
+        }
+        None
+    }
+
+    /// Reaps idle replicas past their policy TTL; under a pre-warming
+    /// policy, a function reaped to zero schedules a predictive start
+    /// ahead of its predicted next arrival.
+    fn on_expire_check(&mut self) {
+        let mut reaped_functions = Vec::new();
+        let mut next_expiry: Option<SimInstant> = None;
+        for wid in 0..self.workers.len() {
+            let victims: Vec<u64> = {
+                let w = &self.workers[wid];
+                w.replicas
+                    .iter()
+                    .filter(|(_, r)| {
+                        matches!(r.state, ReplicaState::Idle { .. })
+                            && self.now.saturating_duration_since(r.last_used)
+                                >= self.stats[&r.function]
+                                    .keep_alive_for(&self.config.policy.keep_alive)
+                    })
+                    .map(|(&id, _)| id)
+                    .collect()
+            };
+            for rid in victims {
+                let replica = self.workers[wid].remove_replica(rid).expect("exists");
+                self.metrics.expirations.inc();
+                reaped_functions.push(replica.function);
+            }
+            // Re-arm the sweep for survivors whose TTL may have grown.
+            for r in self.workers[wid].replicas.values() {
+                if matches!(r.state, ReplicaState::Idle { .. }) {
+                    let ttl =
+                        self.stats[&r.function].keep_alive_for(&self.config.policy.keep_alive);
+                    let expiry = r.last_used + ttl;
+                    if expiry > self.now {
+                        next_expiry =
+                            Some(next_expiry.map_or(expiry, |e: SimInstant| e.min(expiry)));
+                    }
+                }
+            }
+        }
+        if let Some(t) = next_expiry {
+            self.events.schedule(t, Event::ExpireCheck);
+        }
+        // Reaping freed memory: retry functions whose placements had been
+        // deferred for lack of it.
+        let waiting: Vec<String> = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(f, _)| f.clone())
+            .collect();
+        for function in waiting {
+            self.dispatch(&function);
+            self.scale_up(&function);
+        }
+        if !self.config.policy.keep_alive.prewarms() {
+            return;
+        }
+        reaped_functions.sort();
+        reaped_functions.dedup();
+        for function in reaped_functions {
+            if self.replica_count(&function) > 0 {
+                continue;
+            }
+            let Some(predicted) = self.stats[&function].predicted_next_arrival() else {
+                continue;
+            };
+            let profile = &self.profiles[&function];
+            let gear = {
+                let g = self.config.policy.start.gear_for(profile);
+                if profile.cost(g).is_some() {
+                    g
+                } else {
+                    profile.best_gear()
+                }
+            };
+            // Fire early enough that the replica is ready at (or just
+            // before) the predicted arrival: 2x the cold time absorbs
+            // start jitter and slot queueing.
+            let cold_ns =
+                SimDuration::from_millis_f64(profile.cost(gear).expect("measured").cold_ms)
+                    .as_nanos();
+            let fire_at = SimInstant::from_nanos(
+                predicted
+                    .as_nanos()
+                    .saturating_sub(cold_ns.saturating_mul(2)),
+            );
+            if fire_at <= self.now {
+                continue; // prediction already in the past: stay at zero
+            }
+            self.events.schedule(
+                fire_at,
+                Event::Prewarm {
+                    function: function.clone(),
+                },
+            );
+        }
+    }
+
+    /// Fires a predictive start if the function is still scaled to zero.
+    fn on_prewarm(&mut self, function: &str) {
+        if self.replica_count(function) > 0 {
+            return;
+        }
+        if self.start_replica(function, true) {
+            self.schedule_expiry(function);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{KeepAlive, StartSelection};
+    use crate::profile::{Gear, GearCost};
+
+    fn profile(name: &str) -> FunctionProfile {
+        FunctionProfile::synthetic(
+            name,
+            &[
+                (
+                    Gear::Vanilla,
+                    GearCost {
+                        cold_ms: 200.0,
+                        first_service_ms: 10.0,
+                        warm_service_ms: 2.0,
+                        replica_mem_bytes: 100 << 20,
+                        image_bytes: 0,
+                    },
+                ),
+                (
+                    Gear::Prefetch,
+                    GearCost {
+                        cold_ms: 30.0,
+                        first_service_ms: 4.0,
+                        warm_service_ms: 2.0,
+                        replica_mem_bytes: 100 << 20,
+                        image_bytes: 40 << 20,
+                    },
+                ),
+            ],
+        )
+    }
+
+    fn sim(config: FleetConfig) -> FleetSim {
+        let mut s = FleetSim::new(config);
+        s.register(profile("fn-a"));
+        s
+    }
+
+    #[test]
+    fn unknown_function_is_rejected_before_running() {
+        let mut s = sim(FleetConfig::default());
+        assert_eq!(
+            s.submit(SimInstant::EPOCH, "ghost").unwrap_err(),
+            FleetError::UnknownFunction("ghost".to_owned())
+        );
+        let schedule = Schedule::burst("ghost", 1, SimInstant::EPOCH).unwrap();
+        assert!(s.run(&schedule).is_err());
+        assert!(s.completed().is_empty());
+    }
+
+    #[test]
+    fn single_arrival_cold_starts_and_completes() {
+        let mut s = sim(FleetConfig::default());
+        let schedule = Schedule::burst("fn-a", 1, SimInstant::EPOCH).unwrap();
+        s.run(&schedule).unwrap();
+        assert_eq!(s.completed().len(), 1);
+        let r = &s.completed()[0];
+        assert!(r.cold);
+        // Vanilla baseline: ~200ms cold + ~10ms first service.
+        assert!(
+            (180.0..260.0).contains(&r.latency_ms()),
+            "latency {}ms",
+            r.latency_ms()
+        );
+        assert_eq!(s.metrics().cold_starts.get(), 1);
+        assert_eq!(s.metrics().replicas_started.get(), 1);
+    }
+
+    #[test]
+    fn warm_replica_reused_within_ttl() {
+        let mut s = sim(FleetConfig::default());
+        let schedule =
+            Schedule::constant("fn-a", 3, SimInstant::EPOCH, SimDuration::from_secs(1)).unwrap();
+        s.run(&schedule).unwrap();
+        assert_eq!(s.completed().len(), 3);
+        assert_eq!(s.metrics().cold_starts.get(), 1, "only the first is cold");
+        assert_eq!(s.metrics().replicas_started.get(), 1);
+        assert!(!s.completed()[2].cold);
+        assert!(s.completed()[2].latency_ms() < 10.0);
+    }
+
+    #[test]
+    fn ttl_expiry_forces_a_second_cold_start() {
+        let config = FleetConfig {
+            policy: Policy::vanilla_baseline(SimDuration::from_secs(5)),
+            ..FleetConfig::default()
+        };
+        let mut s = sim(config);
+        let schedule =
+            Schedule::constant("fn-a", 2, SimInstant::EPOCH, SimDuration::from_secs(60)).unwrap();
+        s.run(&schedule).unwrap();
+        assert_eq!(s.completed().len(), 2);
+        assert_eq!(s.metrics().cold_starts.get(), 2, "ttl expired in the gap");
+        assert!(s.metrics().expirations.get() >= 1);
+        assert_eq!(s.replica_count("fn-a"), 0, "everything expired at the end");
+    }
+
+    #[test]
+    fn burst_fans_out_and_respects_replica_ceiling() {
+        let config = FleetConfig {
+            max_replicas_per_function: 3,
+            ..FleetConfig::default()
+        };
+        let mut s = sim(config);
+        let schedule = Schedule::burst("fn-a", 10, SimInstant::EPOCH).unwrap();
+        s.run(&schedule).unwrap();
+        assert_eq!(s.completed().len(), 10);
+        assert_eq!(s.metrics().replicas_started.get(), 3, "ceiling respected");
+    }
+
+    #[test]
+    fn admission_control_sheds_over_capacity() {
+        let config = FleetConfig {
+            queue_cap: 4,
+            max_replicas_per_function: 1,
+            ..FleetConfig::default()
+        };
+        let mut s = sim(config);
+        let schedule = Schedule::burst("fn-a", 20, SimInstant::EPOCH).unwrap();
+        s.run(&schedule).unwrap();
+        // 1 dispatched immediately is impossible (replica cold), so the
+        // queue holds 4 and the rest shed.
+        assert_eq!(s.metrics().shed.get(), 16);
+        assert_eq!(s.completed().len(), 4);
+        assert_eq!(s.metrics().requests.get(), 4);
+    }
+
+    #[test]
+    fn memory_budget_caps_fleet_and_high_water_is_tracked() {
+        // Each replica is 100MB; budget of 250MB per worker holds 2.
+        let config = FleetConfig {
+            workers: 2,
+            mem_budget_bytes: 250 << 20,
+            max_replicas_per_function: 16,
+            ..FleetConfig::default()
+        };
+        let mut s = sim(config);
+        let schedule = Schedule::burst("fn-a", 12, SimInstant::EPOCH).unwrap();
+        s.run(&schedule).unwrap();
+        assert_eq!(s.completed().len(), 12, "all served eventually");
+        assert_eq!(
+            s.metrics().replicas_started.get(),
+            4,
+            "2 workers x 2 replicas fit the budget"
+        );
+        for hw in s.worker_high_water() {
+            assert!(hw <= 250 << 20, "budget respected, high water {hw}");
+            assert!(hw >= 100 << 20, "high water recorded");
+        }
+    }
+
+    #[test]
+    fn lru_pressure_evicts_idle_replicas_for_new_functions() {
+        let config = FleetConfig {
+            workers: 1,
+            mem_budget_bytes: 150 << 20,
+            policy: Policy {
+                keep_alive: KeepAlive::LruPressure {
+                    ttl: SimDuration::from_secs(3600),
+                },
+                start: StartSelection::Fixed(Gear::Vanilla),
+            },
+            ..FleetConfig::default()
+        };
+        let mut s = FleetSim::new(config);
+        s.register(profile("fn-a"));
+        s.register(profile("fn-b"));
+        // fn-a warms up first; fn-b arrives later and needs the memory.
+        let schedule = Schedule::burst("fn-a", 1, SimInstant::EPOCH)
+            .unwrap()
+            .merge(
+                Schedule::burst("fn-b", 1, SimInstant::EPOCH + SimDuration::from_secs(10)).unwrap(),
+            );
+        s.run(&schedule).unwrap();
+        assert_eq!(s.completed().len(), 2, "eviction made room for fn-b");
+        assert_eq!(s.metrics().evictions.get(), 1);
+
+        // The same pressure with a fixed-TTL policy deadlocks fn-b out of
+        // memory instead (no eviction, ttl never fires within the run).
+        let config = FleetConfig {
+            workers: 1,
+            mem_budget_bytes: 150 << 20,
+            policy: Policy::vanilla_baseline(SimDuration::from_secs(3600)),
+            ..FleetConfig::default()
+        };
+        let mut stuck = FleetSim::new(config);
+        stuck.register(profile("fn-a"));
+        stuck.register(profile("fn-b"));
+        let schedule = Schedule::burst("fn-a", 1, SimInstant::EPOCH)
+            .unwrap()
+            .merge(
+                Schedule::burst("fn-b", 1, SimInstant::EPOCH + SimDuration::from_secs(10)).unwrap(),
+            );
+        stuck.run(&schedule).unwrap();
+        assert_eq!(stuck.metrics().evictions.get(), 0);
+        assert_eq!(
+            stuck.completed().len(),
+            2,
+            "fn-b is served once fn-a expires"
+        );
+        let fn_b = stuck.completed().iter().find(|r| r.function == "fn-b");
+        assert!(
+            fn_b.unwrap().queue_delay_ms() > 1000.0,
+            "without eviction fn-b waited for the TTL"
+        );
+    }
+
+    #[test]
+    fn histogram_prewarm_converts_cold_starts_to_warm() {
+        // Periodic arrivals every 20s; fixed 5s TTL always expires the
+        // replica in the gap, so every arrival is cold.
+        let arrivals =
+            Schedule::constant("fn-a", 10, SimInstant::EPOCH, SimDuration::from_secs(20)).unwrap();
+        let fixed = FleetConfig {
+            policy: Policy {
+                keep_alive: KeepAlive::FixedTtl(SimDuration::from_secs(5)),
+                start: StartSelection::Fixed(Gear::Vanilla),
+            },
+            ..FleetConfig::default()
+        };
+        let mut baseline = sim(fixed);
+        baseline.run(&arrivals).unwrap();
+        assert_eq!(baseline.metrics().cold_starts.get(), 10);
+
+        // The histogram policy learns the 20s cadence: its adaptive TTL
+        // clamps at the same 5s cap, but pre-warm starts a replica just
+        // before each predicted arrival.
+        let prewarm = FleetConfig {
+            policy: Policy {
+                keep_alive: KeepAlive::Histogram {
+                    floor: SimDuration::from_secs(1),
+                    cap: SimDuration::from_secs(5),
+                    quantile: 0.99,
+                    prewarm: true,
+                },
+                start: StartSelection::Fixed(Gear::Vanilla),
+            },
+            ..FleetConfig::default()
+        };
+        let mut smart = sim(prewarm);
+        smart.run(&arrivals).unwrap();
+        assert!(
+            smart.metrics().cold_starts.get() <= 4,
+            "prewarm absorbs the periodic colds, got {}",
+            smart.metrics().cold_starts.get()
+        );
+        assert!(smart.metrics().prewarm_starts.get() >= 6);
+        // Both policies pay the very first cold start; compare the tail
+        // after the histogram has one gap of history.
+        let tail_max = |s: &FleetSim| {
+            s.completed()
+                .iter()
+                .filter(|r| r.id > 2)
+                .map(FleetRequest::latency_ms)
+                .fold(0.0f64, f64::max)
+        };
+        let (p_fixed, p_smart) = (tail_max(&baseline), tail_max(&smart));
+        assert!(
+            p_smart < p_fixed / 2.0,
+            "prewarm cuts steady-state worst-case latency: {p_smart} vs {p_fixed}"
+        );
+    }
+
+    #[test]
+    fn adaptive_start_picks_the_cheap_gear() {
+        let config = FleetConfig {
+            policy: Policy {
+                keep_alive: KeepAlive::FixedTtl(SimDuration::from_secs(5)),
+                start: StartSelection::Adaptive,
+            },
+            ..FleetConfig::default()
+        };
+        let mut s = sim(config);
+        let schedule = Schedule::burst("fn-a", 1, SimInstant::EPOCH).unwrap();
+        s.run(&schedule).unwrap();
+        let r = &s.completed()[0];
+        // Prefetch profile: ~30ms cold + ~4ms first service.
+        assert!(
+            r.latency_ms() < 60.0,
+            "adaptive start used prefetch, latency {}ms",
+            r.latency_ms()
+        );
+    }
+
+    #[test]
+    fn unprofiled_fixed_gear_falls_back_to_best() {
+        let config = FleetConfig {
+            policy: Policy {
+                keep_alive: KeepAlive::FixedTtl(SimDuration::from_secs(5)),
+                start: StartSelection::Fixed(Gear::Cow), // not in the profile
+            },
+            ..FleetConfig::default()
+        };
+        let mut s = sim(config);
+        s.run(&Schedule::burst("fn-a", 1, SimInstant::EPOCH).unwrap())
+            .unwrap();
+        assert_eq!(s.completed().len(), 1, "fallback keeps the function up");
+    }
+
+    #[test]
+    fn infeasible_fixed_gear_falls_back_to_a_fitting_one() {
+        // Prefetch charges 140MB (replica + image) but the budget is
+        // 110MB; vanilla (100MB, no image) is the only gear that fits.
+        let config = FleetConfig {
+            workers: 1,
+            mem_budget_bytes: 110 << 20,
+            policy: Policy {
+                keep_alive: KeepAlive::FixedTtl(SimDuration::from_secs(5)),
+                start: StartSelection::Fixed(Gear::Prefetch),
+            },
+            ..FleetConfig::default()
+        };
+        let mut s = sim(config);
+        s.run(&Schedule::burst("fn-a", 1, SimInstant::EPOCH).unwrap())
+            .unwrap();
+        assert_eq!(s.completed().len(), 1, "request is served, not stranded");
+        assert!(
+            s.completed()[0].latency_ms() > 100.0,
+            "fallback paid vanilla's boot, latency {}ms",
+            s.completed()[0].latency_ms()
+        );
+    }
+
+    #[test]
+    fn runs_are_bit_identical_for_a_fixed_seed() {
+        let run = |seed: u64| {
+            let config = FleetConfig {
+                seed,
+                ..FleetConfig::default()
+            };
+            let mut s = sim(config);
+            let schedule = Schedule::poisson(
+                "fn-a",
+                50,
+                SimInstant::EPOCH,
+                SimDuration::from_millis(500),
+                seed,
+            )
+            .unwrap();
+            s.run(&schedule).unwrap();
+            (
+                s.completed()
+                    .iter()
+                    .map(|r| (r.id, r.worker, r.completed.as_nanos(), r.cold))
+                    .collect::<Vec<_>>(),
+                s.render_metrics(),
+            )
+        };
+        let (a1, m1) = run(7);
+        let (a2, m2) = run(7);
+        assert_eq!(a1, a2);
+        assert_eq!(m1, m2);
+        let (b, _) = run(8);
+        assert_ne!(
+            a1, b,
+            "different seeds shift jitter (latency schedule differs)"
+        );
+    }
+
+    #[test]
+    fn span_trees_cover_the_invocation_lifecycle() {
+        let config = FleetConfig {
+            span_tracing: true,
+            ..FleetConfig::default()
+        };
+        let mut s = sim(config);
+        let schedule =
+            Schedule::constant("fn-a", 2, SimInstant::EPOCH, SimDuration::from_secs(1)).unwrap();
+        s.run(&schedule).unwrap();
+        let spans = s.take_spans();
+        let roots: Vec<_> = spans
+            .iter()
+            .filter(|sp| sp.name == "sched_invocation")
+            .collect();
+        assert_eq!(roots.len(), 2, "one tree per invocation");
+        // Cold invocation: enqueue + place + start + serve under the root.
+        let cold_root = roots[0];
+        let children: Vec<&str> = spans
+            .iter()
+            .filter(|sp| sp.parent == Some(cold_root.id))
+            .map(|sp| sp.name)
+            .collect();
+        assert_eq!(
+            children,
+            vec!["sched_enqueue", "sched_place", "sched_start", "sched_serve"]
+        );
+        // Warm invocation reuses instead of starting.
+        let warm_children: Vec<&str> = spans
+            .iter()
+            .filter(|sp| sp.parent == Some(roots[1].id))
+            .map(|sp| sp.name)
+            .collect();
+        assert!(warm_children.contains(&"sched_reuse"));
+        assert!(!warm_children.contains(&"sched_start"));
+        // Root brackets the whole latency window.
+        assert_eq!(cold_root.start, s.completed()[0].arrived);
+        assert_eq!(cold_root.end, s.completed()[0].completed);
+        assert!(s.take_spans().is_empty(), "take drains");
+
+        // Off by default.
+        let mut quiet = sim(FleetConfig::default());
+        quiet
+            .run(&Schedule::burst("fn-a", 1, SimInstant::EPOCH).unwrap())
+            .unwrap();
+        assert!(quiet.take_spans().is_empty());
+    }
+}

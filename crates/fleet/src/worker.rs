@@ -1,0 +1,332 @@
+//! One worker node: replica slots, a memory budget, and the charged
+//! snapshot-image cache.
+//!
+//! Memory accounting follows the dedup-aware image cache from
+//! `prebake-criu`: a worker is charged for each resident replica
+//! (`GearCost::replica_mem_bytes`) plus, once per function it hosts, the
+//! snapshot-image bytes of that function's gear
+//! (`GearCost::image_bytes`). Cold starts contend for a bounded set of
+//! concurrency slots, the same convoy model the single-node platform
+//! uses.
+
+use std::collections::BTreeMap;
+
+use prebake_sim::time::SimInstant;
+
+use crate::profile::Gear;
+
+/// Lifecycle of a replica on a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Restore/boot in flight; ready at the given instant.
+    Starting {
+        /// When the replica becomes ready.
+        ready_at: SimInstant,
+    },
+    /// Ready and free.
+    Idle {
+        /// When it last became idle.
+        since: SimInstant,
+    },
+    /// Serving a request until the given instant.
+    Busy {
+        /// When the in-flight request completes.
+        until: SimInstant,
+    },
+}
+
+/// A warm (or warming) function replica.
+#[derive(Debug, Clone)]
+pub struct Replica {
+    /// Function the replica serves.
+    pub function: String,
+    /// Gear it was started with.
+    pub gear: Gear,
+    /// Lifecycle state.
+    pub state: ReplicaState,
+    /// Resident bytes charged to the worker.
+    pub mem_bytes: u64,
+    /// When the start was issued (cold-detection anchor).
+    pub started_at: SimInstant,
+    /// When the start began executing (after slot queueing).
+    pub start_began: SimInstant,
+    /// Ready instant (valid once past `Starting`).
+    pub ready_at: SimInstant,
+    /// Last instant the replica finished serving (or became ready).
+    pub last_used: SimInstant,
+    /// Requests served so far (the first one pays the gear's
+    /// first-service cost).
+    pub served: u64,
+}
+
+/// One worker node.
+#[derive(Debug)]
+pub struct Worker {
+    /// Worker index in the fleet.
+    pub id: usize,
+    /// Memory budget in bytes.
+    pub mem_budget: u64,
+    /// Live replicas by id.
+    pub replicas: BTreeMap<u64, Replica>,
+    /// Bytes charged per cached function image.
+    image_charges: BTreeMap<String, u64>,
+    /// Busy-until times of in-flight cold starts (≤ concurrency).
+    slots: Vec<SimInstant>,
+    /// Highest memory-in-use observed.
+    pub mem_high_water: u64,
+}
+
+impl Worker {
+    /// An empty worker.
+    pub fn new(id: usize, mem_budget: u64) -> Worker {
+        Worker {
+            id,
+            mem_budget,
+            replicas: BTreeMap::new(),
+            image_charges: BTreeMap::new(),
+            slots: Vec::new(),
+            mem_high_water: 0,
+        }
+    }
+
+    /// Bytes currently charged: resident replicas + cached images.
+    pub fn mem_in_use(&self) -> u64 {
+        self.replicas.values().map(|r| r.mem_bytes).sum::<u64>()
+            + self.image_charges.values().sum::<u64>()
+    }
+
+    /// Extra bytes starting `function` with `image_bytes`/`replica_mem`
+    /// would charge (the image is charged only once per function).
+    pub fn charge_for(&self, function: &str, replica_mem: u64, image_bytes: u64) -> u64 {
+        let image = if self.image_charges.contains_key(function) {
+            0
+        } else {
+            image_bytes
+        };
+        replica_mem + image
+    }
+
+    /// Whether `extra` more bytes fit in the budget.
+    pub fn fits(&self, extra: u64) -> bool {
+        self.mem_in_use() + extra <= self.mem_budget
+    }
+
+    /// Live replicas (any state) of `function`.
+    pub fn replicas_of(&self, function: &str) -> usize {
+        self.replicas
+            .values()
+            .filter(|r| r.function == function)
+            .count()
+    }
+
+    /// Adds a replica under `id`, charging its memory (and the function
+    /// image on first use). Updates the high-water mark.
+    pub fn add_replica(&mut self, id: u64, replica: Replica, image_bytes: u64) {
+        self.image_charges
+            .entry(replica.function.clone())
+            .or_insert(image_bytes);
+        self.replicas.insert(id, replica);
+        self.mem_high_water = self.mem_high_water.max(self.mem_in_use());
+    }
+
+    /// Removes a replica, releasing its memory; the function's image
+    /// charge is released with the last replica.
+    pub fn remove_replica(&mut self, id: u64) -> Option<Replica> {
+        let replica = self.replicas.remove(&id)?;
+        if self.replicas_of(&replica.function) == 0 {
+            self.image_charges.remove(&replica.function);
+        }
+        Some(replica)
+    }
+
+    /// Ids of idle replicas, least-recently-used first (stable on ties by
+    /// replica id, so eviction order is deterministic).
+    pub fn idle_lru(&self) -> Vec<u64> {
+        let mut idle: Vec<(SimInstant, u64)> = self
+            .replicas
+            .iter()
+            .filter(|(_, r)| matches!(r.state, ReplicaState::Idle { .. }))
+            .map(|(&id, r)| (r.last_used, id))
+            .collect();
+        idle.sort();
+        idle.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Idle replicas (least-recently-used first) whose removal would let
+    /// a new replica of `function` fit — accounting for the image charge
+    /// a function releases with its last replica, and for the new
+    /// replica's own image becoming chargeable if this worker's copies
+    /// of the same function are all evicted. Returns `None` when even a
+    /// full idle purge would not make room.
+    pub fn pressure_victims(
+        &self,
+        function: &str,
+        replica_mem: u64,
+        image_bytes: u64,
+    ) -> Option<Vec<u64>> {
+        let mut remaining: BTreeMap<&str, usize> = BTreeMap::new();
+        for r in self.replicas.values() {
+            *remaining.entry(r.function.as_str()).or_insert(0) += 1;
+        }
+        let fits = |in_use: u64, remaining: &BTreeMap<&str, usize>| {
+            // The image rides free only while the worker still holds
+            // another replica of the function; evicting the last one
+            // releases the charge, and the newcomer pays it afresh.
+            let image = if remaining.get(function).copied().unwrap_or(0) > 0 {
+                0
+            } else {
+                image_bytes
+            };
+            in_use + replica_mem + image <= self.mem_budget
+        };
+        let mut in_use = self.mem_in_use();
+        let mut victims = Vec::new();
+        if fits(in_use, &remaining) {
+            return Some(victims);
+        }
+        for id in self.idle_lru() {
+            let r = &self.replicas[&id];
+            in_use -= r.mem_bytes;
+            let count = remaining
+                .get_mut(r.function.as_str())
+                .expect("victim counted");
+            *count -= 1;
+            if *count == 0 {
+                in_use -= self.image_charges.get(&r.function).copied().unwrap_or(0);
+            }
+            victims.push(id);
+            if fits(in_use, &remaining) {
+                return Some(victims);
+            }
+        }
+        None
+    }
+
+    /// Reserves a cold-start slot: starts immediately while fewer than
+    /// `concurrency` starts are in flight, else queues behind the
+    /// earliest-finishing one. Returns `(slot index, start instant)`.
+    pub fn reserve_slot(&mut self, now: SimInstant, concurrency: usize) -> (usize, SimInstant) {
+        let cap = concurrency.max(1);
+        if self.slots.len() < cap {
+            self.slots.push(now);
+            return (self.slots.len() - 1, now);
+        }
+        let (idx, &busy_until) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| t.as_nanos())
+            .expect("slots non-empty");
+        (idx, busy_until.max(now))
+    }
+
+    /// Marks a reserved slot busy until `ready_at`.
+    pub fn occupy_slot(&mut self, slot: usize, ready_at: SimInstant) {
+        self.slots[slot] = ready_at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replica(function: &str, mem: u64, last_used_ms: u64) -> Replica {
+        let t = SimInstant::from_nanos(last_used_ms * 1_000_000);
+        Replica {
+            function: function.to_owned(),
+            gear: Gear::Eager,
+            state: ReplicaState::Idle { since: t },
+            mem_bytes: mem,
+            started_at: SimInstant::EPOCH,
+            start_began: SimInstant::EPOCH,
+            ready_at: t,
+            last_used: t,
+            served: 0,
+        }
+    }
+
+    #[test]
+    fn memory_accounting_charges_image_once() {
+        let mut w = Worker::new(0, 1000);
+        assert_eq!(w.charge_for("f", 100, 300), 400);
+        w.add_replica(1, replica("f", 100, 1), 300);
+        assert_eq!(w.mem_in_use(), 400);
+        // Second replica of the same function: image already cached.
+        assert_eq!(w.charge_for("f", 100, 300), 100);
+        w.add_replica(2, replica("f", 100, 2), 300);
+        assert_eq!(w.mem_in_use(), 500);
+        assert_eq!(w.mem_high_water, 500);
+        assert!(w.fits(500));
+        assert!(!w.fits(501));
+        assert_eq!(w.replicas_of("f"), 2);
+
+        // Image charge survives the first removal, goes with the last.
+        w.remove_replica(1).unwrap();
+        assert_eq!(w.mem_in_use(), 400);
+        w.remove_replica(2).unwrap();
+        assert_eq!(w.mem_in_use(), 0);
+        assert_eq!(w.charge_for("f", 100, 300), 400, "image re-charged");
+        assert_eq!(w.mem_high_water, 500, "high water persists");
+    }
+
+    #[test]
+    fn idle_lru_orders_by_last_used() {
+        let mut w = Worker::new(0, u64::MAX);
+        w.add_replica(1, replica("a", 10, 30), 0);
+        w.add_replica(2, replica("b", 10, 10), 0);
+        let mut busy = replica("c", 10, 5);
+        busy.state = ReplicaState::Busy {
+            until: SimInstant::from_nanos(u64::MAX),
+        };
+        w.add_replica(3, busy, 0);
+        assert_eq!(w.idle_lru(), vec![2, 1], "busy replicas are not victims");
+    }
+
+    #[test]
+    fn pressure_victims_account_for_released_image_charges() {
+        let mut w = Worker::new(0, 200);
+        // Two replicas of `f` (10 bytes each) share a 100-byte image;
+        // one replica of `g` (20 bytes) carries a 50-byte image.
+        w.add_replica(1, replica("f", 10, 1), 100);
+        w.add_replica(2, replica("f", 10, 2), 100);
+        w.add_replica(3, replica("g", 20, 3), 50);
+        assert_eq!(w.mem_in_use(), 190);
+
+        // A 40+60 newcomer needs 100 free. Evicting replica 1 frees only
+        // its 10 resident bytes; evicting replica 2 also releases `f`'s
+        // 100-byte image — which is what makes the placement fit.
+        assert_eq!(w.pressure_victims("h", 40, 60).unwrap(), vec![1, 2]);
+
+        // Fits without eviction: no victims.
+        assert!(w.pressure_victims("g", 5, 0).unwrap().is_empty());
+
+        // Evicting every copy of the incoming function re-charges its
+        // own image: [1, 2] frees 120 but `f` then pays its 100 back, so
+        // the purge must continue into `g`.
+        assert_eq!(w.pressure_victims("f", 50, 100).unwrap(), vec![1, 2, 3]);
+
+        // A replica bigger than the whole budget can never fit.
+        assert!(w.pressure_victims("h", 500, 0).is_none());
+    }
+
+    #[test]
+    fn slots_convoy_concurrent_starts() {
+        let mut w = Worker::new(0, u64::MAX);
+        let now = SimInstant::EPOCH;
+        let (s0, t0) = w.reserve_slot(now, 2);
+        w.occupy_slot(s0, now + prebake_sim::time::SimDuration::from_millis(100));
+        let (s1, t1) = w.reserve_slot(now, 2);
+        w.occupy_slot(s1, now + prebake_sim::time::SimDuration::from_millis(120));
+        assert_eq!(t0, now);
+        assert_eq!(t1, now);
+        assert_ne!(s0, s1);
+        // Third start queues behind the earliest-finishing slot.
+        let (s2, t2) = w.reserve_slot(now, 2);
+        assert_eq!(s2, s0);
+        assert_eq!(
+            t2,
+            now + prebake_sim::time::SimDuration::from_millis(100),
+            "start deferred to slot release"
+        );
+    }
+}

@@ -14,7 +14,9 @@
 //!   and watchdog-style crash recovery (a dead replica is replaced and
 //!   its request retried)
 //! - [`loadgen`] — the paper's hold-first-request constant-rate
-//!   generator, plus Poisson and burst patterns
+//!   generator, plus Poisson, burst, heavy-tailed (Pareto) and
+//!   empirical-bootstrap patterns, and CSV trace replay via
+//!   [`loadgen::Schedule`]
 //! - [`metrics`] — Prometheus-style gateway metrics
 //! - [`openfaas`] — `faas-cli new/build/push/deploy`, the gateway and the
 //!   privileged-restore requirement
@@ -46,6 +48,7 @@ pub mod platform;
 pub mod registry;
 
 pub use builder::{FunctionBuilder, Template};
+pub use loadgen::{Arrival, LoadError, LoadResult, Schedule};
 pub use metrics::Metrics;
 pub use openfaas::{FaasGateway, ProviderConfig};
 pub use platform::{CompletedRequest, Platform, PlatformConfig};

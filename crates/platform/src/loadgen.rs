@@ -3,22 +3,385 @@
 //! The paper's generator "starts the function replica and holds the
 //! first request until the replica becomes ready; after that, the load
 //! is sent sequentially and at a constant rate". The ablation studies
-//! additionally use Poisson (open-loop) arrivals and instantaneous
-//! bursts.
+//! additionally use Poisson (open-loop) arrivals, instantaneous bursts,
+//! heavy-tailed (Pareto) inter-arrivals, empirical resampling of
+//! observed gaps, and recorded traces replayed from CSV — the
+//! multi-tenant workloads the fleet scheduler (`prebake-fleet`) faces.
+//!
+//! The module is built around [`Schedule`]: an ordered list of
+//! `(instant, function)` arrivals that can be generated, merged,
+//! serialised to CSV and replayed — either into a [`Platform`] or into
+//! any other consumer of the arrival stream. The original free functions
+//! ([`constant_rate`], [`poisson`], [`burst`]) remain as validated
+//! wrappers that generate and submit in one call.
+//!
+//! All generators are deterministic per seed, produce strictly
+//! monotonically increasing arrival times (bursts excepted, which are
+//! simultaneous by design), and validate their arguments with a typed
+//! [`LoadError`] instead of panicking on degenerate rates or overflowing
+//! tick arithmetic.
+
+use std::error::Error;
+use std::fmt;
 
 use prebake_runtime::http::Request;
-use prebake_sim::error::SysResult;
+use prebake_sim::error::Errno;
 use prebake_sim::noise::Noise;
 use prebake_sim::time::{SimDuration, SimInstant};
 
 use crate::platform::Platform;
+
+/// Why a load schedule could not be generated or replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LoadError {
+    /// A rate/interval argument was zero (or saturated to zero from a
+    /// negative or non-finite input) where progress is required.
+    InvalidRate,
+    /// A shape parameter (Pareto `alpha`/`scale`, empirical gap set) was
+    /// empty, non-positive or non-finite.
+    InvalidShape,
+    /// Tick arithmetic overflowed the virtual-time range.
+    Overflow,
+    /// A function id contains characters the CSV format reserves
+    /// (comma/newline) or is empty.
+    InvalidFunction(String),
+    /// A CSV trace line failed to parse (1-based line number).
+    Malformed(usize),
+    /// Submission into the platform failed.
+    Submit(Errno),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::InvalidRate => write!(f, "rate/interval must be positive"),
+            LoadError::InvalidShape => write!(f, "invalid distribution shape parameter"),
+            LoadError::Overflow => write!(f, "arrival time overflows virtual time"),
+            LoadError::InvalidFunction(name) => {
+                write!(
+                    f,
+                    "function id {name:?} is empty or contains ',' or a newline"
+                )
+            }
+            LoadError::Malformed(line) => write!(f, "malformed trace CSV at line {line}"),
+            LoadError::Submit(e) => write!(f, "submission failed: {e}"),
+        }
+    }
+}
+
+impl Error for LoadError {}
+
+impl From<Errno> for LoadError {
+    fn from(e: Errno) -> LoadError {
+        LoadError::Submit(e)
+    }
+}
+
+/// Result alias for load generation.
+pub type LoadResult<T> = Result<T, LoadError>;
+
+/// One scheduled invocation: which function is hit, and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival instant at the gateway.
+    pub at: SimInstant,
+    /// Target function id.
+    pub function: String,
+}
+
+/// An ordered multi-tenant arrival schedule.
+///
+/// Generators build per-function schedules; [`Schedule::merge`] folds
+/// them into one fleet-wide trace ordered by time (ties keep the
+/// left-hand side first, so merging is deterministic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    arrivals: Vec<Arrival>,
+}
+
+/// Rejects function ids the CSV format cannot carry.
+fn validate_function(function: &str) -> LoadResult<()> {
+    if function.is_empty() || function.contains(',') || function.contains('\n') {
+        return Err(LoadError::InvalidFunction(function.to_owned()));
+    }
+    Ok(())
+}
+
+/// Overflow-checked `t + gap`.
+fn advance(t: SimInstant, gap: SimDuration) -> LoadResult<SimInstant> {
+    t.as_nanos()
+        .checked_add(gap.as_nanos())
+        .map(SimInstant::from_nanos)
+        .ok_or(LoadError::Overflow)
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Schedule {
+        Schedule::default()
+    }
+
+    /// `n` arrivals at a constant inter-arrival interval starting at
+    /// `start`.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::InvalidRate`] if `interval` is zero and `n > 1`
+    /// (distinct arrivals could not advance); [`LoadError::Overflow`] if
+    /// the ticks leave the virtual-time range.
+    pub fn constant(
+        function: &str,
+        n: usize,
+        start: SimInstant,
+        interval: SimDuration,
+    ) -> LoadResult<Schedule> {
+        validate_function(function)?;
+        if interval.is_zero() && n > 1 {
+            return Err(LoadError::InvalidRate);
+        }
+        let mut arrivals = Vec::with_capacity(n);
+        let mut t = start;
+        for i in 0..n {
+            arrivals.push(Arrival {
+                at: t,
+                function: function.to_owned(),
+            });
+            if i + 1 < n {
+                t = advance(t, interval)?;
+            }
+        }
+        Ok(Schedule { arrivals })
+    }
+
+    /// `n` arrivals with exponentially distributed inter-arrival times of
+    /// the given mean (an open-loop Poisson process), deterministic in
+    /// `seed`. Gaps are floored at one nanosecond so arrival times are
+    /// strictly increasing.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::InvalidRate`] if `mean_interval` is zero;
+    /// [`LoadError::Overflow`] on virtual-time overflow.
+    pub fn poisson(
+        function: &str,
+        n: usize,
+        start: SimInstant,
+        mean_interval: SimDuration,
+        seed: u64,
+    ) -> LoadResult<Schedule> {
+        validate_function(function)?;
+        if mean_interval.is_zero() {
+            return Err(LoadError::InvalidRate);
+        }
+        let mut noise = Noise::new(seed, 0.0);
+        Schedule::from_gaps(function, n, start, || {
+            SimDuration::from_millis_f64(noise.exponential(mean_interval.as_millis_f64()))
+        })
+    }
+
+    /// `n` simultaneous arrivals at `at` (a burst — the demand surge that
+    /// makes cold-start latency visible).
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::InvalidFunction`] on a malformed function id.
+    pub fn burst(function: &str, n: usize, at: SimInstant) -> LoadResult<Schedule> {
+        validate_function(function)?;
+        Ok(Schedule {
+            arrivals: (0..n)
+                .map(|_| Arrival {
+                    at,
+                    function: function.to_owned(),
+                })
+                .collect(),
+        })
+    }
+
+    /// `n` arrivals with Pareto (heavy-tailed) inter-arrival gaps:
+    /// `gap = scale_ms * u^(-1/alpha)` for uniform `u`, deterministic in
+    /// `seed`. Small `alpha` (e.g. 1.1–1.5) produces the bursty,
+    /// long-gapped arrival processes production FaaS traces show; the
+    /// minimum gap is `scale_ms`.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::InvalidShape`] unless `scale_ms > 0` and `alpha > 0`
+    /// (both finite); [`LoadError::Overflow`] on virtual-time overflow.
+    pub fn pareto(
+        function: &str,
+        n: usize,
+        start: SimInstant,
+        scale_ms: f64,
+        alpha: f64,
+        seed: u64,
+    ) -> LoadResult<Schedule> {
+        validate_function(function)?;
+        if !(scale_ms.is_finite() && scale_ms > 0.0 && alpha.is_finite() && alpha > 0.0) {
+            return Err(LoadError::InvalidShape);
+        }
+        let mut noise = Noise::new(seed, 0.0);
+        Schedule::from_gaps(function, n, start, || {
+            // uniform() is in [0, 1); mirror to (0, 1] so u^(-1/alpha)
+            // stays finite.
+            let u = 1.0 - noise.uniform();
+            SimDuration::from_millis_f64(scale_ms * u.powf(-1.0 / alpha))
+        })
+    }
+
+    /// `n` arrivals whose gaps are resampled uniformly (with
+    /// replacement) from an observed set of inter-arrival gaps — the
+    /// empirical-bootstrap workload generator. Feeding it gaps measured
+    /// from a production trace reproduces that trace's marginal
+    /// inter-arrival distribution, heavy tail included.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::InvalidShape`] if `observed_gaps_ms` is empty or
+    /// contains a non-finite or negative gap; [`LoadError::Overflow`] on
+    /// virtual-time overflow.
+    pub fn empirical(
+        function: &str,
+        n: usize,
+        start: SimInstant,
+        observed_gaps_ms: &[f64],
+        seed: u64,
+    ) -> LoadResult<Schedule> {
+        validate_function(function)?;
+        if observed_gaps_ms.is_empty()
+            || observed_gaps_ms.iter().any(|g| !g.is_finite() || *g < 0.0)
+        {
+            return Err(LoadError::InvalidShape);
+        }
+        let mut noise = Noise::new(seed, 0.0);
+        Schedule::from_gaps(function, n, start, || {
+            let idx = (noise.uniform() * observed_gaps_ms.len() as f64) as usize;
+            SimDuration::from_millis_f64(observed_gaps_ms[idx.min(observed_gaps_ms.len() - 1)])
+        })
+    }
+
+    /// Shared gap-driven generator: strictly monotonic (gaps floor at
+    /// 1 ns) and overflow-checked.
+    fn from_gaps(
+        function: &str,
+        n: usize,
+        start: SimInstant,
+        mut next_gap: impl FnMut() -> SimDuration,
+    ) -> LoadResult<Schedule> {
+        let mut arrivals = Vec::with_capacity(n);
+        let mut t = start;
+        for i in 0..n {
+            arrivals.push(Arrival {
+                at: t,
+                function: function.to_owned(),
+            });
+            if i + 1 < n {
+                let gap = next_gap().max(SimDuration::from_nanos(1));
+                t = advance(t, gap)?;
+            }
+        }
+        Ok(Schedule { arrivals })
+    }
+
+    /// Merges two schedules into one time-ordered trace. Equal-time
+    /// arrivals keep `self` before `other` (stable), so merging is
+    /// deterministic.
+    #[must_use]
+    pub fn merge(self, other: Schedule) -> Schedule {
+        let mut arrivals = self.arrivals;
+        arrivals.extend(other.arrivals);
+        // Stable sort: FIFO order within equal instants is preserved.
+        arrivals.sort_by_key(|a| a.at);
+        Schedule { arrivals }
+    }
+
+    /// The ordered arrivals.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of scheduled arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Returns `true` if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Instant of the last arrival, if any.
+    pub fn end(&self) -> Option<SimInstant> {
+        self.arrivals.iter().map(|a| a.at).max()
+    }
+
+    /// Serialises the schedule as a CSV trace: a `t_ns,function` header
+    /// followed by one row per arrival, nanosecond timestamps. The
+    /// format round-trips bit-exactly through [`Schedule::from_csv`].
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_ns,function\n");
+        for a in &self.arrivals {
+            out.push_str(&format!("{},{}\n", a.at.as_nanos(), a.function));
+        }
+        out
+    }
+
+    /// Parses a CSV trace (the [`Schedule::to_csv`] format; the header
+    /// row and blank lines are optional and ignored). Rows may appear in
+    /// any order — the result is sorted by time, stable for equal
+    /// instants.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::Malformed`] with the 1-based line number of the
+    /// first unparsable row; [`LoadError::InvalidFunction`] for function
+    /// ids the format cannot carry.
+    pub fn from_csv(text: &str) -> LoadResult<Schedule> {
+        let mut arrivals = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() || (idx == 0 && line == "t_ns,function") {
+                continue;
+            }
+            let (t, function) = line.split_once(',').ok_or(LoadError::Malformed(idx + 1))?;
+            let nanos: u64 = t
+                .trim()
+                .parse()
+                .map_err(|_| LoadError::Malformed(idx + 1))?;
+            validate_function(function)?;
+            arrivals.push(Arrival {
+                at: SimInstant::from_nanos(nanos),
+                function: function.to_owned(),
+            });
+        }
+        arrivals.sort_by_key(|a| a.at);
+        Ok(Schedule { arrivals })
+    }
+
+    /// Replays the schedule into a platform, building each request with
+    /// `make_request(index)` (index is the position in the schedule).
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::Submit`] on submission failure (unknown function).
+    pub fn submit(
+        &self,
+        platform: &mut Platform,
+        make_request: impl Fn(usize) -> Request,
+    ) -> LoadResult<()> {
+        for (i, a) in self.arrivals.iter().enumerate() {
+            platform.submit(a.at, &a.function, make_request(i))?;
+        }
+        Ok(())
+    }
+}
 
 /// Submits `n` requests at a constant inter-arrival interval starting at
 /// `start`.
 ///
 /// # Errors
 ///
-/// Propagates submission errors (unknown function).
+/// As [`Schedule::constant`], plus submission errors (unknown function).
 pub fn constant_rate(
     platform: &mut Platform,
     function: &str,
@@ -26,13 +389,8 @@ pub fn constant_rate(
     start: SimInstant,
     interval: SimDuration,
     make_request: impl Fn(usize) -> Request,
-) -> SysResult<()> {
-    let mut t = start;
-    for i in 0..n {
-        platform.submit(t, function, make_request(i))?;
-        t += interval;
-    }
-    Ok(())
+) -> LoadResult<()> {
+    Schedule::constant(function, n, start, interval)?.submit(platform, make_request)
 }
 
 /// Submits `n` requests with exponentially distributed inter-arrival
@@ -41,7 +399,7 @@ pub fn constant_rate(
 ///
 /// # Errors
 ///
-/// Propagates submission errors.
+/// As [`Schedule::poisson`], plus submission errors.
 pub fn poisson(
     platform: &mut Platform,
     function: &str,
@@ -50,15 +408,8 @@ pub fn poisson(
     mean_interval: SimDuration,
     seed: u64,
     make_request: impl Fn(usize) -> Request,
-) -> SysResult<()> {
-    let mut noise = Noise::new(seed, 0.0);
-    let mut t = start;
-    for i in 0..n {
-        platform.submit(t, function, make_request(i))?;
-        let gap = noise.exponential(mean_interval.as_millis_f64());
-        t += SimDuration::from_millis_f64(gap);
-    }
-    Ok(())
+) -> LoadResult<()> {
+    Schedule::poisson(function, n, start, mean_interval, seed)?.submit(platform, make_request)
 }
 
 /// Submits `n` simultaneous requests at `at` (a burst — the demand surge
@@ -66,18 +417,15 @@ pub fn poisson(
 ///
 /// # Errors
 ///
-/// Propagates submission errors.
+/// As [`Schedule::burst`], plus submission errors.
 pub fn burst(
     platform: &mut Platform,
     function: &str,
     n: usize,
     at: SimInstant,
     make_request: impl Fn(usize) -> Request,
-) -> SysResult<()> {
-    for i in 0..n {
-        platform.submit(at, function, make_request(i))?;
-    }
-    Ok(())
+) -> LoadResult<()> {
+    Schedule::burst(function, n, at)?.submit(platform, make_request)
 }
 
 #[cfg(test)]
@@ -168,5 +516,204 @@ mod tests {
         assert_eq!(p.completed().len(), 6);
         let started = p.metrics().get("noop").unwrap().replicas_started.get();
         assert!(started >= 3, "burst should fan out, started {started}");
+    }
+
+    #[test]
+    fn zero_rates_are_typed_errors() {
+        assert_eq!(
+            Schedule::constant("f", 2, SimInstant::EPOCH, SimDuration::ZERO).unwrap_err(),
+            LoadError::InvalidRate
+        );
+        // A single arrival needs no progress, so a zero interval is fine.
+        assert_eq!(
+            Schedule::constant("f", 1, SimInstant::EPOCH, SimDuration::ZERO)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            Schedule::poisson("f", 5, SimInstant::EPOCH, SimDuration::ZERO, 1).unwrap_err(),
+            LoadError::InvalidRate
+        );
+        // Negative float intervals saturate to zero and are rejected too.
+        assert_eq!(
+            Schedule::poisson(
+                "f",
+                5,
+                SimInstant::EPOCH,
+                SimDuration::from_millis_f64(-3.0),
+                1
+            )
+            .unwrap_err(),
+            LoadError::InvalidRate
+        );
+    }
+
+    #[test]
+    fn shape_parameters_are_validated() {
+        for (scale, alpha) in [(0.0, 1.5), (-1.0, 1.5), (10.0, 0.0), (10.0, -2.0)] {
+            assert_eq!(
+                Schedule::pareto("f", 3, SimInstant::EPOCH, scale, alpha, 1).unwrap_err(),
+                LoadError::InvalidShape
+            );
+        }
+        assert_eq!(
+            Schedule::pareto("f", 3, SimInstant::EPOCH, f64::NAN, 1.5, 1).unwrap_err(),
+            LoadError::InvalidShape
+        );
+        assert_eq!(
+            Schedule::empirical("f", 3, SimInstant::EPOCH, &[], 1).unwrap_err(),
+            LoadError::InvalidShape
+        );
+        assert_eq!(
+            Schedule::empirical("f", 3, SimInstant::EPOCH, &[5.0, f64::INFINITY], 1).unwrap_err(),
+            LoadError::InvalidShape
+        );
+        assert_eq!(
+            Schedule::empirical("f", 3, SimInstant::EPOCH, &[5.0, -1.0], 1).unwrap_err(),
+            LoadError::InvalidShape
+        );
+    }
+
+    #[test]
+    fn tick_overflow_is_a_typed_error() {
+        let near_end = SimInstant::from_nanos(u64::MAX - 10);
+        assert_eq!(
+            Schedule::constant("f", 3, near_end, SimDuration::from_secs(1)).unwrap_err(),
+            LoadError::Overflow
+        );
+        assert_eq!(
+            Schedule::poisson("f", 50, near_end, SimDuration::from_secs(1), 1).unwrap_err(),
+            LoadError::Overflow
+        );
+        assert_eq!(
+            Schedule::pareto("f", 50, near_end, 1000.0, 1.1, 1).unwrap_err(),
+            LoadError::Overflow
+        );
+    }
+
+    #[test]
+    fn function_ids_are_validated() {
+        for bad in ["", "a,b", "a\nb"] {
+            assert!(matches!(
+                Schedule::burst(bad, 1, SimInstant::EPOCH).unwrap_err(),
+                LoadError::InvalidFunction(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = LoadError::Submit(Errno::Enoent);
+        assert!(e.to_string().contains("no such file"));
+        assert!(LoadError::Malformed(3).to_string().contains("line 3"));
+        let from: LoadError = Errno::Einval.into();
+        assert_eq!(from, LoadError::Submit(Errno::Einval));
+    }
+
+    #[test]
+    fn pareto_gaps_are_heavy_tailed() {
+        let s = Schedule::pareto("f", 2000, SimInstant::EPOCH, 10.0, 1.2, 9).unwrap();
+        let gaps: Vec<f64> = s
+            .arrivals()
+            .windows(2)
+            .map(|w| (w[1].at - w[0].at).as_millis_f64())
+            .collect();
+        let min = gaps.iter().cloned().fold(f64::MAX, f64::min);
+        let max = gaps.iter().cloned().fold(0.0f64, f64::max);
+        assert!(min >= 10.0, "Pareto minimum gap is the scale, got {min}");
+        assert!(
+            max > 200.0,
+            "alpha 1.2 should produce occasional huge gaps, max {max}"
+        );
+    }
+
+    #[test]
+    fn empirical_resamples_only_observed_gaps() {
+        let observed = [5.0, 50.0, 500.0];
+        let s = Schedule::empirical("f", 400, SimInstant::EPOCH, &observed, 3).unwrap();
+        for w in s.arrivals().windows(2) {
+            let gap = (w[1].at - w[0].at).as_millis_f64();
+            assert!(
+                observed.iter().any(|o| (gap - o).abs() < 1e-6),
+                "gap {gap} not in the observed set"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_time_stably() {
+        let a =
+            Schedule::constant("a", 3, SimInstant::EPOCH, SimDuration::from_millis(10)).unwrap();
+        let b =
+            Schedule::constant("b", 3, SimInstant::EPOCH, SimDuration::from_millis(10)).unwrap();
+        let merged = a.merge(b);
+        assert_eq!(merged.len(), 6);
+        let order: Vec<&str> = merged
+            .arrivals()
+            .iter()
+            .map(|x| x.function.as_str())
+            .collect();
+        assert_eq!(order, ["a", "b", "a", "b", "a", "b"]);
+        assert!(merged.arrivals().windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(
+            merged.end(),
+            Some(SimInstant::EPOCH + SimDuration::from_millis(20))
+        );
+    }
+
+    #[test]
+    fn csv_roundtrip_is_exact() {
+        let s = Schedule::poisson(
+            "noop",
+            25,
+            SimInstant::EPOCH,
+            SimDuration::from_millis(7),
+            11,
+        )
+        .unwrap()
+        .merge(Schedule::burst("fn-b", 3, SimInstant::from_nanos(12345)).unwrap());
+        let csv = s.to_csv();
+        assert!(csv.starts_with("t_ns,function\n"));
+        let back = Schedule::from_csv(&csv).unwrap();
+        assert_eq!(s, back);
+        // Headerless input parses too.
+        let headerless: String = csv.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        assert_eq!(Schedule::from_csv(&headerless).unwrap(), s);
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        assert_eq!(
+            Schedule::from_csv("t_ns,function\nnot-a-number,f\n").unwrap_err(),
+            LoadError::Malformed(2)
+        );
+        assert_eq!(
+            Schedule::from_csv("12 no comma here\n").unwrap_err(),
+            LoadError::Malformed(1)
+        );
+        assert!(Schedule::from_csv("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn trace_replay_drives_the_platform() {
+        let csv = "t_ns,function\n0,noop\n1000000000,noop\n2000000000,noop\n";
+        let schedule = Schedule::from_csv(csv).unwrap();
+        let mut p = platform();
+        schedule.submit(&mut p, |_| Request::empty()).unwrap();
+        p.run().unwrap();
+        assert_eq!(p.completed().len(), 3);
+        // One-second spacing keeps everything on one warm replica.
+        assert_eq!(p.completed().iter().filter(|r| r.cold).count(), 1);
+    }
+
+    #[test]
+    fn submit_unknown_function_is_typed() {
+        let schedule = Schedule::burst("ghost", 1, SimInstant::EPOCH).unwrap();
+        let mut p = platform();
+        assert_eq!(
+            schedule.submit(&mut p, |_| Request::empty()).unwrap_err(),
+            LoadError::Submit(Errno::Enoent)
+        );
     }
 }

@@ -36,8 +36,16 @@ run cargo test -q -p prebake-core --test span_phases
 # p50 win and the fault-around major-fault collapse.
 run cargo test -q -p prebake-criu --test proptest_roundtrip
 run cargo run --release -q -p prebake-bench --bin ablation_extent_restore -- --quick
+# Fleet-scheduler invariants (DESIGN.md §12): load-schedule property
+# tests (monotonic arrivals, seed determinism, CSV round-trip), the
+# measured-profile end-to-end suite, and a smoke run of the fleet
+# ablation, which asserts a policy beats the vanilla-TTL baseline on
+# both cold-start fraction and p99 latency.
+run cargo test -q -p prebake-platform --test proptest_loadgen
+run cargo test -q -p prebake-fleet
+run cargo run --release -q -p prebake-bench --bin ablation_fleet -- --quick
 run cargo fmt --all --check
-run cargo clippy --all-targets -- -D warnings
+run cargo clippy --workspace --all-targets -- -D warnings
 
 if [ "$fail" -ne 0 ]; then
   echo "tier-1: FAILED"
