@@ -13,17 +13,26 @@
 //!   LRU-under-pressure, histogram-adaptive with predictive pre-warm)
 //!   crossed with [`StartSelection`] (fixed gear or adaptive).
 //! - [`worker`] — one node's replica pool, memory budget with
-//!   dedup-aware image-cache charging, and cold-start concurrency slots.
+//!   dedup-aware image-cache charging, node-local pull-through snapshot
+//!   cache, and cold-start concurrency slots.
 //! - [`sim`] — the deterministic event-driven scheduler itself:
 //!   admission control, per-function queues, deficit scale-up,
 //!   least-loaded placement, expiry sweeps, and span-traced invocations.
 //! - [`metrics`] — Prometheus-format fleet counters and latency
 //!   histograms.
 //!
+//! With a [`RegistryConfig`], snapshot images live behind a shared
+//! `prebake_registry::SnapshotRegistry` instead of being node-local:
+//! cold starts pull their image through the placed node's cache (frames
+//! any resident image already holds ride free), placement can prefer
+//! the node that would fetch the fewest bytes, and the pre-warm engine
+//! pre-pulls images to predicted nodes.
+//!
 //! Workloads come from `prebake_platform::loadgen::Schedule` — synthetic
 //! (constant/Poisson/Pareto/empirical) or replayed from CSV traces. The
 //! `ablation_fleet` bench sweeps policy × fleet size × memory budget on
-//! the paper's Fig. 5 function mix.
+//! the paper's Fig. 5 function mix; `ablation_registry` sweeps pull
+//! modes × placement on a multi-node fleet.
 
 #![warn(missing_docs)]
 
@@ -36,5 +45,5 @@ pub mod worker;
 pub use metrics::FleetMetrics;
 pub use policy::{ArrivalStats, KeepAlive, Policy, StartSelection};
 pub use profile::{FunctionProfile, Gear, GearCost};
-pub use sim::{FleetConfig, FleetError, FleetRequest, FleetSim};
+pub use sim::{FleetConfig, FleetError, FleetRequest, FleetSim, RegistryConfig};
 pub use worker::{Replica, ReplicaState, Worker};

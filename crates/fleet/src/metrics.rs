@@ -22,10 +22,21 @@ pub struct FleetMetrics {
     pub prewarm_starts: Counter,
     /// Replica starts of any kind.
     pub replicas_started: Counter,
+    /// Bytes pulled from the snapshot registry over the network.
+    pub registry_egress_bytes: Counter,
+    /// Bytes satisfied node-locally instead of fetched (frame dedup +
+    /// whole-image cache hits).
+    pub registry_dedup_bytes: Counter,
+    /// Image pulls fully satisfied by the node cache.
+    pub pull_cache_hits: Counter,
+    /// Images pushed to predicted nodes ahead of demand.
+    pub prepulls: Counter,
     /// Arrival → dispatch queueing delay, ms.
     pub queue_delay: Histogram,
     /// Arrival → completion latency, ms.
     pub latency: Histogram,
+    /// Cold-start time spent waiting on registry pulls, ms.
+    pub pull_wait: Histogram,
 }
 
 /// Latency buckets wide enough for cold starts behind deep queues.
@@ -43,8 +54,13 @@ impl Default for FleetMetrics {
             expirations: Counter::default(),
             prewarm_starts: Counter::default(),
             replicas_started: Counter::default(),
+            registry_egress_bytes: Counter::default(),
+            registry_dedup_bytes: Counter::default(),
+            pull_cache_hits: Counter::default(),
+            prepulls: Counter::default(),
             queue_delay: Histogram::new(&LATENCY_BOUNDS_MS),
             latency: Histogram::new(&LATENCY_BOUNDS_MS),
+            pull_wait: Histogram::new(&LATENCY_BOUNDS_MS),
         }
     }
 }
@@ -71,11 +87,22 @@ impl FleetMetrics {
             ("fleet_expirations_total", self.expirations.get()),
             ("fleet_prewarm_starts_total", self.prewarm_starts.get()),
             ("fleet_replicas_started_total", self.replicas_started.get()),
+            (
+                "fleet_registry_egress_bytes",
+                self.registry_egress_bytes.get(),
+            ),
+            (
+                "fleet_registry_dedup_bytes",
+                self.registry_dedup_bytes.get(),
+            ),
+            ("fleet_pull_cache_hits_total", self.pull_cache_hits.get()),
+            ("fleet_prepulls_total", self.prepulls.get()),
         ] {
             out.push_str(&format!("{name} {value}\n"));
         }
         render_histogram(&mut out, "fleet_queue_delay_ms", &self.queue_delay);
         render_histogram(&mut out, "fleet_latency_ms", &self.latency);
+        render_histogram(&mut out, "fleet_pull_wait_ms", &self.pull_wait);
         for (worker, hw) in worker_high_water.iter().enumerate() {
             out.push_str(&format!(
                 "fleet_worker_mem_high_water_bytes{{worker=\"{worker}\"}} {hw}\n"

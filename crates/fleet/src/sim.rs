@@ -8,6 +8,13 @@
 //! and how long idle replicas survive — including LRU eviction under
 //! memory pressure and histogram-driven predictive pre-warm.
 //!
+//! With the optional snapshot-registry tier ([`RegistryConfig`]), cold
+//! starts additionally pull their image through the placed node's
+//! pull-through cache: frames another resident image already holds ride
+//! free, the rest are charged network latency plus per-byte bandwidth
+//! on the virtual clock, and placement can weigh "where is this image
+//! already warm" ahead of load.
+//!
 //! Everything is deterministic for a fixed seed: all state lives in
 //! `BTreeMap`s, the event queue breaks time ties FIFO, and the only
 //! randomness is the seeded log-normal jitter applied to profiled costs.
@@ -16,6 +23,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use prebake_platform::loadgen::Schedule;
+use prebake_registry::{ImageManifest, PullMode, RegistryCost, SnapshotRegistry};
 use prebake_sim::event::EventQueue;
 use prebake_sim::noise::Noise;
 use prebake_sim::proc::Pid;
@@ -24,8 +32,44 @@ use prebake_sim::trace::{TraceSpan, Tracer};
 
 use crate::metrics::FleetMetrics;
 use crate::policy::{ArrivalStats, Policy};
-use crate::profile::FunctionProfile;
+use crate::profile::{FunctionProfile, Gear};
 use crate::worker::{Replica, ReplicaState, Worker};
+
+/// Snapshot-registry tier configuration.
+///
+/// `None` in [`FleetConfig::registry`] models node-local images (the
+/// pre-registry fleet): cold starts pay no pull time and no egress is
+/// accounted. `Some` puts every snapshot image behind a shared
+/// [`SnapshotRegistry`] that nodes pull through their local caches.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Network charging model for pulls.
+    pub cost: RegistryCost,
+    /// How node caches satisfy pulls.
+    pub mode: PullMode,
+    /// Weigh placement toward the node that would fetch the fewest
+    /// bytes ("schedule where the image is warm").
+    pub affinity_placement: bool,
+    /// Pre-pull images to the node the pre-warm engine predicts, ahead
+    /// of the predicted arrival (ignored under [`PullMode::Naive`],
+    /// which never caches).
+    pub prepull: bool,
+    /// Fraction of auto-published synthetic-manifest frames drawn from
+    /// the runtime-wide shared base (see [`ImageManifest::synthetic`]).
+    pub shared_fraction: f64,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            cost: RegistryCost::default(),
+            mode: PullMode::DedupPullThrough,
+            affinity_placement: true,
+            prepull: true,
+            shared_fraction: 0.5,
+        }
+    }
+}
 
 /// Fleet-wide configuration.
 #[derive(Debug, Clone)]
@@ -48,6 +92,8 @@ pub struct FleetConfig {
     pub noise_sigma: f64,
     /// Record scheduler span trees per completed invocation.
     pub span_tracing: bool,
+    /// Snapshot-registry tier; `None` keeps images node-local and free.
+    pub registry: Option<RegistryConfig>,
 }
 
 impl Default for FleetConfig {
@@ -62,6 +108,7 @@ impl Default for FleetConfig {
             seed: 1,
             noise_sigma: 0.02,
             span_tracing: false,
+            registry: None,
         }
     }
 }
@@ -129,6 +176,7 @@ enum Event {
     ServeDone { worker: usize, replica: u64 },
     ExpireCheck,
     Prewarm { function: String },
+    Prepull { function: String },
 }
 
 /// The fleet scheduler.
@@ -139,6 +187,7 @@ pub struct FleetSim {
     queues: BTreeMap<String, VecDeque<Pending>>,
     stats: BTreeMap<String, ArrivalStats>,
     events: EventQueue<Event>,
+    registry: Option<SnapshotRegistry>,
     now: SimInstant,
     noise: Noise,
     metrics: FleetMetrics,
@@ -169,6 +218,10 @@ impl FleetSim {
         tracer.set_enabled(config.span_tracing);
         FleetSim {
             noise: Noise::new(config.seed, config.noise_sigma),
+            registry: config
+                .registry
+                .as_ref()
+                .map(|rc| SnapshotRegistry::new(rc.cost)),
             workers,
             config,
             profiles: BTreeMap::new(),
@@ -185,11 +238,57 @@ impl FleetSim {
     }
 
     /// Registers a function's start-cost profile, making it routable.
+    ///
+    /// With a registry tier configured, every gear with an image is
+    /// auto-published as a synthetic manifest shaped by
+    /// [`RegistryConfig::shared_fraction`]; [`FleetSim::publish_manifest`]
+    /// replaces one with a real (dump-derived) manifest afterwards.
     pub fn register(&mut self, profile: FunctionProfile) {
         let name = profile.name().to_owned();
+        if let (Some(reg), Some(rc)) = (self.registry.as_mut(), self.config.registry.as_ref()) {
+            for gear in profile.gears() {
+                let image_bytes = profile.cost(gear).expect("listed gear").image_bytes;
+                if image_bytes == 0 {
+                    continue;
+                }
+                let id = Self::image_id(&name, gear);
+                if reg.manifest(&id).is_none() {
+                    reg.publish(ImageManifest::synthetic(
+                        &id,
+                        image_bytes,
+                        rc.shared_fraction,
+                        self.config.seed,
+                    ));
+                }
+            }
+        }
         self.queues.entry(name.clone()).or_default();
         self.stats.entry(name.clone()).or_default();
         self.profiles.insert(name, profile);
+    }
+
+    /// Registry image id of one `(function, gear)` snapshot.
+    pub fn image_id(function: &str, gear: Gear) -> String {
+        format!("{function}@{}", gear.label())
+    }
+
+    /// Publishes a real manifest for `(function, gear)` — e.g. derived
+    /// from a dumped image set via [`ImageManifest::from_image_set`] —
+    /// replacing the synthetic one auto-published at registration.
+    /// No-op without a registry tier.
+    pub fn publish_manifest(&mut self, function: &str, gear: Gear, manifest: &ImageManifest) {
+        if let Some(reg) = self.registry.as_mut() {
+            reg.publish(ImageManifest::new(
+                Self::image_id(function, gear),
+                manifest.frame_hashes().iter().copied(),
+                manifest.metadata_bytes(),
+            ));
+        }
+    }
+
+    /// The snapshot registry, when the tier is configured.
+    pub fn registry(&self) -> Option<&SnapshotRegistry> {
+        self.registry.as_ref()
     }
 
     /// Schedules one arrival.
@@ -270,7 +369,9 @@ impl FleetSim {
     /// Drains recorded scheduler span trees (empty unless
     /// [`FleetConfig::span_tracing`] is on). One tree per completed
     /// invocation: `sched_invocation` → `sched_enqueue`, `sched_place`,
-    /// `sched_start`/`sched_reuse`, `sched_serve`.
+    /// `sched_start`/`sched_reuse`, `sched_serve`. A cold start that
+    /// fetched image bytes from the registry tier nests a
+    /// `registry_pull` span inside its `sched_start`.
     pub fn take_spans(&mut self) -> Vec<TraceSpan> {
         self.tracer.take(self.now)
     }
@@ -282,6 +383,7 @@ impl FleetSim {
             Event::ServeDone { worker, replica } => self.on_serve_done(worker, replica),
             Event::ExpireCheck => self.on_expire_check(),
             Event::Prewarm { function } => self.on_prewarm(&function),
+            Event::Prepull { function } => self.on_prepull(&function),
         }
     }
 
@@ -398,14 +500,14 @@ impl FleetSim {
             completed: done,
             cold,
         };
-        let (start_began, ready_at) = (r.start_began, r.ready_at);
+        let (start_began, ready_at, pull_wait) = (r.start_began, r.ready_at, r.pull_wait);
 
         self.metrics.queue_delay.observe(record.queue_delay_ms());
         self.metrics.latency.observe(record.latency_ms());
         if cold {
             self.metrics.cold_starts.inc();
         }
-        self.emit_spans(&record, start_began, ready_at);
+        self.emit_spans(&record, start_began, ready_at, pull_wait);
         self.completed.push(record);
         self.events
             .schedule(done, Event::ServeDone { worker, replica });
@@ -415,7 +517,13 @@ impl FleetSim {
     /// clock-agnostic, so recorded instants replay exactly). Building the
     /// whole tree at completion keeps concurrent invocations from
     /// interleaving on the tracer's span stack.
-    fn emit_spans(&mut self, record: &FleetRequest, start_began: SimInstant, ready_at: SimInstant) {
+    fn emit_spans(
+        &mut self,
+        record: &FleetRequest,
+        start_began: SimInstant,
+        ready_at: SimInstant,
+        pull_wait: SimDuration,
+    ) {
         if !self.tracer.enabled() {
             return;
         }
@@ -430,6 +538,11 @@ impl FleetSim {
         self.tracer.end(place, record.dispatched);
         if record.cold {
             let start = self.tracer.begin("sched_start", pid, start_began);
+            if pull_wait > SimDuration::ZERO {
+                // The registry fetch serializes ahead of the restore.
+                let pull = self.tracer.begin("registry_pull", pid, start_began);
+                self.tracer.end(pull, start_began + pull_wait);
+            }
             self.tracer.end(start, ready_at);
         } else {
             let reuse = self.tracer.begin("sched_reuse", pid, record.dispatched);
@@ -501,7 +614,8 @@ impl FleetSim {
             gear = fallback;
         }
         let cost = *profile.cost(gear).expect("best gear is measured");
-        let Some(worker) = self.place(function, cost.replica_mem_bytes, cost.image_bytes) else {
+        let Some(worker) = self.place(function, gear, cost.replica_mem_bytes, cost.image_bytes)
+        else {
             return false;
         };
         let (slot, start_at) =
@@ -510,7 +624,17 @@ impl FleetSim {
             .noise
             .jitter(SimDuration::from_millis_f64(cost.cold_ms))
             .max(SimDuration::from_nanos(1));
-        let ready_at = start_at + startup;
+        // The image must land on the node before the restore can begin:
+        // the pull serializes ahead of the gear's startup cost.
+        let (pull_wait, pull_bytes) =
+            match self.pull_image(worker, function, gear, cost.image_bytes) {
+                Some((wait, bytes)) => {
+                    self.metrics.pull_wait.observe(wait.as_millis_f64());
+                    (wait, bytes)
+                }
+                None => (SimDuration::ZERO, 0),
+            };
+        let ready_at = start_at + pull_wait + startup;
         let rid = self.next_replica;
         self.next_replica += 1;
         self.workers[worker].add_replica(
@@ -525,6 +649,8 @@ impl FleetSim {
                 ready_at,
                 last_used: ready_at,
                 served: 0,
+                pull_wait,
+                pull_bytes,
             },
             cost.image_bytes,
         );
@@ -543,19 +669,68 @@ impl FleetSim {
         true
     }
 
+    /// Pulls the `(function, gear)` image through `worker`'s node cache,
+    /// charging the transfer and the fleet egress/dedup counters.
+    /// Returns `(wait, bytes fetched)`, or `None` without a registry
+    /// tier or for image-less gears.
+    fn pull_image(
+        &mut self,
+        worker: usize,
+        function: &str,
+        gear: Gear,
+        image_bytes: u64,
+    ) -> Option<(SimDuration, u64)> {
+        if image_bytes == 0 {
+            return None;
+        }
+        let (Some(reg), Some(rc)) = (self.registry.as_mut(), self.config.registry.as_ref()) else {
+            return None;
+        };
+        let id = Self::image_id(function, gear);
+        let receipt = reg
+            .pull(&id, &mut self.workers[worker].cache, rc.mode)
+            .expect("image published at registration");
+        self.metrics
+            .registry_egress_bytes
+            .add(receipt.stats.bytes_fetched);
+        self.metrics
+            .registry_dedup_bytes
+            .add(receipt.stats.bytes_deduped);
+        if receipt.stats.cache_hit {
+            self.metrics.pull_cache_hits.inc();
+        }
+        Some((receipt.wait, receipt.stats.bytes_fetched))
+    }
+
     /// Chooses the worker for a new replica: among workers with memory
     /// headroom, the least loaded (fewest replicas, then least memory,
-    /// then lowest id). Under an LRU-pressure policy a full fleet may
-    /// evict idle replicas — oldest first, lowest worker id first — to
-    /// make room.
-    fn place(&mut self, function: &str, replica_mem: u64, image_bytes: u64) -> Option<usize> {
+    /// then lowest id). With the registry tier's affinity placement the
+    /// primary key becomes the bytes the node would still have to pull
+    /// — "schedule where the image is warm". Under an LRU-pressure
+    /// policy a full fleet may evict idle replicas — oldest first,
+    /// lowest worker id first — to make room.
+    fn place(
+        &mut self,
+        function: &str,
+        gear: Gear,
+        replica_mem: u64,
+        image_bytes: u64,
+    ) -> Option<usize> {
+        let missing = |w: &Worker| -> u64 {
+            match (&self.registry, &self.config.registry) {
+                (Some(reg), Some(rc)) if rc.affinity_placement && image_bytes > 0 => reg
+                    .manifest(&Self::image_id(function, gear))
+                    .map_or(image_bytes, |m| w.cache.missing_bytes(m, rc.mode)),
+                _ => 0,
+            }
+        };
         let fit = self
             .workers
             .iter()
-            .filter(|w| w.fits(w.charge_for(function, replica_mem, image_bytes)))
-            .map(|w| (w.replicas.len(), w.mem_in_use(), w.id))
+            .filter(|w| w.fits(w.charge_for(function, gear, replica_mem, image_bytes)))
+            .map(|w| (missing(w), w.replicas.len(), w.mem_in_use(), w.id))
             .min()
-            .map(|(_, _, id)| id);
+            .map(|(_, _, _, id)| id);
         if fit.is_some() {
             return fit;
         }
@@ -564,7 +739,7 @@ impl FleetSim {
         }
         for wid in 0..self.workers.len() {
             let Some(victims) =
-                self.workers[wid].pressure_victims(function, replica_mem, image_bytes)
+                self.workers[wid].pressure_victims(function, gear, replica_mem, image_bytes)
             else {
                 continue; // even a full idle purge wouldn't fit
             };
@@ -651,19 +826,36 @@ impl FleetSim {
                     profile.best_gear()
                 }
             };
+            let cost = *profile.cost(gear).expect("measured");
             // Fire early enough that the replica is ready at (or just
-            // before) the predicted arrival: 2x the cold time absorbs
-            // start jitter and slot queueing.
-            let cold_ns =
-                SimDuration::from_millis_f64(profile.cost(gear).expect("measured").cold_ms)
-                    .as_nanos();
+            // before) the predicted arrival: 2x the full cold-path time
+            // — restore plus, worst case, pulling the whole image from
+            // the registry — absorbs start jitter and slot queueing.
+            let pull_ns = match (&self.registry, &self.config.registry) {
+                (Some(reg), Some(_)) if cost.image_bytes > 0 => reg
+                    .manifest(&Self::image_id(&function, gear))
+                    .map_or(0, |m| reg.cost().pull_time(m.total_bytes()).as_nanos()),
+                _ => 0,
+            };
+            let cold_ns = SimDuration::from_millis_f64(cost.cold_ms).as_nanos();
             let fire_at = SimInstant::from_nanos(
                 predicted
                     .as_nanos()
-                    .saturating_sub(cold_ns.saturating_mul(2)),
+                    .saturating_sub((cold_ns + pull_ns).saturating_mul(2)),
             );
             if fire_at <= self.now {
                 continue; // prediction already in the past: stay at zero
+            }
+            // The pre-pull shares the prewarm's fire time; FIFO ordering
+            // lands the image on the predicted node first, so the start
+            // that follows hits the node cache.
+            if self.prepull_enabled() && cost.image_bytes > 0 {
+                self.events.schedule(
+                    fire_at,
+                    Event::Prepull {
+                        function: function.clone(),
+                    },
+                );
             }
             self.events.schedule(
                 fire_at,
@@ -671,6 +863,61 @@ impl FleetSim {
                     function: function.clone(),
                 },
             );
+        }
+    }
+
+    /// Whether the registry tier pre-pulls images for predicted starts.
+    fn prepull_enabled(&self) -> bool {
+        self.config
+            .registry
+            .as_ref()
+            .is_some_and(|rc| rc.prepull && rc.mode != PullMode::Naive)
+    }
+
+    /// Pushes a function's image to the node affinity placement would
+    /// pick, ahead of the predicted arrival, so the start that follows
+    /// hits the node cache instead of the wire. No memory is reserved —
+    /// only the node's pull-through cache is populated.
+    fn on_prepull(&mut self, function: &str) {
+        if self.replica_count(function) > 0 {
+            return; // a live replica means the image already landed
+        }
+        let profile = &self.profiles[function];
+        let gear = {
+            let g = self.config.policy.start.gear_for(profile);
+            if profile.cost(g).is_some() {
+                g
+            } else {
+                profile.best_gear()
+            }
+        };
+        let image_bytes = profile.cost(gear).expect("measured").image_bytes;
+        if image_bytes == 0 || !self.prepull_enabled() {
+            return;
+        }
+        let mode = self.config.registry.as_ref().expect("prepull enabled").mode;
+        let id = Self::image_id(function, gear);
+        let target = {
+            let manifest = self
+                .registry
+                .as_ref()
+                .expect("prepull enabled")
+                .manifest(&id);
+            self.workers
+                .iter()
+                .map(|w| {
+                    let missing = manifest.map_or(image_bytes, |m| w.cache.missing_bytes(m, mode));
+                    (missing, w.replicas.len(), w.mem_in_use(), w.id)
+                })
+                .min()
+                .map(|(_, _, _, id)| id)
+                .expect("at least one worker")
+        };
+        if self
+            .pull_image(target, function, gear, image_bytes)
+            .is_some()
+        {
+            self.metrics.prepulls.inc();
         }
     }
 
@@ -1008,6 +1255,282 @@ mod tests {
             "fallback paid vanilla's boot, latency {}ms",
             s.completed()[0].latency_ms()
         );
+    }
+
+    #[test]
+    fn registry_pulls_delay_cold_starts_and_account_egress() {
+        let run = |registry: Option<RegistryConfig>| {
+            let config = FleetConfig {
+                policy: Policy {
+                    keep_alive: KeepAlive::FixedTtl(SimDuration::from_secs(60)),
+                    start: StartSelection::Fixed(Gear::Prefetch),
+                },
+                registry,
+                ..FleetConfig::default()
+            };
+            let mut s = sim(config);
+            s.run(&Schedule::burst("fn-a", 1, SimInstant::EPOCH).unwrap())
+                .unwrap();
+            s
+        };
+        let local = run(None);
+        let remote = run(Some(RegistryConfig::default()));
+        assert_eq!(local.metrics().registry_egress_bytes.get(), 0);
+        assert!(local.registry().is_none());
+
+        // 40 MB over a 12ms + 10 Gbit/s link adds ~45 ms to the cold path.
+        let delta = remote.completed()[0].latency_ms() - local.completed()[0].latency_ms();
+        assert!(
+            delta > 30.0,
+            "pull time reached the critical path: {delta}ms"
+        );
+        assert_eq!(remote.metrics().registry_egress_bytes.get(), 40 << 20);
+        assert_eq!(remote.registry().unwrap().egress_bytes(), 40 << 20);
+        assert_eq!(remote.registry().unwrap().pulls(), 1);
+        assert_eq!(remote.metrics().pull_wait.count(), 1);
+    }
+
+    #[test]
+    fn dedup_pull_through_saves_cross_function_egress() {
+        // fn-a and fn-b each carry a 40 MB prefetch image; half the
+        // frames are the shared runtime base.
+        let run = |mode: PullMode| {
+            let config = FleetConfig {
+                workers: 1,
+                policy: Policy {
+                    keep_alive: KeepAlive::FixedTtl(SimDuration::from_secs(60)),
+                    start: StartSelection::Fixed(Gear::Prefetch),
+                },
+                registry: Some(RegistryConfig {
+                    mode,
+                    ..RegistryConfig::default()
+                }),
+                ..FleetConfig::default()
+            };
+            let mut s = FleetSim::new(config);
+            s.register(profile("fn-a"));
+            s.register(profile("fn-b"));
+            let schedule = Schedule::burst("fn-a", 1, SimInstant::EPOCH)
+                .unwrap()
+                .merge(
+                    Schedule::burst("fn-b", 1, SimInstant::EPOCH + SimDuration::from_secs(1))
+                        .unwrap(),
+                );
+            s.run(&schedule).unwrap();
+            s.metrics().registry_egress_bytes.get()
+        };
+        // One 40 MB pull each; dedup ships fn-b's unique half only.
+        assert_eq!(run(PullMode::Naive), 80 << 20);
+        assert_eq!(run(PullMode::PullThrough), 80 << 20);
+        assert_eq!(run(PullMode::DedupPullThrough), 60 << 20);
+    }
+
+    #[test]
+    fn pull_through_cache_absorbs_repeat_cold_starts() {
+        // Two arrivals 60s apart with a 5s TTL: the replica expires in
+        // the gap, so both starts are cold — but the image stays in the
+        // node cache, so only naive mode re-fetches it.
+        let run = |mode: PullMode| {
+            let config = FleetConfig {
+                workers: 1,
+                policy: Policy {
+                    keep_alive: KeepAlive::FixedTtl(SimDuration::from_secs(5)),
+                    start: StartSelection::Fixed(Gear::Prefetch),
+                },
+                registry: Some(RegistryConfig {
+                    mode,
+                    prepull: false,
+                    ..RegistryConfig::default()
+                }),
+                ..FleetConfig::default()
+            };
+            let mut s = sim(config);
+            let schedule =
+                Schedule::constant("fn-a", 2, SimInstant::EPOCH, SimDuration::from_secs(60))
+                    .unwrap();
+            s.run(&schedule).unwrap();
+            assert_eq!(s.metrics().cold_starts.get(), 2);
+            s
+        };
+        let naive = run(PullMode::Naive);
+        assert_eq!(naive.metrics().registry_egress_bytes.get(), 80 << 20);
+        assert_eq!(naive.metrics().pull_cache_hits.get(), 0);
+
+        let cached = run(PullMode::PullThrough);
+        assert_eq!(cached.metrics().registry_egress_bytes.get(), 40 << 20);
+        assert_eq!(cached.metrics().pull_cache_hits.get(), 1);
+        assert_eq!(cached.registry().unwrap().cache_hits(), 1);
+        // The second cold start restores straight from the node cache.
+        let second = &cached.completed()[1];
+        assert!(
+            second.latency_ms() < naive.completed()[1].latency_ms() - 30.0,
+            "cache hit skips the wire: {} vs {}",
+            second.latency_ms(),
+            naive.completed()[1].latency_ms()
+        );
+    }
+
+    #[test]
+    fn affinity_placement_prefers_the_warm_node() {
+        // fn-a lands on worker 0. Without affinity a 2-burst of fn-b
+        // spreads least-loaded-first: replica one to empty worker 1
+        // (full 40 MB pull), replica two ties back to worker 0 (20 MB,
+        // the unique half — worker 0 holds fn-a's shared base). With
+        // affinity both placements see worker 0 as the cheaper fetch
+        // (20 MB missing vs 40, then 0 missing) and pack there.
+        let run = |affinity: bool| {
+            let config = FleetConfig {
+                workers: 2,
+                policy: Policy {
+                    keep_alive: KeepAlive::FixedTtl(SimDuration::from_secs(60)),
+                    start: StartSelection::Fixed(Gear::Prefetch),
+                },
+                registry: Some(RegistryConfig {
+                    affinity_placement: affinity,
+                    ..RegistryConfig::default()
+                }),
+                ..FleetConfig::default()
+            };
+            let mut s = FleetSim::new(config);
+            s.register(profile("fn-a"));
+            s.register(profile("fn-b"));
+            let schedule = Schedule::burst("fn-a", 1, SimInstant::EPOCH)
+                .unwrap()
+                .merge(
+                    Schedule::burst("fn-b", 2, SimInstant::EPOCH + SimDuration::from_secs(1))
+                        .unwrap(),
+                );
+            s.run(&schedule).unwrap();
+            s
+        };
+        let spread = run(false);
+        assert_eq!(spread.metrics().registry_egress_bytes.get(), 100 << 20);
+        assert_eq!(spread.metrics().pull_cache_hits.get(), 0);
+        let packed = run(true);
+        assert_eq!(
+            packed.metrics().registry_egress_bytes.get(),
+            60 << 20,
+            "40 MB for fn-a, then only fn-b's unique half"
+        );
+        assert_eq!(
+            packed.metrics().pull_cache_hits.get(),
+            1,
+            "the second fn-b pull is already resident"
+        );
+    }
+
+    #[test]
+    fn prepull_lands_the_image_before_the_predicted_start() {
+        // The 20s cadence with a 5s TTL expires the replica every gap;
+        // the histogram engine pre-warms, and the registry tier
+        // pre-pulls to the predicted node first, so predictive starts
+        // never wait on the wire.
+        let config = FleetConfig {
+            policy: Policy {
+                keep_alive: KeepAlive::Histogram {
+                    floor: SimDuration::from_secs(1),
+                    cap: SimDuration::from_secs(5),
+                    quantile: 0.99,
+                    prewarm: true,
+                },
+                start: StartSelection::Fixed(Gear::Prefetch),
+            },
+            registry: Some(RegistryConfig::default()),
+            ..FleetConfig::default()
+        };
+        let mut s = sim(config);
+        let arrivals =
+            Schedule::constant("fn-a", 10, SimInstant::EPOCH, SimDuration::from_secs(20)).unwrap();
+        s.run(&arrivals).unwrap();
+        assert!(
+            s.metrics().prepulls.get() >= 6,
+            "predicted nodes pre-pulled"
+        );
+        assert!(s.metrics().pull_cache_hits.get() >= 6);
+        // Only the very first pull crossed the wire.
+        assert_eq!(s.metrics().registry_egress_bytes.get(), 40 << 20);
+    }
+
+    #[test]
+    fn registry_pull_span_nests_inside_sched_start() {
+        let config = FleetConfig {
+            span_tracing: true,
+            policy: Policy {
+                keep_alive: KeepAlive::FixedTtl(SimDuration::from_secs(60)),
+                start: StartSelection::Fixed(Gear::Prefetch),
+            },
+            registry: Some(RegistryConfig::default()),
+            ..FleetConfig::default()
+        };
+        let mut s = sim(config);
+        s.run(&Schedule::burst("fn-a", 1, SimInstant::EPOCH).unwrap())
+            .unwrap();
+        let spans = s.take_spans();
+        let root = spans
+            .iter()
+            .find(|sp| sp.name == "sched_invocation")
+            .unwrap();
+        let children: Vec<&str> = spans
+            .iter()
+            .filter(|sp| sp.parent == Some(root.id))
+            .map(|sp| sp.name)
+            .collect();
+        assert_eq!(
+            children,
+            vec!["sched_enqueue", "sched_place", "sched_start", "sched_serve"],
+            "the pull nests below sched_start, not the root"
+        );
+        let start = spans.iter().find(|sp| sp.name == "sched_start").unwrap();
+        let pull = spans.iter().find(|sp| sp.name == "registry_pull").unwrap();
+        assert_eq!(pull.parent, Some(start.id));
+        assert_eq!(pull.start, start.start, "the fetch leads the restore");
+        assert!(pull.end < start.end);
+        // 40 MB at 12ms + 10 Gbit/s: ~45.5ms on the wire.
+        let pull_ms = (pull.end - pull.start).as_millis_f64();
+        assert!((40.0..55.0).contains(&pull_ms), "pull span {pull_ms}ms");
+    }
+
+    #[test]
+    fn registry_runs_are_bit_identical_for_a_fixed_seed() {
+        let run = || {
+            let config = FleetConfig {
+                workers: 3,
+                policy: Policy {
+                    keep_alive: KeepAlive::FixedTtl(SimDuration::from_secs(10)),
+                    start: StartSelection::Adaptive,
+                },
+                registry: Some(RegistryConfig::default()),
+                ..FleetConfig::default()
+            };
+            let mut s = FleetSim::new(config);
+            s.register(profile("fn-a"));
+            s.register(profile("fn-b"));
+            let schedule = Schedule::poisson(
+                "fn-a",
+                40,
+                SimInstant::EPOCH,
+                SimDuration::from_millis(800),
+                3,
+            )
+            .unwrap()
+            .merge(
+                Schedule::poisson(
+                    "fn-b",
+                    40,
+                    SimInstant::EPOCH,
+                    SimDuration::from_millis(800),
+                    4,
+                )
+                .unwrap(),
+            );
+            s.run(&schedule).unwrap();
+            (
+                s.render_metrics(),
+                s.registry().unwrap().egress_bytes(),
+                s.registry().unwrap().dedup_bytes(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

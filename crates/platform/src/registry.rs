@@ -6,6 +6,15 @@
 //! carries the checkpoint files (paper §5.2: "CRIU triggers the process
 //! checkpoint and stores the Function Snapshot data inside the Function
 //! Container Image").
+//!
+//! Not to be confused with the *snapshot image* registry in the
+//! `prebake-registry` crate: this module stores *what* to run (function
+//! specs, templates, built container images, versions), while
+//! `prebake_registry::SnapshotRegistry` is the content-addressed
+//! artifact tier the fleet pulls snapshot bytes from, charging network
+//! latency and bandwidth per pull. The deploy path reads *this*
+//! registry to pick an image; the multi-node scheduler (DESIGN.md §13)
+//! pays *that* one to materialise it on a worker.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

@@ -44,6 +44,19 @@ run cargo run --release -q -p prebake-bench --bin ablation_extent_restore -- --q
 run cargo test -q -p prebake-platform --test proptest_loadgen
 run cargo test -q -p prebake-fleet
 run cargo run --release -q -p prebake-bench --bin ablation_fleet -- --quick
+# Registry-tier invariants (DESIGN.md §13): pull-through conservation
+# property tests (fetched + deduped == manifest total, repeat pulls
+# free, eviction exact), and a smoke run of the registry ablation,
+# which asserts dedup+affinity beats naive full-pull on both cold p99
+# and egress. The ablation runs twice and the outputs are compared
+# byte-for-byte so any seed non-determinism in the registry path fails
+# the gate.
+run cargo test -q -p prebake-registry
+run cargo run --release -q -p prebake-bench --bin ablation_registry -- --quick
+run cp results/BENCH_registry.json results/BENCH_registry.run1.json
+run cargo run --release -q -p prebake-bench --bin ablation_registry -- --quick
+run cmp results/BENCH_registry.run1.json results/BENCH_registry.json
+run rm -f results/BENCH_registry.run1.json
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 

@@ -18,7 +18,8 @@
 //! | [`prebake_lazy`] | lazy restore: working-set recording, `ws.img`, prefetch planning over the demand-paging kernel |
 //! | [`prebake_functions`] | the paper's workloads: NOOP, Markdown renderer, Image Resizer, synthetic class sets |
 //! | [`prebake_core`] | the contribution: snapshot policies, vanilla vs prebake starters, phase measurement, trial harness |
-//! | [`prebake_platform`] | SPEC-RG / OpenFaaS platform: registry, builder templates, autoscaler, gateway, load generation |
+//! | [`prebake_platform`] | SPEC-RG / OpenFaaS platform: function registry, builder templates, autoscaler, gateway, load generation |
+//! | [`prebake_registry`] | snapshot registry tier: content-addressed manifests, network-charged pulls, per-node pull-through caches |
 //! | [`prebake_stats`] | bootstrap CIs, Shapiro–Wilk, Wilcoxon–Mann–Whitney, ECDFs |
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the
@@ -46,6 +47,11 @@ pub use prebake_criu as criu;
 pub use prebake_functions as functions;
 pub use prebake_lazy as lazy;
 pub use prebake_platform as platform;
+// Re-exported under its full name so the *snapshot* registry
+// (image-byte distribution, `prebake_registry::SnapshotRegistry`) can
+// never be confused with the platform's *function* registry
+// (build metadata, `prebake_platform::registry::Registry`).
+pub use prebake_registry;
 pub use prebake_runtime as runtime;
 pub use prebake_sim as sim;
 pub use prebake_stats as stats;
