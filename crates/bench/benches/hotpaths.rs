@@ -10,7 +10,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use prebake_criu::{dump, restore, DumpOptions, RestoreMode, RestoreOptions};
+use prebake_criu::{
+    dump, repack, restore, DumpOptions, RepackOptions, RestoreMode, RestoreOptions, WsImage,
+};
 use prebake_functions::image::{resize_box, CompressedImage};
 use prebake_functions::{markdown, sample_markdown};
 use prebake_runtime::classfile::ClassFile;
@@ -98,6 +100,68 @@ fn bench_criu(c: &mut Criterion) {
                 });
             });
         }
+    }
+    // Sharded vs serial extent install of one image set (the wall-clock
+    // cost of the crossbeam fan-out plus per-shard decode).
+    {
+        let (mut k, tracer, target) = kernel_with_process(1024, 0.0);
+        let mut dopts = DumpOptions::new(target, "/img");
+        dopts.leave_running = true;
+        dump(&mut k, tracer, &dopts).unwrap();
+        for (label, threads) in [("install_serial_1024", 1), ("install_sharded4_1024", 4)] {
+            let mut opts = RestoreOptions::new("/img");
+            opts.threads = threads;
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let stats = restore(&mut k, tracer, &opts).unwrap();
+                    k.sys_exit(stats.pid, 0).unwrap();
+                    k.reap(stats.pid).unwrap();
+                    stats.shards
+                });
+            });
+        }
+    }
+    // Prefetch streaming before and after the fault-order repack: the
+    // same strided working set read from a dump-order vs reordered image.
+    {
+        let (mut k, tracer, target) = kernel_with_process(1024, 0.0);
+        let mut dopts = DumpOptions::new(target, "/img_layout");
+        dopts.leave_running = true;
+        dump(&mut k, tracer, &dopts).unwrap();
+        let vma = k
+            .process(target)
+            .unwrap()
+            .mem
+            .vmas()
+            .next()
+            .unwrap()
+            .clone();
+        let base = vma.start.0 / PAGE_SIZE as u64;
+        let ws: Vec<u64> = (0..1024u64)
+            .step_by(2)
+            .chain((1..1024u64).step_by(2))
+            .map(|i| base + i)
+            .collect();
+        k.fs_write_file("/img_layout/ws.img", WsImage::from_fault_log(ws).encode())
+            .unwrap();
+        let opts = RestoreOptions::with_mode("/img_layout", RestoreMode::Prefetch);
+        group.bench_function("prefetch_dump_order_1024", |b| {
+            b.iter(|| {
+                let stats = restore(&mut k, tracer, &opts).unwrap();
+                k.sys_exit(stats.pid, 0).unwrap();
+                k.reap(stats.pid).unwrap();
+                stats.pages_installed
+            });
+        });
+        repack(&mut k, &RepackOptions::new("/img_layout")).unwrap();
+        group.bench_function("prefetch_fault_order_1024", |b| {
+            b.iter(|| {
+                let stats = restore(&mut k, tracer, &opts).unwrap();
+                k.sys_exit(stats.pid, 0).unwrap();
+                k.reap(stats.pid).unwrap();
+                stats.pages_installed
+            });
+        });
     }
     // Single-page vs batched (fault-around) lazy fault servicing: restore
     // withholds every page, then a sequential sweep faults them all in.

@@ -112,10 +112,12 @@ fn main() {
         hr();
     }
     println!(
-        "take-away: prefetch loads only the recorded working set, so its advantage over \
-         eager restore grows with snapshot size — {:.1}% faster to first response on the \
-         big (1574-class) function. Pure lazy restores fastest but pays a fault trap per \
-         touched page, pushing the cost into the first request.",
-        improvement_pct(big_eager_p50, big_prefetch_p50)
+        "take-away: prefetch loads only the recorded working set, but the warm request's \
+         class touches interleave two VMAs, so on a dump-order image the read pays a seek \
+         per discontinuity — {:.1}% slower than eager to first response on the big \
+         (1574-class) function; the fault-order repack (ablation_restore_parallel) \
+         removes the seeks. Pure lazy resumes fastest but pays a fault trap per touched \
+         page, pushing the cost into the first request.",
+        -improvement_pct(big_eager_p50, big_prefetch_p50)
     );
 }

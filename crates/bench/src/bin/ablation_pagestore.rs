@@ -189,6 +189,7 @@ fn main() {
                 costs: CriuCosts::paper_calibrated(),
                 vectored: true,
                 fault_around: 1,
+                threads: 1,
             };
             let mut pids = Vec::new();
             let mut elapsed = Vec::new();

@@ -10,9 +10,9 @@
 
 use bytes::Bytes;
 
-use prebake_criu::RestoreMode;
+use prebake_criu::{repack, ImageSet, RepackOptions, RepackStats, RestoreMode};
 use prebake_functions::FunctionSpec;
-use prebake_sim::error::SysResult;
+use prebake_sim::error::{Errno, SysResult};
 use prebake_sim::kernel::Kernel;
 use prebake_sim::probe::ProbeCounters;
 use prebake_sim::proc::Pid;
@@ -164,6 +164,15 @@ pub struct StartupTrial {
     /// request): syscalls, markers, and — under lazy restore modes —
     /// major/minor page faults and copy-on-write breaks.
     pub probes: ProbeCounters,
+    /// Install shards the restore ran with (1 on the serial path, 0 for
+    /// vanilla starts that restore nothing).
+    pub restore_shards: usize,
+    /// Payload bytes the prefetch read streamed instead of seeking for —
+    /// non-zero only once the image is laid out in fault order.
+    pub seek_bytes_avoided: u64,
+    /// Stored pages the restore found compacted into the fallback layer
+    /// (0 unless the image was repacked with compaction).
+    pub pages_compacted: usize,
 }
 
 impl StartupTrial {
@@ -199,6 +208,8 @@ pub struct TrialRunner {
     pages_unique: usize,
     vectored: bool,
     fault_around: usize,
+    threads: usize,
+    repack: Option<RepackStats>,
 }
 
 impl TrialRunner {
@@ -242,6 +253,8 @@ impl TrialRunner {
             pages_unique,
             vectored: true,
             fault_around: 1,
+            threads: 1,
+            repack: None,
         })
     }
 
@@ -259,6 +272,66 @@ impl TrialRunner {
     pub fn fault_around(mut self, window: usize) -> TrialRunner {
         self.fault_around = window;
         self
+    }
+
+    /// Restores with `threads` parallel install shards per trial. Values
+    /// below 2 take the serial path bit-for-bit.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> TrialRunner {
+        self.threads = threads;
+        self
+    }
+
+    /// Rewrites the baked images into recorded fault order (the offline
+    /// `repack` pass, run once on a builder machine). Modes that do not
+    /// record a working set get a record pass first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates repack errors; [`Errno::Einval`] for vanilla runners,
+    /// which have no images to rewrite.
+    pub fn fault_order(mut self) -> SysResult<TrialRunner> {
+        self.repack_images(false)?;
+        Ok(self)
+    }
+
+    /// As [`TrialRunner::fault_order`], additionally compacting pages the
+    /// recorded first invocation never touched into the fallback layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates repack errors; [`Errno::Einval`] for vanilla runners.
+    pub fn compact(mut self) -> SysResult<TrialRunner> {
+        self.repack_images(true)?;
+        Ok(self)
+    }
+
+    /// Runs the offline repack on a scratch builder machine: import the
+    /// baked images, record `ws.img` if this mode never did, repack in
+    /// place, re-export. Trial machines then ship the rewritten images.
+    fn repack_images(&mut self, compact: bool) -> SysResult<()> {
+        let Some(files) = self.baked_images.take() else {
+            return Err(Errno::Einval);
+        };
+        let mut kernel = Kernel::new(0x5EC0);
+        let builder = provision_machine(&mut kernel)?;
+        let dep = Deployment::install(&mut kernel, self.spec.clone(), self.port)?;
+        import_images(&mut kernel, &dep.images_dir(), &files)?;
+        if !files.iter().any(|(name, _)| name == ImageSet::WS_NAME) {
+            record_working_set(&mut kernel, builder, &dep, &dep.images_dir())?;
+        }
+        let mut opts = RepackOptions::new(dep.images_dir());
+        opts.compact = compact;
+        let stats = repack(&mut kernel, &opts)?;
+        self.baked_images = Some(export_images(&mut kernel, &dep.images_dir())?);
+        self.repack = Some(stats);
+        Ok(())
+    }
+
+    /// Stats of the offline repack pass, if [`TrialRunner::fault_order`]
+    /// or [`TrialRunner::compact`] ran.
+    pub fn repack_stats(&self) -> Option<RepackStats> {
+        self.repack
     }
 
     /// The mode this runner measures.
@@ -309,6 +382,7 @@ impl TrialRunner {
                 let mut starter = PrebakeStarter::with_mode(mode);
                 starter.vectored = self.vectored;
                 starter.fault_around = self.fault_around;
+                starter.threads = self.threads;
                 Box::new(starter)
             }
         }
@@ -327,6 +401,7 @@ impl TrialRunner {
             startup,
             phases,
             trace,
+            restore,
             ..
         } = self.starter().start(&mut kernel, watchdog, &dep)?;
 
@@ -350,6 +425,9 @@ impl TrialRunner {
             pages_stored: self.pages_stored,
             pages_unique: self.pages_unique,
             probes,
+            restore_shards: restore.as_ref().map_or(0, |r| r.shards),
+            seek_bytes_avoided: restore.as_ref().map_or(0, |r| r.seek_bytes_avoided),
+            pages_compacted: restore.as_ref().map_or(0, |r| r.pages_compacted),
         })
     }
 
@@ -376,6 +454,7 @@ impl TrialRunner {
             phases,
             trace,
             spans: mut all_spans,
+            restore,
         } = self.starter().start(&mut kernel, watchdog, &dep)?;
 
         kernel.set_tracing(true);
@@ -401,6 +480,9 @@ impl TrialRunner {
                 pages_stored: self.pages_stored,
                 pages_unique: self.pages_unique,
                 probes,
+                restore_shards: restore.as_ref().map_or(0, |r| r.shards),
+                seek_bytes_avoided: restore.as_ref().map_or(0, |r| r.seek_bytes_avoided),
+                pages_compacted: restore.as_ref().map_or(0, |r| r.pages_compacted),
             },
             all_spans,
         ))
@@ -679,6 +761,82 @@ mod tests {
             t_w.first_response_ms,
             t_nw.first_response_ms
         );
+    }
+
+    #[test]
+    fn parallel_restore_threads_cut_eager_startup() {
+        let spec = FunctionSpec::synthetic(SyntheticSize::Small);
+        let serial = TrialRunner::new(spec.clone(), StartMode::PrebakeWarmup(1)).unwrap();
+        let sharded = TrialRunner::new(spec, StartMode::PrebakeWarmup(1))
+            .unwrap()
+            .threads(4);
+        let t_s = serial.startup_trial(1).unwrap();
+        let t_p = sharded.startup_trial(1).unwrap();
+        assert_eq!(t_s.restore_shards, 1);
+        assert_eq!(t_p.restore_shards, 4);
+        assert!(
+            t_p.startup_ms < t_s.startup_ms,
+            "4 shards {} !< serial {}",
+            t_p.startup_ms,
+            t_s.startup_ms
+        );
+    }
+
+    #[test]
+    fn fault_order_layout_streams_the_prefetch_read() {
+        let spec = FunctionSpec::synthetic(SyntheticSize::Small);
+        let dump_order = TrialRunner::new(spec.clone(), StartMode::PrebakePrefetch(1)).unwrap();
+        let ordered = TrialRunner::new(spec, StartMode::PrebakePrefetch(1))
+            .unwrap()
+            .fault_order()
+            .unwrap();
+        let stats = ordered.repack_stats().unwrap();
+        assert_eq!(stats.pages_compacted, 0, "layout-only pass keeps all pages");
+        let t_d = dump_order.startup_trial(1).unwrap();
+        let t_o = ordered.startup_trial(1).unwrap();
+        assert!(
+            t_o.seek_bytes_avoided > t_d.seek_bytes_avoided,
+            "ordered layout avoids more seeks: {} !> {}",
+            t_o.seek_bytes_avoided,
+            t_d.seek_bytes_avoided
+        );
+        assert!(
+            t_o.first_response_ms < t_d.first_response_ms,
+            "ordered {} !< dump-order {}",
+            t_o.first_response_ms,
+            t_d.first_response_ms
+        );
+        assert_eq!(t_o.probes.major_faults, 0, "prefetch still covers the ws");
+    }
+
+    #[test]
+    fn compaction_shrinks_the_hot_image_and_keeps_trials_working() {
+        let spec = FunctionSpec::synthetic(SyntheticSize::Small);
+        let full = TrialRunner::new(spec.clone(), StartMode::PrebakeWarmup(1)).unwrap();
+        // Eager warmup never records a ws: compact() runs the record pass.
+        let compacted = TrialRunner::new(spec, StartMode::PrebakeWarmup(1))
+            .unwrap()
+            .compact()
+            .unwrap();
+        let stats = compacted.repack_stats().unwrap();
+        assert!(stats.pages_compacted > 0, "first request skips some pages");
+        assert!(stats.hot_bytes_after < stats.hot_bytes_before);
+        let t_f = full.startup_trial(1).unwrap();
+        let t_c = compacted.startup_trial(1).unwrap();
+        assert_eq!(t_f.pages_compacted, 0);
+        assert_eq!(t_c.pages_compacted, stats.pages_compacted);
+        assert!(
+            t_c.startup_ms < t_f.startup_ms,
+            "smaller hot image starts faster: {} !< {}",
+            t_c.startup_ms,
+            t_f.startup_ms
+        );
+    }
+
+    #[test]
+    fn vanilla_runner_has_no_images_to_repack() {
+        let runner = TrialRunner::new(FunctionSpec::noop(), StartMode::Vanilla).unwrap();
+        assert_eq!(runner.fault_order().unwrap_err(), Errno::Einval);
     }
 
     #[test]

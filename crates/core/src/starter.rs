@@ -1,7 +1,7 @@
 //! Start-up mechanisms: the paper's *Vanilla* fork-exec path and the
 //! *Prebaking* restore path, behind one [`Starter`] abstraction.
 
-use prebake_criu::{restore, RestoreMode, RestoreOptions};
+use prebake_criu::{restore, RestoreMode, RestoreOptions, RestoreStats};
 use prebake_functions::FunctionSpec;
 use prebake_runtime::Replica;
 use prebake_sim::error::SysResult;
@@ -34,6 +34,9 @@ pub struct Started {
     /// starter then leaves its spans in the kernel for the session to
     /// drain as one tree.
     pub spans: Vec<TraceSpan>,
+    /// Restore statistics when the start-up was a snapshot restore
+    /// (`None` for the vanilla fork-exec path).
+    pub restore: Option<RestoreStats>,
 }
 
 /// A mechanism for starting function replicas.
@@ -109,6 +112,7 @@ impl Starter for VanillaStarter {
             phases: PhaseTracker::new(t0, ready).phases(&trace),
             trace,
             spans,
+            restore: None,
         })
     }
 }
@@ -132,6 +136,9 @@ pub struct PrebakeStarter {
     pub vectored: bool,
     /// Fault-around window for the uffd-backed modes (1 = none).
     pub fault_around: usize,
+    /// Restorer worker threads for the sharded parallel install
+    /// (1 = serial).
+    pub threads: usize,
 }
 
 impl Default for PrebakeStarter {
@@ -141,6 +148,7 @@ impl Default for PrebakeStarter {
             mode: RestoreMode::default(),
             vectored: true,
             fault_around: 1,
+            threads: 1,
         }
     }
 }
@@ -172,6 +180,14 @@ impl PrebakeStarter {
         self.fault_around = window;
         self
     }
+
+    /// Sets the restorer worker-thread count for the sharded parallel
+    /// install (values below 2 keep the serial path).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> PrebakeStarter {
+        self.threads = threads;
+        self
+    }
 }
 
 impl Starter for PrebakeStarter {
@@ -197,6 +213,7 @@ impl Starter for PrebakeStarter {
         let mut opts = RestoreOptions::with_mode(&dir, self.mode);
         opts.vectored = self.vectored;
         opts.fault_around = self.fault_around;
+        opts.threads = self.threads;
         let stats = restore(kernel, supervisor, &opts)?;
         let handler = dep.spec.make_handler(&dep.app_dir);
         let replica = Replica::attach(kernel, stats.pid, dep.jlvm_config(), handler)?;
@@ -217,6 +234,7 @@ impl Starter for PrebakeStarter {
             phases: PhaseTracker::new(t0, ready).phases(&trace),
             trace,
             spans,
+            restore: Some(stats),
         })
     }
 }

@@ -12,7 +12,7 @@ use prebake_sim::kernel::Kernel;
 use prebake_sim::proc::Pid;
 
 use crate::costs::CriuCosts;
-use crate::dump::{dump, DumpOptions, DumpStats};
+use crate::dump::{dump, repack, DumpOptions, DumpStats, RepackOptions, RepackStats};
 use crate::restore::{restore, RestoreMode, RestoreOptions, RestorePid, RestoreStats};
 
 /// Outcome of a CLI invocation.
@@ -24,6 +24,8 @@ pub enum CliOutcome {
     Restored(RestoreStats),
     /// An image check completed.
     Checked(crate::check::CheckReport),
+    /// An offline image repack completed.
+    Repacked(RepackStats),
 }
 
 /// A CLI usage error (bad flags), distinct from runtime errors.
@@ -91,9 +93,12 @@ impl CriuCli {
     /// Supported:
     /// - `dump -t <pid> -D <dir> [--leave-running]`
     /// - `restore -D <dir> [--same-pid] [--page-granular]
-    ///   [--fault-around <pages>]` plus a memory-mode flag
-    ///   (`--lazy-pages`, `--ws-record`, `--ws-prefetch`, `--cow`,
+    ///   [--fault-around <pages>] [--threads <n>]` plus a memory-mode
+    ///   flag (`--lazy-pages`, `--ws-record`, `--ws-prefetch`, `--cow`,
     ///   `--cow-prefetch`)
+    /// - `repack -D <dir> [--no-fault-order] [--compact]` — rewrite the
+    ///   image into recorded fault order and/or compact it to the hot
+    ///   working set with a fallback layer
     ///
     /// (A leading literal `criu` argv\[0\] is accepted and skipped.)
     ///
@@ -180,6 +185,7 @@ impl CriuCli {
                 let mut mode = RestoreMode::Eager;
                 let mut vectored = true;
                 let mut fault_around = 1usize;
+                let mut threads = 1usize;
                 let mut i = 1;
                 while i < args.len() {
                     match args[i] {
@@ -205,6 +211,15 @@ impl CriuCli {
                             fault_around = v
                                 .parse()
                                 .map_err(|_| usage("--fault-around window must be a number"))?;
+                            i += 2;
+                        }
+                        "--threads" => {
+                            let v = args
+                                .get(i + 1)
+                                .ok_or_else(|| usage("--threads needs a count"))?;
+                            threads = v
+                                .parse()
+                                .map_err(|_| usage("--threads count must be a number"))?;
                             i += 2;
                         }
                         "--lazy-pages" => {
@@ -238,8 +253,43 @@ impl CriuCli {
                     costs: self.costs.clone(),
                     vectored,
                     fault_around,
+                    threads,
                 };
                 Ok(CliOutcome::Restored(restore(kernel, self.caller, &opts)?))
+            }
+            Some(&"repack") => {
+                let mut dir: Option<String> = None;
+                let mut fault_order = true;
+                let mut compact = false;
+                let mut i = 1;
+                while i < args.len() {
+                    match args[i] {
+                        "-D" | "--images-dir" => {
+                            dir = Some(
+                                (*args.get(i + 1).ok_or_else(|| usage("-D needs a dir"))?)
+                                    .to_owned(),
+                            );
+                            i += 2;
+                        }
+                        "--no-fault-order" => {
+                            fault_order = false;
+                            i += 1;
+                        }
+                        "--compact" => {
+                            compact = true;
+                            i += 1;
+                        }
+                        other => return Err(usage(&format!("unknown repack flag {other}"))),
+                    }
+                }
+                let dir = dir.ok_or_else(|| usage("repack requires -D <dir>"))?;
+                let opts = RepackOptions {
+                    images_dir: dir,
+                    fault_order,
+                    compact,
+                    costs: self.costs.clone(),
+                };
+                Ok(CliOutcome::Repacked(repack(kernel, &opts)?))
             }
             Some(&"check") => {
                 let mut dir: Option<String> = None;
@@ -260,7 +310,7 @@ impl CriuCli {
                 Ok(CliOutcome::Checked(crate::check::check(kernel, &dir)?))
             }
             Some(other) => Err(usage(&format!("unknown subcommand {other}"))),
-            None => Err(usage("expected dump, pre-dump, restore or check")),
+            None => Err(usage("expected dump, pre-dump, restore, repack or check")),
         }
     }
 }
@@ -446,6 +496,82 @@ mod tests {
             cli.run(&mut k, &["restore", "-D", "/img", "--fault-around", "wide"])
                 .unwrap_err(),
             CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn threads_flag_parsed() {
+        let (mut k, caller, target) = setup();
+        let cli = CriuCli::new(caller).with_costs(CriuCosts::free());
+        let pid_str = target.0.to_string();
+        cli.run(&mut k, &["dump", "-t", &pid_str, "-D", "/img"])
+            .unwrap();
+        let out = cli
+            .run(&mut k, &["restore", "-D", "/img", "--threads", "4"])
+            .unwrap();
+        match out {
+            CliOutcome::Restored(s) => {
+                assert_eq!(s.pages_installed, 1);
+                // One stored page = one extent = at most one shard.
+                assert_eq!(s.shards, 1);
+            }
+            other => panic!("expected restore, got {other:?}"),
+        }
+        assert!(matches!(
+            cli.run(&mut k, &["restore", "-D", "/img", "--threads", "many"])
+                .unwrap_err(),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn repack_verb_parsed() {
+        use crate::image::WsImage;
+
+        let (mut k, caller, target) = setup();
+        let cli = CriuCli::new(caller).with_costs(CriuCosts::free());
+        let pid_str = target.0.to_string();
+        let page_index = {
+            let vma = k
+                .process(target)
+                .unwrap()
+                .mem
+                .vmas()
+                .next()
+                .unwrap()
+                .clone();
+            vma.start.0 / PAGE_SIZE as u64
+        };
+        cli.run(&mut k, &["dump", "-t", &pid_str, "-D", "/img"])
+            .unwrap();
+        k.fs_write_file(
+            "/img/ws.img",
+            WsImage::from_fault_log(vec![page_index]).encode(),
+        )
+        .unwrap();
+        let out = cli
+            .run(&mut k, &["repack", "-D", "/img", "--compact"])
+            .unwrap();
+        match out {
+            CliOutcome::Repacked(s) => {
+                assert_eq!(s.pages_hot, 1);
+                assert_eq!(s.pages_compacted, 0, "whole image is in the working set");
+            }
+            other => panic!("expected repack, got {other:?}"),
+        }
+        assert!(matches!(
+            cli.run(&mut k, &["repack"]).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            cli.run(&mut k, &["repack", "-D", "/img", "--wat"])
+                .unwrap_err(),
+            CliError::Usage(_)
+        ));
+        // No recorded working set → nothing to order by.
+        assert!(matches!(
+            cli.run(&mut k, &["dump", "-t", "1", "-D", "/img2"]),
+            Err(CliError::Sys(_)) | Ok(_)
         ));
     }
 

@@ -44,6 +44,13 @@ pub struct CriuCosts {
     /// from; `restore_per_page` (the in-kernel install) is still paid by
     /// both paths.
     pub restore_page_op: SimDuration,
+    /// Spawning (and later joining) one restorer worker thread in a
+    /// sharded parallel restore: `clone(CLONE_VM)`, stack setup and the
+    /// join-side futex wake. Paid once per shard on the critical path —
+    /// overlapped page installation only wins while `shards ×
+    /// shard_spawn` stays far below the serial install time it displaces,
+    /// which is what caps useful shard counts on small snapshots.
+    pub shard_spawn: SimDuration,
 }
 
 impl CriuCosts {
@@ -59,6 +66,7 @@ impl CriuCosts {
             lazy_register: SimDuration::from_micros(300),
             restore_per_cow_page: SimDuration::from_nanos(40),
             restore_page_op: SimDuration::from_nanos(2500),
+            shard_spawn: SimDuration::from_micros(15),
         }
     }
 
@@ -74,6 +82,7 @@ impl CriuCosts {
             lazy_register: SimDuration::ZERO,
             restore_per_cow_page: SimDuration::ZERO,
             restore_page_op: SimDuration::ZERO,
+            shard_spawn: SimDuration::ZERO,
         }
     }
 }
@@ -130,6 +139,18 @@ mod tests {
         let c = CriuCosts::paper_calibrated();
         assert!(c.restore_page_op.as_nanos() > 10 * c.restore_per_page.as_nanos());
         assert!(CriuCosts::free().restore_page_op.is_zero());
+    }
+
+    #[test]
+    fn shard_spawn_amortises_over_a_shard() {
+        // Eight worker threads must cost a tiny fraction of the restore
+        // base they shave time off — else parallel restore could never
+        // pay for itself — yet one spawn must out-price a per-VMA
+        // re-creation (spawning a thread is heavier than an mmap).
+        let c = CriuCosts::paper_calibrated();
+        assert!(c.shard_spawn.as_nanos() * 8 * 20 < c.restore_base.as_nanos());
+        assert!(c.shard_spawn > c.restore_per_vma);
+        assert!(CriuCosts::free().shard_spawn.is_zero());
     }
 
     #[test]

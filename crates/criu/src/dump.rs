@@ -201,6 +201,7 @@ fn collect_images_inner(
         ws: None,
         pagestore,
         extents: Some(extents),
+        fallback: None,
     })
 }
 
@@ -353,6 +354,155 @@ pub fn pre_dump(kernel: &mut Kernel, tracer: Pid, opts: &DumpOptions) -> SysResu
     })
 }
 
+/// Options for an offline [`repack`] pass over an existing image
+/// directory.
+#[derive(Debug, Clone)]
+pub struct RepackOptions {
+    /// Guest directory holding the images to rewrite in place.
+    pub images_dir: String,
+    /// Rewrite `pages.img` + the extent table so pages appear in the
+    /// `ws.img` fault order — lazy/prefetch restores then stream the
+    /// payload sequentially instead of seeking.
+    pub fault_order: bool,
+    /// Drop stored pages outside the recorded working set into the
+    /// fallback layer (`--compact`): the hot image shrinks to what a
+    /// cold start actually touches; faults past it fall through to the
+    /// fallback at a charged penalty.
+    pub compact: bool,
+    /// Cost table.
+    pub costs: CriuCosts,
+}
+
+impl RepackOptions {
+    /// Fault-order repack of `images_dir`, no compaction.
+    pub fn new(images_dir: impl Into<String>) -> RepackOptions {
+        RepackOptions {
+            images_dir: images_dir.into(),
+            fault_order: true,
+            compact: false,
+            costs: CriuCosts::paper_calibrated(),
+        }
+    }
+}
+
+/// Statistics of a completed [`repack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepackStats {
+    /// Stored pages before the pass (hot + fallback afterwards).
+    pub pages_total: usize,
+    /// Stored pages kept in the hot image.
+    pub pages_hot: usize,
+    /// Stored pages moved to the fallback layer (zero unless
+    /// [`RepackOptions::compact`]).
+    pub pages_compacted: usize,
+    /// Critical-path image bytes before the pass.
+    pub hot_bytes_before: u64,
+    /// Critical-path image bytes after (smaller when compacting).
+    pub hot_bytes_after: u64,
+    /// Virtual time the pass took.
+    pub elapsed: SimDuration,
+}
+
+/// Rewrites an existing image directory offline: fault-order layout
+/// and/or hot-image compaction, driven by the recorded `ws.img`. Runs on
+/// the builder machine after a record pass — never on a cold start's
+/// critical path. The extent table and the page store are re-derived
+/// from the rewritten pagemap; guest-visible memory is unchanged.
+///
+/// # Errors
+///
+/// [`Errno::Enoent`] when `images_dir` lacks a `ws.img` (nothing to
+/// order/compact by), [`Errno::Einval`] for parent-linked (incremental)
+/// images or corrupt files, plus filesystem errors.
+pub fn repack(kernel: &mut Kernel, opts: &RepackOptions) -> SysResult<RepackStats> {
+    let t0 = kernel.now();
+    let dir = &opts.images_dir;
+    if kernel.fs_exists(&prebake_sim::fs::join_path(dir, ImageSet::PARENT_LINK)) {
+        // An incremental image splits payload across directories; repack
+        // only handles self-contained snapshots.
+        return Err(Errno::Einval);
+    }
+    if !kernel.fs_exists(&prebake_sim::fs::join_path(dir, ImageSet::WS_NAME)) {
+        return Err(Errno::Enoent);
+    }
+    let set = read_images(kernel, dir)?;
+    let ws = set.ws.as_ref().expect("ws.img existence checked above");
+
+    let span = kernel.span_begin("criu_repack", set.core.pid);
+    // Re-merge a previously compacted set so the pass is idempotent:
+    // repacking twice (or compacting after a plain reorder) always works
+    // from the full page population, in page-index order.
+    let mut full = match &set.fallback {
+        Some(fallback) => {
+            let mut merged = set.pages.clone();
+            merged.entries.extend(fallback.entries.iter().copied());
+            merged.payload.extend_from_slice(&fallback.payload);
+            merged.reordered(&{
+                let mut idx: Vec<u64> = merged.entries.iter().map(|e| e.page_index).collect();
+                idx.sort_unstable();
+                idx
+            })
+        }
+        None => set.pages.clone(),
+    };
+    if opts.fault_order {
+        full = full.reordered(&ws.pages);
+    }
+    let (hot, fallback) = if opts.compact {
+        let hot_set: std::collections::BTreeSet<u64> = ws.pages.iter().copied().collect();
+        full.split_hot(&hot_set).ok_or(Errno::Einval)?
+    } else {
+        (full, PagesImage::default())
+    };
+    let pagestore = PageStoreImage::from_pages(&hot);
+    let extents = ExtentsImage::from_pages(&hot);
+    kernel.span_attr(span, "hot_pages", hot.stored_pages().to_string());
+    kernel.span_attr(span, "fallback_pages", fallback.stored_pages().to_string());
+
+    let mut files = vec![
+        (ImageSet::PAGEMAP_NAME, hot.encode_pagemap()),
+        (ImageSet::PAGES_NAME, hot.encode_pages()),
+        (ImageSet::EXTENTS_NAME, extents.encode()),
+    ];
+    if let Some(store) = &pagestore {
+        files.push((ImageSet::PAGESTORE_NAME, store.encode()));
+    }
+    if opts.compact {
+        files.push((ImageSet::FALLBACK_PAGEMAP_NAME, fallback.encode_pagemap()));
+        files.push((ImageSet::FALLBACK_PAGES_NAME, fallback.encode_pages()));
+    } else {
+        for name in [
+            ImageSet::FALLBACK_PAGEMAP_NAME,
+            ImageSet::FALLBACK_PAGES_NAME,
+        ] {
+            let path = prebake_sim::fs::join_path(dir, name);
+            if kernel.fs_exists(&path) {
+                kernel.fs_remove_file(&path)?;
+            }
+        }
+    }
+    for (name, data) in files {
+        kernel.fs_write_file(&prebake_sim::fs::join_path(dir, name), data)?;
+    }
+    kernel.span_end(span);
+
+    let after = ImageSet {
+        pages: hot.clone(),
+        pagestore,
+        extents: Some(extents),
+        fallback: opts.compact.then(|| fallback.clone()),
+        ..set.clone()
+    };
+    Ok(RepackStats {
+        pages_total: hot.stored_pages() + fallback.stored_pages(),
+        pages_hot: hot.stored_pages(),
+        pages_compacted: fallback.stored_pages(),
+        hot_bytes_before: set.hot_bytes(),
+        hot_bytes_after: after.hot_bytes(),
+        elapsed: kernel.now() - t0,
+    })
+}
+
 /// Reads an image set back from a guest directory (charged at fs rates —
 /// warm if the images are page-cache-resident, as they are when the
 /// snapshot ships inside the pre-pulled container image).
@@ -433,6 +583,22 @@ fn read_images_with(kernel: &mut Kernel, images_dir: &str, lazy: bool) -> SysRes
         None
     };
 
+    // Compaction fallback layer: its payload is *never* read eagerly —
+    // fallback pages are served by demand paging in every restore mode,
+    // so only the mmap bookkeeping is charged here and the bytes travel
+    // at fault time (the same model as a lazy pages.img).
+    let fb_pagemap_path = prebake_sim::fs::join_path(images_dir, ImageSet::FALLBACK_PAGEMAP_NAME);
+    let fb_pages_path = prebake_sim::fs::join_path(images_dir, ImageSet::FALLBACK_PAGES_NAME);
+    let fallback = if kernel.fs_exists(&fb_pagemap_path) && kernel.fs_exists(&fb_pages_path) {
+        let fb_pagemap = kernel.fs_read_file(&fb_pagemap_path)?;
+        let cost = kernel.costs().mmap_base;
+        kernel.charge(cost);
+        let fb_payload = kernel.uncharged(move |k| k.fs_read_file(&fb_pages_path))?;
+        Some(PagesImage::parse(&fb_pagemap, &fb_payload).map_err(|_| Errno::Einval)?)
+    } else {
+        None
+    };
+
     // Incremental image: follow the parent link and resolve the deferred
     // pages so the returned set is self-contained. Parent payload is part
     // of the same mapped-image model in lazy mode.
@@ -466,6 +632,7 @@ fn read_images_with(kernel: &mut Kernel, images_dir: &str, lazy: bool) -> SysRes
         ws,
         pagestore,
         extents,
+        fallback,
     })
 }
 

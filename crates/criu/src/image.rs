@@ -13,8 +13,14 @@ use prebake_sim::proc::{FdEntry, Pid, Regs, Tid};
 
 /// Magic prefix of every image file: `"CRIM"`.
 pub const IMAGE_MAGIC: u32 = 0x4352_494D;
-/// Image format version.
-pub const IMAGE_VERSION: u16 = 1;
+/// Image format version written by this build. Version 2 added the
+/// fault-order `repack` layout and the compaction fallback layer
+/// (`fallback-pagemap.img`/`fallback-pages.img`); the encoding of every
+/// individual image is unchanged, so readers accept version 1 files —
+/// legacy images restore exactly as before.
+pub const IMAGE_VERSION: u16 = 2;
+/// Oldest image format version readers still accept.
+pub const IMAGE_VERSION_MIN: u16 = 1;
 
 /// Errors produced while encoding/decoding images.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -174,7 +180,7 @@ impl<'a> Reader<'a> {
             return Err(ImageError::BadMagic(magic));
         }
         let version = u16::from_be_bytes(payload[4..6].try_into().unwrap());
-        if version != IMAGE_VERSION {
+        if !(IMAGE_VERSION_MIN..=IMAGE_VERSION).contains(&version) {
             return Err(ImageError::BadVersion(version));
         }
         let found = payload[6];
@@ -634,6 +640,90 @@ impl PagesImage {
             }
         }
         Ok(resolved)
+    }
+
+    /// Rewrites the image so pages listed in `order` come first, in that
+    /// order, followed by the remaining entries in their original order —
+    /// the fault-order *repack* layout. Payload moves with its entry, so
+    /// a restore that walks the entries front-to-back (lazy/prefetch
+    /// loading the working set) now reads the payload file sequentially
+    /// instead of seeking. Indices in `order` that the image does not
+    /// hold (or that repeat) are ignored. Guest contents are unchanged:
+    /// the same `(page_index, bytes)` pairs come back, permuted.
+    pub fn reordered(&self, order: &[u64]) -> PagesImage {
+        use std::collections::BTreeMap;
+        let mut by_index: BTreeMap<u64, usize> = BTreeMap::new();
+        for (slot, e) in self.entries.iter().enumerate() {
+            by_index.insert(e.page_index, slot);
+        }
+        let mut picked = vec![false; self.entries.len()];
+        let mut slots: Vec<usize> = Vec::with_capacity(self.entries.len());
+        for idx in order {
+            if let Some(&slot) = by_index.get(idx) {
+                if !picked[slot] {
+                    picked[slot] = true;
+                    slots.push(slot);
+                }
+            }
+        }
+        slots.extend((0..self.entries.len()).filter(|&s| !picked[s]));
+
+        // Payload offset of each entry slot, for slicing out of order.
+        let mut offsets = Vec::with_capacity(self.entries.len());
+        let mut offset = 0usize;
+        for e in &self.entries {
+            offsets.push(offset);
+            if !e.zero && !e.in_parent {
+                offset += PAGE_SIZE;
+            }
+        }
+        let mut out = PagesImage::default();
+        for slot in slots {
+            let e = self.entries[slot];
+            out.entries.push(e);
+            if !e.zero && !e.in_parent {
+                let at = offsets[slot];
+                out.payload
+                    .extend_from_slice(&self.payload[at..at + PAGE_SIZE]);
+            }
+        }
+        out
+    }
+
+    /// Splits the image into a *hot* layer and a *fallback* layer for
+    /// compaction: stored pages whose index is in `hot_set` — plus every
+    /// zero entry, which costs no payload — stay in the hot image;
+    /// stored pages outside the set move to the fallback image. Both
+    /// halves preserve this image's entry order, so composing a split
+    /// with [`PagesImage::reordered`] keeps the fault-order layout of
+    /// the hot half. Returns `None` when the image defers payload to a
+    /// parent snapshot (compaction needs a self-contained image).
+    pub fn split_hot(
+        &self,
+        hot_set: &std::collections::BTreeSet<u64>,
+    ) -> Option<(PagesImage, PagesImage)> {
+        if self.parent_pages() > 0 {
+            return None;
+        }
+        let mut hot = PagesImage::default();
+        let mut fallback = PagesImage::default();
+        let mut offset = 0usize;
+        for e in &self.entries {
+            if e.zero {
+                hot.entries.push(*e);
+                continue;
+            }
+            let bytes = &self.payload[offset..offset + PAGE_SIZE];
+            offset += PAGE_SIZE;
+            let target = if hot_set.contains(&e.page_index) {
+                &mut hot
+            } else {
+                &mut fallback
+            };
+            target.entries.push(*e);
+            target.payload.extend_from_slice(bytes);
+        }
+        Some((hot, fallback))
     }
 }
 
@@ -1109,6 +1199,13 @@ pub struct ImageSet {
     /// images lack it and a vectored restore recomputes the runs from
     /// the pagemap instead.
     pub extents: Option<ExtentsImage>,
+    /// Compaction fallback layer (`fallback-pagemap.img` +
+    /// `fallback-pages.img`): the never-faulted stored pages a
+    /// `--compact` repack dropped out of the hot image. Optional; when
+    /// present, `pages` holds only the hot working set and a restore
+    /// must register these pages for demand paging — each fault into
+    /// them pays the kernel's `fault_fallback` penalty.
+    pub fallback: Option<PagesImage>,
 }
 
 impl ImageSet {
@@ -1128,6 +1225,12 @@ impl ImageSet {
     pub const PAGESTORE_NAME: &'static str = "pagestore.img";
     /// `extents.img` — the coalesced pagemap runs (optional).
     pub const EXTENTS_NAME: &'static str = "extents.img";
+    /// `fallback-pagemap.img` — pagemap of the compaction fallback layer
+    /// (optional; only `--compact` repacks write it).
+    pub const FALLBACK_PAGEMAP_NAME: &'static str = "fallback-pagemap.img";
+    /// `fallback-pages.img` — payload of the compaction fallback layer
+    /// (optional).
+    pub const FALLBACK_PAGES_NAME: &'static str = "fallback-pages.img";
     /// The parent link file written by incremental dumps (CRIU uses a
     /// symlink named `parent`; we store the path as file contents).
     pub const PARENT_LINK: &'static str = "parent";
@@ -1161,6 +1264,13 @@ impl ImageSet {
             Ok(bytes) => Some(ExtentsImage::parse(bytes, &pages)?),
             Err(_) => None,
         };
+        let fallback = match (
+            get(ImageSet::FALLBACK_PAGEMAP_NAME),
+            get(ImageSet::FALLBACK_PAGES_NAME),
+        ) {
+            (Ok(pagemap), Ok(payload)) => Some(PagesImage::parse(pagemap, payload)?),
+            _ => None,
+        };
         Ok(ImageSet {
             core: CoreImage::parse(get(ImageSet::CORE_NAME)?)?,
             mm: MmImage::parse(get(ImageSet::MM_NAME)?)?,
@@ -1169,12 +1279,26 @@ impl ImageSet {
             ws,
             pagestore,
             extents,
+            fallback,
         })
     }
 
-    /// Total serialised size across all image files, `ws.img`,
-    /// `pagestore.img` and `extents.img` included.
+    /// Total serialised size across all image files — `ws.img`,
+    /// `pagestore.img`, `extents.img` and the compaction fallback layer
+    /// included.
     pub fn total_bytes(&self) -> u64 {
+        self.hot_bytes()
+            + self.fallback.as_ref().map_or(0, |f| {
+                (f.encode_pagemap().len() + f.encode_pages().len()) as u64
+            })
+    }
+
+    /// Bytes on a cold start's critical path: every image file *except*
+    /// the compaction fallback layer, which is only opened when a fault
+    /// misses the hot set. This is what `--compact` shrinks — and what a
+    /// registry tier ships to a node ahead of a start. Equals
+    /// [`ImageSet::total_bytes`] for uncompacted sets.
+    pub fn hot_bytes(&self) -> u64 {
         (self.core.encode().len()
             + self.mm.encode().len()
             + self.pages.encode_pagemap().len()
@@ -1199,7 +1323,9 @@ impl ImageSet {
     /// per snapshot and the unique frame payload once per distinct frame
     /// across all residents.
     pub fn non_payload_bytes(&self) -> u64 {
-        self.total_bytes() - (self.pages.stored_pages() * PAGE_SIZE) as u64
+        let stored =
+            self.pages.stored_pages() + self.fallback.as_ref().map_or(0, |f| f.stored_pages());
+        self.total_bytes() - (stored * PAGE_SIZE) as u64
     }
 }
 
@@ -1413,6 +1539,7 @@ mod tests {
             ws: None,
             pagestore: None,
             extents: None,
+            fallback: None,
         };
         let total = set.total_bytes();
         assert!(total > 100 * PAGE_SIZE as u64);
@@ -1643,6 +1770,7 @@ mod tests {
             ws: None,
             pagestore: None,
             extents: None,
+            fallback: None,
         };
         let without = set.total_bytes();
         assert_eq!(set.extent_view(), ext, "derived from the pagemap");
@@ -1670,6 +1798,7 @@ mod tests {
             ws: None,
             pagestore: None,
             extents: None,
+            fallback: None,
         };
         let mut with = without.clone();
         with.pagestore = Some(store.clone());

@@ -3,12 +3,22 @@
 
 use proptest::prelude::*;
 
-use prebake_criu::dump::{dump, DumpOptions};
+use prebake_criu::dump::{dump, repack, DumpOptions, RepackOptions};
 use prebake_criu::image::{CoreImage, FilesImage, MmImage, PagesImage, ThreadImage, WsImage};
 use prebake_criu::restore::{restore, RestoreMode, RestoreOptions};
 use prebake_sim::kernel::{Kernel, INIT_PID};
 use prebake_sim::mem::{Page, Prot, Vma, VmaKind, PAGE_SIZE};
 use prebake_sim::proc::{FdEntry, Pid, Regs, Tid};
+
+/// Deterministic Fisher–Yates driven by a splitmix stream, so property
+/// inputs choose the permutation without pulling in an RNG dependency.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -188,6 +198,117 @@ proptest! {
         for (addr, data) in &writes {
             let back = kernel.mem_read(stats.pid, *addr, data.len() as u64).unwrap();
             prop_assert_eq!(&back, data);
+        }
+    }
+
+    /// A fault-order repack under an arbitrary recorded order restores
+    /// bit-identically to the original image in all four memory modes:
+    /// the layout pass may permute the payload, never the contents.
+    #[test]
+    fn repacked_image_restores_identically_across_modes(
+        regions in prop::collection::vec((1u64..8, prop::collection::vec(1u8..=255, 1..1500)), 1..4),
+        order_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let mut kernel = Kernel::free(seed);
+        let tracer = kernel.sys_clone(INIT_PID).unwrap();
+        let target = kernel.sys_clone(INIT_PID).unwrap();
+        let mut writes = Vec::new();
+        for (pages, data) in &regions {
+            let len = pages * PAGE_SIZE as u64;
+            let addr = kernel.sys_mmap(target, len, Prot::RW, VmaKind::RuntimeHeap).unwrap();
+            let data = &data[..data.len().min(len as usize)];
+            kernel.mem_write(target, addr, data).unwrap();
+            writes.push((addr, data.to_vec()));
+        }
+        dump(&mut kernel, tracer, &DumpOptions::new(target, "/img")).unwrap();
+
+        // An arbitrary fault order over every written page.
+        let mut ws_pages: Vec<u64> = writes
+            .iter()
+            .flat_map(|(addr, data)| {
+                let pages = (data.len() as u64).div_ceil(PAGE_SIZE as u64);
+                (0..pages).map(move |i| addr.0 / PAGE_SIZE as u64 + i)
+            })
+            .collect();
+        shuffle(&mut ws_pages, order_seed);
+        kernel
+            .fs_write_file("/img/ws.img", WsImage::from_fault_log(ws_pages).encode())
+            .unwrap();
+
+        let stats = repack(&mut kernel, &RepackOptions::new("/img")).unwrap();
+        prop_assert_eq!(stats.pages_compacted, 0, "layout-only pass keeps all pages hot");
+        prop_assert_eq!(stats.hot_bytes_after, stats.hot_bytes_before);
+
+        let expected: Vec<u8> = writes.iter().flat_map(|(_, d)| d.clone()).collect();
+        for mode in [RestoreMode::Eager, RestoreMode::Lazy, RestoreMode::Cow, RestoreMode::Prefetch] {
+            let opts = RestoreOptions::with_mode("/img", mode);
+            let stats = restore(&mut kernel, tracer, &opts).unwrap();
+            let mut bytes = Vec::new();
+            for (addr, data) in &writes {
+                bytes.extend(kernel.mem_read(stats.pid, *addr, data.len() as u64).unwrap());
+            }
+            prop_assert_eq!(&bytes, &expected, "repacked restore diverges in {:?}", mode);
+            kernel.sys_exit(stats.pid, 0).unwrap();
+            kernel.reap(stats.pid).unwrap();
+        }
+    }
+
+    /// A compacted image plus its fallback layer restores bit-identically
+    /// to the full image whatever order the pages fault back in.
+    #[test]
+    fn compacted_image_restores_identically_under_any_fault_order(
+        regions in prop::collection::vec((1u64..6, prop::collection::vec(1u8..=255, 1..1200)), 2..5),
+        order_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let mut kernel = Kernel::free(seed);
+        let tracer = kernel.sys_clone(INIT_PID).unwrap();
+        let target = kernel.sys_clone(INIT_PID).unwrap();
+        let mut writes = Vec::new();
+        for (pages, data) in &regions {
+            let len = pages * PAGE_SIZE as u64;
+            let addr = kernel.sys_mmap(target, len, Prot::RW, VmaKind::RuntimeHeap).unwrap();
+            let data = &data[..data.len().min(len as usize)];
+            kernel.mem_write(target, addr, data).unwrap();
+            writes.push((addr, data.to_vec()));
+        }
+        dump(&mut kernel, tracer, &DumpOptions::new(target, "/img")).unwrap();
+
+        // The recorded working set covers only the first region: every
+        // other stored page gets compacted into the fallback layer.
+        let (ws_addr, ws_data) = &writes[0];
+        let ws_pages: Vec<u64> = (0..(ws_data.len() as u64).div_ceil(PAGE_SIZE as u64))
+            .map(|i| ws_addr.0 / PAGE_SIZE as u64 + i)
+            .collect();
+        kernel
+            .fs_write_file("/img/ws.img", WsImage::from_fault_log(ws_pages).encode())
+            .unwrap();
+
+        let mut opts = RepackOptions::new("/img");
+        opts.compact = true;
+        let stats = repack(&mut kernel, &opts).unwrap();
+        prop_assert!(stats.pages_compacted > 0, "regions past the ws compact");
+        prop_assert!(stats.hot_bytes_after < stats.hot_bytes_before);
+
+        // Fault the memory back in an arbitrary order, eagerly and
+        // lazily: contents must match the full image bit for bit.
+        let mut order: Vec<usize> = (0..writes.len()).collect();
+        shuffle(&mut order, order_seed);
+        for mode in [RestoreMode::Eager, RestoreMode::Lazy] {
+            let opts = RestoreOptions::with_mode("/img", mode);
+            let stats = restore(&mut kernel, tracer, &opts).unwrap();
+            for &i in &order {
+                let (addr, data) = &writes[i];
+                let back = kernel.mem_read(stats.pid, *addr, data.len() as u64).unwrap();
+                prop_assert_eq!(&back, data, "fallback fault diverges in {:?}", mode);
+            }
+            prop_assert!(
+                kernel.uffd_fallback_faults(stats.pid) > 0,
+                "compacted pages fault through the fallback layer"
+            );
+            kernel.sys_exit(stats.pid, 0).unwrap();
+            kernel.reap(stats.pid).unwrap();
         }
     }
 

@@ -7,7 +7,7 @@
 
 use prebake_core::env::{export_images, provision_machine, Deployment};
 use prebake_core::prebaker::{bake, record_working_set, SnapshotPolicy};
-use prebake_criu::RestoreMode;
+use prebake_criu::{repack, RepackOptions, RestoreMode};
 use prebake_functions::FunctionSpec;
 use prebake_sim::error::SysResult;
 use prebake_sim::kernel::Kernel;
@@ -25,77 +25,135 @@ pub struct Template {
     /// (ignored for plain templates). Prefetch templates additionally
     /// run the working-set record pass at build time.
     pub restore: RestoreMode,
+    /// Install shards replicas restore with; values below 2 take the
+    /// serial path bit-for-bit.
+    pub restore_threads: usize,
+    /// Rewrite the baked images into recorded fault order at build time
+    /// (runs a record pass first when the restore mode has none).
+    pub fault_order: bool,
+    /// Additionally compact never-faulted pages into the fallback layer
+    /// at build time (implies the fault-order rewrite).
+    pub compact: bool,
 }
 
 impl Template {
+    /// A template with the default restore knobs (serial install, dump
+    /// order, no compaction).
+    fn base(name: String, prebake: Option<SnapshotPolicy>, restore: RestoreMode) -> Template {
+        Template {
+            name,
+            prebake,
+            restore,
+            restore_threads: 1,
+            fault_order: false,
+            compact: false,
+        }
+    }
+
     /// The plain Java-like template.
     pub fn java11() -> Template {
-        Template {
-            name: "java11".to_owned(),
-            prebake: None,
-            restore: RestoreMode::Eager,
-        }
+        Template::base("java11".to_owned(), None, RestoreMode::Eager)
     }
 
     /// The CRIU template without warm-up (snapshot right after ready).
     pub fn java11_criu() -> Template {
-        Template {
-            name: "java11-criu".to_owned(),
-            prebake: Some(SnapshotPolicy::AfterReady),
-            restore: RestoreMode::Eager,
-        }
+        Template::base(
+            "java11-criu".to_owned(),
+            Some(SnapshotPolicy::AfterReady),
+            RestoreMode::Eager,
+        )
     }
 
     /// The CRIU template with a warm-up script of `n` requests.
     pub fn java11_criu_warm(n: u32) -> Template {
-        Template {
-            name: format!("java11-criu-warm{n}"),
-            prebake: Some(SnapshotPolicy::AfterWarmup(n)),
-            restore: RestoreMode::Eager,
-        }
+        Template::base(
+            format!("java11-criu-warm{n}"),
+            Some(SnapshotPolicy::AfterWarmup(n)),
+            RestoreMode::Eager,
+        )
     }
 
     /// The lazy-restore CRIU template: the 1-warm-up snapshot restored
     /// with demand paging only (`prebake-lazy`, no prefetch).
     pub fn java11_criu_lazy() -> Template {
-        Template {
-            name: "java11-criu-lazy".to_owned(),
-            prebake: Some(SnapshotPolicy::AfterWarmup(1)),
-            restore: RestoreMode::Lazy,
-        }
+        Template::base(
+            "java11-criu-lazy".to_owned(),
+            Some(SnapshotPolicy::AfterWarmup(1)),
+            RestoreMode::Lazy,
+        )
     }
 
     /// The prefetching CRIU template: the 1-warm-up snapshot plus a
     /// build-time working-set record pass; replicas bulk-load `ws.img`
     /// and demand-fault the rest (`prebake-lazy`, REAP-style).
     pub fn java11_criu_prefetch() -> Template {
-        Template {
-            name: "java11-criu-prefetch".to_owned(),
-            prebake: Some(SnapshotPolicy::AfterWarmup(1)),
-            restore: RestoreMode::Prefetch,
-        }
+        Template::base(
+            "java11-criu-prefetch".to_owned(),
+            Some(SnapshotPolicy::AfterWarmup(1)),
+            RestoreMode::Prefetch,
+        )
     }
 
     /// The copy-on-write CRIU template: the 1-warm-up snapshot restored
     /// by mapping shared frames from the machine's content-addressed
     /// page store; replicas pay the page copy on first write only.
     pub fn java11_criu_cow() -> Template {
-        Template {
-            name: "java11-criu-cow".to_owned(),
-            prebake: Some(SnapshotPolicy::AfterWarmup(1)),
-            restore: RestoreMode::Cow,
-        }
+        Template::base(
+            "java11-criu-cow".to_owned(),
+            Some(SnapshotPolicy::AfterWarmup(1)),
+            RestoreMode::Cow,
+        )
     }
 
     /// The CoW-prefetch CRIU template: the recorded working set maps
     /// copy-on-write, residual pages demand-fault (page store + `ws.img`,
     /// both produced at build time).
     pub fn java11_criu_cow_prefetch() -> Template {
-        Template {
-            name: "java11-criu-cow-prefetch".to_owned(),
-            prebake: Some(SnapshotPolicy::AfterWarmup(1)),
-            restore: RestoreMode::CowPrefetch,
-        }
+        Template::base(
+            "java11-criu-cow-prefetch".to_owned(),
+            Some(SnapshotPolicy::AfterWarmup(1)),
+            RestoreMode::CowPrefetch,
+        )
+    }
+
+    /// The parallel-restore CRIU template: the 1-warm-up snapshot
+    /// restored with `threads` install shards working disjoint extent
+    /// ranges (DESIGN.md §14).
+    pub fn java11_criu_parallel(threads: usize) -> Template {
+        let mut t = Template::base(
+            format!("java11-criu-par{threads}"),
+            Some(SnapshotPolicy::AfterWarmup(1)),
+            RestoreMode::Eager,
+        );
+        t.restore_threads = threads;
+        t
+    }
+
+    /// The fault-order CRIU template: prefetch restore over images the
+    /// build repacked into recorded fault order, so the working-set read
+    /// streams sequentially instead of seeking.
+    pub fn java11_criu_ordered() -> Template {
+        let mut t = Template::base(
+            "java11-criu-ordered".to_owned(),
+            Some(SnapshotPolicy::AfterWarmup(1)),
+            RestoreMode::Prefetch,
+        );
+        t.fault_order = true;
+        t
+    }
+
+    /// The compacted CRIU template: eager restore of a hot image holding
+    /// only the pages the recorded first invocation touched; the rest sit
+    /// in the fallback layer behind the fault handler.
+    pub fn java11_criu_compact() -> Template {
+        let mut t = Template::base(
+            "java11-criu-compact".to_owned(),
+            Some(SnapshotPolicy::AfterWarmup(1)),
+            RestoreMode::Eager,
+        );
+        t.fault_order = true;
+        t.compact = true;
+        t
     }
 
     /// The built-in template repository.
@@ -108,6 +166,9 @@ impl Template {
             Template::java11_criu_prefetch(),
             Template::java11_criu_cow(),
             Template::java11_criu_cow_prefetch(),
+            Template::java11_criu_parallel(4),
+            Template::java11_criu_ordered(),
+            Template::java11_criu_compact(),
         ]
     }
 
@@ -116,6 +177,11 @@ impl Template {
         if let Some(rest) = name.strip_prefix("java11-criu-warm") {
             if let Ok(n) = rest.parse::<u32>() {
                 return Some(Template::java11_criu_warm(n));
+            }
+        }
+        if let Some(rest) = name.strip_prefix("java11-criu-par") {
+            if let Ok(n) = rest.parse::<usize>() {
+                return Some(Template::java11_criu_parallel(n));
             }
         }
         Template::repository().into_iter().find(|t| t.name == name)
@@ -148,10 +214,16 @@ impl FunctionBuilder {
                 // production restore.
                 prebake_criu::check(&mut kernel, &dep.images_dir())
                     .map_err(|_| prebake_sim::Errno::Einval)?;
-                if template.restore.needs_ws() {
+                let repacks = template.fault_order || template.compact;
+                if template.restore.needs_ws() || repacks {
                     // Record pass: `ws.img` ships in the image alongside
-                    // the other snapshot files.
+                    // the other snapshot files (and drives the repack).
                     record_working_set(&mut kernel, builder_proc, &dep, &dep.images_dir())?;
+                }
+                if repacks {
+                    let mut opts = RepackOptions::new(dep.images_dir());
+                    opts.compact = template.compact;
+                    repack(&mut kernel, &opts)?;
                 }
                 export_images(&mut kernel, &dep.images_dir())?
             }
@@ -162,6 +234,7 @@ impl FunctionBuilder {
             snapshot_files,
             policy: template.prebake,
             restore_mode: template.restore,
+            restore_threads: template.restore_threads,
             version: 0,
         })
     }
@@ -173,7 +246,18 @@ mod tests {
 
     #[test]
     fn template_repository_and_lookup() {
-        assert_eq!(Template::repository().len(), 7);
+        assert_eq!(Template::repository().len(), 10);
+        assert_eq!(
+            Template::lookup("java11-criu-par8")
+                .unwrap()
+                .restore_threads,
+            8
+        );
+        assert_eq!(
+            Template::lookup("java11-criu-ordered"),
+            Some(Template::java11_criu_ordered())
+        );
+        assert!(Template::lookup("java11-criu-compact").unwrap().compact);
         assert_eq!(Template::lookup("java11"), Some(Template::java11()));
         assert_eq!(
             Template::lookup("java11-criu").unwrap().prebake,
@@ -247,6 +331,57 @@ mod tests {
             .build(FunctionSpec::noop(), &Template::java11_criu_lazy())
             .unwrap();
         assert!(!lazy.snapshot_files.iter().any(|(n, _)| n == "ws.img"));
+    }
+
+    #[test]
+    fn ordered_and_compact_builds_repack_at_build_time() {
+        // The ordered template records a ws and rewrites the layout; all
+        // pages stay in the hot image.
+        let ordered = FunctionBuilder
+            .build(FunctionSpec::noop(), &Template::java11_criu_ordered())
+            .unwrap();
+        let names: Vec<&str> = ordered
+            .snapshot_files
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert!(names.contains(&"ws.img"), "repack needs the record pass");
+        assert!(!names.contains(&"fallback-pages.img"));
+
+        // The compact template additionally splits off the fallback
+        // layer, and its hot pages.img shrinks against the plain warm
+        // build.
+        let warm = FunctionBuilder
+            .build(FunctionSpec::noop(), &Template::java11_criu_warm(1))
+            .unwrap();
+        let compact = FunctionBuilder
+            .build(FunctionSpec::noop(), &Template::java11_criu_compact())
+            .unwrap();
+        let pages_len = |img: &ContainerImage| {
+            img.snapshot_files
+                .iter()
+                .find(|(n, _)| n == "pages.img")
+                .map(|(_, d)| d.len())
+                .unwrap()
+        };
+        assert!(compact
+            .snapshot_files
+            .iter()
+            .any(|(n, _)| n == "fallback-pages.img"));
+        assert!(
+            pages_len(&compact) < pages_len(&warm),
+            "compaction shrinks the hot image: {} !< {}",
+            pages_len(&compact),
+            pages_len(&warm)
+        );
+
+        // The parallel template changes no image bytes, only the restore
+        // fan-out the replicas run with.
+        let par = FunctionBuilder
+            .build(FunctionSpec::noop(), &Template::java11_criu_parallel(4))
+            .unwrap();
+        assert_eq!(par.restore_threads, 4);
+        assert_eq!(pages_len(&par), pages_len(&warm));
     }
 
     #[test]

@@ -189,6 +189,16 @@ pub struct FunctionMetrics {
     /// Page faults avoided by fault-around batching during restore-path
     /// start windows (neighbour pages serviced without their own trap).
     pub restore_faults_avoided: Counter,
+    /// Install shards restore-path cold starts ran with (1 per serial
+    /// restore; parallel restores add their fan-out).
+    pub restore_shards: Counter,
+    /// Payload bytes the prefetch read streamed instead of seeking for,
+    /// summed over restore-path cold starts (non-zero once images are
+    /// laid out in fault order).
+    pub restore_seek_bytes_avoided: Counter,
+    /// Stored pages restores found compacted into the fallback layer,
+    /// summed over restore-path cold starts.
+    pub restore_pages_compacted: Counter,
 }
 
 /// The platform metric registry.
@@ -275,6 +285,18 @@ impl Metrics {
             out.push_str(&format!(
                 "prebake_restore_faults_avoided_total{{function=\"{name}\"}} {}\n",
                 m.restore_faults_avoided.get()
+            ));
+            out.push_str(&format!(
+                "prebake_restore_shards_total{{function=\"{name}\"}} {}\n",
+                m.restore_shards.get()
+            ));
+            out.push_str(&format!(
+                "prebake_restore_seek_bytes_avoided_total{{function=\"{name}\"}} {}\n",
+                m.restore_seek_bytes_avoided.get()
+            ));
+            out.push_str(&format!(
+                "prebake_restore_pages_compacted_total{{function=\"{name}\"}} {}\n",
+                m.restore_pages_compacted.get()
             ));
         }
         out
@@ -479,6 +501,18 @@ mod tests {
         let text = m.render();
         assert!(text.contains("prebake_restore_extents_total{function=\"fn\"} 5"));
         assert!(text.contains("prebake_restore_faults_avoided_total{function=\"fn\"} 12"));
+    }
+
+    #[test]
+    fn parallel_and_layout_counters_render() {
+        let mut m = Metrics::new();
+        m.function("fn").restore_shards.add(4);
+        m.function("fn").restore_seek_bytes_avoided.add(1 << 20);
+        m.function("fn").restore_pages_compacted.add(7);
+        let text = m.render();
+        assert!(text.contains("prebake_restore_shards_total{function=\"fn\"} 4"));
+        assert!(text.contains("prebake_restore_seek_bytes_avoided_total{function=\"fn\"} 1048576"));
+        assert!(text.contains("prebake_restore_pages_compacted_total{function=\"fn\"} 7"));
     }
 
     #[test]

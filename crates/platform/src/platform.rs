@@ -499,7 +499,9 @@ impl Platform {
         kernel.advance_to(start_at);
         let started_at = self.now;
         let starter: Box<dyn Starter> = if image.is_prebaked() {
-            Box::new(PrebakeStarter::with_mode(image.restore_mode))
+            let mut prebake = PrebakeStarter::with_mode(image.restore_mode);
+            prebake.threads = image.restore_threads;
+            Box::new(prebake)
         } else {
             Box::new(VanillaStarter)
         };
@@ -510,6 +512,7 @@ impl Platform {
             replica,
             startup,
             trace,
+            restore,
             ..
         } = starter.start(&mut kernel, watchdog, &dep)?;
         kernel.span_end(cold_span);
@@ -531,6 +534,11 @@ impl Platform {
             m.restore_cow_breaks.add(counters.cow_breaks);
             m.restore_extents.add(counters.extents_restored);
             m.restore_faults_avoided.add(counters.faults_avoided);
+        }
+        if let Some(stats) = &restore {
+            m.restore_shards.add(stats.shards as u64);
+            m.restore_seek_bytes_avoided.add(stats.seek_bytes_avoided);
+            m.restore_pages_compacted.add(stats.pages_compacted as u64);
         }
 
         self.containers.insert(
@@ -1016,6 +1024,77 @@ mod tests {
             .unwrap();
         quiet.run().unwrap();
         assert!(quiet.take_spans().is_empty());
+    }
+
+    #[test]
+    fn parallel_ordered_and_compact_templates_serve_and_export_counters() {
+        // Parallel template: restore fans out and the gateway counts the
+        // shards; the cold start beats the serial template's.
+        let mut serial = platform_with(&Template::java11_criu_warm(1), PlatformConfig::default());
+        serial
+            .submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
+        serial.run().unwrap();
+        let mut par = platform_with(
+            &Template::java11_criu_parallel(4),
+            PlatformConfig::default(),
+        );
+        par.submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
+        par.run().unwrap();
+        assert_eq!(
+            serial.metrics().get("noop").unwrap().restore_shards.get(),
+            1
+        );
+        assert_eq!(par.metrics().get("noop").unwrap().restore_shards.get(), 4);
+        let serial_ms = serial.metrics().get("noop").unwrap().restore_ms.mean();
+        let par_ms = par.metrics().get("noop").unwrap().restore_ms.mean();
+        assert!(
+            par_ms < serial_ms,
+            "sharded restore {par_ms}ms !< serial {serial_ms}ms"
+        );
+
+        // Ordered template: the fault-order layout turns the prefetch
+        // read into streaming, visible in the seek counter.
+        let mut dump_order =
+            platform_with(&Template::java11_criu_prefetch(), PlatformConfig::default());
+        dump_order
+            .submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
+        dump_order.run().unwrap();
+        let mut ordered =
+            platform_with(&Template::java11_criu_ordered(), PlatformConfig::default());
+        ordered
+            .submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
+        ordered.run().unwrap();
+        let avoided = |p: &Platform| {
+            p.metrics()
+                .get("noop")
+                .unwrap()
+                .restore_seek_bytes_avoided
+                .get()
+        };
+        assert!(
+            avoided(&ordered) > avoided(&dump_order),
+            "ordered layout streams more: {} !> {}",
+            avoided(&ordered),
+            avoided(&dump_order)
+        );
+
+        // Compact template: the restore reports the fallback split and
+        // the request still completes.
+        let mut compact =
+            platform_with(&Template::java11_criu_compact(), PlatformConfig::default());
+        compact
+            .submit(SimInstant::EPOCH, "noop", Request::empty())
+            .unwrap();
+        compact.run().unwrap();
+        assert_eq!(compact.completed().len(), 1);
+        let cm = compact.metrics().get("noop").unwrap();
+        assert!(cm.restore_pages_compacted.get() > 0);
+        let text = compact.metrics().render();
+        assert!(text.contains("prebake_restore_pages_compacted_total{function=\"noop\"}"));
     }
 
     #[test]

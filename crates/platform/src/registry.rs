@@ -41,6 +41,9 @@ pub struct ContainerImage {
     /// How replicas reinstate snapshot memory (from the build template;
     /// meaningless for plain images).
     pub restore_mode: RestoreMode,
+    /// Install shards replicas restore with (from the build template;
+    /// values below 2 restore serially).
+    pub restore_threads: usize,
     /// Monotonic version, bumped on every push.
     pub version: u32,
 }
@@ -126,6 +129,7 @@ mod tests {
             snapshot_files: Vec::new(),
             policy: None,
             restore_mode: RestoreMode::Eager,
+            restore_threads: 1,
             version: 0,
         }
     }

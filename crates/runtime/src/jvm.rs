@@ -209,6 +209,7 @@ impl Jlvm {
     /// corrupt one or a missing archive.
     pub fn load_class(&mut self, kernel: &mut Kernel, name: &str) -> SysResult<bool> {
         if self.state.class(name).is_some() {
+            self.touch_class(kernel, name)?;
             return Ok(false);
         }
         let archive = self.archive.as_ref().ok_or(Errno::Einval)?;
@@ -311,6 +312,51 @@ impl Jlvm {
         }
         self.state.heap_cursor = aligned + len;
         Ok(VirtAddr(self.state.heap_base + aligned))
+    }
+
+    /// Re-executes an already-loaded class: the guest reads the head of
+    /// its metaspace representation (method table, resolved pool) and
+    /// jumps into its jitted code, so a demand-paged restore takes the
+    /// faults a warm request really takes. Present pages cost nothing —
+    /// only the paging activity is charged, by the kernel.
+    ///
+    /// Both caches are deterministic bump allocators and every
+    /// allocation happens in `state.classes` order (`jit_pending`
+    /// compiles in load order), so the addresses are recomputed by
+    /// replaying the cursors rather than widening the state record.
+    fn touch_class(&mut self, kernel: &mut Kernel, name: &str) -> SysResult<()> {
+        let costs = &self.config.costs;
+        let page = prebake_sim::mem::PAGE_SIZE as u64;
+        let mut meta_cursor = 0u64;
+        let mut code_cursor = 0u64;
+        for entry in &self.state.classes {
+            let len = entry.size as u64;
+            let extra = ((costs.metaspace_expansion - 1.0).max(0.0) * len as f64) as usize as u64;
+            let repr_len = len + extra;
+            let meta_off = (meta_cursor + 63) & !63;
+            meta_cursor = meta_off + repr_len;
+            let code_len = (((len as f64) * costs.code_cache_expansion) as usize).max(64) as u64;
+            let code_off = (code_cursor + 63) & !63;
+            if entry.jitted {
+                code_cursor = code_off + code_len;
+            }
+            if entry.name == name {
+                kernel.mem_touch(
+                    self.pid,
+                    VirtAddr(self.state.metaspace_base + meta_off),
+                    repr_len.min(page),
+                )?;
+                if entry.jitted {
+                    kernel.mem_touch(
+                        self.pid,
+                        VirtAddr(self.state.code_cache_base + code_off),
+                        code_len.min(page),
+                    )?;
+                }
+                return Ok(());
+            }
+        }
+        Ok(())
     }
 
     fn alloc_metaspace(&mut self, len: u64) -> SysResult<VirtAddr> {

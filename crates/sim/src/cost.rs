@@ -74,6 +74,12 @@ pub struct CostModel {
     /// hardware CoW break (trap ≪ `userfaultfd` round-trip) — the moment
     /// a restored replica first writes a shared frame.
     pub cow_break: SimDuration,
+    /// Extra service charge when a major fault misses the compacted *hot*
+    /// image and falls through to the fallback layer (the full snapshot
+    /// kept cold): re-opening the cold image region, an extra seek and
+    /// the handler's second lookup. Dearer than `fault_trap` — the whole
+    /// point of compaction is that these are rare.
+    pub fault_fallback: SimDuration,
     /// Fixed setup charge for one scatter-gather memory operation over a
     /// run of contiguous pages (`copy_extent`, `cow_map_extent`,
     /// vectored prefetch): the single syscall-equivalent entry
@@ -87,6 +93,14 @@ pub struct CostModel {
     // -- filesystem -----------------------------------------------------
     /// Metadata operation (open/stat/close/mkdir/unlink).
     pub fs_meta: SimDuration,
+    /// Starting a *discontiguous* read of an image file: the extra seek —
+    /// an `lseek`+`pread` dispatch that breaks the kernel's readahead
+    /// window — paid once per non-sequential jump. A fault-order-packed
+    /// image streams with (nearly) no seeks, which is exactly the win
+    /// REAP's working-set-ordered snapshot layout measures. Sits between
+    /// `extent_setup` (a seek is a heavier dispatch than an iovec entry)
+    /// and `fault_trap` (still far below a userfaultfd round-trip).
+    pub fs_seek: SimDuration,
     /// Cold (uncached) read, ns per byte. Calibrated to ≈6.7 ms/MiB — the
     /// I/O share of the paper's vanilla class-load slope.
     pub fs_read_cold_ns_per_byte: f64,
@@ -140,9 +154,11 @@ impl CostModel {
             fault_trap: SimDuration::from_micros(6),
             fault_minor: SimDuration::from_nanos(250),
             cow_break: SimDuration::from_micros(4),
+            fault_fallback: SimDuration::from_micros(25),
             extent_setup: SimDuration::from_micros(2),
 
             fs_meta: SimDuration::from_micros(15),
+            fs_seek: SimDuration::from_micros(5),
             fs_read_cold_ns_per_byte: ms_per_mib_to_ns_per_byte(6.7),
             fs_read_warm_ns_per_byte: ms_per_mib_to_ns_per_byte(0.3),
             fs_write_ns_per_byte: ms_per_mib_to_ns_per_byte(1.0),
@@ -178,8 +194,10 @@ impl CostModel {
             fault_trap: SimDuration::ZERO,
             fault_minor: SimDuration::ZERO,
             cow_break: SimDuration::ZERO,
+            fault_fallback: SimDuration::ZERO,
             extent_setup: SimDuration::ZERO,
             fs_meta: SimDuration::ZERO,
+            fs_seek: SimDuration::ZERO,
             fs_read_cold_ns_per_byte: 0.0,
             fs_read_warm_ns_per_byte: 0.0,
             fs_write_ns_per_byte: 0.0,
@@ -307,6 +325,29 @@ mod tests {
         assert!(costs.extent_setup.as_nanos() > costs.page_copy.as_nanos());
         assert!(costs.extent_setup < costs.fault_trap);
         assert!(CostModel::free().extent_setup.is_zero());
+    }
+
+    #[test]
+    fn seek_between_extent_setup_and_fault_trap() {
+        // A seek breaks readahead, so it must out-price the vectored
+        // dispatch it interrupts — else fault-order packing buys nothing —
+        // while staying well under a userfaultfd round-trip, or scattered
+        // prefetch would price like lazy faulting and the prefetch-beats-
+        // lazy calibration would collapse.
+        let costs = CostModel::paper_calibrated();
+        assert!(costs.fs_seek > costs.extent_setup);
+        assert!(costs.fs_seek < costs.fault_trap);
+        assert!(CostModel::free().fs_seek.is_zero());
+    }
+
+    #[test]
+    fn fallback_fault_dearer_than_hot_fault() {
+        // Falling through the compacted hot image to the cold full
+        // snapshot costs strictly more than a hot-path major fault —
+        // compaction is only sound as a bet that such faults are rare.
+        let costs = CostModel::paper_calibrated();
+        assert!(costs.fault_fallback > costs.fault_trap);
+        assert!(CostModel::free().fault_fallback.is_zero());
     }
 
     #[test]

@@ -566,6 +566,18 @@ impl Kernel {
         Ok(data)
     }
 
+    /// Touches guest memory the way in-guest execution does: missing
+    /// pages in the range are demand-paged in (major faults, with their
+    /// usual charges), but no copy-out happens and nothing else is
+    /// charged — present pages cost nothing to run over.
+    ///
+    /// # Errors
+    ///
+    /// [`Errno::Efault`] per address-space rules.
+    pub fn mem_touch(&mut self, pid: Pid, addr: VirtAddr, len: u64) -> SysResult<()> {
+        self.resolve_faults(pid, addr, len)
+    }
+
     // --------------------------------------------------- scatter-gather ops
 
     /// Installs a run of contiguous pages starting at `start_index` as
@@ -712,6 +724,12 @@ impl Kernel {
             .get(&pid)
             .map(|b| (b.major_faults(), b.minor_faults()))
             .unwrap_or((0, 0))
+    }
+
+    /// Faults served from the compaction fallback layer for `pid`'s
+    /// backend; zero if none is registered.
+    pub fn uffd_fallback_faults(&self, pid: Pid) -> u64 {
+        self.uffd.get(&pid).map_or(0, |b| b.fallback_faults())
     }
 
     /// Bulk-installs `pages` from `pid`'s backend in one batched copy —
@@ -862,9 +880,21 @@ impl Kernel {
                 }
             }
             let n = batch.len() as u64;
+            // Pages missing from the compacted hot image fall through to
+            // the full snapshot kept behind it — each pays the extra
+            // fallback penalty on top of the normal service charge.
+            let backend = self.uffd.get_mut(&pid).expect("registration checked above");
+            let fallback = batch
+                .iter()
+                .filter(|&&(page_index, _)| backend.is_fallback(page_index))
+                .count() as u64;
+            if fallback > 0 {
+                backend.note_fallback(fallback);
+            }
             let cost = self.costs.fault_trap
                 + per_byte(n * PAGE_SIZE as u64, self.costs.fs_read_warm_ns_per_byte)
-                + self.costs.page_copy * n;
+                + self.costs.page_copy * n
+                + self.costs.fault_fallback * fallback;
             self.charge(cost);
             self.probe_fault(pid, true);
             if n > 1 {

@@ -16,7 +16,7 @@
 //! accesses, charging [`CostModel::fault_trap`](crate::cost::CostModel)
 //! plus the data movement per major fault.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::mem::Page;
 
@@ -25,10 +25,16 @@ use crate::mem::Page;
 #[derive(Debug, Clone, Default)]
 pub struct UffdBackend {
     pages: BTreeMap<u64, Page>,
+    /// Pages served from the compaction *fallback layer* (the full cold
+    /// image behind a hot working-set image). Faulting one of these
+    /// charges the kernel's `fault_fallback` penalty on top of the
+    /// normal service cost.
+    fallback: BTreeSet<u64>,
     recording: bool,
     log: Vec<u64>,
     major_faults: u64,
     minor_faults: u64,
+    fallback_faults: u64,
     fault_around: usize,
 }
 
@@ -41,6 +47,34 @@ impl UffdBackend {
     /// Adds the content for one withheld page.
     pub fn insert_page(&mut self, page_index: u64, page: Page) {
         self.pages.insert(page_index, page);
+    }
+
+    /// Adds the content for one withheld page that lives in the
+    /// compaction fallback layer rather than the hot image. Faulting it
+    /// costs extra ([`CostModel::fault_fallback`](crate::cost::CostModel)).
+    pub fn insert_fallback_page(&mut self, page_index: u64, page: Page) {
+        self.pages.insert(page_index, page);
+        self.fallback.insert(page_index);
+    }
+
+    /// Whether `page_index` is served from the fallback layer.
+    pub fn is_fallback(&self, page_index: u64) -> bool {
+        self.fallback.contains(&page_index)
+    }
+
+    /// Number of withheld pages that live in the fallback layer.
+    pub fn fallback_len(&self) -> usize {
+        self.fallback.len()
+    }
+
+    /// Notes `n` faults served from the fallback layer.
+    pub fn note_fallback(&mut self, n: u64) {
+        self.fallback_faults += n;
+    }
+
+    /// Faults served from the fallback layer so far.
+    pub fn fallback_faults(&self) -> u64 {
+        self.fallback_faults
     }
 
     /// Looks up a withheld page.
@@ -134,6 +168,20 @@ mod tests {
         assert_eq!(b.page_indices(), vec![3, 7]);
         assert_eq!(b.page(7).unwrap().bytes()[0], 1);
         assert!(b.page(8).is_none());
+    }
+
+    #[test]
+    fn fallback_pages_are_marked_and_counted() {
+        let mut b = UffdBackend::new();
+        b.insert_page(1, Page::zeroed());
+        b.insert_fallback_page(2, Page::from_bytes(&[7u8; PAGE_SIZE]));
+        assert!(!b.is_fallback(1));
+        assert!(b.is_fallback(2));
+        assert_eq!(b.fallback_len(), 1);
+        assert_eq!(b.len(), 2, "fallback pages are still withheld pages");
+        assert_eq!(b.page(2).unwrap().bytes()[0], 7);
+        b.note_fallback(3);
+        assert_eq!(b.fallback_faults(), 3);
     }
 
     #[test]

@@ -57,6 +57,23 @@ run cp results/BENCH_registry.json results/BENCH_registry.run1.json
 run cargo run --release -q -p prebake-bench --bin ablation_registry -- --quick
 run cmp results/BENCH_registry.run1.json results/BENCH_registry.json
 run rm -f results/BENCH_registry.run1.json
+# Parallel-restore invariants (DESIGN.md §14): serial-vs-sharded
+# bit-identity, repack/compaction round-trip property tests, the
+# repacking trial builders, the parallel/ordered/compact platform
+# templates, and a smoke run of the parallel-restore ablation, which
+# asserts >=2 shards beat the committed vectored-eager baseline, the
+# fault-order layout improves prefetch p95, and compaction shrinks the
+# hot image. The ablation runs twice and the outputs are compared
+# byte-for-byte so the sharded path stays seed-deterministic.
+run cargo test -q -p prebake-criu restore::
+run cargo test -q -p prebake-criu dump::
+run cargo test -q -p prebake-core measure::
+run cargo test -q -p prebake-platform builder::
+run cargo run --release -q -p prebake-bench --bin ablation_restore_parallel -- --quick
+run cp results/BENCH_parallel.json results/BENCH_parallel.run1.json
+run cargo run --release -q -p prebake-bench --bin ablation_restore_parallel -- --quick
+run cmp results/BENCH_parallel.run1.json results/BENCH_parallel.json
+run rm -f results/BENCH_parallel.run1.json
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 
