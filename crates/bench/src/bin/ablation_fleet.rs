@@ -17,13 +17,13 @@
 //! and memory counters per grid point); with the default `--seed` the
 //! file is bit-reproducible.
 
+use prebake_bench::fleetmix::{fig5_profiles, workload};
 use prebake_bench::{hr, HarnessArgs};
 use prebake_fleet::{
     FleetConfig, FleetSim, FunctionProfile, Gear, KeepAlive, Policy, StartSelection,
 };
-use prebake_functions::{FunctionSpec, SyntheticSize};
 use prebake_platform::loadgen::Schedule;
-use prebake_sim::time::{SimDuration, SimInstant};
+use prebake_sim::time::SimDuration;
 use prebake_stats::summary::quantile;
 
 /// One grid point's outcome.
@@ -41,51 +41,6 @@ struct Outcome {
     shed: u64,
     high_water_mb: u64,
 }
-
-/// The multi-tenant trace: a hot small function, a steady medium one,
-/// and a rarely-invoked big one with heavy-tailed (Pareto) gaps — the
-/// shape production FaaS traces show.
-fn workload(profiles: &[FunctionProfile], seed: u64) -> Schedule {
-    // Gaps are tuned so the tenants straddle the baseline's 60s TTL:
-    // the small function stays hot, the medium one's tail occasionally
-    // outlives the TTL, and the big one usually does — the regime where
-    // keep-alive policy (and the price of the resulting cold starts)
-    // decides tail latency.
-    let mix: [(usize, f64, f64); 3] = [
-        (150, 400.0, 1.3),   // small: ~2s mean gap, always warm
-        (80, 8_000.0, 1.3),  // medium: ~35s mean gap, tail past the TTL
-        (40, 25_000.0, 1.2), // big: ~150s mean gap, mostly cold
-    ];
-    let mut schedule = Schedule::default();
-    for (i, (p, (n, scale_ms, alpha))) in profiles.iter().zip(mix).enumerate() {
-        schedule = schedule.merge(
-            Schedule::pareto(
-                p.name(),
-                n,
-                SimInstant::EPOCH,
-                scale_ms,
-                alpha,
-                seed + i as u64,
-            )
-            .expect("valid pareto parameters"),
-        );
-    }
-    // A timer-driven tenant on a strict 3-minute cadence (the cron
-    // pattern production traces emphasise). Its gap outlives every TTL
-    // in the sweep, so only predictive pre-warm can serve it warm.
-    schedule.merge(
-        Schedule::constant(
-            CRON_FUNCTION,
-            20,
-            SimInstant::EPOCH,
-            SimDuration::from_secs(180),
-        )
-        .expect("valid constant schedule"),
-    )
-}
-
-/// Name of the timer-driven tenant (profiled like the medium function).
-const CRON_FUNCTION: &str = "synthetic-cron";
 
 fn run_point(
     profiles: &[FunctionProfile],
@@ -146,25 +101,7 @@ fn main() {
     hr();
 
     // -- part 1: profile the mix under every gear ----------------------
-    let mut profiles: Vec<FunctionProfile> = [
-        SyntheticSize::Small,
-        SyntheticSize::Medium,
-        SyntheticSize::Big,
-    ]
-    .into_iter()
-    .map(|size| {
-        let spec = FunctionSpec::synthetic(size);
-        FunctionProfile::measure(&spec, &Gear::ALL, profile_reps, args.seed)
-            .expect("profiling succeeds")
-    })
-    .collect();
-    // The cron tenant shares the medium function's measured costs under
-    // its own name (same binary, different trigger).
-    let cron_costs: Vec<_> = profiles[1]
-        .gears()
-        .map(|g| (g, *profiles[1].cost(g).expect("measured")))
-        .collect();
-    profiles.push(FunctionProfile::synthetic(CRON_FUNCTION, &cron_costs));
+    let profiles = fig5_profiles(profile_reps, args.seed);
 
     println!(
         "{:<10} {:<9} {:>10} {:>9} {:>9} {:>10} {:>9}",

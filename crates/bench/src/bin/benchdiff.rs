@@ -1,0 +1,84 @@
+//! `benchdiff` — the bench regression gate.
+//!
+//! Compares a candidate `BENCH_*.json` against a committed baseline with
+//! direction-aware tolerance bands and exits nonzero when any
+//! lower-is-better metric (latency medians/percentiles, cold fraction,
+//! memory high-water, registry egress, shed count) regressed past the
+//! band. Neutral counters are reported as drift but never fail; so are
+//! metrics that appear or disappear, which keeps the gate usable across
+//! stacked PRs that evolve the bench schema.
+//!
+//! ```text
+//! usage: benchdiff <baseline.json> <candidate.json> [--tol PCT] [--floor ABS]
+//! ```
+//!
+//! `--tol` is the relative band in percent (default 5). `--floor` is the
+//! absolute delta a metric must move before the band even applies
+//! (default 0.5 — half a millisecond for latency metrics), which keeps
+//! percentage math on sub-millisecond medians from tripping the gate.
+//!
+//! Exit status: 0 in band, 1 regression, 2 usage or parse error.
+
+use prebake_bench::diff::{diff, Tolerance};
+use prebake_bench::json;
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}\nusage: benchdiff <baseline.json> <candidate.json> [--tol PCT] [--floor ABS]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&str> = Vec::new();
+    let mut tol = Tolerance::default();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--tol" => {
+                let pct: f64 = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--tol needs a percentage"));
+                tol.rel = pct / 100.0;
+                i += 2;
+            }
+            "--floor" => {
+                tol.floor_abs = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--floor needs a number"));
+                i += 2;
+            }
+            flag if flag.starts_with("--") => usage(&format!("unknown flag {flag}")),
+            path => {
+                files.push(path);
+                i += 1;
+            }
+        }
+    }
+    if files.len() != 2 {
+        usage("expected exactly two files");
+    }
+    let read = |path: &str| -> json::Value {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("benchdiff: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("benchdiff: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(files[0]);
+    let candidate = read(files[1]);
+    let report = diff(&baseline, &candidate, tol);
+    print!(
+        "benchdiff {} vs {}\n{}",
+        files[0],
+        files[1],
+        report.render(tol)
+    );
+    if !report.passes() {
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,10 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
+pub mod fleetmix;
+pub mod json;
+
 use prebake_core::measure::{StartupTrial, TrialRunner};
 use prebake_stats::bootstrap::{median_ci, ConfInterval};
 use prebake_stats::summary::median;

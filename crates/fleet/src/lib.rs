@@ -45,5 +45,5 @@ pub mod worker;
 pub use metrics::FleetMetrics;
 pub use policy::{ArrivalStats, KeepAlive, Policy, StartSelection};
 pub use profile::{FunctionProfile, Gear, GearCost};
-pub use sim::{FleetConfig, FleetError, FleetRequest, FleetSim, RegistryConfig};
+pub use sim::{default_fleet_obs, FleetConfig, FleetError, FleetRequest, FleetSim, RegistryConfig};
 pub use worker::{Replica, ReplicaState, Worker};

@@ -3,7 +3,7 @@
 //! Reuses the platform's [`Counter`]/[`Histogram`] primitives so fleet
 //! series render in the same exposition format the gateway exports.
 
-use prebake_platform::metrics::{Counter, Histogram};
+use prebake_platform::metrics::{render_histogram, Counter, Histogram};
 
 /// Scheduler-level counters and latency distributions.
 #[derive(Debug, Clone)]
@@ -40,7 +40,9 @@ pub struct FleetMetrics {
 }
 
 /// Latency buckets wide enough for cold starts behind deep queues.
-const LATENCY_BOUNDS_MS: [f64; 12] = [
+/// Shared with the obs recorder so windowed series merge with fleet
+/// aggregates without rebucketing.
+pub const LATENCY_BOUNDS_MS: [f64; 12] = [
     1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 10_000.0,
 ];
 
@@ -88,11 +90,11 @@ impl FleetMetrics {
             ("fleet_prewarm_starts_total", self.prewarm_starts.get()),
             ("fleet_replicas_started_total", self.replicas_started.get()),
             (
-                "fleet_registry_egress_bytes",
+                "fleet_registry_egress_bytes_total",
                 self.registry_egress_bytes.get(),
             ),
             (
-                "fleet_registry_dedup_bytes",
+                "fleet_registry_dedup_bytes_total",
                 self.registry_dedup_bytes.get(),
             ),
             ("fleet_pull_cache_hits_total", self.pull_cache_hits.get()),
@@ -100,9 +102,9 @@ impl FleetMetrics {
         ] {
             out.push_str(&format!("{name} {value}\n"));
         }
-        render_histogram(&mut out, "fleet_queue_delay_ms", &self.queue_delay);
-        render_histogram(&mut out, "fleet_latency_ms", &self.latency);
-        render_histogram(&mut out, "fleet_pull_wait_ms", &self.pull_wait);
+        render_histogram(&mut out, "fleet_queue_delay_ms", "", &self.queue_delay);
+        render_histogram(&mut out, "fleet_latency_ms", "", &self.latency);
+        render_histogram(&mut out, "fleet_pull_wait_ms", "", &self.pull_wait);
         for (worker, hw) in worker_high_water.iter().enumerate() {
             out.push_str(&format!(
                 "fleet_worker_mem_high_water_bytes{{worker=\"{worker}\"}} {hw}\n"
@@ -110,18 +112,6 @@ impl FleetMetrics {
         }
         out
     }
-}
-
-/// One histogram's exposition: cumulative buckets, `+Inf`, sum, count.
-fn render_histogram(out: &mut String, metric: &str, h: &Histogram) {
-    let mut cumulative = 0u64;
-    for (bound, count) in h.bounds().iter().zip(h.bucket_counts()) {
-        cumulative += count;
-        out.push_str(&format!("{metric}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
-    }
-    out.push_str(&format!("{metric}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
-    out.push_str(&format!("{metric}_sum {:.3}\n", h.sum()));
-    out.push_str(&format!("{metric}_count {}\n", h.count()));
 }
 
 #[cfg(test)]
@@ -141,11 +131,18 @@ mod tests {
         m.cold_starts.add(3);
         m.queue_delay.observe(2.0);
         m.latency.observe(120.0);
+        m.registry_egress_bytes.add(7);
         let text = m.render(&[512, 1024]);
         assert!(text.contains("fleet_requests_total 10"));
         assert!(text.contains("fleet_cold_starts_total 3"));
         assert!(text.contains("fleet_latency_ms_count 1"));
         assert!(text.contains("fleet_queue_delay_ms_bucket{le=\"+Inf\"} 1"));
+        // Byte counters carry the `_total` suffix (unit before suffix) and
+        // the shared encoder renders integral bounds without `.0`.
+        assert!(text.contains("fleet_registry_egress_bytes_total 7"));
+        assert!(text.contains("fleet_registry_dedup_bytes_total 0"));
+        assert!(text.contains("fleet_queue_delay_ms_bucket{le=\"2.5\"} 1"));
+        assert!(text.contains("fleet_latency_ms_bucket{le=\"250\"} 1"));
         assert!(text.contains("fleet_worker_mem_high_water_bytes{worker=\"0\"} 512"));
         assert!(text.contains("fleet_worker_mem_high_water_bytes{worker=\"1\"} 1024"));
         assert!((m.cold_fraction() - 0.3).abs() < 1e-9);

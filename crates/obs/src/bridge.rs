@@ -1,0 +1,165 @@
+//! Bridge from the platform gateway's aggregate metrics into the
+//! windowed recorder.
+//!
+//! The platform crate cannot depend on obs (obs reuses its `Histogram`),
+//! so the feed runs the other way: a host that owns both — the fleet
+//! sim profiling phase, a bench, a gateway driver — periodically calls
+//! [`record_platform_metrics`] to fold the gateway's *deltas since the
+//! last call* into the current window. The bridge snapshots absolute
+//! counter values and diffs them itself, so callers can invoke it at
+//! every window edge without double counting.
+
+use std::collections::BTreeMap;
+
+use prebake_platform::metrics::Metrics;
+use prebake_sim::time::SimInstant;
+
+use crate::recorder::{Recorder, SeriesKey};
+
+/// Remembers the last-seen absolute counter values per function so each
+/// call records only the delta.
+#[derive(Debug, Clone, Default)]
+pub struct PlatformBridge {
+    last: BTreeMap<(String, &'static str), u64>,
+}
+
+/// The gateway counters the bridge forwards, with their canonical
+/// series names (DESIGN.md §15 naming scheme).
+const COUNTERS: &[&str] = &[
+    "faas_requests_total",
+    "faas_cold_starts_total",
+    "faas_replicas_started_total",
+    "faas_request_errors_total",
+    "prebake_restore_major_faults_total",
+    "prebake_restore_minor_faults_total",
+    "prebake_restore_cow_breaks_total",
+    "prebake_restore_extents_total",
+    "prebake_restore_faults_avoided_total",
+    "prebake_restore_shards_total",
+    "prebake_restore_seek_bytes_avoided_total",
+    "prebake_restore_pages_compacted_total",
+];
+
+impl PlatformBridge {
+    /// A bridge with no history (first call records absolute values).
+    pub fn new() -> PlatformBridge {
+        PlatformBridge::default()
+    }
+
+    /// Folds the gateway registry's growth since the previous call into
+    /// the window containing `at`, one series per (metric, function),
+    /// optionally node-tagged. Histograms are *not* diffed (the bucket
+    /// counts only grow); they are merged wholesale on the final call a
+    /// host makes, via [`PlatformBridge::record_histograms`].
+    pub fn record_counters(
+        &mut self,
+        rec: &mut Recorder,
+        metrics: &Metrics,
+        at: SimInstant,
+        node: Option<u32>,
+    ) {
+        let names: Vec<String> = metrics.names().map(str::to_owned).collect();
+        for function in names {
+            let m = metrics.get(&function).expect("listed function present");
+            let values: [(&'static str, u64); 12] = [
+                (COUNTERS[0], m.requests.get()),
+                (COUNTERS[1], m.cold_starts.get()),
+                (COUNTERS[2], m.replicas_started.get()),
+                (COUNTERS[3], m.request_errors.get()),
+                (COUNTERS[4], m.restore_major_faults.get()),
+                (COUNTERS[5], m.restore_minor_faults.get()),
+                (COUNTERS[6], m.restore_cow_breaks.get()),
+                (COUNTERS[7], m.restore_extents.get()),
+                (COUNTERS[8], m.restore_faults_avoided.get()),
+                (COUNTERS[9], m.restore_shards.get()),
+                (COUNTERS[10], m.restore_seek_bytes_avoided.get()),
+                (COUNTERS[11], m.restore_pages_compacted.get()),
+            ];
+            for (metric, now) in values {
+                let key = (function.clone(), metric);
+                let prev = self.last.get(&key).copied().unwrap_or(0);
+                if now > prev {
+                    let mut sk = SeriesKey::new(metric).tenant(&function);
+                    if let Some(n) = node {
+                        sk = sk.node(n);
+                    }
+                    rec.inc(at, sk, now - prev);
+                }
+                self.last.insert(key, now);
+            }
+        }
+    }
+
+    /// Merges the gateway's cumulative latency/startup/restore
+    /// histograms into the window containing `at`. Call once, at the end
+    /// of a run (merging twice would double count — histograms carry no
+    /// delta marker).
+    pub fn record_histograms(
+        &self,
+        rec: &mut Recorder,
+        metrics: &Metrics,
+        at: SimInstant,
+        node: Option<u32>,
+    ) {
+        let names: Vec<String> = metrics.names().map(str::to_owned).collect();
+        for function in names {
+            let m = metrics.get(&function).expect("listed function present");
+            for (metric, h) in [
+                ("faas_latency_ms", &m.latency),
+                ("faas_startup_ms", &m.startup),
+                ("prebake_restore_ms", &m.restore_ms),
+            ] {
+                let mut sk = SeriesKey::new(metric).tenant(&function);
+                if let Some(n) = node {
+                    sk = sk.node(n);
+                }
+                rec.merge_histogram(at, sk, h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RecorderConfig;
+    use prebake_sim::time::SimDuration;
+
+    fn at_secs(s: u64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn counters_are_delta_folded_across_windows() {
+        let mut rec = Recorder::new(RecorderConfig::default());
+        let mut bridge = PlatformBridge::new();
+        let mut metrics = Metrics::new();
+        metrics.function("fn").requests.add(5);
+        metrics.function("fn").cold_starts.add(2);
+        bridge.record_counters(&mut rec, &metrics, at_secs(1), Some(0));
+        metrics.function("fn").requests.add(3);
+        bridge.record_counters(&mut rec, &metrics, at_secs(61), Some(0));
+        // A third call with no growth records nothing.
+        bridge.record_counters(&mut rec, &metrics, at_secs(121), Some(0));
+
+        let key = SeriesKey::new("faas_requests_total").tenant("fn").node(0);
+        let per_window: Vec<u64> = rec.windows().map(|w| w.counter(&key)).collect();
+        assert_eq!(per_window, [5, 3]);
+        assert_eq!(rec.counter_total("faas_requests_total"), 8);
+        assert_eq!(rec.counter_total("faas_cold_starts_total"), 2);
+    }
+
+    #[test]
+    fn histograms_merge_with_gateway_bounds() {
+        let mut rec = Recorder::new(RecorderConfig::default());
+        let bridge = PlatformBridge::new();
+        let mut metrics = Metrics::new();
+        metrics.function("fn").latency.observe(12.0);
+        metrics.function("fn").latency.observe(800.0);
+        bridge.record_histograms(&mut rec, &metrics, at_secs(30), None);
+        let merged = rec.merged_histogram("faas_latency_ms", Some("fn")).unwrap();
+        assert_eq!(merged.count(), 2);
+        // Gateway default bounds survive the merge (not the recorder's).
+        assert_eq!(merged.bounds().len(), 10);
+    }
+}

@@ -1,0 +1,626 @@
+//! Windowed time-series recorder over the virtual clock.
+//!
+//! The fleet sim pushes hundreds of thousands of events through a run;
+//! end-of-run scalar counters cannot say *when* a cold-start tail
+//! spiked or which tenant caused it. The recorder slices virtual time
+//! into fixed-width windows (a bounded ring) and keeps, per window,
+//! counters and streaming histograms keyed by
+//! (metric, tenant, node, gear). Everything is `BTreeMap`-backed so a
+//! given event sequence renders byte-identically on every run.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use prebake_platform::metrics::{render_histogram, Histogram};
+use prebake_sim::time::{SimDuration, SimInstant};
+
+/// Identity of one time series: a metric name plus the label dimensions
+/// the fleet cares about. Empty `tenant`/`gear` and `None` node mean the
+/// label is absent (the series is an unsplit aggregate on that axis).
+///
+/// Ordering is derived — (metric, tenant, node, gear) — which fixes the
+/// exposition and dashboard ordering deterministically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Metric name, e.g. `fleet_latency_ms` (see DESIGN.md §15 for the
+    /// naming scheme).
+    pub metric: String,
+    /// Tenant / function name, or empty when unattributed.
+    pub tenant: String,
+    /// Worker/node index, when the event is node-local.
+    pub node: Option<u32>,
+    /// Start gear label (`vanilla`, `eager`, ...), or empty.
+    pub gear: String,
+}
+
+impl SeriesKey {
+    /// A key with only the metric name set.
+    pub fn new(metric: &str) -> SeriesKey {
+        SeriesKey {
+            metric: metric.to_owned(),
+            ..SeriesKey::default()
+        }
+    }
+
+    /// Builder-style tenant label.
+    pub fn tenant(mut self, tenant: &str) -> SeriesKey {
+        self.tenant = tenant.to_owned();
+        self
+    }
+
+    /// Builder-style node label.
+    pub fn node(mut self, node: u32) -> SeriesKey {
+        self.node = Some(node);
+        self
+    }
+
+    /// Builder-style gear label.
+    pub fn gear(mut self, gear: &str) -> SeriesKey {
+        self.gear = gear.to_owned();
+        self
+    }
+
+    /// Prometheus label pairs without braces (`tenant="a",node="0"`),
+    /// empty when no label is set.
+    pub fn labels(&self) -> String {
+        let mut parts = Vec::new();
+        if !self.tenant.is_empty() {
+            parts.push(format!("tenant=\"{}\"", self.tenant));
+        }
+        if let Some(node) = self.node {
+            parts.push(format!("node=\"{node}\""));
+        }
+        if !self.gear.is_empty() {
+            parts.push(format!("gear=\"{}\"", self.gear));
+        }
+        parts.join(",")
+    }
+
+    /// Full series name, `metric{labels}` or bare `metric`.
+    pub fn series(&self) -> String {
+        let labels = self.labels();
+        if labels.is_empty() {
+            self.metric.clone()
+        } else {
+            format!("{}{{{labels}}}", self.metric)
+        }
+    }
+}
+
+/// A link from a histogram bucket to one retained trace: the classic
+/// OpenMetrics exemplar, minus the wire format.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exemplar {
+    /// Trace (request) id the observation came from.
+    pub trace_id: u64,
+    /// The observed value.
+    pub value_ms: f64,
+    /// When it was observed.
+    pub at: SimInstant,
+}
+
+/// A histogram plus one optional exemplar per bucket (`+Inf` included).
+/// The kept exemplar is the largest value seen in the bucket — the most
+/// interesting trace to follow from a latency bucket — with first-seen
+/// winning ties so replays are deterministic.
+#[derive(Debug, Clone)]
+pub struct WindowHistogram {
+    /// The bucketed distribution for this window.
+    pub hist: Histogram,
+    /// Per-bucket exemplar slots, same length as `hist.bucket_counts()`.
+    pub exemplars: Vec<Option<Exemplar>>,
+}
+
+impl WindowHistogram {
+    fn new(hist: Histogram) -> WindowHistogram {
+        let slots = hist.bucket_counts().len();
+        WindowHistogram {
+            hist,
+            exemplars: vec![None; slots],
+        }
+    }
+
+    fn observe(&mut self, value_ms: f64, at: SimInstant, trace_id: Option<u64>) {
+        self.hist.observe(value_ms);
+        if let Some(trace_id) = trace_id {
+            let idx = self
+                .hist
+                .bounds()
+                .iter()
+                .position(|&b| value_ms <= b)
+                .unwrap_or(self.hist.bounds().len());
+            let slot = &mut self.exemplars[idx];
+            let replace = match slot {
+                None => true,
+                Some(prev) => value_ms > prev.value_ms,
+            };
+            if replace {
+                *slot = Some(Exemplar {
+                    trace_id,
+                    value_ms,
+                    at,
+                });
+            }
+        }
+    }
+}
+
+/// One fixed-width slice of virtual time.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Window ordinal: `floor(t / width)`.
+    pub index: u64,
+    /// Inclusive window start (`index * width`).
+    pub start: SimInstant,
+    counters: BTreeMap<SeriesKey, u64>,
+    hists: BTreeMap<SeriesKey, WindowHistogram>,
+}
+
+impl Window {
+    fn new(index: u64, width: SimDuration) -> Window {
+        Window {
+            index,
+            start: SimInstant::EPOCH + SimDuration::from_nanos(index * width.as_nanos()),
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    /// Value of one counter series in this window (0 when absent).
+    pub fn counter(&self, key: &SeriesKey) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// All counter series in this window, in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&SeriesKey, u64)> {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// One histogram series in this window, if it received observations.
+    pub fn histogram(&self, key: &SeriesKey) -> Option<&WindowHistogram> {
+        self.hists.get(key)
+    }
+
+    /// All histogram series in this window, in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&SeriesKey, &WindowHistogram)> {
+        self.hists.iter()
+    }
+
+    /// Sum of a counter metric over every label split in this window.
+    pub fn counter_metric(&self, metric: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.metric == metric)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Sum of a counter metric restricted to one tenant in this window.
+    pub fn counter_metric_tenant(&self, metric: &str, tenant: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.metric == metric && k.tenant == tenant)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Merged histogram for a metric (optionally one tenant) in this
+    /// window; `None` when no matching series exists.
+    pub fn merged_histogram(&self, metric: &str, tenant: Option<&str>) -> Option<Histogram> {
+        let mut merged: Option<Histogram> = None;
+        for (k, wh) in &self.hists {
+            if k.metric != metric {
+                continue;
+            }
+            if let Some(t) = tenant {
+                if k.tenant != t {
+                    continue;
+                }
+            }
+            match &mut merged {
+                None => merged = Some(wh.hist.clone()),
+                Some(m) => m.merge(&wh.hist),
+            }
+        }
+        merged
+    }
+}
+
+/// Recorder shape: window width, ring capacity, default histogram
+/// bucket bounds (used by [`Recorder::observe`]; merged-in histograms
+/// keep their own bounds).
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Window width in virtual time.
+    pub width: SimDuration,
+    /// Maximum number of materialized windows kept; older windows roll
+    /// off the front of the ring.
+    pub capacity: usize,
+    /// Bucket bounds for histograms created by `observe`.
+    pub bounds: Vec<f64>,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            width: SimDuration::from_secs(60),
+            capacity: 64,
+            bounds: crate::DEFAULT_LATENCY_BOUNDS_MS.to_vec(),
+        }
+    }
+}
+
+/// The windowed time-series recorder.
+///
+/// Windows are materialized sparsely: only indices that receive data
+/// exist, kept in ascending order in a `VecDeque`. Observations older
+/// than the oldest retained window (after a rollover) are dropped and
+/// counted in [`Recorder::late_drops`] rather than resurrecting evicted
+/// windows.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    config: RecorderConfig,
+    windows: VecDeque<Window>,
+    /// Windows evicted off the ring so far.
+    pub windows_rolled: u64,
+    /// Observations dropped because their window had already rolled off.
+    pub late_drops: u64,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new(RecorderConfig::default())
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window width is zero or the capacity is zero.
+    pub fn new(config: RecorderConfig) -> Recorder {
+        assert!(config.width.as_nanos() > 0, "window width must be nonzero");
+        assert!(config.capacity > 0, "ring needs at least one window");
+        Recorder {
+            config,
+            windows: VecDeque::new(),
+            windows_rolled: 0,
+            late_drops: 0,
+        }
+    }
+
+    /// The recorder's configuration.
+    pub fn config(&self) -> &RecorderConfig {
+        &self.config
+    }
+
+    /// Window ordinal containing `at`.
+    pub fn index_of(&self, at: SimInstant) -> u64 {
+        at.as_nanos() / self.config.width.as_nanos()
+    }
+
+    /// Materialized windows, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &Window> {
+        self.windows.iter()
+    }
+
+    /// The materialized window containing `at`, if any.
+    pub fn window_containing(&self, at: SimInstant) -> Option<&Window> {
+        let idx = self.index_of(at);
+        self.windows.iter().find(|w| w.index == idx)
+    }
+
+    fn window_mut(&mut self, at: SimInstant) -> Option<&mut Window> {
+        let idx = self.index_of(at);
+        if let Some(front) = self.windows.front() {
+            if idx < front.index && self.windows_rolled > 0 {
+                self.late_drops += 1;
+                return None;
+            }
+        }
+        // Find the insertion point; most feeds are monotone in virtual
+        // time so this is almost always the back.
+        let pos = self.windows.partition_point(|w| w.index < idx);
+        let exists = self.windows.get(pos).is_some_and(|w| w.index == idx);
+        if !exists {
+            self.windows
+                .insert(pos, Window::new(idx, self.config.width));
+            while self.windows.len() > self.config.capacity {
+                self.windows.pop_front();
+                self.windows_rolled += 1;
+            }
+        }
+        // Re-locate after the possible eviction shifted positions.
+        let pos = self.windows.partition_point(|w| w.index < idx);
+        if self.windows.get(pos).is_some_and(|w| w.index == idx) {
+            self.windows.get_mut(pos)
+        } else {
+            // The window we just inserted was itself evicted (idx was the
+            // oldest index of an already-full ring).
+            self.late_drops += 1;
+            None
+        }
+    }
+
+    /// Adds `n` to a counter series at virtual time `at`.
+    pub fn inc(&mut self, at: SimInstant, key: SeriesKey, n: u64) {
+        if let Some(w) = self.window_mut(at) {
+            *w.counters.entry(key).or_insert(0) += n;
+        }
+    }
+
+    /// Records one histogram observation at virtual time `at`.
+    pub fn observe(&mut self, at: SimInstant, key: SeriesKey, value_ms: f64) {
+        self.observe_exemplar(at, key, value_ms, None);
+    }
+
+    /// Records one histogram observation carrying an optional exemplar
+    /// trace id (a retained trace the bucket can link to).
+    pub fn observe_exemplar(
+        &mut self,
+        at: SimInstant,
+        key: SeriesKey,
+        value_ms: f64,
+        trace_id: Option<u64>,
+    ) {
+        let bounds = self.config.bounds.clone();
+        if let Some(w) = self.window_mut(at) {
+            w.hists
+                .entry(key)
+                .or_insert_with(|| WindowHistogram::new(Histogram::new(&bounds)))
+                .observe(value_ms, at, trace_id);
+        }
+    }
+
+    /// Folds a pre-bucketed histogram into a series (bridge path for
+    /// platform gateways that aggregate before the recorder sees data).
+    /// The series keeps the incoming histogram's bounds; later merges
+    /// must match them (see [`Histogram::merge`]).
+    pub fn merge_histogram(&mut self, at: SimInstant, key: SeriesKey, h: &Histogram) {
+        if h.count() == 0 {
+            return;
+        }
+        if let Some(w) = self.window_mut(at) {
+            match w.hists.get_mut(&key) {
+                Some(wh) => wh.hist.merge(h),
+                None => {
+                    w.hists.insert(key, WindowHistogram::new(h.clone()));
+                }
+            }
+        }
+    }
+
+    /// Sum of a counter metric over every retained window and label split.
+    pub fn counter_total(&self, metric: &str) -> u64 {
+        self.windows.iter().map(|w| w.counter_metric(metric)).sum()
+    }
+
+    /// Tenants that appear on any series of `metric` (counter or
+    /// histogram), including the empty tenant when unlabelled series
+    /// exist.
+    pub fn tenants_of(&self, metric: &str) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for w in &self.windows {
+            for (k, _) in w.counters.iter().filter(|(k, _)| k.metric == metric) {
+                out.insert(k.tenant.clone());
+            }
+            for (k, _) in w.hists.iter().filter(|(k, _)| k.metric == metric) {
+                out.insert(k.tenant.clone());
+            }
+        }
+        out
+    }
+
+    /// Merged histogram for a metric (optionally one tenant) across all
+    /// retained windows.
+    pub fn merged_histogram(&self, metric: &str, tenant: Option<&str>) -> Option<Histogram> {
+        let mut merged: Option<Histogram> = None;
+        for w in &self.windows {
+            if let Some(h) = w.merged_histogram(metric, tenant) {
+                match &mut merged {
+                    None => merged = Some(h),
+                    Some(m) => m.merge(&h),
+                }
+            }
+        }
+        merged
+    }
+
+    /// All exemplars across the ring in deterministic order
+    /// (window, series, bucket).
+    pub fn exemplars(&self) -> Vec<(&Window, &SeriesKey, usize, &Exemplar)> {
+        let mut out = Vec::new();
+        for w in &self.windows {
+            for (k, wh) in &w.hists {
+                for (bucket, ex) in wh.exemplars.iter().enumerate() {
+                    if let Some(ex) = ex {
+                        out.push((w, k, bucket, ex));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the ring-aggregated series in the Prometheus text
+    /// exposition format: counters summed across windows, histograms
+    /// merged across windows, plus the recorder's own meta counters.
+    pub fn render(&self) -> String {
+        let mut counters: BTreeMap<SeriesKey, u64> = BTreeMap::new();
+        let mut hists: BTreeMap<SeriesKey, Histogram> = BTreeMap::new();
+        for w in &self.windows {
+            for (k, &v) in &w.counters {
+                *counters.entry(k.clone()).or_insert(0) += v;
+            }
+            for (k, wh) in &w.hists {
+                match hists.get_mut(k) {
+                    Some(h) => h.merge(&wh.hist),
+                    None => {
+                        hists.insert(k.clone(), wh.hist.clone());
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        for (k, v) in &counters {
+            out.push_str(&format!("{} {v}\n", k.series()));
+        }
+        for (k, h) in &hists {
+            render_histogram(&mut out, &k.metric, &k.labels(), h);
+        }
+        out.push_str(&format!("obs_windows_retained {}\n", self.windows.len()));
+        out.push_str(&format!(
+            "obs_windows_rolled_total {}\n",
+            self.windows_rolled
+        ));
+        out.push_str(&format!("obs_late_drops_total {}\n", self.late_drops));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_secs(s: u64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_secs(s)
+    }
+
+    fn small_config(capacity: usize) -> RecorderConfig {
+        RecorderConfig {
+            width: SimDuration::from_secs(60),
+            capacity,
+            bounds: vec![10.0, 100.0, 1000.0],
+        }
+    }
+
+    #[test]
+    fn series_key_labels_and_ordering() {
+        let bare = SeriesKey::new("m");
+        assert_eq!(bare.labels(), "");
+        assert_eq!(bare.series(), "m");
+        let full = SeriesKey::new("m").tenant("a").node(3).gear("cow");
+        assert_eq!(full.labels(), "tenant=\"a\",node=\"3\",gear=\"cow\"");
+        assert_eq!(full.series(), "m{tenant=\"a\",node=\"3\",gear=\"cow\"}");
+        assert!(bare < full, "unlabelled sorts before labelled");
+    }
+
+    #[test]
+    fn observations_land_in_their_window() {
+        let mut r = Recorder::new(small_config(8));
+        let key = SeriesKey::new("req").tenant("a");
+        r.inc(at_secs(5), key.clone(), 1);
+        r.inc(at_secs(59), key.clone(), 2);
+        r.inc(at_secs(60), key.clone(), 4);
+        let windows: Vec<_> = r.windows().collect();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].index, 0);
+        assert_eq!(windows[0].counter(&key), 3);
+        assert_eq!(windows[1].index, 1);
+        assert_eq!(windows[1].counter(&key), 4);
+        assert_eq!(windows[1].start, at_secs(60));
+        assert_eq!(r.counter_total("req"), 7);
+    }
+
+    #[test]
+    fn sparse_windows_skip_quiet_periods() {
+        let mut r = Recorder::new(small_config(8));
+        r.inc(at_secs(0), SeriesKey::new("x"), 1);
+        r.inc(at_secs(600), SeriesKey::new("x"), 1);
+        assert_eq!(r.windows().count(), 2, "quiet windows not materialized");
+    }
+
+    #[test]
+    fn rollover_evicts_oldest_and_counts_late_drops() {
+        let mut r = Recorder::new(small_config(2));
+        r.inc(at_secs(0), SeriesKey::new("x"), 1);
+        r.inc(at_secs(60), SeriesKey::new("x"), 1);
+        r.inc(at_secs(120), SeriesKey::new("x"), 1);
+        assert_eq!(r.windows_rolled, 1);
+        assert_eq!(r.windows().map(|w| w.index).collect::<Vec<_>>(), [1, 2]);
+        // A write into the evicted window is dropped, not resurrected.
+        r.inc(at_secs(30), SeriesKey::new("x"), 1);
+        assert_eq!(r.late_drops, 1);
+        assert_eq!(r.windows().count(), 2);
+        assert_eq!(r.counter_total("x"), 2);
+    }
+
+    #[test]
+    fn out_of_order_before_rollover_backfills() {
+        let mut r = Recorder::new(small_config(8));
+        r.inc(at_secs(120), SeriesKey::new("x"), 1);
+        r.inc(at_secs(0), SeriesKey::new("x"), 1);
+        assert_eq!(r.windows().map(|w| w.index).collect::<Vec<_>>(), [0, 2]);
+        assert_eq!(r.late_drops, 0);
+    }
+
+    #[test]
+    fn exemplar_keeps_bucket_max_first_seen_wins() {
+        let mut r = Recorder::new(small_config(4));
+        let key = SeriesKey::new("lat_ms").tenant("a");
+        r.observe_exemplar(at_secs(1), key.clone(), 5.0, Some(11));
+        r.observe_exemplar(at_secs(2), key.clone(), 9.0, Some(22));
+        r.observe_exemplar(at_secs(3), key.clone(), 9.0, Some(33)); // tie: 22 kept
+        r.observe_exemplar(at_secs(4), key.clone(), 50.0, Some(44));
+        r.observe(at_secs(5), key.clone(), 70.0); // no trace: bucket max unchanged
+        let w = r.window_containing(at_secs(1)).unwrap();
+        let wh = w.histogram(&key).unwrap();
+        let ex0 = wh.exemplars[0].unwrap();
+        assert_eq!((ex0.trace_id, ex0.value_ms), (22, 9.0));
+        let ex1 = wh.exemplars[1].unwrap();
+        assert_eq!((ex1.trace_id, ex1.value_ms), (44, 50.0));
+        assert_eq!(wh.hist.count(), 5);
+        let all = r.exemplars();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].2, 0, "bucket order");
+    }
+
+    #[test]
+    fn merge_histogram_adopts_foreign_bounds() {
+        let mut r = Recorder::new(small_config(4));
+        let mut h = Histogram::new(&[7.0, 77.0]);
+        h.observe(5.0);
+        let key = SeriesKey::new("faas_latency_ms").tenant("fn");
+        r.merge_histogram(at_secs(0), key.clone(), &h);
+        r.merge_histogram(at_secs(0), key.clone(), &h);
+        // Empty histograms are skipped entirely (no bounds clash).
+        r.merge_histogram(at_secs(0), key.clone(), &Histogram::default());
+        let w = r.window_containing(at_secs(0)).unwrap();
+        let wh = w.histogram(&key).unwrap();
+        assert_eq!(wh.hist.bounds(), &[7.0, 77.0]);
+        assert_eq!(wh.hist.count(), 2);
+    }
+
+    #[test]
+    fn render_aggregates_ring_deterministically() {
+        let mut r = Recorder::new(small_config(8));
+        r.inc(at_secs(0), SeriesKey::new("req_total").tenant("b"), 2);
+        r.inc(at_secs(61), SeriesKey::new("req_total").tenant("a"), 1);
+        r.inc(at_secs(61), SeriesKey::new("req_total").tenant("b"), 1);
+        r.observe(at_secs(0), SeriesKey::new("lat_ms").tenant("a"), 50.0);
+        let text = r.render();
+        assert!(text.contains("req_total{tenant=\"a\"} 1\n"));
+        assert!(text.contains("req_total{tenant=\"b\"} 3\n"));
+        assert!(text.contains("lat_ms_bucket{tenant=\"a\",le=\"100\"} 1\n"));
+        assert!(text.contains("obs_windows_retained 2\n"));
+        assert!(text.contains("obs_late_drops_total 0\n"));
+        // Tenant a sorts before b, twice over renders byte-identically.
+        assert!(text.find("tenant=\"a\"").unwrap() < text.find("tenant=\"b\"").unwrap());
+        assert_eq!(text, r.render());
+    }
+
+    #[test]
+    fn merged_histogram_filters_by_tenant() {
+        let mut r = Recorder::new(small_config(8));
+        r.observe(at_secs(0), SeriesKey::new("lat").tenant("a"), 5.0);
+        r.observe(at_secs(0), SeriesKey::new("lat").tenant("b"), 500.0);
+        r.observe(at_secs(70), SeriesKey::new("lat").tenant("a"), 50.0);
+        assert_eq!(r.merged_histogram("lat", None).unwrap().count(), 3);
+        assert_eq!(r.merged_histogram("lat", Some("a")).unwrap().count(), 2);
+        assert!(r.merged_histogram("lat", Some("zzz")).is_none());
+        assert_eq!(
+            r.tenants_of("lat").into_iter().collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+    }
+}

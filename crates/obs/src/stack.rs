@@ -1,0 +1,194 @@
+//! [`ObsStack`]: the recorder + SLO engine + tail sampler bundle a
+//! simulator embeds.
+//!
+//! The stack owns the recorder the sim feeds, knows the configured
+//! objectives (so it can answer "does this latency breach any SLO?"
+//! at span-emission time — the tail-sampling keep signal), and keeps
+//! the sampling bookkeeping that the ablation asserts on.
+
+use crate::export::{chrome_trace_with_exemplars, dashboard, DashboardSpec};
+use crate::recorder::{Recorder, RecorderConfig};
+use crate::sampler::{SampleStats, SamplerConfig, TailSampler};
+use crate::slo::{Objective, Sli, SloEngine, SloReport};
+use prebake_sim::trace::TraceSpan;
+
+/// Everything needed to stand up an [`ObsStack`].
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Recorder shape (window width, ring capacity, default bounds).
+    pub recorder: RecorderConfig,
+    /// Declarative objectives the SLO engine evaluates.
+    pub objectives: Vec<Objective>,
+    /// Tail-sampling shape; `None` keeps every trace (keep-all mode).
+    pub sampler: Option<SamplerConfig>,
+}
+
+/// The composed telemetry stack.
+#[derive(Debug, Clone)]
+pub struct ObsStack {
+    /// The windowed recorder the host feeds.
+    pub recorder: Recorder,
+    engine: SloEngine,
+    sampler: Option<TailSampler>,
+    /// Tail-sampling bookkeeping (tree/span keep counts).
+    pub sampling: SampleStats,
+}
+
+impl ObsStack {
+    /// Builds the stack from its configuration.
+    pub fn new(config: ObsConfig) -> ObsStack {
+        ObsStack {
+            recorder: Recorder::new(config.recorder),
+            engine: SloEngine::new(config.objectives),
+            sampler: config.sampler.map(TailSampler::new),
+            sampling: SampleStats::default(),
+        }
+    }
+
+    /// The configured objectives.
+    pub fn objectives(&self) -> &[Objective] {
+        self.engine.objectives()
+    }
+
+    /// Whether `value_ms` on `metric` breaches any latency objective's
+    /// threshold — the "interesting" signal for tail sampling.
+    pub fn latency_breach(&self, metric: &str, value_ms: f64) -> bool {
+        self.engine.objectives().iter().any(|o| match &o.sli {
+            Sli::LatencyUnder {
+                metric: m,
+                threshold_ms,
+            } => m == metric && value_ms > *threshold_ms,
+            Sli::EventRatio { .. } => false,
+        })
+    }
+
+    /// The tail decision for one completed trace tree of `tree_spans`
+    /// spans. Always `true` (keep-all) without a sampler. Updates the
+    /// sampling stats either way so reduction ratios are comparable.
+    pub fn keep_trace(&mut self, trace_id: u64, interesting: bool, tree_spans: u64) -> bool {
+        let keep = match &self.sampler {
+            None => true,
+            Some(s) => s.keep(trace_id, interesting),
+        };
+        if keep {
+            self.sampling.trees_kept += 1;
+            self.sampling.spans_kept += tree_spans;
+            if interesting {
+                self.sampling.interesting_kept += 1;
+            }
+        } else {
+            self.sampling.trees_dropped += 1;
+            self.sampling.spans_dropped += tree_spans;
+        }
+        keep
+    }
+
+    /// Evaluates the objectives against the current ring.
+    pub fn report(&self) -> SloReport {
+        self.engine.evaluate(&self.recorder)
+    }
+
+    /// The deterministic text dashboard for the current ring.
+    pub fn dashboard(&self, spec: &DashboardSpec) -> String {
+        dashboard(&self.recorder, &self.report(), spec)
+    }
+
+    /// Chrome-trace JSON of `spans` with this stack's exemplars linked in.
+    pub fn chrome_trace(&self, spans: &[TraceSpan]) -> String {
+        chrome_trace_with_exemplars(spans, &self.recorder)
+    }
+
+    /// Prometheus exposition: the ring-aggregated series plus the
+    /// stack's own SLO/sampling meta series.
+    pub fn render(&self) -> String {
+        let mut out = self.recorder.render();
+        let report = self.report();
+        for s in &report.statuses {
+            let labels = format!("objective=\"{}\"", s.name);
+            out.push_str(&format!("slo_bad_events_total{{{labels}}} {}\n", s.bad));
+            out.push_str(&format!("slo_events_total{{{labels}}} {}\n", s.total));
+            out.push_str(&format!("slo_burn_rate{{{labels}}} {:.6}\n", s.burn));
+        }
+        out.push_str(&format!(
+            "obs_trace_trees_kept_total {}\n",
+            self.sampling.trees_kept
+        ));
+        out.push_str(&format!(
+            "obs_trace_trees_dropped_total {}\n",
+            self.sampling.trees_dropped
+        ));
+        out.push_str(&format!(
+            "obs_trace_spans_kept_total {}\n",
+            self.sampling.spans_kept
+        ));
+        out.push_str(&format!(
+            "obs_trace_spans_dropped_total {}\n",
+            self.sampling.spans_dropped
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::SeriesKey;
+    use prebake_sim::time::{SimDuration, SimInstant};
+
+    fn config() -> ObsConfig {
+        ObsConfig {
+            recorder: RecorderConfig::default(),
+            objectives: vec![
+                Objective::latency("lat", "fleet_latency_ms", 250.0, 0.9),
+                Objective::ratio("cold", "cold_total", "req_total", 0.9),
+            ],
+            sampler: Some(SamplerConfig {
+                keep_fraction: 0.0,
+                seed: 1,
+            }),
+        }
+    }
+
+    #[test]
+    fn latency_breach_matches_only_latency_objectives() {
+        let stack = ObsStack::new(config());
+        assert!(stack.latency_breach("fleet_latency_ms", 251.0));
+        assert!(!stack.latency_breach("fleet_latency_ms", 250.0));
+        assert!(!stack.latency_breach("other_ms", 9999.0));
+        assert_eq!(stack.objectives().len(), 2);
+    }
+
+    #[test]
+    fn keep_trace_tracks_stats() {
+        let mut stack = ObsStack::new(config());
+        assert!(stack.keep_trace(1, true, 6));
+        assert!(!stack.keep_trace(2, false, 4));
+        assert_eq!(stack.sampling.trees_kept, 1);
+        assert_eq!(stack.sampling.interesting_kept, 1);
+        assert_eq!(stack.sampling.spans_kept, 6);
+        assert_eq!(stack.sampling.spans_dropped, 4);
+
+        // No sampler = keep-all.
+        let mut keep_all = ObsStack::new(ObsConfig::default());
+        assert!(keep_all.keep_trace(2, false, 4));
+        assert_eq!(keep_all.sampling.trees_dropped, 0);
+    }
+
+    #[test]
+    fn render_includes_slo_and_sampling_series() {
+        let mut stack = ObsStack::new(config());
+        let at = SimInstant::EPOCH + SimDuration::from_secs(1);
+        stack
+            .recorder
+            .inc(at, SeriesKey::new("req_total").tenant("a"), 10);
+        stack
+            .recorder
+            .inc(at, SeriesKey::new("cold_total").tenant("a"), 3);
+        stack.keep_trace(1, false, 4);
+        let text = stack.render();
+        assert!(text.contains("slo_burn_rate{objective=\"cold\"} 3.000000"));
+        assert!(text.contains("slo_bad_events_total{objective=\"cold\"} 3"));
+        assert!(text.contains("obs_trace_trees_dropped_total 1"));
+        assert_eq!(text, stack.render());
+    }
+}

@@ -263,9 +263,10 @@ impl Metrics {
                 "faas_latency_ms_mean{{function=\"{name}\"}} {:.3}\n",
                 m.latency.mean()
             ));
-            render_histogram(&mut out, "faas_latency_ms", name, &m.latency);
-            render_histogram(&mut out, "faas_startup_ms", name, &m.startup);
-            render_histogram(&mut out, "prebake_restore_ms", name, &m.restore_ms);
+            let labels = format!("function=\"{name}\"");
+            render_histogram(&mut out, "faas_latency_ms", &labels, &m.latency);
+            render_histogram(&mut out, "faas_startup_ms", &labels, &m.startup);
+            render_histogram(&mut out, "prebake_restore_ms", &labels, &m.restore_ms);
             out.push_str(&format!(
                 "prebake_restore_major_faults_total{{function=\"{name}\"}} {}\n",
                 m.restore_major_faults.get()
@@ -306,7 +307,7 @@ impl Metrics {
 /// Formats a bucket bound the way Prometheus clients conventionally do:
 /// integral bounds without a trailing `.0` (`le="100"`), fractional ones
 /// as-is (`le="0.5"`).
-fn fmt_le(bound: f64) -> String {
+pub fn fmt_le(bound: f64) -> String {
     if bound == bound.trunc() {
         format!("{}", bound as i64)
     } else {
@@ -316,27 +317,38 @@ fn fmt_le(bound: f64) -> String {
 
 /// Appends one histogram's full exposition: cumulative buckets including
 /// `+Inf`, then `_sum` and `_count` (which equals the `+Inf` bucket).
-fn render_histogram(out: &mut String, metric: &str, function: &str, h: &Histogram) {
+///
+/// `labels` is the pre-rendered label pairs without braces (e.g.
+/// `function="echo"` or `tenant="a",node="0"`); pass `""` for an
+/// unlabelled series. This is the one histogram encoder shared by the
+/// platform gateway, the fleet scheduler, and the obs recorder so every
+/// exposition in the workspace agrees on bucket/`le` formatting.
+pub fn render_histogram(out: &mut String, metric: &str, labels: &str, h: &Histogram) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    let brace = |inner: &str| -> String {
+        if labels.is_empty() && inner.is_empty() {
+            String::new()
+        } else if inner.is_empty() {
+            format!("{{{labels}}}")
+        } else {
+            format!("{{{labels}{sep}{inner}}}")
+        }
+    };
     let mut cumulative = 0u64;
     for (bound, count) in h.bounds().iter().zip(h.bucket_counts()) {
         cumulative += count;
         out.push_str(&format!(
-            "{metric}_bucket{{function=\"{function}\",le=\"{}\"}} {cumulative}\n",
-            fmt_le(*bound)
+            "{metric}_bucket{} {cumulative}\n",
+            brace(&format!("le=\"{}\"", fmt_le(*bound)))
         ));
     }
     out.push_str(&format!(
-        "{metric}_bucket{{function=\"{function}\",le=\"+Inf\"}} {}\n",
+        "{metric}_bucket{} {}\n",
+        brace("le=\"+Inf\""),
         h.count()
     ));
-    out.push_str(&format!(
-        "{metric}_sum{{function=\"{function}\"}} {:.3}\n",
-        h.sum()
-    ));
-    out.push_str(&format!(
-        "{metric}_count{{function=\"{function}\"}} {}\n",
-        h.count()
-    ));
+    out.push_str(&format!("{metric}_sum{} {:.3}\n", brace(""), h.sum()));
+    out.push_str(&format!("{metric}_count{} {}\n", brace(""), h.count()));
 }
 
 #[cfg(test)]
@@ -513,6 +525,27 @@ mod tests {
         assert!(text.contains("prebake_restore_shards_total{function=\"fn\"} 4"));
         assert!(text.contains("prebake_restore_seek_bytes_avoided_total{function=\"fn\"} 1048576"));
         assert!(text.contains("prebake_restore_pages_compacted_total{function=\"fn\"} 7"));
+    }
+
+    #[test]
+    fn shared_encoder_handles_unlabelled_and_multi_label_series() {
+        let mut h = Histogram::new(&[1.0, 2.5]);
+        h.observe(0.5);
+        h.observe(2.0);
+
+        let mut bare = String::new();
+        render_histogram(&mut bare, "m_ms", "", &h);
+        assert!(bare.contains("m_ms_bucket{le=\"1\"} 1\n"));
+        assert!(bare.contains("m_ms_bucket{le=\"2.5\"} 2\n"));
+        assert!(bare.contains("m_ms_bucket{le=\"+Inf\"} 2\n"));
+        assert!(bare.contains("m_ms_sum 2.500\n"));
+        assert!(bare.contains("m_ms_count 2\n"));
+
+        let mut labelled = String::new();
+        render_histogram(&mut labelled, "m_ms", "tenant=\"a\",node=\"0\"", &h);
+        assert!(labelled.contains("m_ms_bucket{tenant=\"a\",node=\"0\",le=\"1\"} 1\n"));
+        assert!(labelled.contains("m_ms_sum{tenant=\"a\",node=\"0\"} 2.500\n"));
+        assert!(labelled.contains("m_ms_count{tenant=\"a\",node=\"0\"} 2\n"));
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Property tests for the streaming histogram: `merge` is commutative
+//! and conserves sums/counts, bucket boundaries route observations
+//! exactly, and merging equals observing the concatenated sample.
+
+use proptest::prelude::*;
+
+use prebake_platform::metrics::Histogram;
+
+/// Strictly ascending bounds from positive deltas.
+fn to_bounds(deltas: &[u32]) -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(deltas.len());
+    let mut acc = 0.0;
+    for &d in deltas {
+        acc += f64::from(d);
+        bounds.push(acc);
+    }
+    bounds
+}
+
+fn to_sample(raw: &[u32]) -> Vec<f64> {
+    raw.iter().map(|&v| f64::from(v) / 250.0).collect()
+}
+
+fn fill(bounds: &[f64], sample: &[f64]) -> Histogram {
+    let mut h = Histogram::new(bounds);
+    for &v in sample {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `a.merge(b)` and `b.merge(a)` agree bucket for bucket, and both
+    /// equal observing the concatenated sample directly.
+    #[test]
+    fn merge_is_commutative_and_equals_concatenation(
+        deltas in proptest::collection::vec(1u32..1_000, 1..8),
+        raw_xs in proptest::collection::vec(0u32..2_000_000, 0..64),
+        raw_ys in proptest::collection::vec(0u32..2_000_000, 0..64),
+    ) {
+        let bounds = to_bounds(&deltas);
+        let (xs, ys) = (to_sample(&raw_xs), to_sample(&raw_ys));
+        let (a, b) = (fill(&bounds, &xs), fill(&bounds, &ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.bucket_counts(), ba.bucket_counts());
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.sum().to_bits(), ba.sum().to_bits());
+
+        let concat: Vec<f64> = xs.iter().chain(&ys).copied().collect();
+        let direct = fill(&bounds, &concat);
+        prop_assert_eq!(ab.bucket_counts(), direct.bucket_counts());
+        prop_assert_eq!(ab.count(), direct.count());
+        // Sums may associate differently; compare within float slack.
+        prop_assert!((ab.sum() - direct.sum()).abs() <= 1e-6 * (1.0 + direct.sum().abs()));
+    }
+
+    /// Counts and sums are conserved exactly: nothing is lost or
+    /// duplicated by a merge.
+    #[test]
+    fn merge_conserves_count_and_sum(
+        deltas in proptest::collection::vec(1u32..1_000, 1..8),
+        raw_xs in proptest::collection::vec(0u32..2_000_000, 0..64),
+        raw_ys in proptest::collection::vec(0u32..2_000_000, 0..64),
+    ) {
+        let bounds = to_bounds(&deltas);
+        let (xs, ys) = (to_sample(&raw_xs), to_sample(&raw_ys));
+        let (a, b) = (fill(&bounds, &xs), fill(&bounds, &ys));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.count(), a.count() + b.count());
+        prop_assert_eq!(merged.sum().to_bits(), (a.sum() + b.sum()).to_bits());
+        prop_assert_eq!(
+            merged.bucket_counts().iter().sum::<u64>(),
+            merged.count(),
+            "bucket counts partition the total"
+        );
+        // Merging an empty histogram is the identity.
+        let mut id = a.clone();
+        id.merge(&Histogram::new(&bounds));
+        prop_assert_eq!(id.bucket_counts(), a.bucket_counts());
+        prop_assert_eq!(id.sum().to_bits(), a.sum().to_bits());
+    }
+
+    /// A value exactly on a bucket's upper bound lands in that bucket
+    /// (Prometheus `le` semantics), and a value just above it lands in
+    /// the next.
+    #[test]
+    fn bucket_boundaries_are_le_inclusive(
+        deltas in proptest::collection::vec(1u32..1_000, 1..8),
+        pick in 0usize..64,
+    ) {
+        let bounds = to_bounds(&deltas);
+        let i = pick % bounds.len();
+        let edge = bounds[i];
+        let mut h = Histogram::new(&bounds);
+        h.observe(edge);
+        prop_assert_eq!(h.bucket_counts()[i], 1, "on-boundary value is <= bound");
+        let mut above = Histogram::new(&bounds);
+        above.observe(edge + edge.abs().max(1.0) * f64::EPSILON * 4.0);
+        prop_assert_eq!(above.bucket_counts()[i], 0, "just above spills over");
+        let total_above: u64 = above.bucket_counts().iter().sum();
+        prop_assert_eq!(total_above, 1);
+    }
+}

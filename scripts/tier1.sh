@@ -74,6 +74,26 @@ run cp results/BENCH_parallel.json results/BENCH_parallel.run1.json
 run cargo run --release -q -p prebake-bench --bin ablation_restore_parallel -- --quick
 run cmp results/BENCH_parallel.run1.json results/BENCH_parallel.json
 run rm -f results/BENCH_parallel.run1.json
+# Observability invariants (DESIGN.md §15): histogram-merge and
+# window-ring property tests, the dashboard / exemplar-trace golden
+# renders, and a smoke run of the obs ablation, which asserts the SLO
+# burn engine localizes the injected cold-start burst to the right
+# tenant and window while tail sampling keeps every breaching trace at
+# a >=10x span reduction. The ablation runs twice and the outputs are
+# compared byte-for-byte so the telemetry path stays seed-deterministic.
+run cargo test -q -p prebake-obs
+run cargo test -q -p prebake-platform --test proptest_metrics
+run cargo run --release -q -p prebake-bench --bin ablation_obs -- --quick
+run cp results/BENCH_obs.json results/BENCH_obs.run1.json
+run cargo run --release -q -p prebake-bench --bin ablation_obs -- --quick
+run cmp results/BENCH_obs.run1.json results/BENCH_obs.json
+run rm -f results/BENCH_obs.run1.json
+# Bench regression gate: committed baselines must diff clean against
+# themselves (guards the flatten/tolerance logic and catches accidental
+# baseline edits that no longer parse).
+run cargo run --release -q -p prebake-bench --bin benchdiff -- BENCH_fleet.json BENCH_fleet.json
+run cargo run --release -q -p prebake-bench --bin benchdiff -- BENCH_parallel.json BENCH_parallel.json
+run cargo run --release -q -p prebake-bench --bin benchdiff -- BENCH_obs.json BENCH_obs.json
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 

@@ -20,6 +20,7 @@
 //! | [`prebake_core`] | the contribution: snapshot policies, vanilla vs prebake starters, phase measurement, trial harness |
 //! | [`prebake_platform`] | SPEC-RG / OpenFaaS platform: function registry, builder templates, autoscaler, gateway, load generation |
 //! | [`prebake_registry`] | snapshot registry tier: content-addressed manifests, network-charged pulls, per-node pull-through caches |
+//! | [`prebake_obs`] | fleet telemetry: windowed time-series recorder, SLO burn engine, tail-sampled tracing with exemplars |
 //! | [`prebake_stats`] | bootstrap CIs, Shapiro–Wilk, Wilcoxon–Mann–Whitney, ECDFs |
 //!
 //! See `README.md` for the architecture overview, `DESIGN.md` for the
@@ -52,6 +53,9 @@ pub use prebake_platform as platform;
 // never be confused with the platform's *function* registry
 // (build metadata, `prebake_platform::registry::Registry`).
 pub use prebake_registry;
+// Full name for the same reason: `obs` the telemetry stack, not an
+// abbreviation that could collide with a future module.
+pub use prebake_obs;
 pub use prebake_runtime as runtime;
 pub use prebake_sim as sim;
 pub use prebake_stats as stats;
