@@ -7,19 +7,27 @@
 //! - Markdown rendering
 //! - image decode and box resize
 //! - statistics kernels (bootstrap CI, Shapiro–Wilk, Mann–Whitney)
+//! - fleet event-loop throughput, serial vs sharded, on a fixed
+//!   50k-arrival streamed trace
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use prebake_criu::{
     dump, repack, restore, DumpOptions, RepackOptions, RestoreMode, RestoreOptions, WsImage,
 };
+use prebake_fleet::{
+    FleetConfig, FleetSim, FunctionProfile, Gear, GearCost, KeepAlive, Policy, RegistryConfig,
+    StartSelection,
+};
 use prebake_functions::image::{resize_box, CompressedImage};
 use prebake_functions::{markdown, sample_markdown};
+use prebake_platform::loadgen::{ArrivalGen, MergedArrivals};
 use prebake_runtime::classfile::ClassFile;
 use prebake_runtime::gen::{synth_class, SplitMix64};
 use prebake_sim::kernel::{Kernel, INIT_PID};
 use prebake_sim::mem::{Prot, VmaKind, PAGE_SIZE};
 use prebake_sim::proc::Pid;
+use prebake_sim::time::{SimDuration, SimInstant};
 use prebake_stats::{bootstrap, mannwhitney, shapiro};
 
 /// Builds a kernel hosting a process with `pages` materialised pages
@@ -277,12 +285,109 @@ fn bench_stats(c: &mut Criterion) {
     group.finish();
 }
 
+/// A fleet sized like the scale ablation's quick gate: 6 prebaked
+/// tenants on 200 workers under the adaptive policy with the registry
+/// tier on, fed a lazily merged 50k-arrival Poisson mix.
+const FLEET_BENCH_ARRIVALS_PER_TENANT: usize = 8_334;
+
+fn fleet_bench_sim(shards: usize) -> FleetSim {
+    let mut sim = FleetSim::new(FleetConfig {
+        workers: 200,
+        mem_budget_bytes: 4 << 30,
+        cold_start_concurrency: 4,
+        queue_cap: 4096,
+        max_replicas_per_function: 64,
+        policy: Policy {
+            keep_alive: KeepAlive::FixedTtl(SimDuration::from_secs(60)),
+            start: StartSelection::Adaptive,
+        },
+        registry: Some(RegistryConfig::default()),
+        shards,
+        retain_completed: false,
+        ..FleetConfig::default()
+    });
+    for t in 0..6u64 {
+        sim.register(FunctionProfile::synthetic(
+            &format!("tenant-{t}"),
+            &[
+                (
+                    Gear::Vanilla,
+                    GearCost {
+                        cold_ms: 150.0 + 40.0 * t as f64,
+                        first_service_ms: 8.0 + t as f64,
+                        warm_service_ms: 1.5 + 0.5 * t as f64,
+                        replica_mem_bytes: (64 + 24 * t) << 20,
+                        image_bytes: 0,
+                    },
+                ),
+                (
+                    Gear::Prefetch,
+                    GearCost {
+                        cold_ms: 18.0 + 6.0 * t as f64,
+                        first_service_ms: 3.0 + 0.5 * t as f64,
+                        warm_service_ms: 1.5 + 0.5 * t as f64,
+                        replica_mem_bytes: (64 + 24 * t) << 20,
+                        image_bytes: (24 + 12 * t) << 20,
+                    },
+                ),
+            ],
+        ));
+    }
+    sim
+}
+
+fn fleet_bench_stream() -> MergedArrivals<ArrivalGen> {
+    let gens = (0..6u64)
+        .map(|t| {
+            ArrivalGen::poisson(
+                &format!("tenant-{t}"),
+                FLEET_BENCH_ARRIVALS_PER_TENANT,
+                SimInstant::EPOCH + SimDuration::from_millis(13 * t),
+                SimDuration::from_millis(14 + 4 * t),
+                t.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            )
+            .unwrap()
+        })
+        .collect();
+    MergedArrivals::new(gens)
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(
+        6 * FLEET_BENCH_ARRIVALS_PER_TENANT as u64,
+    ));
+    // Serial (one shard, one queue) vs sharded event loop on the same
+    // streamed trace; the elements/sec criterion reports is arrivals/sec,
+    // and the speedup between the two rows is the scan-domain reduction
+    // the cells buy (DESIGN.md §16).
+    for &shards in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("event_loop_50k", shards),
+            &shards,
+            |b, &shards| {
+                b.iter_batched(
+                    || fleet_bench_sim(shards),
+                    |mut sim| {
+                        sim.run_stream(fleet_bench_stream()).unwrap();
+                        sim.events_processed()
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_criu,
     bench_classfile,
     bench_markdown,
     bench_image,
-    bench_stats
+    bench_stats,
+    bench_fleet
 );
 criterion_main!(benches);

@@ -5,6 +5,8 @@
 
 use prebake_platform::metrics::{render_histogram, Counter, Histogram};
 
+use crate::profile::Gear;
+
 /// Scheduler-level counters and latency distributions.
 #[derive(Debug, Clone)]
 pub struct FleetMetrics {
@@ -35,6 +37,15 @@ pub struct FleetMetrics {
     pub queue_delay: Histogram,
     /// Arrival → completion latency, ms.
     pub latency: Histogram,
+    /// Arrival → completion latency split by serving gear, ms. One
+    /// pre-registered slot per [`Gear::ALL`] entry (indexed by
+    /// [`Gear::index`]), so the serve path never allocates or probes a
+    /// map to find its histogram.
+    pub latency_by_gear: [Histogram; Gear::ALL.len()],
+    /// Arrival → completion latency of cold-served requests only, ms —
+    /// the distribution scale runs read cold-start p99 from without
+    /// retaining per-request rows.
+    pub cold_latency: Histogram,
     /// Cold-start time spent waiting on registry pulls, ms.
     pub pull_wait: Histogram,
 }
@@ -62,12 +73,50 @@ impl Default for FleetMetrics {
             prepulls: Counter::default(),
             queue_delay: Histogram::new(&LATENCY_BOUNDS_MS),
             latency: Histogram::new(&LATENCY_BOUNDS_MS),
+            latency_by_gear: std::array::from_fn(|_| Histogram::new(&LATENCY_BOUNDS_MS)),
+            cold_latency: Histogram::new(&LATENCY_BOUNDS_MS),
             pull_wait: Histogram::new(&LATENCY_BOUNDS_MS),
         }
     }
 }
 
 impl FleetMetrics {
+    /// Records one served request: aggregate + per-gear latency, and the
+    /// cold-only split when the request waited on a cold start. The gear
+    /// slot is pre-registered, so this is allocation-free.
+    pub fn observe_latency(&mut self, gear: Gear, latency_ms: f64, cold: bool) {
+        self.latency.observe(latency_ms);
+        self.latency_by_gear[gear.index()].observe(latency_ms);
+        if cold {
+            self.cold_latency.observe(latency_ms);
+        }
+    }
+
+    /// Folds another metrics block into this one — the shard-merge path.
+    /// Counters add; histograms merge bucket-wise (shared bounds).
+    pub fn merge(&mut self, other: &FleetMetrics) {
+        self.requests.add(other.requests.get());
+        self.cold_starts.add(other.cold_starts.get());
+        self.shed.add(other.shed.get());
+        self.evictions.add(other.evictions.get());
+        self.expirations.add(other.expirations.get());
+        self.prewarm_starts.add(other.prewarm_starts.get());
+        self.replicas_started.add(other.replicas_started.get());
+        self.registry_egress_bytes
+            .add(other.registry_egress_bytes.get());
+        self.registry_dedup_bytes
+            .add(other.registry_dedup_bytes.get());
+        self.pull_cache_hits.add(other.pull_cache_hits.get());
+        self.prepulls.add(other.prepulls.get());
+        self.queue_delay.merge(&other.queue_delay);
+        self.latency.merge(&other.latency);
+        for (mine, theirs) in self.latency_by_gear.iter_mut().zip(&other.latency_by_gear) {
+            mine.merge(theirs);
+        }
+        self.cold_latency.merge(&other.cold_latency);
+        self.pull_wait.merge(&other.pull_wait);
+    }
+
     /// Fraction of admitted requests that waited on a cold start.
     pub fn cold_fraction(&self) -> f64 {
         if self.requests.get() == 0 {
@@ -104,6 +153,13 @@ impl FleetMetrics {
         }
         render_histogram(&mut out, "fleet_queue_delay_ms", "", &self.queue_delay);
         render_histogram(&mut out, "fleet_latency_ms", "", &self.latency);
+        for (gear, h) in Gear::ALL.iter().zip(&self.latency_by_gear) {
+            if h.count() > 0 {
+                let labels = format!("gear=\"{}\"", gear.label());
+                render_histogram(&mut out, "fleet_gear_latency_ms", &labels, h);
+            }
+        }
+        render_histogram(&mut out, "fleet_cold_latency_ms", "", &self.cold_latency);
         render_histogram(&mut out, "fleet_pull_wait_ms", "", &self.pull_wait);
         for (worker, hw) in worker_high_water.iter().enumerate() {
             out.push_str(&format!(
@@ -122,6 +178,42 @@ mod tests {
     fn cold_fraction_handles_empty() {
         let m = FleetMetrics::default();
         assert_eq!(m.cold_fraction(), 0.0);
+    }
+
+    #[test]
+    fn observe_latency_feeds_gear_and_cold_splits() {
+        let mut m = FleetMetrics::default();
+        m.observe_latency(Gear::Cow, 12.0, true);
+        m.observe_latency(Gear::Cow, 3.0, false);
+        m.observe_latency(Gear::Vanilla, 700.0, true);
+        assert_eq!(m.latency.count(), 3);
+        assert_eq!(m.latency_by_gear[Gear::Cow.index()].count(), 2);
+        assert_eq!(m.latency_by_gear[Gear::Vanilla.index()].count(), 1);
+        assert_eq!(m.cold_latency.count(), 2);
+        let text = m.render(&[]);
+        assert!(text.contains("fleet_gear_latency_ms_count{gear=\"cow\"} 2"));
+        assert!(text.contains("fleet_gear_latency_ms_count{gear=\"vanilla\"} 1"));
+        assert!(!text.contains("gear=\"lazy\""), "empty gears stay silent");
+        assert!(text.contains("fleet_cold_latency_ms_count 2"));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let mut a = FleetMetrics::default();
+        a.requests.add(2);
+        a.observe_latency(Gear::Eager, 5.0, false);
+        let mut b = FleetMetrics::default();
+        b.requests.add(3);
+        b.cold_starts.add(1);
+        b.observe_latency(Gear::Eager, 50.0, true);
+        b.queue_delay.observe(1.0);
+        a.merge(&b);
+        assert_eq!(a.requests.get(), 5);
+        assert_eq!(a.cold_starts.get(), 1);
+        assert_eq!(a.latency.count(), 2);
+        assert_eq!(a.latency_by_gear[Gear::Eager.index()].count(), 2);
+        assert_eq!(a.cold_latency.count(), 1);
+        assert_eq!(a.queue_delay.count(), 1);
     }
 
     #[test]

@@ -58,6 +58,18 @@ impl Gear {
         }
     }
 
+    /// The gear's ordinal in [`Gear::ALL`] — a dense index for
+    /// pre-registered per-gear metric arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Gear::Vanilla => 0,
+            Gear::Eager => 1,
+            Gear::Lazy => 2,
+            Gear::Cow => 3,
+            Gear::Prefetch => 4,
+        }
+    }
+
     /// Short label used in reports and policy names.
     pub fn label(self) -> &'static str {
         match self {

@@ -15,21 +15,45 @@
 //! on the virtual clock, and placement can weigh "where is this image
 //! already warm" ahead of load.
 //!
-//! Everything is deterministic for a fixed seed: all state lives in
-//! `BTreeMap`s, the event queue breaks time ties FIFO, and the only
-//! randomness is the seeded log-normal jitter applied to profiled costs.
+//! # Sharded event loop
+//!
+//! The simulator is partitioned into [`FleetConfig::shards`] cells.
+//! Each shard owns a contiguous block of workers, the functions homed
+//! to it (round-robin by registration order), their queues and arrival
+//! statistics, its own event queue, noise stream, tracer, and — when
+//! the tiers are configured — a forked registry pull handle and a
+//! private telemetry stack. Shards never share mutable state, so a run
+//! drains them on real OS threads ([`FleetConfig::threads`]) and then
+//! folds their outputs — metrics, completed requests, registry
+//! accounting, windowed telemetry, and spans — back into the
+//! coordinator in a byte-stable order (k-way merge by dispatch time,
+//! lowest shard first on ties).
+//!
+//! Million-invocation traces stream through [`FleetSim::run_stream`]
+//! without materialising a schedule: arrivals are pulled lazily from
+//! the iterator and injected epoch-by-epoch
+//! ([`FleetConfig::stream_epoch`] of virtual time per wave), and the
+//! per-request log can be dropped ([`FleetConfig::retain_completed`])
+//! so memory stays flat while the histograms keep the distributions.
+//!
+//! Everything is deterministic for a fixed seed and shard count: all
+//! state lives in `BTreeMap`s, each shard's event queue breaks time
+//! ties FIFO with arrivals ahead of same-instant events, the fold order
+//! is fixed, and threading is an execution detail — a threaded run and
+//! a serial run of the same configuration are identical. `shards <= 1`
+//! reproduces the unsharded scheduler bit-for-bit.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use prebake_obs::{Objective, ObsConfig, ObsStack, RecorderConfig, SamplerConfig, SeriesKey};
-use prebake_platform::loadgen::Schedule;
+use prebake_platform::loadgen::{Arrival, LoadError, LoadResult, Schedule};
 use prebake_registry::{ImageManifest, PullMode, RegistryCost, SnapshotRegistry};
 use prebake_sim::event::EventQueue;
 use prebake_sim::noise::Noise;
 use prebake_sim::proc::Pid;
 use prebake_sim::time::{SimDuration, SimInstant};
-use prebake_sim::trace::{TraceSpan, Tracer};
+use prebake_sim::trace::{SpanId, TraceSpan, Tracer};
 
 use crate::metrics::FleetMetrics;
 use crate::policy::{ArrivalStats, Policy};
@@ -99,6 +123,25 @@ pub struct FleetConfig {
     /// `None` keeps the pre-obs scalar counters only. See
     /// [`default_fleet_obs`] for the standard fleet objectives.
     pub obs: Option<ObsConfig>,
+    /// Event-loop shards. Each shard owns a contiguous block of workers
+    /// and the functions homed to it; clamped to the worker count.
+    /// `1` (the default) reproduces the unsharded scheduler exactly.
+    /// Shard counts are part of the model: different counts partition
+    /// placement domains differently and produce different (each
+    /// deterministic) schedules.
+    pub shards: usize,
+    /// Drain shards on OS threads when `shards > 1`. Purely an
+    /// execution detail: threaded and serial drains of the same
+    /// configuration produce identical results.
+    pub threads: bool,
+    /// Virtual-time width of one [`FleetSim::run_stream`] injection
+    /// epoch. Only a batching granularity — results never depend on it.
+    pub stream_epoch: SimDuration,
+    /// Keep the per-request [`FleetRequest`] log. Disable for
+    /// million-invocation runs: histograms (including the cold-only
+    /// latency split) still capture the distributions while memory
+    /// stays flat.
+    pub retain_completed: bool,
 }
 
 impl Default for FleetConfig {
@@ -115,6 +158,10 @@ impl Default for FleetConfig {
             span_tracing: false,
             registry: None,
             obs: None,
+            shards: 1,
+            threads: true,
+            stream_epoch: SimDuration::from_secs(1),
+            retain_completed: true,
         }
     }
 }
@@ -158,6 +205,8 @@ pub fn default_fleet_obs(keep_fraction: f64, seed: u64) -> ObsConfig {
 pub enum FleetError {
     /// An arrival names a function no profile was registered for.
     UnknownFunction(String),
+    /// A streaming workload source yielded an error mid-run.
+    Load(LoadError),
 }
 
 impl fmt::Display for FleetError {
@@ -166,20 +215,28 @@ impl fmt::Display for FleetError {
             FleetError::UnknownFunction(name) => {
                 write!(f, "no profile registered for function {name:?}")
             }
+            FleetError::Load(err) => write!(f, "workload stream failed: {err}"),
         }
     }
 }
 
 impl std::error::Error for FleetError {}
 
+impl From<LoadError> for FleetError {
+    fn from(err: LoadError) -> FleetError {
+        FleetError::Load(err)
+    }
+}
+
 /// One completed invocation, as observed at the fleet gateway.
 #[derive(Debug, Clone)]
 pub struct FleetRequest {
-    /// Admission order.
+    /// Admission order (shard-strided: unique fleet-wide, and exactly
+    /// the admission sequence when `shards == 1`).
     pub id: u64,
     /// Function served.
     pub function: String,
-    /// Worker that served it.
+    /// Worker that served it (fleet-global id).
     pub worker: usize,
     /// Arrival at the gateway.
     pub arrived: SimInstant,
@@ -211,7 +268,6 @@ struct Pending {
 
 #[derive(Debug)]
 enum Event {
-    Arrival { function: String },
     ReplicaReady { worker: usize, replica: u64 },
     ServeDone { worker: usize, replica: u64 },
     ExpireCheck,
@@ -219,15 +275,39 @@ enum Event {
     Prepull { function: String },
 }
 
-/// The fleet scheduler.
-pub struct FleetSim {
+/// Registry image id of one `(function, gear)` snapshot.
+fn image_id(function: &str, gear: Gear) -> String {
+    format!("{function}@{}", gear.label())
+}
+
+/// One cell of the sharded fleet: a contiguous worker block, the
+/// functions homed here, and a private event loop. Shards share nothing
+/// mutable, so they drain independently (optionally on OS threads) and
+/// fold back deterministically.
+struct Shard {
+    /// This shard's index — the id-striding offset.
+    index: u64,
+    /// Total shards — the id-striding factor.
+    shard_count: u64,
+    /// Fleet-global id of this shard's first worker. Workers are local
+    /// (`0..workers.len()`) internally; the base is added at every
+    /// externally visible site (request records, telemetry labels).
+    worker_base: usize,
     config: FleetConfig,
     profiles: BTreeMap<String, FunctionProfile>,
     workers: Vec<Worker>,
     queues: BTreeMap<String, VecDeque<Pending>>,
     stats: BTreeMap<String, ArrivalStats>,
+    /// Pending arrivals, time-sorted, submission order on ties. Kept
+    /// outside the event queue so a same-instant arrival always beats a
+    /// same-instant scheduler event — the unsharded scheduler's tie
+    /// order, where every arrival was enqueued before any event.
+    arrivals: VecDeque<(SimInstant, String)>,
     events: EventQueue<Event>,
+    /// Forked registry pull handle, leased at run start and absorbed
+    /// back at fold (late fork so publishes land before the fork).
     registry: Option<SnapshotRegistry>,
+    /// Private telemetry stack, leased at run start, absorbed at fold.
     obs: Option<ObsStack>,
     now: SimInstant,
     noise: Noise,
@@ -236,111 +316,94 @@ pub struct FleetSim {
     tracer: Tracer,
     next_request: u64,
     next_replica: u64,
+    events_processed: u64,
 }
 
-impl fmt::Debug for FleetSim {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FleetSim")
-            .field("now", &self.now)
-            .field("workers", &self.workers.len())
-            .field("functions", &self.profiles.len())
-            .field("completed", &self.completed.len())
-            .finish()
-    }
-}
-
-impl FleetSim {
-    /// Creates an empty fleet.
-    pub fn new(config: FleetConfig) -> FleetSim {
-        let workers = (0..config.workers.max(1))
-            .map(|id| Worker::new(id, config.mem_budget_bytes))
-            .collect();
+impl Shard {
+    fn new(
+        index: usize,
+        shard_count: usize,
+        worker_base: usize,
+        worker_count: usize,
+        config: &FleetConfig,
+    ) -> Shard {
         let mut tracer = Tracer::new();
         tracer.set_enabled(config.span_tracing);
-        FleetSim {
-            noise: Noise::new(config.seed, config.noise_sigma),
-            registry: config
-                .registry
-                .as_ref()
-                .map(|rc| SnapshotRegistry::new(rc.cost)),
-            obs: config.obs.clone().map(ObsStack::new),
-            workers,
-            config,
+        Shard {
+            index: index as u64,
+            shard_count: shard_count as u64,
+            worker_base,
+            // Offsetting the seed per shard keeps the jitter streams
+            // independent; shard 0 draws the exact unsharded stream.
+            noise: Noise::new(config.seed + index as u64, config.noise_sigma),
+            workers: (0..worker_count)
+                .map(|id| Worker::new(id, config.mem_budget_bytes))
+                .collect(),
+            config: config.clone(),
             profiles: BTreeMap::new(),
             queues: BTreeMap::new(),
             stats: BTreeMap::new(),
+            arrivals: VecDeque::new(),
             events: EventQueue::new(),
+            registry: None,
+            obs: None,
             now: SimInstant::EPOCH,
             metrics: FleetMetrics::default(),
             completed: Vec::new(),
             tracer,
             next_request: 1,
             next_replica: 1,
+            events_processed: 0,
         }
     }
 
-    /// Registers a function's start-cost profile, making it routable.
-    ///
-    /// With a registry tier configured, every gear with an image is
-    /// auto-published as a synthetic manifest shaped by
-    /// [`RegistryConfig::shared_fraction`]; [`FleetSim::publish_manifest`]
-    /// replaces one with a real (dump-derived) manifest afterwards.
-    pub fn register(&mut self, profile: FunctionProfile) {
+    fn register(&mut self, profile: FunctionProfile) {
         let name = profile.name().to_owned();
-        if let (Some(reg), Some(rc)) = (self.registry.as_mut(), self.config.registry.as_ref()) {
-            for gear in profile.gears() {
-                let image_bytes = profile.cost(gear).expect("listed gear").image_bytes;
-                if image_bytes == 0 {
-                    continue;
-                }
-                let id = Self::image_id(&name, gear);
-                if reg.manifest(&id).is_none() {
-                    reg.publish(ImageManifest::synthetic(
-                        &id,
-                        image_bytes,
-                        rc.shared_fraction,
-                        self.config.seed,
-                    ));
-                }
-            }
-        }
         self.queues.entry(name.clone()).or_default();
         self.stats.entry(name.clone()).or_default();
         self.profiles.insert(name, profile);
     }
 
-    /// Registry image id of one `(function, gear)` snapshot.
-    pub fn image_id(function: &str, gear: Gear) -> String {
-        format!("{function}@{}", gear.label())
+    /// Queues one arrival, keeping the pending list time-sorted with
+    /// submission order on ties.
+    fn inject(&mut self, at: SimInstant, function: &str) {
+        let at = at.max(self.now);
+        let idx = self.arrivals.partition_point(|&(t, _)| t <= at);
+        self.arrivals.insert(idx, (at, function.to_owned()));
     }
 
-    /// Publishes a real manifest for `(function, gear)` — e.g. derived
-    /// from a dumped image set via [`ImageManifest::from_image_set`] —
-    /// replacing the synthetic one auto-published at registration.
-    /// No-op without a registry tier.
-    pub fn publish_manifest(&mut self, function: &str, gear: Gear, manifest: &ImageManifest) {
-        if let Some(reg) = self.registry.as_mut() {
-            reg.publish(ImageManifest::new(
-                Self::image_id(function, gear),
-                manifest.frame_hashes().iter().copied(),
-                manifest.metadata_bytes(),
-            ));
+    /// Fleet-global id of a local worker index.
+    fn global_worker(&self, local: usize) -> usize {
+        self.worker_base + local
+    }
+
+    /// Drains arrivals and events in virtual-time order until both are
+    /// empty, or until the next item would land at or past `bound`.
+    /// Same-instant ties: arrival before event, then FIFO.
+    fn drain(&mut self, bound: Option<SimInstant>) {
+        loop {
+            let next_arrival = self.arrivals.front().map(|&(t, _)| t);
+            let next_event = self.events.peek_time();
+            let (t, is_arrival) = match (next_arrival, next_event) {
+                (Some(a), Some(e)) if a <= e => (a, true),
+                (Some(_), Some(e)) => (e, false),
+                (Some(a), None) => (a, true),
+                (None, Some(e)) => (e, false),
+                (None, None) => return,
+            };
+            if bound.is_some_and(|b| t >= b) {
+                return;
+            }
+            self.now = self.now.max(t);
+            self.events_processed += 1;
+            if is_arrival {
+                let (_, function) = self.arrivals.pop_front().expect("peeked non-empty");
+                self.on_arrival(&function);
+            } else {
+                let (_, event) = self.events.pop().expect("peeked non-empty");
+                self.handle(event);
+            }
         }
-    }
-
-    /// The snapshot registry, when the tier is configured.
-    pub fn registry(&self) -> Option<&SnapshotRegistry> {
-        self.registry.as_ref()
-    }
-
-    /// The telemetry stack, when configured.
-    pub fn obs(&self) -> Option<&ObsStack> {
-        self.obs.as_ref()
-    }
-
-    /// Mutable telemetry stack (e.g. to bridge platform metrics in).
-    pub fn obs_mut(&mut self) -> Option<&mut ObsStack> {
-        self.obs.as_mut()
     }
 
     /// Window-records one counter increment when the obs stack is on.
@@ -358,94 +421,15 @@ impl FleetSim {
         }
     }
 
-    /// Schedules one arrival.
-    ///
-    /// # Errors
-    ///
-    /// [`FleetError::UnknownFunction`] if no profile is registered.
-    pub fn submit(&mut self, at: SimInstant, function: &str) -> Result<(), FleetError> {
-        if !self.profiles.contains_key(function) {
-            return Err(FleetError::UnknownFunction(function.to_owned()));
-        }
-        self.events.schedule(
-            at.max(self.now),
-            Event::Arrival {
-                function: function.to_owned(),
-            },
-        );
-        Ok(())
-    }
-
-    /// Submits every arrival of `schedule`, then runs to quiescence.
-    ///
-    /// # Errors
-    ///
-    /// [`FleetError::UnknownFunction`] if the schedule names an
-    /// unregistered function (checked before anything runs).
-    pub fn run(&mut self, schedule: &Schedule) -> Result<(), FleetError> {
-        for arrival in schedule.arrivals() {
-            if !self.profiles.contains_key(&arrival.function) {
-                return Err(FleetError::UnknownFunction(arrival.function.clone()));
-            }
-        }
-        for arrival in schedule.arrivals() {
-            self.submit(arrival.at, &arrival.function)?;
-        }
-        self.drain();
-        Ok(())
-    }
-
-    /// Drains the event queue.
-    fn drain(&mut self) {
-        while let Some((t, event)) = self.events.pop() {
-            self.now = self.now.max(t);
-            self.handle(event);
-        }
-    }
-
-    /// Current virtual time.
-    pub fn now(&self) -> SimInstant {
-        self.now
-    }
-
-    /// Completed invocations in completion-scheduling order.
-    pub fn completed(&self) -> &[FleetRequest] {
-        &self.completed
-    }
-
-    /// Fleet metrics.
-    pub fn metrics(&self) -> &FleetMetrics {
-        &self.metrics
-    }
-
-    /// Per-worker memory high-water marks, bytes.
-    pub fn worker_high_water(&self) -> Vec<u64> {
-        self.workers.iter().map(|w| w.mem_high_water).collect()
-    }
-
-    /// Live replicas (any state) of `function` across the fleet.
-    pub fn replica_count(&self, function: &str) -> usize {
+    /// Live replicas (any state) of `function` within this shard —
+    /// which is fleet-wide for homed functions, since every replica of
+    /// a function lives in its home cell.
+    fn replica_count(&self, function: &str) -> usize {
         self.workers.iter().map(|w| w.replicas_of(function)).sum()
-    }
-
-    /// Renders every fleet metric in the Prometheus exposition format.
-    pub fn render_metrics(&self) -> String {
-        self.metrics.render(&self.worker_high_water())
-    }
-
-    /// Drains recorded scheduler span trees (empty unless
-    /// [`FleetConfig::span_tracing`] is on). One tree per completed
-    /// invocation: `sched_invocation` → `sched_enqueue`, `sched_place`,
-    /// `sched_start`/`sched_reuse`, `sched_serve`. A cold start that
-    /// fetched image bytes from the registry tier nests a
-    /// `registry_pull` span inside its `sched_start`.
-    pub fn take_spans(&mut self) -> Vec<TraceSpan> {
-        self.tracer.take(self.now)
     }
 
     fn handle(&mut self, event: Event) {
         match event {
-            Event::Arrival { function } => self.on_arrival(&function),
             Event::ReplicaReady { worker, replica } => self.on_ready(worker, replica),
             Event::ServeDone { worker, replica } => self.on_serve_done(worker, replica),
             Event::ExpireCheck => self.on_expire_check(),
@@ -469,7 +453,9 @@ impl FleetSim {
             self.obs_inc(now, key, 1);
             return;
         }
-        let id = self.next_request;
+        // Stride ids by shard so they are unique fleet-wide; one shard
+        // degenerates to the sequential admission order.
+        let id = (self.next_request - 1) * self.shard_count + self.index + 1;
         self.next_request += 1;
         self.metrics.requests.inc();
         let (now, key) = (
@@ -549,6 +535,7 @@ impl FleetSim {
     }
 
     fn serve(&mut self, worker: usize, replica: u64, pending: Pending) {
+        let global_worker = self.global_worker(worker);
         let profile = &self.profiles[&self.workers[worker].replicas[&replica].function.clone()];
         let r = self.workers[worker]
             .replicas
@@ -572,7 +559,7 @@ impl FleetSim {
         let record = FleetRequest {
             id: pending.id,
             function: r.function.clone(),
-            worker,
+            worker: global_worker,
             arrived: pending.arrived,
             dispatched: self.now,
             completed: done,
@@ -582,7 +569,8 @@ impl FleetSim {
             (r.start_began, r.ready_at, r.pull_wait, r.gear);
 
         self.metrics.queue_delay.observe(record.queue_delay_ms());
-        self.metrics.latency.observe(record.latency_ms());
+        self.metrics
+            .observe_latency(gear, record.latency_ms(), cold);
         if cold {
             self.metrics.cold_starts.inc();
         }
@@ -600,18 +588,20 @@ impl FleetSim {
             at,
             SeriesKey::new("fleet_latency_ms")
                 .tenant(&record.function)
-                .node(worker as u32),
+                .node(record.worker as u32),
             record.latency_ms(),
             kept,
         );
         if cold {
             let key = SeriesKey::new("fleet_cold_starts_total")
                 .tenant(&record.function)
-                .node(worker as u32)
+                .node(record.worker as u32)
                 .gear(gear.label());
             self.obs_inc(at, key, 1);
         }
-        self.completed.push(record);
+        if self.config.retain_completed {
+            self.completed.push(record);
+        }
         self.events
             .schedule(done, Event::ServeDone { worker, replica });
     }
@@ -751,7 +741,7 @@ impl FleetSim {
                         self.now,
                         SeriesKey::new("fleet_pull_wait_ms")
                             .tenant(function)
-                            .node(worker as u32),
+                            .node(self.global_worker(worker) as u32),
                     );
                     self.obs_observe(at, key, wait.as_millis_f64(), None);
                     (wait, bytes)
@@ -786,7 +776,7 @@ impl FleetSim {
         let at = self.now;
         let key = SeriesKey::new("fleet_replicas_started_total")
             .tenant(function)
-            .node(worker as u32)
+            .node(self.global_worker(worker) as u32)
             .gear(gear.label());
         self.obs_inc(at, key, 1);
         if prewarm {
@@ -820,7 +810,7 @@ impl FleetSim {
         let (Some(reg), Some(rc)) = (self.registry.as_mut(), self.config.registry.as_ref()) else {
             return None;
         };
-        let id = Self::image_id(function, gear);
+        let id = image_id(function, gear);
         let receipt = reg
             .pull(&id, &mut self.workers[worker].cache, rc.mode)
             .expect("image published at registration");
@@ -834,34 +824,35 @@ impl FleetSim {
             self.metrics.pull_cache_hits.inc();
         }
         let at = self.now;
+        let node = self.global_worker(worker) as u32;
         if receipt.stats.bytes_fetched > 0 {
             let key = SeriesKey::new("fleet_registry_egress_bytes_total")
                 .tenant(function)
-                .node(worker as u32);
+                .node(node);
             self.obs_inc(at, key, receipt.stats.bytes_fetched);
         }
         if receipt.stats.bytes_deduped > 0 {
             let key = SeriesKey::new("fleet_registry_dedup_bytes_total")
                 .tenant(function)
-                .node(worker as u32);
+                .node(node);
             self.obs_inc(at, key, receipt.stats.bytes_deduped);
         }
         if receipt.stats.cache_hit {
             let key = SeriesKey::new("fleet_pull_cache_hits_total")
                 .tenant(function)
-                .node(worker as u32);
+                .node(node);
             self.obs_inc(at, key, 1);
         }
         Some((receipt.wait, receipt.stats.bytes_fetched))
     }
 
-    /// Chooses the worker for a new replica: among workers with memory
-    /// headroom, the least loaded (fewest replicas, then least memory,
-    /// then lowest id). With the registry tier's affinity placement the
-    /// primary key becomes the bytes the node would still have to pull
-    /// — "schedule where the image is warm". Under an LRU-pressure
-    /// policy a full fleet may evict idle replicas — oldest first,
-    /// lowest worker id first — to make room.
+    /// Chooses the worker for a new replica: among this cell's workers
+    /// with memory headroom, the least loaded (fewest replicas, then
+    /// least memory, then lowest id). With the registry tier's affinity
+    /// placement the primary key becomes the bytes the node would still
+    /// have to pull — "schedule where the image is warm". Under an
+    /// LRU-pressure policy a full cell may evict idle replicas — oldest
+    /// first, lowest worker id first — to make room.
     fn place(
         &mut self,
         function: &str,
@@ -872,7 +863,7 @@ impl FleetSim {
         let missing = |w: &Worker| -> u64 {
             match (&self.registry, &self.config.registry) {
                 (Some(reg), Some(rc)) if rc.affinity_placement && image_bytes > 0 => reg
-                    .manifest(&Self::image_id(function, gear))
+                    .manifest(&image_id(function, gear))
                     .map_or(image_bytes, |m| w.cache.missing_bytes(m, rc.mode)),
                 _ => 0,
             }
@@ -905,7 +896,7 @@ impl FleetSim {
                     self.now,
                     SeriesKey::new("fleet_evictions_total")
                         .tenant(&victim.function)
-                        .node(wid as u32),
+                        .node(self.global_worker(wid) as u32),
                 );
                 self.obs_inc(at, key, 1);
             }
@@ -941,7 +932,7 @@ impl FleetSim {
                     self.now,
                     SeriesKey::new("fleet_expirations_total")
                         .tenant(&replica.function)
-                        .node(wid as u32),
+                        .node(self.global_worker(wid) as u32),
                 );
                 self.obs_inc(at, key, 1);
                 reaped_functions.push(replica.function);
@@ -1002,7 +993,7 @@ impl FleetSim {
             // the registry — absorbs start jitter and slot queueing.
             let pull_ns = match (&self.registry, &self.config.registry) {
                 (Some(reg), Some(_)) if cost.image_bytes > 0 => reg
-                    .manifest(&Self::image_id(&function, gear))
+                    .manifest(&image_id(&function, gear))
                     .map_or(0, |m| reg.cost().pull_time(m.total_bytes()).as_nanos()),
                 _ => 0,
             };
@@ -1065,7 +1056,7 @@ impl FleetSim {
             return;
         }
         let mode = self.config.registry.as_ref().expect("prepull enabled").mode;
-        let id = Self::image_id(function, gear);
+        let id = image_id(function, gear);
         let target = {
             let manifest = self
                 .registry
@@ -1101,6 +1092,411 @@ impl FleetSim {
     }
 }
 
+/// The fleet scheduler: a coordinator over one or more event-loop
+/// shards (see the module docs for the sharding model).
+pub struct FleetSim {
+    config: FleetConfig,
+    /// Every registered profile — the validation surface; shards hold
+    /// the working copies of the functions homed to them.
+    profiles: BTreeMap<String, FunctionProfile>,
+    /// Function → owning shard, round-robin by registration order.
+    home: BTreeMap<String, usize>,
+    registered: usize,
+    shards: Vec<Shard>,
+    registry: Option<SnapshotRegistry>,
+    obs: Option<ObsStack>,
+    now: SimInstant,
+    metrics: FleetMetrics,
+    completed: Vec<FleetRequest>,
+    spans: Vec<TraceSpan>,
+    next_span_id: u64,
+    events_processed: u64,
+}
+
+impl fmt::Debug for FleetSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetSim")
+            .field("now", &self.now)
+            .field("shards", &self.shards.len())
+            .field(
+                "workers",
+                &self.shards.iter().map(|s| s.workers.len()).sum::<usize>(),
+            )
+            .field("functions", &self.profiles.len())
+            .field("completed", &self.completed.len())
+            .finish()
+    }
+}
+
+impl FleetSim {
+    /// Creates an empty fleet. The shard count is clamped to the worker
+    /// count; each shard owns a contiguous block of workers.
+    pub fn new(config: FleetConfig) -> FleetSim {
+        let worker_count = config.workers.max(1);
+        let shard_count = config.shards.max(1).min(worker_count);
+        let shards = (0..shard_count)
+            .map(|i| {
+                let base = i * worker_count / shard_count;
+                let end = (i + 1) * worker_count / shard_count;
+                Shard::new(i, shard_count, base, end - base, &config)
+            })
+            .collect();
+        FleetSim {
+            registry: config
+                .registry
+                .as_ref()
+                .map(|rc| SnapshotRegistry::new(rc.cost)),
+            obs: config.obs.clone().map(ObsStack::new),
+            shards,
+            config,
+            profiles: BTreeMap::new(),
+            home: BTreeMap::new(),
+            registered: 0,
+            now: SimInstant::EPOCH,
+            metrics: FleetMetrics::default(),
+            completed: Vec::new(),
+            spans: Vec::new(),
+            next_span_id: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Registers a function's start-cost profile, making it routable.
+    /// The function is homed to a shard round-robin by registration
+    /// order; all of its replicas will live in that cell.
+    ///
+    /// With a registry tier configured, every gear with an image is
+    /// auto-published as a synthetic manifest shaped by
+    /// [`RegistryConfig::shared_fraction`]; [`FleetSim::publish_manifest`]
+    /// replaces one with a real (dump-derived) manifest afterwards.
+    pub fn register(&mut self, profile: FunctionProfile) {
+        let name = profile.name().to_owned();
+        if let (Some(reg), Some(rc)) = (self.registry.as_mut(), self.config.registry.as_ref()) {
+            for gear in profile.gears() {
+                let image_bytes = profile.cost(gear).expect("listed gear").image_bytes;
+                if image_bytes == 0 {
+                    continue;
+                }
+                let id = image_id(&name, gear);
+                if reg.manifest(&id).is_none() {
+                    reg.publish(ImageManifest::synthetic(
+                        &id,
+                        image_bytes,
+                        rc.shared_fraction,
+                        self.config.seed,
+                    ));
+                }
+            }
+        }
+        let shard = match self.home.get(&name) {
+            Some(&s) => s, // re-registration replaces the profile in place
+            None => {
+                let s = self.registered % self.shards.len();
+                self.registered += 1;
+                self.home.insert(name.clone(), s);
+                s
+            }
+        };
+        self.shards[shard].register(profile.clone());
+        self.profiles.insert(name, profile);
+    }
+
+    /// Registry image id of one `(function, gear)` snapshot.
+    pub fn image_id(function: &str, gear: Gear) -> String {
+        image_id(function, gear)
+    }
+
+    /// Publishes a real manifest for `(function, gear)` — e.g. derived
+    /// from a dumped image set via [`ImageManifest::from_image_set`] —
+    /// replacing the synthetic one auto-published at registration.
+    /// No-op without a registry tier.
+    pub fn publish_manifest(&mut self, function: &str, gear: Gear, manifest: &ImageManifest) {
+        if let Some(reg) = self.registry.as_mut() {
+            reg.publish(ImageManifest::new(
+                image_id(function, gear),
+                manifest.frame_hashes().iter().copied(),
+                manifest.metadata_bytes(),
+            ));
+        }
+    }
+
+    /// The snapshot registry, when the tier is configured. Pull
+    /// accounting is folded in at the end of each run.
+    pub fn registry(&self) -> Option<&SnapshotRegistry> {
+        self.registry.as_ref()
+    }
+
+    /// The telemetry stack, when configured. Shard recordings are
+    /// folded in at the end of each run.
+    pub fn obs(&self) -> Option<&ObsStack> {
+        self.obs.as_ref()
+    }
+
+    /// Mutable telemetry stack (e.g. to bridge platform metrics in).
+    pub fn obs_mut(&mut self) -> Option<&mut ObsStack> {
+        self.obs.as_mut()
+    }
+
+    /// Schedules one arrival on its function's home shard.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownFunction`] if no profile is registered.
+    pub fn submit(&mut self, at: SimInstant, function: &str) -> Result<(), FleetError> {
+        let Some(&home) = self.home.get(function) else {
+            return Err(FleetError::UnknownFunction(function.to_owned()));
+        };
+        self.shards[home].inject(at, function);
+        Ok(())
+    }
+
+    /// Submits every arrival of `schedule`, then runs to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownFunction`] if the schedule names an
+    /// unregistered function (checked before anything runs).
+    pub fn run(&mut self, schedule: &Schedule) -> Result<(), FleetError> {
+        for arrival in schedule.arrivals() {
+            if !self.profiles.contains_key(&arrival.function) {
+                return Err(FleetError::UnknownFunction(arrival.function.clone()));
+            }
+        }
+        self.lease();
+        for arrival in schedule.arrivals() {
+            self.submit(arrival.at, &arrival.function)?;
+        }
+        self.drive(None);
+        self.fold();
+        Ok(())
+    }
+
+    /// Runs a lazily-produced arrival stream to quiescence without ever
+    /// materialising the whole schedule: arrivals are injected in
+    /// epochs of [`FleetConfig::stream_epoch`] virtual time and the
+    /// shards drain up to each epoch boundary before the next wave.
+    /// The stream must be time-sorted (as [`ArrivalGen`] and
+    /// [`MergedArrivals`] produce); results are identical to
+    /// [`FleetSim::run`] on the equivalent materialised schedule.
+    ///
+    /// [`ArrivalGen`]: prebake_platform::loadgen::ArrivalGen
+    /// [`MergedArrivals`]: prebake_platform::loadgen::MergedArrivals
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownFunction`] for an unregistered function and
+    /// [`FleetError::Load`] for a stream-side failure. Validation is
+    /// necessarily lazy — arrivals already injected stay processed, and
+    /// everything drained so far is folded in before the error returns.
+    pub fn run_stream<I>(&mut self, stream: I) -> Result<(), FleetError>
+    where
+        I: IntoIterator<Item = LoadResult<Arrival>>,
+    {
+        self.lease();
+        let result = self.pump(&mut stream.into_iter());
+        if result.is_ok() {
+            self.drive(None);
+        }
+        self.fold();
+        result
+    }
+
+    /// The epoch loop of [`FleetSim::run_stream`]: pull one lookahead
+    /// arrival, inject every arrival strictly inside its epoch window,
+    /// drain up to the boundary, repeat.
+    fn pump(
+        &mut self,
+        stream: &mut impl Iterator<Item = LoadResult<Arrival>>,
+    ) -> Result<(), FleetError> {
+        let mut pending: Option<Arrival> = None;
+        loop {
+            let Some(head) = pending
+                .take()
+                .map_or_else(|| stream.next().transpose(), |a| Ok(Some(a)))?
+            else {
+                return Ok(());
+            };
+            let epoch_end = SimInstant::from_nanos(
+                head.at
+                    .as_nanos()
+                    .saturating_add(self.config.stream_epoch.as_nanos()),
+            );
+            self.submit(head.at, &head.function)?;
+            for arrival in stream.by_ref() {
+                let arrival = arrival?;
+                if arrival.at < epoch_end {
+                    self.submit(arrival.at, &arrival.function)?;
+                } else {
+                    pending = Some(arrival);
+                    break;
+                }
+            }
+            self.drive(Some(epoch_end));
+        }
+    }
+
+    /// Hands each shard its per-run leases: a fork of the registry's
+    /// manifest store (late, so post-construction publishes are seen)
+    /// and a fresh telemetry stack. Both are absorbed back at fold.
+    fn lease(&mut self) {
+        for shard in &mut self.shards {
+            if shard.registry.is_none() {
+                shard.registry = self.registry.as_ref().map(SnapshotRegistry::fork);
+            }
+            if shard.obs.is_none() {
+                shard.obs = self.config.obs.clone().map(ObsStack::new);
+            }
+        }
+    }
+
+    /// Drains every shard to quiescence (or up to `bound`). With more
+    /// than one shard and [`FleetConfig::threads`] on, shards drain on
+    /// OS threads; shards share nothing mutable, so the serial fallback
+    /// is bit-identical.
+    fn drive(&mut self, bound: Option<SimInstant>) {
+        if self.shards.len() > 1 && self.config.threads {
+            crossbeam::thread::scope(|scope| {
+                for shard in &mut self.shards {
+                    scope.spawn(move |_| shard.drain(bound));
+                }
+            })
+            .expect("shard drain panicked");
+        } else {
+            for shard in &mut self.shards {
+                shard.drain(bound);
+            }
+        }
+    }
+
+    /// Folds shard outputs into the coordinator in byte-stable order:
+    /// virtual time advances to the max shard clock; metrics merge in
+    /// shard order; completed requests k-way merge by dispatch time
+    /// (lowest shard wins ties); registry accounting and telemetry
+    /// absorb in shard order; spans renumber into one id space.
+    fn fold(&mut self) {
+        self.now = self
+            .shards
+            .iter()
+            .map(|s| s.now)
+            .fold(self.now, SimInstant::max);
+        for shard in &mut self.shards {
+            let metrics = std::mem::take(&mut shard.metrics);
+            self.metrics.merge(&metrics);
+            self.events_processed += std::mem::take(&mut shard.events_processed);
+        }
+        if self.shards.len() == 1 {
+            self.completed.append(&mut self.shards[0].completed);
+        } else {
+            let mut batches: Vec<VecDeque<FleetRequest>> = self
+                .shards
+                .iter_mut()
+                .map(|s| std::mem::take(&mut s.completed).into())
+                .collect();
+            loop {
+                let mut best: Option<(usize, SimInstant)> = None;
+                for (i, batch) in batches.iter().enumerate() {
+                    if let Some(r) = batch.front() {
+                        if best.is_none_or(|(_, t)| r.dispatched < t) {
+                            best = Some((i, r.dispatched));
+                        }
+                    }
+                }
+                let Some((i, _)) = best else { break };
+                self.completed
+                    .push(batches[i].pop_front().expect("fronted"));
+            }
+        }
+        if let Some(parent) = self.registry.as_mut() {
+            for shard in &mut self.shards {
+                if let Some(fork) = shard.registry.take() {
+                    parent.absorb(&fork);
+                }
+            }
+        }
+        if let Some(parent) = self.obs.as_mut() {
+            for shard in &mut self.shards {
+                if let Some(stack) = shard.obs.take() {
+                    parent.absorb(&stack);
+                }
+            }
+        }
+        let single = self.shards.len() == 1;
+        for shard in &mut self.shards {
+            let now = shard.now;
+            let taken = shard.tracer.take(now);
+            if single {
+                // One shard: the tracer's own ids are already the
+                // global sequence — byte-identical to the unsharded
+                // scheduler.
+                self.spans.extend(taken);
+            } else {
+                let mut remap: BTreeMap<u64, SpanId> = BTreeMap::new();
+                for span in &taken {
+                    self.next_span_id += 1;
+                    remap.insert(span.id.as_u64(), SpanId::from_raw(self.next_span_id));
+                }
+                for mut span in taken {
+                    span.id = remap[&span.id.as_u64()];
+                    span.parent = span.parent.map(|p| remap[&p.as_u64()]);
+                    self.spans.push(span);
+                }
+            }
+        }
+    }
+
+    /// Current virtual time (max over shard clocks after a run).
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Completed invocations in completion-scheduling order (dispatch
+    /// time across shards, lowest shard first on ties). Empty when
+    /// [`FleetConfig::retain_completed`] is off.
+    pub fn completed(&self) -> &[FleetRequest] {
+        &self.completed
+    }
+
+    /// Fleet metrics.
+    pub fn metrics(&self) -> &FleetMetrics {
+        &self.metrics
+    }
+
+    /// Events handled across all shards and runs — arrivals plus
+    /// scheduler events. The numerator of the events/sec throughput the
+    /// scale ablation reports.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Per-worker memory high-water marks, bytes, in fleet-global
+    /// worker order.
+    pub fn worker_high_water(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.workers.iter().map(|w| w.mem_high_water))
+            .collect()
+    }
+
+    /// Live replicas (any state) of `function` across the fleet.
+    pub fn replica_count(&self, function: &str) -> usize {
+        self.shards.iter().map(|s| s.replica_count(function)).sum()
+    }
+
+    /// Renders every fleet metric in the Prometheus exposition format.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.render(&self.worker_high_water())
+    }
+
+    /// Drains recorded scheduler span trees (empty unless
+    /// [`FleetConfig::span_tracing`] is on). One tree per completed
+    /// invocation: `sched_invocation` → `sched_enqueue`, `sched_place`,
+    /// `sched_start`/`sched_reuse`, `sched_serve`. A cold start that
+    /// fetched image bytes from the registry tier nests a
+    /// `registry_pull` span inside its `sched_start`.
+    pub fn take_spans(&mut self) -> Vec<TraceSpan> {
+        std::mem::take(&mut self.spans)
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1915,5 +2311,196 @@ mod tests {
         assert_eq!(s1, s2);
         assert_eq!(t1, t2);
         assert!(s1.trees_dropped > 0, "sampling actually dropped trees");
+    }
+
+    /// A two-tenant fleet for shard tests: `fn-a` homes to shard 0 and
+    /// `fn-b` to shard 1 at two shards (registration order).
+    fn two_tenant_sim(config: FleetConfig) -> FleetSim {
+        let mut s = FleetSim::new(config);
+        s.register(profile("fn-a"));
+        s.register(profile("fn-b"));
+        s
+    }
+
+    fn two_tenant_workload() -> Schedule {
+        let a = Schedule::poisson(
+            "fn-a",
+            60,
+            SimInstant::EPOCH,
+            SimDuration::from_millis(400),
+            11,
+        )
+        .unwrap();
+        let b = Schedule::constant("fn-b", 60, SimInstant::EPOCH, SimDuration::from_millis(700))
+            .unwrap();
+        a.merge(b)
+    }
+
+    fn shard_config(shards: usize, threads: bool) -> FleetConfig {
+        FleetConfig {
+            workers: 4,
+            shards,
+            threads,
+            policy: Policy {
+                keep_alive: KeepAlive::FixedTtl(SimDuration::from_secs(5)),
+                start: StartSelection::Adaptive,
+            },
+            registry: Some(RegistryConfig::default()),
+            seed: 5,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// One completed request reduced to (id, function, worker, cold).
+    type RequestRow = (u64, String, usize, bool);
+
+    /// Fingerprint of everything a run produces that must not depend on
+    /// whether shards drained on threads or serially.
+    fn fingerprint(s: &mut FleetSim) -> (String, Vec<RequestRow>, u64, u64, u64) {
+        (
+            s.render_metrics(),
+            s.completed()
+                .iter()
+                .map(|r| (r.id, r.function.clone(), r.worker, r.cold))
+                .collect(),
+            s.registry().map_or(0, SnapshotRegistry::egress_bytes),
+            s.events_processed(),
+            s.now().as_nanos(),
+        )
+    }
+
+    #[test]
+    fn threaded_and_serial_drains_are_identical() {
+        let schedule = two_tenant_workload();
+        for shards in [2, 4] {
+            let mut threaded = two_tenant_sim(shard_config(shards, true));
+            threaded.run(&schedule.clone()).unwrap();
+            let mut serial = two_tenant_sim(shard_config(shards, false));
+            serial.run(&schedule.clone()).unwrap();
+            assert_eq!(
+                fingerprint(&mut threaded),
+                fingerprint(&mut serial),
+                "threads changed results at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_partition_workers_and_stride_request_ids() {
+        let mut s = two_tenant_sim(shard_config(2, true));
+        s.run(&two_tenant_workload()).unwrap();
+        assert_eq!(s.completed().len(), 120);
+        let mut seen = std::collections::BTreeSet::new();
+        for r in s.completed() {
+            assert!(seen.insert(r.id), "duplicate request id {}", r.id);
+            // fn-a is homed to shard 0 (workers 0-1, even ids); fn-b to
+            // shard 1 (workers 2-3, odd ids).
+            if r.function == "fn-a" {
+                assert!(r.worker < 2, "fn-a served off its home cell");
+                assert_eq!(r.id % 2, 1, "shard 0 ids stride 1,3,5,…");
+            } else {
+                assert!((2..4).contains(&r.worker), "fn-b served off its home cell");
+                assert_eq!(r.id % 2, 0, "shard 1 ids stride 2,4,6,…");
+            }
+        }
+        // Both cells did real work and the fold summed their counters.
+        assert_eq!(s.metrics().requests.get(), 120);
+        assert!(s.events_processed() > 240, "arrivals plus scheduler events");
+    }
+
+    #[test]
+    fn run_stream_matches_run_exactly() {
+        for shards in [1, 2] {
+            let schedule = two_tenant_workload();
+            let mut eager = two_tenant_sim(shard_config(shards, true));
+            eager.run(&schedule).unwrap();
+            let mut streamed = two_tenant_sim(shard_config(shards, true));
+            streamed
+                .run_stream(schedule.arrivals().iter().cloned().map(Ok))
+                .unwrap();
+            assert_eq!(
+                fingerprint(&mut eager),
+                fingerprint(&mut streamed),
+                "streaming changed results at {shards} shards"
+            );
+            assert_eq!(eager.take_spans(), streamed.take_spans());
+        }
+    }
+
+    #[test]
+    fn run_stream_surfaces_stream_errors_after_folding() {
+        let mut s = two_tenant_sim(shard_config(2, true));
+        let stream = [
+            Ok(Arrival {
+                at: SimInstant::EPOCH,
+                function: "fn-a".to_owned(),
+            }),
+            // Beyond the first epoch window, so the first arrival drains
+            // before the stream fails.
+            Ok(Arrival {
+                at: SimInstant::EPOCH + SimDuration::from_secs(10),
+                function: "fn-a".to_owned(),
+            }),
+            Err(LoadError::Overflow),
+        ];
+        assert_eq!(
+            s.run_stream(stream).unwrap_err(),
+            FleetError::Load(LoadError::Overflow)
+        );
+        // The epoch drained before the failure was folded in.
+        assert_eq!(s.metrics().requests.get(), 1);
+
+        let mut s = two_tenant_sim(shard_config(2, true));
+        let ghost = [Ok(Arrival {
+            at: SimInstant::EPOCH,
+            function: "ghost".to_owned(),
+        })];
+        assert_eq!(
+            s.run_stream(ghost).unwrap_err(),
+            FleetError::UnknownFunction("ghost".to_owned())
+        );
+    }
+
+    #[test]
+    fn retain_completed_off_keeps_distributions_but_drops_rows() {
+        let schedule = two_tenant_workload();
+        let mut full = two_tenant_sim(shard_config(2, true));
+        full.run(&schedule.clone()).unwrap();
+        let mut lean = two_tenant_sim(FleetConfig {
+            retain_completed: false,
+            ..shard_config(2, true)
+        });
+        lean.run(&schedule).unwrap();
+        assert!(lean.completed().is_empty(), "rows dropped");
+        assert_eq!(full.render_metrics(), lean.render_metrics());
+        assert_eq!(
+            lean.metrics().cold_latency.count(),
+            lean.metrics().cold_starts.get(),
+            "cold p99 still readable from the histogram"
+        );
+    }
+
+    #[test]
+    fn sharded_spans_renumber_into_one_id_space() {
+        let mut s = two_tenant_sim(FleetConfig {
+            span_tracing: true,
+            ..shard_config(2, true)
+        });
+        s.run(&two_tenant_workload()).unwrap();
+        let spans = s.take_spans();
+        let roots = spans
+            .iter()
+            .filter(|s| s.name == "sched_invocation")
+            .count();
+        assert_eq!(roots, 120, "one tree per completed invocation");
+        let mut ids = std::collections::BTreeSet::new();
+        for span in &spans {
+            assert!(ids.insert(span.id.as_u64()), "duplicate span id");
+        }
+        for span in &spans {
+            if let Some(parent) = span.parent {
+                assert!(ids.contains(&parent.as_u64()), "dangling parent pointer");
+            }
+        }
     }
 }

@@ -35,8 +35,7 @@ fn quantile_label(q: f64) -> String {
 
 /// A quantile value cell (`inf` for the overflow bucket, `-` when the
 /// window has no observations of the metric).
-fn quantile_cell(rec: &Recorder, w: &crate::recorder::Window, metric: &str, q: f64) -> String {
-    let _ = rec;
+fn quantile_cell(w: &crate::recorder::WindowView<'_>, metric: &str, q: f64) -> String {
     match w.merged_histogram(metric, None) {
         None => "-".to_owned(),
         Some(h) => {
@@ -95,7 +94,7 @@ pub fn dashboard(rec: &Recorder, report: &SloReport, spec: &DashboardSpec) -> St
         cells.extend(
             spec.quantiles
                 .iter()
-                .map(|(m, q)| quantile_cell(rec, win, m, *q)),
+                .map(|(m, q)| quantile_cell(&win, m, *q)),
         );
         for (c, w) in cells.iter().zip(&widths) {
             out.push_str(&format!("{c:>w$}  ", w = *w));

@@ -37,7 +37,10 @@ pub mod stack;
 
 pub use bridge::PlatformBridge;
 pub use export::{chrome_trace_with_exemplars, dashboard, DashboardSpec};
-pub use recorder::{Exemplar, Recorder, RecorderConfig, SeriesKey, Window, WindowHistogram};
+pub use recorder::{
+    Exemplar, KeyTable, Recorder, RecorderConfig, SeriesId, SeriesKey, Window, WindowHistogram,
+    WindowView,
+};
 pub use sampler::{sample_trees, SampleStats, SamplerConfig, TailSampler};
 pub use slo::{
     Objective, ObjectiveStatus, Sli, SloEngine, SloEvent, SloEventKind, SloReport, WindowBurn,

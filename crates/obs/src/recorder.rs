@@ -7,6 +7,15 @@
 //! counters and streaming histograms keyed by
 //! (metric, tenant, node, gear). Everything is `BTreeMap`-backed so a
 //! given event sequence renders byte-identically on every run.
+//!
+//! Series identities are **interned**: the recorder owns a [`KeyTable`]
+//! mapping each distinct [`SeriesKey`] to a dense [`SeriesId`], and the
+//! per-window maps are keyed by id. Hot paths intern a key once and feed
+//! [`Recorder::inc_id`] / [`Recorder::observe_exemplar_id`] with no
+//! per-event `String` clones; the key-based entry points remain as
+//! intern-and-delegate conveniences. All rendered output is resolved
+//! back to keys and sorted by key, so the exposition stays byte-stable
+//! regardless of interning order.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -86,6 +95,64 @@ impl SeriesKey {
     }
 }
 
+/// Dense handle for an interned [`SeriesKey`] — an index into the
+/// recorder's [`KeyTable`]. Ids are assigned in first-intern order and
+/// are only meaningful against the table that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeriesId(u32);
+
+impl SeriesId {
+    /// The id's table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only intern table mapping [`SeriesKey`]s to dense
+/// [`SeriesId`]s and back.
+#[derive(Debug, Clone, Default)]
+pub struct KeyTable {
+    keys: Vec<SeriesKey>,
+    ids: BTreeMap<SeriesKey, SeriesId>,
+}
+
+impl KeyTable {
+    /// The id for `key`, interning it on first sight.
+    pub fn intern(&mut self, key: &SeriesKey) -> SeriesId {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = SeriesId(u32::try_from(self.keys.len()).expect("series cardinality fits u32"));
+        self.keys.push(key.clone());
+        self.ids.insert(key.clone(), id);
+        id
+    }
+
+    /// The id for `key` if it has been interned.
+    pub fn get(&self, key: &SeriesKey) -> Option<SeriesId> {
+        self.ids.get(key).copied()
+    }
+
+    /// The key an id resolves to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different table.
+    pub fn resolve(&self, id: SeriesId) -> &SeriesKey {
+        &self.keys[id.index()]
+    }
+
+    /// Number of interned series.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no series has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
 /// A link from a histogram bucket to one retained trace: the classic
 /// OpenMetrics exemplar, minus the wire format.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,17 +209,37 @@ impl WindowHistogram {
             }
         }
     }
+
+    /// Folds another window-histogram in: bucket counts add, and each
+    /// bucket keeps the larger exemplar (`self` wins ties, so absorbing
+    /// shard outputs in shard order is deterministic).
+    fn absorb(&mut self, other: &WindowHistogram) {
+        self.hist.merge(&other.hist);
+        for (slot, incoming) in self.exemplars.iter_mut().zip(&other.exemplars) {
+            if let Some(ex) = incoming {
+                let replace = match slot {
+                    None => true,
+                    Some(prev) => ex.value_ms > prev.value_ms,
+                };
+                if replace {
+                    *slot = Some(*ex);
+                }
+            }
+        }
+    }
 }
 
-/// One fixed-width slice of virtual time.
+/// One fixed-width slice of virtual time. Series data is keyed by
+/// [`SeriesId`]; read it through [`WindowView`], which carries the
+/// resolving [`KeyTable`].
 #[derive(Debug, Clone)]
 pub struct Window {
     /// Window ordinal: `floor(t / width)`.
     pub index: u64,
     /// Inclusive window start (`index * width`).
     pub start: SimInstant,
-    counters: BTreeMap<SeriesKey, u64>,
-    hists: BTreeMap<SeriesKey, WindowHistogram>,
+    counters: BTreeMap<SeriesId, u64>,
+    hists: BTreeMap<SeriesId, WindowHistogram>,
 }
 
 impl Window {
@@ -164,50 +251,98 @@ impl Window {
             hists: BTreeMap::new(),
         }
     }
+}
+
+/// A window paired with the key table that resolves its series ids —
+/// what [`Recorder::windows`] yields. Copyable and cheap; all lookups
+/// resolve ids lazily and iterate in key order.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowView<'a> {
+    /// Window ordinal: `floor(t / width)`.
+    pub index: u64,
+    /// Inclusive window start (`index * width`).
+    pub start: SimInstant,
+    keys: &'a KeyTable,
+    win: &'a Window,
+}
+
+impl<'a> WindowView<'a> {
+    fn new(keys: &'a KeyTable, win: &'a Window) -> WindowView<'a> {
+        WindowView {
+            index: win.index,
+            start: win.start,
+            keys,
+            win,
+        }
+    }
 
     /// Value of one counter series in this window (0 when absent).
     pub fn counter(&self, key: &SeriesKey) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        self.keys
+            .get(key)
+            .and_then(|id| self.win.counters.get(&id))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// All counter series in this window, in key order.
-    pub fn counters(&self) -> impl Iterator<Item = (&SeriesKey, u64)> {
-        self.counters.iter().map(|(k, &v)| (k, v))
+    pub fn counters(&self) -> Vec<(&'a SeriesKey, u64)> {
+        let mut out: Vec<(&SeriesKey, u64)> = self
+            .win
+            .counters
+            .iter()
+            .map(|(&id, &v)| (self.keys.resolve(id), v))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
     }
 
     /// One histogram series in this window, if it received observations.
-    pub fn histogram(&self, key: &SeriesKey) -> Option<&WindowHistogram> {
-        self.hists.get(key)
+    pub fn histogram(&self, key: &SeriesKey) -> Option<&'a WindowHistogram> {
+        self.keys.get(key).and_then(|id| self.win.hists.get(&id))
     }
 
     /// All histogram series in this window, in key order.
-    pub fn histograms(&self) -> impl Iterator<Item = (&SeriesKey, &WindowHistogram)> {
-        self.hists.iter()
+    pub fn histograms(&self) -> Vec<(&'a SeriesKey, &'a WindowHistogram)> {
+        let mut out: Vec<(&SeriesKey, &WindowHistogram)> = self
+            .win
+            .hists
+            .iter()
+            .map(|(&id, wh)| (self.keys.resolve(id), wh))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
     }
 
     /// Sum of a counter metric over every label split in this window.
     pub fn counter_metric(&self, metric: &str) -> u64 {
-        self.counters
+        self.win
+            .counters
             .iter()
-            .filter(|(k, _)| k.metric == metric)
+            .filter(|(&id, _)| self.keys.resolve(id).metric == metric)
             .map(|(_, &v)| v)
             .sum()
     }
 
     /// Sum of a counter metric restricted to one tenant in this window.
     pub fn counter_metric_tenant(&self, metric: &str, tenant: &str) -> u64 {
-        self.counters
+        self.win
+            .counters
             .iter()
-            .filter(|(k, _)| k.metric == metric && k.tenant == tenant)
+            .filter(|(&id, _)| {
+                let k = self.keys.resolve(id);
+                k.metric == metric && k.tenant == tenant
+            })
             .map(|(_, &v)| v)
             .sum()
     }
 
     /// Merged histogram for a metric (optionally one tenant) in this
-    /// window; `None` when no matching series exists.
+    /// window; `None` when no matching series exists. Merge order is
+    /// key order, so mixed-bounds series fail deterministically.
     pub fn merged_histogram(&self, metric: &str, tenant: Option<&str>) -> Option<Histogram> {
         let mut merged: Option<Histogram> = None;
-        for (k, wh) in &self.hists {
+        for (k, wh) in self.histograms() {
             if k.metric != metric {
                 continue;
             }
@@ -259,6 +394,7 @@ impl Default for RecorderConfig {
 #[derive(Debug, Clone)]
 pub struct Recorder {
     config: RecorderConfig,
+    keys: KeyTable,
     windows: VecDeque<Window>,
     /// Windows evicted off the ring so far.
     pub windows_rolled: u64,
@@ -283,6 +419,7 @@ impl Recorder {
         assert!(config.capacity > 0, "ring needs at least one window");
         Recorder {
             config,
+            keys: KeyTable::default(),
             windows: VecDeque::new(),
             windows_rolled: 0,
             late_drops: 0,
@@ -294,58 +431,64 @@ impl Recorder {
         &self.config
     }
 
+    /// The series intern table.
+    pub fn keys(&self) -> &KeyTable {
+        &self.keys
+    }
+
+    /// Interns a series key, returning the dense id hot paths should
+    /// cache and feed to [`Recorder::inc_id`] /
+    /// [`Recorder::observe_exemplar_id`].
+    pub fn intern(&mut self, key: &SeriesKey) -> SeriesId {
+        self.keys.intern(key)
+    }
+
     /// Window ordinal containing `at`.
     pub fn index_of(&self, at: SimInstant) -> u64 {
         at.as_nanos() / self.config.width.as_nanos()
     }
 
     /// Materialized windows, oldest first.
-    pub fn windows(&self) -> impl Iterator<Item = &Window> {
-        self.windows.iter()
+    pub fn windows(&self) -> impl Iterator<Item = WindowView<'_>> {
+        self.windows.iter().map(|w| WindowView::new(&self.keys, w))
     }
 
     /// The materialized window containing `at`, if any.
-    pub fn window_containing(&self, at: SimInstant) -> Option<&Window> {
+    pub fn window_containing(&self, at: SimInstant) -> Option<WindowView<'_>> {
         let idx = self.index_of(at);
-        self.windows.iter().find(|w| w.index == idx)
+        self.windows
+            .iter()
+            .find(|w| w.index == idx)
+            .map(|w| WindowView::new(&self.keys, w))
+    }
+
+    fn window_mut_at_index(&mut self, idx: u64) -> Option<&mut Window> {
+        locate_window(
+            &mut self.windows,
+            &mut self.windows_rolled,
+            &mut self.late_drops,
+            self.config.capacity,
+            self.config.width,
+            idx,
+        )
     }
 
     fn window_mut(&mut self, at: SimInstant) -> Option<&mut Window> {
         let idx = self.index_of(at);
-        if let Some(front) = self.windows.front() {
-            if idx < front.index && self.windows_rolled > 0 {
-                self.late_drops += 1;
-                return None;
-            }
-        }
-        // Find the insertion point; most feeds are monotone in virtual
-        // time so this is almost always the back.
-        let pos = self.windows.partition_point(|w| w.index < idx);
-        let exists = self.windows.get(pos).is_some_and(|w| w.index == idx);
-        if !exists {
-            self.windows
-                .insert(pos, Window::new(idx, self.config.width));
-            while self.windows.len() > self.config.capacity {
-                self.windows.pop_front();
-                self.windows_rolled += 1;
-            }
-        }
-        // Re-locate after the possible eviction shifted positions.
-        let pos = self.windows.partition_point(|w| w.index < idx);
-        if self.windows.get(pos).is_some_and(|w| w.index == idx) {
-            self.windows.get_mut(pos)
-        } else {
-            // The window we just inserted was itself evicted (idx was the
-            // oldest index of an already-full ring).
-            self.late_drops += 1;
-            None
-        }
+        self.window_mut_at_index(idx)
     }
 
     /// Adds `n` to a counter series at virtual time `at`.
     pub fn inc(&mut self, at: SimInstant, key: SeriesKey, n: u64) {
+        let id = self.keys.intern(&key);
+        self.inc_id(at, id, n);
+    }
+
+    /// Adds `n` to an interned counter series at virtual time `at` —
+    /// the allocation-free hot path.
+    pub fn inc_id(&mut self, at: SimInstant, id: SeriesId, n: u64) {
         if let Some(w) = self.window_mut(at) {
-            *w.counters.entry(key).or_insert(0) += n;
+            *w.counters.entry(id).or_insert(0) += n;
         }
     }
 
@@ -363,11 +506,34 @@ impl Recorder {
         value_ms: f64,
         trace_id: Option<u64>,
     ) {
-        let bounds = self.config.bounds.clone();
-        if let Some(w) = self.window_mut(at) {
+        let id = self.keys.intern(&key);
+        self.observe_exemplar_id(at, id, value_ms, trace_id);
+    }
+
+    /// Records one histogram observation on an interned series — the
+    /// allocation-free hot path.
+    pub fn observe_exemplar_id(
+        &mut self,
+        at: SimInstant,
+        id: SeriesId,
+        value_ms: f64,
+        trace_id: Option<u64>,
+    ) {
+        // Split-borrow through the free helper so the window lookup and
+        // the config bounds never alias.
+        let idx = at.as_nanos() / self.config.width.as_nanos();
+        let bounds = &self.config.bounds;
+        if let Some(w) = locate_window(
+            &mut self.windows,
+            &mut self.windows_rolled,
+            &mut self.late_drops,
+            self.config.capacity,
+            self.config.width,
+            idx,
+        ) {
             w.hists
-                .entry(key)
-                .or_insert_with(|| WindowHistogram::new(Histogram::new(&bounds)))
+                .entry(id)
+                .or_insert_with(|| WindowHistogram::new(Histogram::new(bounds)))
                 .observe(value_ms, at, trace_id);
         }
     }
@@ -380,19 +546,67 @@ impl Recorder {
         if h.count() == 0 {
             return;
         }
+        let id = self.keys.intern(&key);
         if let Some(w) = self.window_mut(at) {
-            match w.hists.get_mut(&key) {
+            match w.hists.get_mut(&id) {
                 Some(wh) => wh.hist.merge(h),
                 None => {
-                    w.hists.insert(key, WindowHistogram::new(h.clone()));
+                    w.hists.insert(id, WindowHistogram::new(h.clone()));
                 }
             }
         }
     }
 
+    /// Folds another recorder's windows into this one — the multi-shard
+    /// merge path. Counters add, histograms merge bucket-wise, and each
+    /// exemplar bucket keeps the larger value (`self` wins ties, so
+    /// absorbing shards in index order is deterministic). Ring
+    /// bookkeeping (`windows_rolled`, `late_drops`) is summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window widths differ (the rings would not align) or
+    /// if a shared series carries mismatched histogram bounds.
+    pub fn absorb(&mut self, other: &Recorder) {
+        assert_eq!(
+            self.config.width.as_nanos(),
+            other.config.width.as_nanos(),
+            "absorb needs matching window widths"
+        );
+        for w in &other.windows {
+            // Resolve through the foreign table, intern into ours.
+            let counters: Vec<(SeriesId, u64)> = w
+                .counters
+                .iter()
+                .map(|(&id, &v)| (self.keys.intern(other.keys.resolve(id)), v))
+                .collect();
+            let hists: Vec<(SeriesId, &WindowHistogram)> = w
+                .hists
+                .iter()
+                .map(|(&id, wh)| (self.keys.intern(other.keys.resolve(id)), wh))
+                .collect();
+            let Some(mine) = self.window_mut_at_index(w.index) else {
+                continue;
+            };
+            for (id, v) in counters {
+                *mine.counters.entry(id).or_insert(0) += v;
+            }
+            for (id, wh) in hists {
+                match mine.hists.get_mut(&id) {
+                    Some(target) => target.absorb(wh),
+                    None => {
+                        mine.hists.insert(id, wh.clone());
+                    }
+                }
+            }
+        }
+        self.windows_rolled += other.windows_rolled;
+        self.late_drops += other.late_drops;
+    }
+
     /// Sum of a counter metric over every retained window and label split.
     pub fn counter_total(&self, metric: &str) -> u64 {
-        self.windows.iter().map(|w| w.counter_metric(metric)).sum()
+        self.windows().map(|w| w.counter_metric(metric)).sum()
     }
 
     /// Tenants that appear on any series of `metric` (counter or
@@ -401,11 +615,17 @@ impl Recorder {
     pub fn tenants_of(&self, metric: &str) -> BTreeSet<String> {
         let mut out = BTreeSet::new();
         for w in &self.windows {
-            for (k, _) in w.counters.iter().filter(|(k, _)| k.metric == metric) {
-                out.insert(k.tenant.clone());
+            for &id in w.counters.keys() {
+                let k = self.keys.resolve(id);
+                if k.metric == metric {
+                    out.insert(k.tenant.clone());
+                }
             }
-            for (k, _) in w.hists.iter().filter(|(k, _)| k.metric == metric) {
-                out.insert(k.tenant.clone());
+            for &id in w.hists.keys() {
+                let k = self.keys.resolve(id);
+                if k.metric == metric {
+                    out.insert(k.tenant.clone());
+                }
             }
         }
         out
@@ -415,7 +635,7 @@ impl Recorder {
     /// retained windows.
     pub fn merged_histogram(&self, metric: &str, tenant: Option<&str>) -> Option<Histogram> {
         let mut merged: Option<Histogram> = None;
-        for w in &self.windows {
+        for w in self.windows() {
             if let Some(h) = w.merged_histogram(metric, tenant) {
                 match &mut merged {
                     None => merged = Some(h),
@@ -428,13 +648,14 @@ impl Recorder {
 
     /// All exemplars across the ring in deterministic order
     /// (window, series, bucket).
-    pub fn exemplars(&self) -> Vec<(&Window, &SeriesKey, usize, &Exemplar)> {
+    pub fn exemplars(&self) -> Vec<(WindowView<'_>, &SeriesKey, usize, &Exemplar)> {
         let mut out = Vec::new();
         for w in &self.windows {
-            for (k, wh) in &w.hists {
+            let view = WindowView::new(&self.keys, w);
+            for (k, wh) in view.histograms() {
                 for (bucket, ex) in wh.exemplars.iter().enumerate() {
                     if let Some(ex) = ex {
-                        out.push((w, k, bucket, ex));
+                        out.push((view, k, bucket, ex));
                     }
                 }
             }
@@ -446,17 +667,18 @@ impl Recorder {
     /// exposition format: counters summed across windows, histograms
     /// merged across windows, plus the recorder's own meta counters.
     pub fn render(&self) -> String {
-        let mut counters: BTreeMap<SeriesKey, u64> = BTreeMap::new();
-        let mut hists: BTreeMap<SeriesKey, Histogram> = BTreeMap::new();
+        let mut counters: BTreeMap<&SeriesKey, u64> = BTreeMap::new();
+        let mut hists: BTreeMap<&SeriesKey, Histogram> = BTreeMap::new();
         for w in &self.windows {
-            for (k, &v) in &w.counters {
-                *counters.entry(k.clone()).or_insert(0) += v;
+            for (&id, &v) in &w.counters {
+                *counters.entry(self.keys.resolve(id)).or_insert(0) += v;
             }
-            for (k, wh) in &w.hists {
+            for (&id, wh) in &w.hists {
+                let k = self.keys.resolve(id);
                 match hists.get_mut(k) {
                     Some(h) => h.merge(&wh.hist),
                     None => {
-                        hists.insert(k.clone(), wh.hist.clone());
+                        hists.insert(k, wh.hist.clone());
                     }
                 }
             }
@@ -475,6 +697,47 @@ impl Recorder {
         ));
         out.push_str(&format!("obs_late_drops_total {}\n", self.late_drops));
         out
+    }
+}
+
+/// Finds (materializing on demand) the window at `idx`, enforcing ring
+/// capacity and late-drop semantics. A free function over disjoint field
+/// borrows so the id-based hot paths can hold the config bounds at the
+/// same time.
+fn locate_window<'w>(
+    windows: &'w mut VecDeque<Window>,
+    windows_rolled: &mut u64,
+    late_drops: &mut u64,
+    capacity: usize,
+    width: SimDuration,
+    idx: u64,
+) -> Option<&'w mut Window> {
+    if let Some(front) = windows.front() {
+        if idx < front.index && *windows_rolled > 0 {
+            *late_drops += 1;
+            return None;
+        }
+    }
+    // Find the insertion point; most feeds are monotone in virtual
+    // time so this is almost always the back.
+    let pos = windows.partition_point(|w| w.index < idx);
+    let exists = windows.get(pos).is_some_and(|w| w.index == idx);
+    if !exists {
+        windows.insert(pos, Window::new(idx, width));
+        while windows.len() > capacity {
+            windows.pop_front();
+            *windows_rolled += 1;
+        }
+    }
+    // Re-locate after the possible eviction shifted positions.
+    let pos = windows.partition_point(|w| w.index < idx);
+    if windows.get(pos).is_some_and(|w| w.index == idx) {
+        windows.get_mut(pos)
+    } else {
+        // The window we just inserted was itself evicted (idx was the
+        // oldest index of an already-full ring).
+        *late_drops += 1;
+        None
     }
 }
 
@@ -503,6 +766,22 @@ mod tests {
         assert_eq!(full.labels(), "tenant=\"a\",node=\"3\",gear=\"cow\"");
         assert_eq!(full.series(), "m{tenant=\"a\",node=\"3\",gear=\"cow\"}");
         assert!(bare < full, "unlabelled sorts before labelled");
+    }
+
+    #[test]
+    fn interning_reuses_ids_and_resolves_back() {
+        let mut r = Recorder::new(small_config(4));
+        let a = r.intern(&SeriesKey::new("m").tenant("a"));
+        let b = r.intern(&SeriesKey::new("m").tenant("b"));
+        assert_ne!(a, b);
+        assert_eq!(r.intern(&SeriesKey::new("m").tenant("a")), a);
+        assert_eq!(r.keys().len(), 2);
+        assert_eq!(r.keys().resolve(a).tenant, "a");
+        // The id path and the key path land on the same series.
+        r.inc_id(at_secs(0), a, 2);
+        r.inc(at_secs(0), SeriesKey::new("m").tenant("a"), 3);
+        let w = r.window_containing(at_secs(0)).unwrap();
+        assert_eq!(w.counter(&SeriesKey::new("m").tenant("a")), 5);
     }
 
     #[test]
@@ -607,6 +886,52 @@ mod tests {
         // Tenant a sorts before b, twice over renders byte-identically.
         assert!(text.find("tenant=\"a\"").unwrap() < text.find("tenant=\"b\"").unwrap());
         assert_eq!(text, r.render());
+    }
+
+    #[test]
+    fn render_is_intern_order_independent() {
+        // Two recorders fed the same data in different series order
+        // intern different ids but must render the same bytes.
+        let feed = |pairs: &[(&str, u64)]| {
+            let mut r = Recorder::new(small_config(8));
+            for (tenant, n) in pairs {
+                r.inc(at_secs(1), SeriesKey::new("req_total").tenant(tenant), *n);
+                r.observe(at_secs(1), SeriesKey::new("lat_ms").tenant(tenant), 5.0);
+            }
+            r
+        };
+        let fwd = feed(&[("a", 1), ("b", 2)]);
+        let rev = feed(&[("b", 2), ("a", 1)]);
+        assert_eq!(fwd.render(), rev.render());
+    }
+
+    #[test]
+    fn absorb_merges_counters_hists_and_exemplars() {
+        let mut a = Recorder::new(small_config(8));
+        let mut b = Recorder::new(small_config(8));
+        // Different intern orders on purpose.
+        b.inc(at_secs(61), SeriesKey::new("req").tenant("z"), 7);
+        b.inc(at_secs(0), SeriesKey::new("req").tenant("a"), 2);
+        b.observe_exemplar(at_secs(0), SeriesKey::new("lat").tenant("a"), 9.0, Some(2));
+        a.inc(at_secs(0), SeriesKey::new("req").tenant("a"), 1);
+        a.observe_exemplar(at_secs(0), SeriesKey::new("lat").tenant("a"), 5.0, Some(1));
+        a.absorb(&b);
+        let w0 = a.window_containing(at_secs(0)).unwrap();
+        assert_eq!(w0.counter(&SeriesKey::new("req").tenant("a")), 3);
+        let wh = w0.histogram(&SeriesKey::new("lat").tenant("a")).unwrap();
+        assert_eq!(wh.hist.count(), 2);
+        // The larger exemplar (9.0, trace 2) wins the shared bucket.
+        assert_eq!(wh.exemplars[0].unwrap().trace_id, 2);
+        assert_eq!(a.counter_total("req"), 10);
+        assert_eq!(a.windows().count(), 2, "b's window 1 materialized");
+        // Absorbing shards in either order renders identically here
+        // (exemplar max is symmetric when values differ).
+        let mut c = Recorder::new(small_config(8));
+        c.inc(at_secs(0), SeriesKey::new("req").tenant("a"), 1);
+        c.observe_exemplar(at_secs(0), SeriesKey::new("lat").tenant("a"), 5.0, Some(1));
+        let mut b2 = b.clone();
+        b2.absorb(&c);
+        assert_eq!(a.render(), b2.render());
     }
 
     #[test]

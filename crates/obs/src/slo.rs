@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 
 use prebake_sim::time::SimInstant;
 
-use crate::recorder::{Recorder, Window};
+use crate::recorder::{Recorder, WindowView};
 
 /// What fraction of events were good, and how it is measured.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,7 +53,7 @@ impl Sli {
     }
 
     /// (bad, total) for one tenant in one window.
-    fn window_tenant(&self, w: &Window, tenant: &str) -> (u64, u64) {
+    fn window_tenant(&self, w: &WindowView<'_>, tenant: &str) -> (u64, u64) {
         match self {
             Sli::LatencyUnder {
                 metric,
@@ -280,7 +280,7 @@ impl SloEngine {
     /// Replays the recorder ring and produces statuses + events.
     pub fn evaluate(&self, rec: &Recorder) -> SloReport {
         let mut report = SloReport::default();
-        let windows: Vec<&Window> = rec.windows().collect();
+        let windows: Vec<WindowView<'_>> = rec.windows().collect();
         for o in &self.objectives {
             let budget = o.budget();
             let tenants = rec.tenants_of(o.sli.attribution_metric());

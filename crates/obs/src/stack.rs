@@ -83,6 +83,18 @@ impl ObsStack {
         keep
     }
 
+    /// Folds another stack's recorder ring and sampling stats into this
+    /// one — the multi-shard merge path. Objectives are taken from
+    /// `self`; absorbing shard stacks in index order is deterministic.
+    pub fn absorb(&mut self, other: &ObsStack) {
+        self.recorder.absorb(&other.recorder);
+        self.sampling.trees_kept += other.sampling.trees_kept;
+        self.sampling.trees_dropped += other.sampling.trees_dropped;
+        self.sampling.spans_kept += other.sampling.spans_kept;
+        self.sampling.spans_dropped += other.sampling.spans_dropped;
+        self.sampling.interesting_kept += other.sampling.interesting_kept;
+    }
+
     /// Evaluates the objectives against the current ring.
     pub fn report(&self) -> SloReport {
         self.engine.evaluate(&self.recorder)

@@ -48,7 +48,10 @@ pub mod platform;
 pub mod registry;
 
 pub use builder::{FunctionBuilder, Template};
-pub use loadgen::{Arrival, LoadError, LoadResult, Schedule};
+pub use loadgen::{
+    write_csv_stream, Arrival, ArrivalGen, CsvArrivalStream, LoadError, LoadResult, MergedArrivals,
+    Schedule,
+};
 pub use metrics::Metrics;
 pub use openfaas::{FaasGateway, ProviderConfig};
 pub use platform::{CompletedRequest, Platform, PlatformConfig};

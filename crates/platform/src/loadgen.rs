@@ -50,6 +50,8 @@ pub enum LoadError {
     Malformed(usize),
     /// Submission into the platform failed.
     Submit(Errno),
+    /// Reading or writing a streamed CSV trace failed at the I/O layer.
+    Io(std::io::ErrorKind),
 }
 
 impl fmt::Display for LoadError {
@@ -66,6 +68,7 @@ impl fmt::Display for LoadError {
             }
             LoadError::Malformed(line) => write!(f, "malformed trace CSV at line {line}"),
             LoadError::Submit(e) => write!(f, "submission failed: {e}"),
+            LoadError::Io(kind) => write!(f, "trace stream I/O failed: {kind}"),
         }
     }
 }
@@ -358,6 +361,20 @@ impl Schedule {
         Ok(Schedule { arrivals })
     }
 
+    /// Materializes a fallible arrival stream into a schedule, sorting
+    /// by time (stable for equal instants — stream order is kept).
+    ///
+    /// # Errors
+    ///
+    /// The first error the stream yields.
+    pub fn from_stream(
+        stream: impl IntoIterator<Item = LoadResult<Arrival>>,
+    ) -> LoadResult<Schedule> {
+        let mut arrivals = stream.into_iter().collect::<LoadResult<Vec<Arrival>>>()?;
+        arrivals.sort_by_key(|a| a.at);
+        Ok(Schedule { arrivals })
+    }
+
     /// Replays the schedule into a platform, building each request with
     /// `make_request(index)` (index is the position in the schedule).
     ///
@@ -373,6 +390,403 @@ impl Schedule {
             platform.submit(a.at, &a.function, make_request(i))?;
         }
         Ok(())
+    }
+}
+
+/// How one [`ArrivalGen`] spaces its arrivals.
+#[derive(Debug, Clone)]
+enum GenKind {
+    Constant {
+        interval: SimDuration,
+    },
+    Burst,
+    Poisson {
+        mean_ms: f64,
+        noise: Noise,
+    },
+    Pareto {
+        scale_ms: f64,
+        alpha: f64,
+        noise: Noise,
+    },
+    Empirical {
+        gaps_ms: Vec<f64>,
+        noise: Noise,
+    },
+}
+
+/// A lazy arrival generator: yields the exact arrival sequence the
+/// corresponding [`Schedule`] constructor would materialize, one at a
+/// time, so a million-invocation trace never lives in memory. Arrival
+/// times are non-decreasing by construction.
+///
+/// Divergence from the eager constructors: virtual-time overflow is
+/// reported in-stream (the arrivals before the overflow are yielded,
+/// then one `Err(LoadError::Overflow)`, then the stream ends) instead
+/// of failing the whole schedule up front.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    function: String,
+    remaining: usize,
+    t: SimInstant,
+    pending_err: Option<LoadError>,
+    kind: GenKind,
+}
+
+impl ArrivalGen {
+    fn new(function: &str, n: usize, start: SimInstant, kind: GenKind) -> LoadResult<ArrivalGen> {
+        validate_function(function)?;
+        Ok(ArrivalGen {
+            function: function.to_owned(),
+            remaining: n,
+            t: start,
+            pending_err: None,
+            kind,
+        })
+    }
+
+    /// Streaming twin of [`Schedule::constant`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Schedule::constant`] (overflow excepted, which streams).
+    pub fn constant(
+        function: &str,
+        n: usize,
+        start: SimInstant,
+        interval: SimDuration,
+    ) -> LoadResult<ArrivalGen> {
+        if interval.is_zero() && n > 1 {
+            return Err(LoadError::InvalidRate);
+        }
+        ArrivalGen::new(function, n, start, GenKind::Constant { interval })
+    }
+
+    /// Streaming twin of [`Schedule::burst`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Schedule::burst`].
+    pub fn burst(function: &str, n: usize, at: SimInstant) -> LoadResult<ArrivalGen> {
+        ArrivalGen::new(function, n, at, GenKind::Burst)
+    }
+
+    /// Streaming twin of [`Schedule::poisson`] — same seed, same gaps.
+    ///
+    /// # Errors
+    ///
+    /// As [`Schedule::poisson`] (overflow excepted, which streams).
+    pub fn poisson(
+        function: &str,
+        n: usize,
+        start: SimInstant,
+        mean_interval: SimDuration,
+        seed: u64,
+    ) -> LoadResult<ArrivalGen> {
+        if mean_interval.is_zero() {
+            return Err(LoadError::InvalidRate);
+        }
+        ArrivalGen::new(
+            function,
+            n,
+            start,
+            GenKind::Poisson {
+                mean_ms: mean_interval.as_millis_f64(),
+                noise: Noise::new(seed, 0.0),
+            },
+        )
+    }
+
+    /// Streaming twin of [`Schedule::pareto`] — same seed, same gaps.
+    ///
+    /// # Errors
+    ///
+    /// As [`Schedule::pareto`] (overflow excepted, which streams).
+    pub fn pareto(
+        function: &str,
+        n: usize,
+        start: SimInstant,
+        scale_ms: f64,
+        alpha: f64,
+        seed: u64,
+    ) -> LoadResult<ArrivalGen> {
+        if !(scale_ms.is_finite() && scale_ms > 0.0 && alpha.is_finite() && alpha > 0.0) {
+            return Err(LoadError::InvalidShape);
+        }
+        ArrivalGen::new(
+            function,
+            n,
+            start,
+            GenKind::Pareto {
+                scale_ms,
+                alpha,
+                noise: Noise::new(seed, 0.0),
+            },
+        )
+    }
+
+    /// Streaming twin of [`Schedule::empirical`] — same seed, same gaps.
+    ///
+    /// # Errors
+    ///
+    /// As [`Schedule::empirical`] (overflow excepted, which streams).
+    pub fn empirical(
+        function: &str,
+        n: usize,
+        start: SimInstant,
+        observed_gaps_ms: &[f64],
+        seed: u64,
+    ) -> LoadResult<ArrivalGen> {
+        if observed_gaps_ms.is_empty()
+            || observed_gaps_ms.iter().any(|g| !g.is_finite() || *g < 0.0)
+        {
+            return Err(LoadError::InvalidShape);
+        }
+        ArrivalGen::new(
+            function,
+            n,
+            start,
+            GenKind::Empirical {
+                gaps_ms: observed_gaps_ms.to_vec(),
+                noise: Noise::new(seed, 0.0),
+            },
+        )
+    }
+
+    /// Arrivals not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl Iterator for ArrivalGen {
+    type Item = LoadResult<Arrival>;
+
+    fn next(&mut self) -> Option<LoadResult<Arrival>> {
+        if let Some(e) = self.pending_err.take() {
+            self.remaining = 0;
+            return Some(Err(e));
+        }
+        if self.remaining == 0 {
+            return None;
+        }
+        let out = Arrival {
+            at: self.t,
+            function: self.function.clone(),
+        };
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            // Mirror `Schedule::from_gaps`: stochastic gaps floor at 1 ns
+            // (strict monotonicity), constant intervals are used as-is
+            // (zero already rejected for n > 1), bursts never advance.
+            let gap = match &mut self.kind {
+                GenKind::Constant { interval } => Some(*interval),
+                GenKind::Burst => None,
+                GenKind::Poisson { mean_ms, noise } => Some(
+                    SimDuration::from_millis_f64(noise.exponential(*mean_ms))
+                        .max(SimDuration::from_nanos(1)),
+                ),
+                GenKind::Pareto {
+                    scale_ms,
+                    alpha,
+                    noise,
+                } => {
+                    // uniform() is in [0, 1); mirror to (0, 1] so
+                    // u^(-1/alpha) stays finite.
+                    let u = 1.0 - noise.uniform();
+                    Some(
+                        SimDuration::from_millis_f64(*scale_ms * u.powf(-1.0 / *alpha))
+                            .max(SimDuration::from_nanos(1)),
+                    )
+                }
+                GenKind::Empirical { gaps_ms, noise } => {
+                    let idx = (noise.uniform() * gaps_ms.len() as f64) as usize;
+                    Some(
+                        SimDuration::from_millis_f64(gaps_ms[idx.min(gaps_ms.len() - 1)])
+                            .max(SimDuration::from_nanos(1)),
+                    )
+                }
+            };
+            if let Some(gap) = gap {
+                match advance(self.t, gap) {
+                    Ok(t) => self.t = t,
+                    Err(e) => self.pending_err = Some(e),
+                }
+            }
+        }
+        Some(Ok(out))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+/// Head slot of one merge source.
+#[derive(Debug)]
+enum Head {
+    Unprimed,
+    Ready(Arrival),
+    Done,
+}
+
+/// Deterministic k-way merge of sorted arrival streams. Equal-time
+/// arrivals drain in source order — exactly the order nested
+/// [`Schedule::merge`] calls produce when the sources are given in the
+/// same order — so a streamed multi-tenant trace is byte-identical to
+/// its materialized twin. The merge is O(k) per arrival (k = tenant
+/// streams), which is flat in trace length.
+#[derive(Debug)]
+pub struct MergedArrivals<I> {
+    sources: Vec<I>,
+    heads: Vec<Head>,
+    failed: bool,
+}
+
+impl<I: Iterator<Item = LoadResult<Arrival>>> MergedArrivals<I> {
+    /// Merges `sources` (each individually time-sorted).
+    pub fn new(sources: Vec<I>) -> MergedArrivals<I> {
+        let heads = sources.iter().map(|_| Head::Unprimed).collect();
+        MergedArrivals {
+            sources,
+            heads,
+            failed: false,
+        }
+    }
+}
+
+impl<I: Iterator<Item = LoadResult<Arrival>>> Iterator for MergedArrivals<I> {
+    type Item = LoadResult<Arrival>;
+
+    fn next(&mut self) -> Option<LoadResult<Arrival>> {
+        if self.failed {
+            return None;
+        }
+        for (head, source) in self.heads.iter_mut().zip(&mut self.sources) {
+            if matches!(head, Head::Unprimed) {
+                match source.next() {
+                    Some(Ok(a)) => *head = Head::Ready(a),
+                    Some(Err(e)) => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                    None => *head = Head::Done,
+                }
+            }
+        }
+        // Earliest time wins; the first source wins ties, matching the
+        // left-biased stable merge of the eager path.
+        let mut best: Option<(usize, SimInstant)> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            if let Head::Ready(a) = head {
+                if best.is_none_or(|(_, at)| a.at < at) {
+                    best = Some((i, a.at));
+                }
+            }
+        }
+        let (i, _) = best?;
+        match std::mem::replace(&mut self.heads[i], Head::Unprimed) {
+            Head::Ready(a) => Some(Ok(a)),
+            _ => unreachable!("best index always holds a ready head"),
+        }
+    }
+}
+
+/// Streams arrivals to `out` in the [`Schedule::to_csv`] format
+/// (`t_ns,function` header + one row per arrival) without materializing
+/// the trace, returning the number of rows written. Wrap `out` in a
+/// `BufWriter` for file targets — rows are written one at a time.
+///
+/// # Errors
+///
+/// [`LoadError::Io`] on write failure; [`LoadError::InvalidFunction`]
+/// if a streamed function id cannot be carried by the format; any error
+/// the stream itself yields.
+pub fn write_csv_stream<W: std::io::Write>(
+    mut out: W,
+    stream: impl IntoIterator<Item = LoadResult<Arrival>>,
+) -> LoadResult<u64> {
+    let io_err = |e: std::io::Error| LoadError::Io(e.kind());
+    out.write_all(b"t_ns,function\n").map_err(io_err)?;
+    let mut rows = 0u64;
+    for arrival in stream {
+        let a = arrival?;
+        validate_function(&a.function)?;
+        writeln!(out, "{},{}", a.at.as_nanos(), a.function).map_err(io_err)?;
+        rows += 1;
+    }
+    out.flush().map_err(io_err)?;
+    Ok(rows)
+}
+
+/// Lazily parses a CSV trace from a buffered reader, yielding arrivals
+/// in file order one row at a time (the chunking is the reader's
+/// buffer). Accepts exactly what [`Schedule::from_csv`] accepts —
+/// optional header, blank lines, `\r\n` — but does **not** sort:
+/// consumers that need time order should stream traces written by
+/// [`write_csv_stream`] (sorted by construction) or fall back to the
+/// materializing parser.
+#[derive(Debug)]
+pub struct CsvArrivalStream<R> {
+    reader: R,
+    line: String,
+    lineno: usize,
+    failed: bool,
+}
+
+impl<R: std::io::BufRead> CsvArrivalStream<R> {
+    /// Wraps a buffered reader positioned at the start of a trace.
+    pub fn new(reader: R) -> CsvArrivalStream<R> {
+        CsvArrivalStream {
+            reader,
+            line: String::new(),
+            lineno: 0,
+            failed: false,
+        }
+    }
+}
+
+impl<R: std::io::BufRead> Iterator for CsvArrivalStream<R> {
+    type Item = LoadResult<Arrival>;
+
+    fn next(&mut self) -> Option<LoadResult<Arrival>> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(LoadError::Io(e.kind())));
+                }
+            }
+            self.lineno += 1;
+            let line = self.line.trim_end_matches('\n').trim_end_matches('\r');
+            if line.is_empty() || (self.lineno == 1 && line == "t_ns,function") {
+                continue;
+            }
+            let parsed = (|| {
+                let (t, function) = line
+                    .split_once(',')
+                    .ok_or(LoadError::Malformed(self.lineno))?;
+                let nanos: u64 = t
+                    .trim()
+                    .parse()
+                    .map_err(|_| LoadError::Malformed(self.lineno))?;
+                validate_function(function)?;
+                Ok(Arrival {
+                    at: SimInstant::from_nanos(nanos),
+                    function: function.to_owned(),
+                })
+            })();
+            if parsed.is_err() {
+                self.failed = true;
+            }
+            return Some(parsed);
+        }
     }
 }
 
@@ -715,5 +1129,152 @@ mod tests {
             schedule.submit(&mut p, |_| Request::empty()).unwrap_err(),
             LoadError::Submit(Errno::Enoent)
         );
+    }
+
+    /// Drains a stream into a schedule, panicking on stream errors.
+    fn collect_stream(stream: impl IntoIterator<Item = LoadResult<Arrival>>) -> Schedule {
+        Schedule::from_stream(stream).unwrap()
+    }
+
+    #[test]
+    fn arrival_gens_match_eager_constructors_exactly() {
+        let start = SimInstant::EPOCH + SimDuration::from_millis(5);
+        let cases: Vec<(Schedule, ArrivalGen)> = vec![
+            (
+                Schedule::constant("f", 100, start, SimDuration::from_micros(250)).unwrap(),
+                ArrivalGen::constant("f", 100, start, SimDuration::from_micros(250)).unwrap(),
+            ),
+            (
+                Schedule::burst("f", 7, start).unwrap(),
+                ArrivalGen::burst("f", 7, start).unwrap(),
+            ),
+            (
+                Schedule::poisson("f", 100, start, SimDuration::from_millis(3), 42).unwrap(),
+                ArrivalGen::poisson("f", 100, start, SimDuration::from_millis(3), 42).unwrap(),
+            ),
+            (
+                Schedule::pareto("f", 100, start, 2.0, 1.5, 9).unwrap(),
+                ArrivalGen::pareto("f", 100, start, 2.0, 1.5, 9).unwrap(),
+            ),
+            (
+                Schedule::empirical("f", 100, start, &[1.0, 4.0, 0.25], 7).unwrap(),
+                ArrivalGen::empirical("f", 100, start, &[1.0, 4.0, 0.25], 7).unwrap(),
+            ),
+        ];
+        for (eager, lazy) in cases {
+            assert_eq!(lazy.remaining(), eager.len());
+            assert_eq!(lazy.size_hint(), (eager.len(), Some(eager.len())));
+            assert_eq!(collect_stream(lazy), eager);
+        }
+    }
+
+    #[test]
+    fn arrival_gen_validation_matches_eager() {
+        assert_eq!(
+            ArrivalGen::constant("f", 2, SimInstant::EPOCH, SimDuration::ZERO).unwrap_err(),
+            LoadError::InvalidRate
+        );
+        assert!(ArrivalGen::constant("f", 1, SimInstant::EPOCH, SimDuration::ZERO).is_ok());
+        assert_eq!(
+            ArrivalGen::poisson("f", 2, SimInstant::EPOCH, SimDuration::ZERO, 1).unwrap_err(),
+            LoadError::InvalidRate
+        );
+        assert_eq!(
+            ArrivalGen::pareto("f", 2, SimInstant::EPOCH, 0.0, 1.0, 1).unwrap_err(),
+            LoadError::InvalidShape
+        );
+        assert_eq!(
+            ArrivalGen::empirical("f", 2, SimInstant::EPOCH, &[], 1).unwrap_err(),
+            LoadError::InvalidShape
+        );
+        assert_eq!(
+            ArrivalGen::burst("a,b", 1, SimInstant::EPOCH).unwrap_err(),
+            LoadError::InvalidFunction("a,b".to_owned())
+        );
+    }
+
+    #[test]
+    fn arrival_gen_streams_overflow_after_valid_prefix() {
+        let near_end = SimInstant::from_nanos(u64::MAX - 5);
+        let mut gen = ArrivalGen::constant("f", 3, near_end, SimDuration::from_nanos(10)).unwrap();
+        assert_eq!(gen.next().unwrap().unwrap().at, near_end);
+        assert_eq!(gen.next().unwrap().unwrap_err(), LoadError::Overflow);
+        assert!(gen.next().is_none(), "stream ends after the error");
+        // The eager constructor rejects the whole schedule instead.
+        assert_eq!(
+            Schedule::constant("f", 3, near_end, SimDuration::from_nanos(10)).unwrap_err(),
+            LoadError::Overflow
+        );
+    }
+
+    #[test]
+    fn merged_arrivals_match_nested_schedule_merge() {
+        let start = SimInstant::EPOCH;
+        let eager = Schedule::poisson("t0", 50, start, SimDuration::from_millis(2), 1)
+            .unwrap()
+            .merge(Schedule::constant("t1", 50, start, SimDuration::from_millis(2)).unwrap())
+            .merge(Schedule::burst("t2", 5, start + SimDuration::from_millis(10)).unwrap());
+        let lazy = MergedArrivals::new(vec![
+            ArrivalGen::poisson("t0", 50, start, SimDuration::from_millis(2), 1).unwrap(),
+            ArrivalGen::constant("t1", 50, start, SimDuration::from_millis(2)).unwrap(),
+            ArrivalGen::burst("t2", 5, start + SimDuration::from_millis(10)).unwrap(),
+        ]);
+        let streamed: Vec<Arrival> = lazy.map(|a| a.unwrap()).collect();
+        assert_eq!(streamed, eager.arrivals());
+    }
+
+    #[test]
+    fn merged_arrivals_stop_at_first_error() {
+        let near_end = SimInstant::from_nanos(u64::MAX - 5);
+        let merged = MergedArrivals::new(vec![
+            ArrivalGen::constant("bad", 3, near_end, SimDuration::from_nanos(10)).unwrap(),
+            ArrivalGen::constant("ok", 3, SimInstant::EPOCH, SimDuration::from_nanos(1)).unwrap(),
+        ]);
+        let items: Vec<LoadResult<Arrival>> = merged.collect();
+        assert!(items.iter().filter(|i| i.is_err()).count() == 1);
+        assert!(items.last().unwrap().is_err(), "error terminates the merge");
+    }
+
+    #[test]
+    fn csv_stream_writes_and_reads_the_eager_format() {
+        let start = SimInstant::EPOCH;
+        let eager = Schedule::poisson("t0", 40, start, SimDuration::from_millis(2), 3)
+            .unwrap()
+            .merge(Schedule::constant("t1", 40, start, SimDuration::from_millis(3)).unwrap());
+        let expected_csv = eager.to_csv();
+
+        // Streamed writer produces byte-identical CSV from lazy sources.
+        let merged = MergedArrivals::new(vec![
+            ArrivalGen::poisson("t0", 40, start, SimDuration::from_millis(2), 3).unwrap(),
+            ArrivalGen::constant("t1", 40, start, SimDuration::from_millis(3)).unwrap(),
+        ]);
+        let mut buf = Vec::new();
+        let rows = write_csv_stream(&mut buf, merged).unwrap();
+        assert_eq!(rows, 80);
+        assert_eq!(String::from_utf8(buf.clone()).unwrap(), expected_csv);
+
+        // Streamed reader yields the same arrivals in file order.
+        let back: Vec<Arrival> = CsvArrivalStream::new(&buf[..])
+            .map(|a| a.unwrap())
+            .collect();
+        assert_eq!(back, eager.arrivals());
+        assert_eq!(collect_stream(CsvArrivalStream::new(&buf[..])), eager);
+    }
+
+    #[test]
+    fn csv_stream_rejects_malformed_rows_with_line_numbers() {
+        let items: Vec<LoadResult<Arrival>> =
+            CsvArrivalStream::new("t_ns,function\nnot-a-number,f\n".as_bytes()).collect();
+        assert_eq!(items, vec![Err(LoadError::Malformed(2))]);
+        let items: Vec<LoadResult<Arrival>> =
+            CsvArrivalStream::new("12 no comma here\n".as_bytes()).collect();
+        assert_eq!(items, vec![Err(LoadError::Malformed(1))]);
+        assert!(CsvArrivalStream::new("".as_bytes()).next().is_none());
+        // Blank lines and a CRLF header are skipped, as in the eager parser.
+        let back: Vec<Arrival> = CsvArrivalStream::new("t_ns,function\r\n\n7,f\r\n".as_bytes())
+            .map(|a| a.unwrap())
+            .collect();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].at, SimInstant::from_nanos(7));
     }
 }

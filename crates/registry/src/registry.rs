@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use prebake_sim::time::SimDuration;
 
@@ -80,10 +81,14 @@ pub struct PullReceipt {
 
 /// The snapshot registry: published manifests plus cumulative
 /// egress/pull accounting across every node that pulls from it.
+///
+/// The manifest store is `Arc`-shared so [`SnapshotRegistry::fork`] can
+/// hand each fleet shard a re-entrant pull handle without copying
+/// manifests; publishing after a fork copies-on-write.
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotRegistry {
     cost: RegistryCost,
-    manifests: BTreeMap<String, ImageManifest>,
+    manifests: Arc<BTreeMap<String, ImageManifest>>,
     egress_bytes: u64,
     dedup_bytes: u64,
     pulls: u64,
@@ -107,7 +112,32 @@ impl SnapshotRegistry {
     /// Publishes a manifest under its id, replacing (and returning) any
     /// previous version.
     pub fn publish(&mut self, manifest: ImageManifest) -> Option<ImageManifest> {
-        self.manifests.insert(manifest.id().to_owned(), manifest)
+        Arc::make_mut(&mut self.manifests).insert(manifest.id().to_owned(), manifest)
+    }
+
+    /// A shard-local pull handle: shares this registry's manifest store
+    /// (no copy) under the same cost model, with fresh zeroed
+    /// accounting, so independent shards can pull concurrently and
+    /// their traffic can be summed back with
+    /// [`SnapshotRegistry::absorb`].
+    pub fn fork(&self) -> SnapshotRegistry {
+        SnapshotRegistry {
+            cost: self.cost,
+            manifests: Arc::clone(&self.manifests),
+            egress_bytes: 0,
+            dedup_bytes: 0,
+            pulls: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Folds a forked handle's accounting back into this registry; the
+    /// manifest store is untouched.
+    pub fn absorb(&mut self, other: &SnapshotRegistry) {
+        self.egress_bytes += other.egress_bytes;
+        self.dedup_bytes += other.dedup_bytes;
+        self.pulls += other.pulls;
+        self.cache_hits += other.cache_hits;
     }
 
     /// Looks up a published manifest.
@@ -230,6 +260,49 @@ mod tests {
         assert_eq!(reg.cache_hits(), 1);
         assert_eq!(reg.egress_bytes(), 2 * total);
         assert_eq!(reg.dedup_bytes(), total);
+    }
+
+    #[test]
+    fn fork_shares_manifests_and_absorb_sums_accounting() {
+        let mut reg = SnapshotRegistry::new(RegistryCost::default());
+        let m = ImageManifest::new("f", [1, 2, 3], 100);
+        let total = m.total_bytes();
+        reg.publish(m);
+
+        let mut shard_a = reg.fork();
+        let mut shard_b = reg.fork();
+        assert_eq!(shard_a.manifest_count(), 1, "manifests shared, not copied");
+
+        let mut node_a = NodeCache::new();
+        let mut node_b = NodeCache::new();
+        shard_a
+            .pull("f", &mut node_a, PullMode::DedupPullThrough)
+            .unwrap();
+        shard_a
+            .pull("f", &mut node_a, PullMode::DedupPullThrough)
+            .unwrap();
+        shard_b
+            .pull("f", &mut node_b, PullMode::DedupPullThrough)
+            .unwrap();
+
+        // Forks account independently; the parent stays untouched...
+        assert_eq!(reg.pulls(), 0);
+        assert_eq!(shard_a.pulls(), 2);
+        assert_eq!(shard_a.cache_hits(), 1);
+        assert_eq!(shard_b.egress_bytes(), total);
+
+        // ...until absorbed back in shard order.
+        reg.absorb(&shard_a);
+        reg.absorb(&shard_b);
+        assert_eq!(reg.pulls(), 3);
+        assert_eq!(reg.cache_hits(), 1);
+        assert_eq!(reg.egress_bytes(), 2 * total);
+        assert_eq!(reg.dedup_bytes(), total);
+
+        // Publishing after a fork copies-on-write: forks keep the old view.
+        reg.publish(ImageManifest::new("g", [7], 0));
+        assert_eq!(reg.manifest_count(), 2);
+        assert_eq!(shard_a.manifest_count(), 1);
     }
 
     #[test]

@@ -49,6 +49,12 @@ impl SpanId {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// A span id from its raw value — for renumbering spans when merging
+    /// independently-traced batches (e.g. fleet shards) into one stream.
+    pub fn from_raw(raw: u64) -> SpanId {
+        SpanId(raw)
+    }
 }
 
 /// One recorded interval of the start path.

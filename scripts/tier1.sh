@@ -88,12 +88,26 @@ run cp results/BENCH_obs.json results/BENCH_obs.run1.json
 run cargo run --release -q -p prebake-bench --bin ablation_obs -- --quick
 run cmp results/BENCH_obs.run1.json results/BENCH_obs.json
 run rm -f results/BENCH_obs.run1.json
+# Sharded event-loop invariants (DESIGN.md §16): threading-invisibility
+# and streaming-vs-eager property tests, and a smoke run of the scale
+# ablation, which streams a 54k-arrival trace through 200 workers at 1
+# and 4 shards, prints sim events/sec (visible in this log), and
+# asserts the threaded drain is bit-identical to the serial one. The
+# ablation runs twice and the outputs are compared byte-for-byte so
+# the sharded scheduler stays seed-deterministic.
+run cargo test -q -p prebake-fleet --test proptest_shards
+run cargo run --release -q -p prebake-bench --bin ablation_scale -- --quick
+run cp results/BENCH_scale.json results/BENCH_scale.run1.json
+run cargo run --release -q -p prebake-bench --bin ablation_scale -- --quick
+run cmp results/BENCH_scale.run1.json results/BENCH_scale.json
+run rm -f results/BENCH_scale.run1.json
 # Bench regression gate: committed baselines must diff clean against
 # themselves (guards the flatten/tolerance logic and catches accidental
 # baseline edits that no longer parse).
 run cargo run --release -q -p prebake-bench --bin benchdiff -- BENCH_fleet.json BENCH_fleet.json
 run cargo run --release -q -p prebake-bench --bin benchdiff -- BENCH_parallel.json BENCH_parallel.json
 run cargo run --release -q -p prebake-bench --bin benchdiff -- BENCH_obs.json BENCH_obs.json
+run cargo run --release -q -p prebake-bench --bin benchdiff -- BENCH_scale.json BENCH_scale.json
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 
