@@ -46,6 +46,10 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
+use prebake_gateway::{
+    first_chunk_at, AdmissionController, AdmissionOutcome, AdmissionStats, CacheInsert,
+    CacheLookup, GatewayConfig, GatewayMetrics, ResultCache,
+};
 use prebake_obs::{Objective, ObsConfig, ObsStack, RecorderConfig, SamplerConfig, SeriesKey};
 use prebake_platform::loadgen::{Arrival, LoadError, LoadResult, Schedule};
 use prebake_registry::{ImageManifest, PullMode, RegistryCost, SnapshotRegistry};
@@ -142,6 +146,13 @@ pub struct FleetConfig {
     /// latency split) still capture the distributions while memory
     /// stays flat.
     pub retain_completed: bool,
+    /// Streaming gateway frontier (admission control, TTL result cache,
+    /// chunked-response TTFC accounting) ahead of the per-function
+    /// queues. `None` (the default) is the pre-gateway fleet: arrivals
+    /// go straight to the scheduler and every committed baseline stays
+    /// byte-identical. Each shard scales the per-worker admission caps
+    /// by its cell's worker count.
+    pub gateway: Option<GatewayConfig>,
 }
 
 impl Default for FleetConfig {
@@ -162,6 +173,7 @@ impl Default for FleetConfig {
             threads: true,
             stream_epoch: SimDuration::from_secs(1),
             retain_completed: true,
+            gateway: None,
         }
     }
 }
@@ -268,16 +280,66 @@ struct Pending {
 
 #[derive(Debug)]
 enum Event {
-    ReplicaReady { worker: usize, replica: u64 },
-    ServeDone { worker: usize, replica: u64 },
+    ReplicaReady {
+        worker: usize,
+        replica: u64,
+    },
+    ServeDone {
+        worker: usize,
+        replica: u64,
+    },
+    /// A gateway-admitted invocation completed: insert its result into
+    /// the cache and promote the admission-queue head into the freed
+    /// slot. Scheduled after the same-instant `ServeDone`, so the
+    /// promoted arrival sees the replica already idle.
+    GatewayDone {
+        function: String,
+    },
     ExpireCheck,
-    Prewarm { function: String },
-    Prepull { function: String },
+    Prewarm {
+        function: String,
+    },
+    Prepull {
+        function: String,
+    },
 }
 
 /// Registry image id of one `(function, gear)` snapshot.
 fn image_id(function: &str, gear: Gear) -> String {
     format!("{function}@{}", gear.label())
+}
+
+/// A gateway-queued arrival awaiting an admission slot.
+#[derive(Debug, Clone)]
+struct Deferred {
+    arrived: SimInstant,
+    function: String,
+}
+
+/// One shard's gateway frontier: the admission controller, result cache
+/// and `gateway_*` metrics for the functions homed here. Functions
+/// complete in their home cell, so admission slots released by
+/// completions always belong to the shard that admitted them.
+struct GatewayFrontier {
+    config: GatewayConfig,
+    admission: AdmissionController<Deferred>,
+    cache: ResultCache<()>,
+    metrics: GatewayMetrics,
+}
+
+impl GatewayFrontier {
+    fn new(config: &GatewayConfig, worker_count: usize) -> GatewayFrontier {
+        let workers = worker_count.max(1);
+        GatewayFrontier {
+            admission: AdmissionController::new(
+                config.inflight_per_worker.saturating_mul(workers),
+                config.queue_per_worker.saturating_mul(workers),
+            ),
+            cache: ResultCache::new(config.cache.clone()),
+            metrics: GatewayMetrics::default(),
+            config: config.clone(),
+        }
+    }
 }
 
 /// One cell of the sharded fleet: a contiguous worker block, the
@@ -314,6 +376,9 @@ struct Shard {
     metrics: FleetMetrics,
     completed: Vec<FleetRequest>,
     tracer: Tracer,
+    /// Streaming-gateway frontier; `None` routes arrivals straight to
+    /// the per-function queues (the pre-gateway scheduler, bit-exact).
+    gateway: Option<GatewayFrontier>,
     next_request: u64,
     next_replica: u64,
     events_processed: u64,
@@ -351,6 +416,10 @@ impl Shard {
             metrics: FleetMetrics::default(),
             completed: Vec::new(),
             tracer,
+            gateway: config
+                .gateway
+                .as_ref()
+                .map(|gc| GatewayFrontier::new(gc, worker_count)),
             next_request: 1,
             next_replica: 1,
             events_processed: 0,
@@ -432,6 +501,7 @@ impl Shard {
         match event {
             Event::ReplicaReady { worker, replica } => self.on_ready(worker, replica),
             Event::ServeDone { worker, replica } => self.on_serve_done(worker, replica),
+            Event::GatewayDone { function } => self.on_gateway_done(&function),
             Event::ExpireCheck => self.on_expire_check(),
             Event::Prewarm { function } => self.on_prewarm(&function),
             Event::Prepull { function } => self.on_prepull(&function),
@@ -443,15 +513,28 @@ impl Shard {
             .get_mut(function)
             .expect("registered")
             .observe(self.now);
-        let queue = self.queues.get_mut(function).expect("registered");
-        if queue.len() >= self.config.queue_cap {
+        if self.gateway.is_some() {
+            self.gateway_arrival(function);
+        } else if !self.backend_arrival(function, self.now) {
+            // Pre-gateway shed accounting: the scheduler queue cap is the
+            // only admission boundary.
             self.metrics.shed.inc();
             let (now, key) = (
                 self.now,
                 SeriesKey::new("fleet_shed_total").tenant(function),
             );
             self.obs_inc(now, key, 1);
-            return;
+        }
+    }
+
+    /// Admits one arrival into `function`'s scheduler queue. Returns
+    /// `false` when the queue cap refuses it (the caller accounts the
+    /// shed — fleet-side without a gateway, reclassified gateway-side
+    /// with one).
+    fn backend_arrival(&mut self, function: &str, arrived: SimInstant) -> bool {
+        let queue = self.queues.get_mut(function).expect("registered");
+        if queue.len() >= self.config.queue_cap {
+            return false;
         }
         // Stride ids by shard so they are unique fleet-wide; one shard
         // degenerates to the sequential admission order.
@@ -464,12 +547,185 @@ impl Shard {
         );
         self.obs_inc(now, key, 1);
         let queue = self.queues.get_mut(function).expect("registered");
-        queue.push_back(Pending {
-            id,
-            arrived: self.now,
-        });
+        queue.push_back(Pending { id, arrived });
         self.dispatch(function);
         self.scale_up(function);
+        true
+    }
+
+    /// The gateway frontier: result cache, then bounded admission, then
+    /// the scheduler. A hit is answered at the edge without touching the
+    /// backend (no fleet request id budget beyond the trace id, no
+    /// scheduler queue, no replica).
+    fn gateway_arrival(&mut self, function: &str) {
+        enum Decision {
+            Cached { completed: SimInstant },
+            Admit { arrived: SimInstant },
+            Queued,
+            Shed,
+        }
+        let now = self.now;
+        let (decision, depth, cache_event) = {
+            let gw = self.gateway.as_mut().expect("gateway on");
+            gw.metrics.arrivals.inc();
+            let depth = gw.admission.queue_depth();
+            gw.metrics.queue_depth.observe(depth as f64);
+            // Fleet invocations carry no request body, so idempotency is
+            // per function and the function name is the whole cache key.
+            let mut cache_event = None;
+            match gw.cache.lookup(function, function, now) {
+                CacheLookup::Hit { .. } => {
+                    gw.metrics.cache_hits.inc();
+                    let serve = SimDuration::from_millis_f64(gw.config.cache.serve_ms.max(0.0));
+                    let completed = now + serve;
+                    gw.metrics.observe_cached((completed - now).as_millis_f64());
+                    gw.metrics.chunks.add(gw.config.stream.chunks.max(1) as u64);
+                    (Decision::Cached { completed }, depth, Some("hits"))
+                }
+                lookup => {
+                    match lookup {
+                        CacheLookup::Stale { .. } => {
+                            gw.metrics.cache_stale.inc();
+                            cache_event = Some("stale");
+                        }
+                        CacheLookup::Miss => {
+                            gw.metrics.cache_misses.inc();
+                            cache_event = Some("misses");
+                        }
+                        CacheLookup::Bypass | CacheLookup::Hit { .. } => {}
+                    }
+                    let deferred = Deferred {
+                        arrived: now,
+                        function: function.to_owned(),
+                    };
+                    let decision = match gw.admission.offer(deferred) {
+                        AdmissionOutcome::Admitted(d) => Decision::Admit { arrived: d.arrived },
+                        AdmissionOutcome::Queued { .. } => Decision::Queued,
+                        AdmissionOutcome::Shed(_) => {
+                            gw.metrics.shed_backpressure.inc();
+                            Decision::Shed
+                        }
+                    };
+                    (decision, depth, cache_event)
+                }
+            }
+        };
+        self.obs_inc(
+            now,
+            SeriesKey::new("gateway_arrivals_total").tenant(function),
+            1,
+        );
+        self.obs_observe(
+            now,
+            SeriesKey::new("gateway_queue_depth"),
+            depth as f64,
+            None,
+        );
+        if let Some(kind) = cache_event {
+            let key = SeriesKey::new(match kind {
+                "hits" => "gateway_cache_hits_total",
+                "stale" => "gateway_cache_stale_total",
+                _ => "gateway_cache_misses_total",
+            })
+            .tenant(function);
+            self.obs_inc(now, key, 1);
+        }
+        match decision {
+            Decision::Cached { completed } => {
+                self.obs_observe(
+                    completed,
+                    SeriesKey::new("gateway_cached_serve_ms").tenant(function),
+                    (completed - now).as_millis_f64(),
+                    None,
+                );
+                self.emit_cached_span(function, now, completed);
+            }
+            Decision::Admit { arrived } => self.gateway_admit(function, arrived, false),
+            Decision::Queued => {}
+            Decision::Shed => {
+                self.obs_inc(
+                    now,
+                    SeriesKey::new("gateway_shed_total").tenant(function),
+                    1,
+                );
+            }
+        }
+    }
+
+    /// Pushes a gateway-admitted arrival at the backend; a queue-cap
+    /// refusal reclassifies the admit as a downstream shed and, if the
+    /// arrival had been promoted from the admission queue, retries with
+    /// the next queued arrival (the aborted promotion freed its slot).
+    fn gateway_admit(&mut self, function: &str, arrived: SimInstant, promoted: bool) {
+        let mut next = Some((function.to_owned(), arrived, promoted));
+        while let Some((function, arrived, promoted)) = next.take() {
+            if self.backend_arrival(&function, arrived) {
+                let gw = self.gateway.as_mut().expect("gateway on");
+                gw.metrics.admitted.inc();
+                if promoted {
+                    gw.metrics.deferred.inc();
+                }
+                return;
+            }
+            let now = self.now;
+            let gw = self.gateway.as_mut().expect("gateway on");
+            gw.admission.abort();
+            gw.metrics.shed_downstream.inc();
+            next = gw
+                .admission
+                .promote()
+                .map(|d| (d.function, d.arrived, true));
+            self.obs_inc(
+                now,
+                SeriesKey::new("gateway_shed_total").tenant(&function),
+                1,
+            );
+        }
+    }
+
+    /// A gateway-admitted invocation of `function` completed: cache its
+    /// result and promote the admission-queue head into the freed slot.
+    fn on_gateway_done(&mut self, function: &str) {
+        let now = self.now;
+        let promoted = {
+            let gw = self.gateway.as_mut().expect("gateway on");
+            match gw.cache.insert(function, function, (), now) {
+                CacheInsert::Stored { evicted } => {
+                    gw.metrics.cache_insertions.inc();
+                    if evicted {
+                        gw.metrics.cache_evictions.inc();
+                    }
+                }
+                CacheInsert::Bypass => {}
+            }
+            gw.admission.release()
+        };
+        if let Some(d) = promoted {
+            self.gateway_admit(&d.function, d.arrived, true);
+        }
+    }
+
+    /// Emits the one-span tree of a cache hit served at the edge (the
+    /// tail sampler treats it like any other non-breaching invocation).
+    /// Consumes a strided request id either way so the id sequence does
+    /// not depend on tracing configuration.
+    fn emit_cached_span(&mut self, function: &str, arrived: SimInstant, completed: SimInstant) {
+        let id = (self.next_request - 1) * self.shard_count + self.index + 1;
+        self.next_request += 1;
+        if !self.tracer.enabled() {
+            return;
+        }
+        if let Some(obs) = self.obs.as_mut() {
+            if !obs.keep_trace(id, false, 1) {
+                return;
+            }
+        }
+        // The frontier is not a worker; pid 0 marks gateway-side spans.
+        let pid = Pid(0);
+        let root = self.tracer.begin("gateway_cached", pid, arrived);
+        self.tracer.attr(root, "function", function.to_owned());
+        self.tracer.attr(root, "id", id.to_string());
+        self.tracer.end(root, completed);
     }
 
     fn on_ready(&mut self, worker: usize, replica: u64) {
@@ -574,8 +830,37 @@ impl Shard {
         if cold {
             self.metrics.cold_starts.inc();
         }
-        let kept = self.emit_spans(&record, start_began, ready_at, pull_wait);
+        // With the gateway on, the response streams as chunks across the
+        // service window: charge the first chunk analytically (no extra
+        // events) and hand the completion back to the admission ledger.
+        let first_chunk = self
+            .gateway
+            .as_ref()
+            .map(|gw| first_chunk_at(record.dispatched, done, gw.config.stream.chunks));
+        let kept = self.emit_spans(&record, start_began, ready_at, pull_wait, first_chunk);
         let at = record.completed;
+        if let Some(fc) = first_chunk {
+            let ttfc_ms = (fc - record.arrived).as_millis_f64();
+            {
+                let gw = self.gateway.as_mut().expect("gateway on");
+                gw.metrics.observe_ttfc(gear.label(), ttfc_ms, cold);
+                gw.metrics.chunks.add(gw.config.stream.chunks.max(1) as u64);
+            }
+            self.obs_observe(
+                fc,
+                SeriesKey::new("gateway_ttfc_ms")
+                    .tenant(&record.function)
+                    .gear(gear.label()),
+                ttfc_ms,
+                kept,
+            );
+            self.events.schedule(
+                done,
+                Event::GatewayDone {
+                    function: record.function.clone(),
+                },
+            );
+        }
         self.obs_observe(
             at,
             SeriesKey::new("fleet_queue_delay_ms").tenant(&record.function),
@@ -622,13 +907,16 @@ impl Shard {
         start_began: SimInstant,
         ready_at: SimInstant,
         pull_wait: SimDuration,
+        first_chunk: Option<SimInstant>,
     ) -> Option<u64> {
         if !self.tracer.enabled() {
             return None;
         }
         if let Some(obs) = self.obs.as_mut() {
             let breach = obs.latency_breach("fleet_latency_ms", record.latency_ms());
-            let tree_spans = 5 + u64::from(record.cold && pull_wait > SimDuration::ZERO);
+            let tree_spans = 5
+                + u64::from(record.cold && pull_wait > SimDuration::ZERO)
+                + u64::from(first_chunk.is_some());
             if !obs.keep_trace(record.id, breach, tree_spans) {
                 return None;
             }
@@ -656,6 +944,12 @@ impl Shard {
         }
         let serve = self.tracer.begin("sched_serve", pid, record.dispatched);
         self.tracer.end(serve, record.completed);
+        if let Some(fc) = first_chunk {
+            // First chunk → completion: the client is already reading
+            // while the replica finishes.
+            let stream = self.tracer.begin("gateway_stream", pid, fc);
+            self.tracer.end(stream, record.completed);
+        }
         self.tracer.end(root, record.completed);
         Some(record.id)
     }
@@ -1107,6 +1401,9 @@ pub struct FleetSim {
     obs: Option<ObsStack>,
     now: SimInstant,
     metrics: FleetMetrics,
+    /// Folded `gateway_*` metrics; `Some` iff the gateway frontier is
+    /// configured.
+    gateway_metrics: Option<GatewayMetrics>,
     completed: Vec<FleetRequest>,
     spans: Vec<TraceSpan>,
     next_span_id: u64,
@@ -1147,6 +1444,7 @@ impl FleetSim {
                 .as_ref()
                 .map(|rc| SnapshotRegistry::new(rc.cost)),
             obs: config.obs.clone().map(ObsStack::new),
+            gateway_metrics: config.gateway.as_ref().map(|_| GatewayMetrics::default()),
             shards,
             config,
             profiles: BTreeMap::new(),
@@ -1383,6 +1681,11 @@ impl FleetSim {
             let metrics = std::mem::take(&mut shard.metrics);
             self.metrics.merge(&metrics);
             self.events_processed += std::mem::take(&mut shard.events_processed);
+            if let (Some(total), Some(gw)) = (self.gateway_metrics.as_mut(), shard.gateway.as_mut())
+            {
+                let taken = std::mem::take(&mut gw.metrics);
+                total.merge(&taken);
+            }
         }
         if self.shards.len() == 1 {
             self.completed.append(&mut self.shards[0].completed);
@@ -1461,6 +1764,55 @@ impl FleetSim {
         &self.metrics
     }
 
+    /// Folded gateway metrics; `None` unless [`FleetConfig::gateway`]
+    /// is configured.
+    pub fn gateway_metrics(&self) -> Option<&GatewayMetrics> {
+        self.gateway_metrics.as_ref()
+    }
+
+    /// Summed admission accounting across every shard's gateway
+    /// frontier (live — includes arrivals still parked in admission
+    /// queues). Zeroes without a gateway.
+    pub fn gateway_admission(&self) -> AdmissionStats {
+        let mut total = AdmissionStats::default();
+        for shard in &self.shards {
+            if let Some(gw) = &shard.gateway {
+                total.merge(gw.admission.stats());
+            }
+        }
+        total
+    }
+
+    /// Arrivals currently parked in admission queues, fleet-wide.
+    pub fn gateway_queue_depth(&self) -> usize {
+        self.shards
+            .iter()
+            .filter_map(|s| s.gateway.as_ref())
+            .map(|gw| gw.admission.queue_depth())
+            .sum()
+    }
+
+    /// The gateway conservation identity, fleet-wide: every shard's
+    /// admission ledger balances (`offered == admitted + shed + queued`)
+    /// and the folded counters balance against cache hits. Trivially
+    /// `true` without a gateway.
+    pub fn gateway_conserved(&self) -> bool {
+        let ledgers = self
+            .shards
+            .iter()
+            .filter_map(|s| s.gateway.as_ref())
+            .all(|gw| gw.admission.conserved());
+        let Some(gm) = &self.gateway_metrics else {
+            return ledgers;
+        };
+        ledgers
+            && gm.arrivals.get()
+                == gm.cache_hits.get()
+                    + gm.admitted.get()
+                    + gm.shed()
+                    + self.gateway_queue_depth() as u64
+    }
+
     /// Events handled across all shards and runs — arrivals plus
     /// scheduler events. The numerator of the events/sec throughput the
     /// scale ablation reports.
@@ -1482,9 +1834,14 @@ impl FleetSim {
         self.shards.iter().map(|s| s.replica_count(function)).sum()
     }
 
-    /// Renders every fleet metric in the Prometheus exposition format.
+    /// Renders every fleet metric in the Prometheus exposition format,
+    /// with the `gateway_*` series appended when the frontier is on.
     pub fn render_metrics(&self) -> String {
-        self.metrics.render(&self.worker_high_water())
+        let mut out = self.metrics.render(&self.worker_high_water());
+        if let Some(gm) = &self.gateway_metrics {
+            out.push_str(&gm.render());
+        }
+        out
     }
 
     /// Drains recorded scheduler span trees (empty unless

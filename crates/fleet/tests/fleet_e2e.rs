@@ -1,9 +1,12 @@
 //! End-to-end: measure real profiles with the single-machine trial
 //! harness, replay a CSV trace through the fleet, and check that a
-//! prebake-gear policy beats the vanilla baseline.
+//! prebake-gear policy beats the vanilla baseline — plus the gateway
+//! frontier: admission conservation, result-cache short-circuiting,
+//! and byte-identical reruns with the frontier enabled.
 
 use prebake_fleet::{
-    FleetConfig, FleetSim, FunctionProfile, Gear, KeepAlive, Policy, StartSelection,
+    CacheConfig, FleetConfig, FleetSim, FunctionProfile, GatewayConfig, Gear, KeepAlive, Policy,
+    StartSelection,
 };
 use prebake_functions::{FunctionSpec, SyntheticSize};
 use prebake_platform::loadgen::Schedule;
@@ -119,4 +122,101 @@ fn fleet_runs_are_deterministic_across_processes() {
         sim.render_metrics()
     };
     assert_eq!(render(), render());
+}
+
+fn det_profile(name: &str) -> FunctionProfile {
+    FunctionProfile::synthetic(
+        name,
+        &[(
+            Gear::Prefetch,
+            prebake_fleet::GearCost {
+                cold_ms: 18.0,
+                first_service_ms: 3.0,
+                warm_service_ms: 1.0,
+                replica_mem_bytes: 64 << 20,
+                image_bytes: 64 << 20,
+            },
+        )],
+    )
+}
+
+fn gateway_fleet(gateway: GatewayConfig, workers: usize) -> FleetSim {
+    let mut sim = FleetSim::new(FleetConfig {
+        workers,
+        policy: Policy {
+            keep_alive: KeepAlive::FixedTtl(SimDuration::from_secs(30)),
+            start: StartSelection::Fixed(Gear::Prefetch),
+        },
+        gateway: Some(gateway),
+        ..FleetConfig::default()
+    });
+    sim.register(det_profile("gw"));
+    sim
+}
+
+#[test]
+fn gateway_frontier_conserves_and_reruns_byte_identically() {
+    let schedule = Schedule::pareto("gw", 200, SimInstant::EPOCH, 200.0, 1.3, 7).unwrap();
+    let run = || {
+        let mut sim = gateway_fleet(
+            GatewayConfig {
+                inflight_per_worker: 2,
+                queue_per_worker: 2,
+                ..GatewayConfig::default()
+            },
+            3,
+        );
+        sim.run(&schedule).unwrap();
+        assert!(sim.gateway_conserved(), "conservation after the run");
+        let stats = sim.gateway_admission();
+        assert_eq!(stats.offered, 200, "every arrival is offered");
+        let gm = sim.gateway_metrics().expect("frontier enabled");
+        assert_eq!(gm.arrivals.get(), 200);
+        assert_eq!(
+            gm.arrivals.get(),
+            gm.admitted.get() + gm.shed() + gm.cache_hits.get(),
+            "no cache: arrivals split into admitted and shed"
+        );
+        assert!(gm.ttfc_ms.count() > 0, "TTFC observed for served requests");
+        let render = sim.render_metrics();
+        assert!(render.contains("gateway_arrivals_total"));
+        assert!(render.contains("gateway_ttfc_ms"));
+        render
+    };
+    assert_eq!(run(), run(), "frontier runs are byte-identical");
+}
+
+#[test]
+fn gateway_cache_short_circuits_repeat_invocations() {
+    let schedule =
+        Schedule::constant("gw", 100, SimInstant::EPOCH, SimDuration::from_millis(50)).unwrap();
+    let mut sim = gateway_fleet(
+        GatewayConfig {
+            cache: CacheConfig {
+                default_ttl: Some(SimDuration::from_secs(10)),
+                ..CacheConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+        2,
+    );
+    sim.run(&schedule).unwrap();
+    assert!(sim.gateway_conserved());
+    let gm = sim.gateway_metrics().expect("frontier enabled");
+    assert_eq!(gm.arrivals.get(), 100);
+    assert!(
+        gm.cache_hits.get() > 50,
+        "steady repeats of one function mostly hit the cache: {} hits",
+        gm.cache_hits.get()
+    );
+    assert!(
+        gm.cached_serve_max_ms < 10.0,
+        "cached path stays under the 10ms bar: {}",
+        gm.cached_serve_max_ms
+    );
+    assert_eq!(
+        sim.completed().len() as u64,
+        gm.admitted.get(),
+        "cache hits never reach the backend"
+    );
 }

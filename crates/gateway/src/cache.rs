@@ -1,0 +1,270 @@
+//! Deterministic result cache with per-function TTLs.
+//!
+//! Idempotent invocations can be answered at the gateway edge without
+//! touching a replica — the `<10ms cached path` of ROADMAP item 4. The
+//! cache is a plain expiry map over the virtual clock: no wall time, no
+//! random eviction, so a cached run replays bit-identically. Lookups
+//! classify as *hit* (entry alive), *stale* (entry present but past its
+//! TTL — removed and re-fetched), *miss* (no entry), or *bypass* (the
+//! function has no TTL configured, i.e. is not declared idempotent).
+
+use std::collections::BTreeMap;
+
+use prebake_sim::time::{SimDuration, SimInstant};
+
+/// Result-cache configuration.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// TTL applied to every function without a `per_function` override.
+    /// `None` means only explicitly listed functions are cacheable —
+    /// idempotency is an opt-in property of a function, not of traffic.
+    pub default_ttl: Option<SimDuration>,
+    /// Per-function TTL overrides.
+    pub per_function: BTreeMap<String, SimDuration>,
+    /// Entry ceiling. At capacity, inserting a new key evicts the entry
+    /// closest to expiry (smallest key on ties) — deterministic, and the
+    /// entry least worth keeping.
+    pub capacity: usize,
+    /// Virtual milliseconds a cache hit takes to serve at the edge. The
+    /// whole point of the cache: this must sit well under the 10ms bar.
+    pub serve_ms: f64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            default_ttl: None,
+            per_function: BTreeMap::new(),
+            capacity: 1024,
+            serve_ms: 0.5,
+        }
+    }
+}
+
+/// What a lookup found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheLookup<V> {
+    /// A live entry: the cached value and its age.
+    Hit {
+        /// Cached value (cloned out; cheap for `Bytes`/`()` values).
+        value: V,
+        /// Time since the entry was inserted.
+        age: SimDuration,
+    },
+    /// An entry existed but its TTL elapsed; it was removed.
+    Stale {
+        /// Time since the expired entry was inserted.
+        age: SimDuration,
+    },
+    /// No entry under this key.
+    Miss,
+    /// The function has no TTL configured — not a cache participant.
+    Bypass,
+}
+
+/// What an insert did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheInsert {
+    /// The value was stored; `evicted` reports whether capacity forced
+    /// another entry out.
+    Stored {
+        /// An existing entry was evicted to make room.
+        evicted: bool,
+    },
+    /// The function has no TTL configured; nothing was stored.
+    Bypass,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    value: V,
+    inserted: SimInstant,
+    expires: SimInstant,
+}
+
+/// The expiry map. Keys are caller-defined (the fleet keys by function
+/// name; the standalone gateway by function + request-body hash).
+#[derive(Debug, Clone)]
+pub struct ResultCache<V> {
+    config: CacheConfig,
+    entries: BTreeMap<String, Entry<V>>,
+}
+
+impl<V: Clone> ResultCache<V> {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> ResultCache<V> {
+        ResultCache {
+            config,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// TTL for `function`: the per-function override, else the default.
+    /// `None` means the function is not cacheable.
+    pub fn ttl_for(&self, function: &str) -> Option<SimDuration> {
+        self.config
+            .per_function
+            .get(function)
+            .copied()
+            .or(self.config.default_ttl)
+    }
+
+    /// Looks `key` up at virtual time `now`. A stale entry is removed so
+    /// the following insert refreshes it.
+    pub fn lookup(&mut self, key: &str, function: &str, now: SimInstant) -> CacheLookup<V> {
+        if self.ttl_for(function).is_none() {
+            return CacheLookup::Bypass;
+        }
+        let Some(entry) = self.entries.get(key) else {
+            return CacheLookup::Miss;
+        };
+        let age = now.saturating_duration_since(entry.inserted);
+        if now < entry.expires {
+            CacheLookup::Hit {
+                value: entry.value.clone(),
+                age,
+            }
+        } else {
+            self.entries.remove(key);
+            CacheLookup::Stale { age }
+        }
+    }
+
+    /// Stores `value` under `key` with the function's TTL, evicting the
+    /// closest-to-expiry entry if at capacity. Replacing an existing key
+    /// never evicts.
+    pub fn insert(&mut self, key: &str, function: &str, value: V, now: SimInstant) -> CacheInsert {
+        let Some(ttl) = self.ttl_for(function) else {
+            return CacheInsert::Bypass;
+        };
+        let capacity = self.config.capacity.max(1);
+        let mut evicted = false;
+        if !self.entries.contains_key(key) && self.entries.len() >= capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(k, e)| (e.expires, (*k).clone()))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty at capacity");
+            self.entries.remove(&victim);
+            evicted = true;
+        }
+        self.entries.insert(
+            key.to_owned(),
+            Entry {
+                value,
+                inserted: now,
+                expires: now + ttl,
+            },
+        );
+        CacheInsert::Stored { evicted }
+    }
+
+    /// Live entries (stale ones linger until looked up or evicted).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(ttl_ms: u64) -> CacheConfig {
+        CacheConfig {
+            default_ttl: Some(SimDuration::from_millis(ttl_ms)),
+            ..CacheConfig::default()
+        }
+    }
+
+    #[test]
+    fn hit_within_ttl_stale_after() {
+        let mut c: ResultCache<u32> = ResultCache::new(cfg(100));
+        let t0 = SimInstant::EPOCH;
+        assert_eq!(c.lookup("k", "f", t0), CacheLookup::Miss);
+        c.insert("k", "f", 7, t0);
+        let hit = c.lookup("k", "f", t0 + SimDuration::from_millis(99));
+        assert!(matches!(hit, CacheLookup::Hit { value: 7, .. }));
+        // Exactly at the TTL boundary the entry is already stale.
+        let stale = c.lookup("k", "f", t0 + SimDuration::from_millis(100));
+        assert!(matches!(stale, CacheLookup::Stale { .. }));
+        // The stale lookup removed it: next probe is a plain miss.
+        assert_eq!(
+            c.lookup("k", "f", t0 + SimDuration::from_millis(100)),
+            CacheLookup::Miss
+        );
+    }
+
+    #[test]
+    fn unlisted_function_bypasses_without_default() {
+        let mut per = BTreeMap::new();
+        per.insert("idem".to_owned(), SimDuration::from_millis(50));
+        let mut c: ResultCache<u32> = ResultCache::new(CacheConfig {
+            default_ttl: None,
+            per_function: per,
+            ..CacheConfig::default()
+        });
+        assert_eq!(
+            c.lookup("x", "other", SimInstant::EPOCH),
+            CacheLookup::Bypass
+        );
+        assert_eq!(
+            c.insert("x", "other", 1, SimInstant::EPOCH),
+            CacheInsert::Bypass
+        );
+        assert!(matches!(
+            c.insert("x", "idem", 1, SimInstant::EPOCH),
+            CacheInsert::Stored { evicted: false }
+        ));
+        assert_eq!(c.ttl_for("idem"), Some(SimDuration::from_millis(50)));
+        assert_eq!(c.ttl_for("other"), None);
+    }
+
+    #[test]
+    fn capacity_evicts_closest_to_expiry() {
+        let mut c: ResultCache<u32> = ResultCache::new(CacheConfig {
+            capacity: 2,
+            ..cfg(1000)
+        });
+        let t0 = SimInstant::EPOCH;
+        c.insert("a", "f", 1, t0); // expires at 1000ms
+        c.insert("b", "f", 2, t0 + SimDuration::from_millis(10)); // 1010ms
+        let out = c.insert("c", "f", 3, t0 + SimDuration::from_millis(20));
+        assert_eq!(out, CacheInsert::Stored { evicted: true });
+        assert_eq!(c.len(), 2);
+        // "a" (earliest expiry) was the victim.
+        assert_eq!(
+            c.lookup("a", "f", t0 + SimDuration::from_millis(30)),
+            CacheLookup::Miss
+        );
+        assert!(matches!(
+            c.lookup("b", "f", t0 + SimDuration::from_millis(30)),
+            CacheLookup::Hit { value: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn replacing_a_key_never_evicts() {
+        let mut c: ResultCache<u32> = ResultCache::new(CacheConfig {
+            capacity: 1,
+            ..cfg(1000)
+        });
+        c.insert("a", "f", 1, SimInstant::EPOCH);
+        let out = c.insert("a", "f", 2, SimInstant::EPOCH + SimDuration::from_millis(5));
+        assert_eq!(out, CacheInsert::Stored { evicted: false });
+        assert!(matches!(
+            c.lookup("a", "f", SimInstant::EPOCH + SimDuration::from_millis(6)),
+            CacheLookup::Hit { value: 2, .. }
+        ));
+    }
+}

@@ -622,6 +622,84 @@ impl Iterator for ArrivalGen {
     }
 }
 
+/// An open-loop Poisson arrival process: rate-and-horizon bounded
+/// instead of count bounded. This is the load shape a streaming gateway
+/// is judged under — arrivals keep coming at the offered rate whether
+/// or not earlier invocations completed, so admission queues and sheds
+/// are properties of the *offered* load, not of the completion loop.
+///
+/// The first arrival lands exactly at `start` (mirroring
+/// [`Schedule::poisson`]); subsequent gaps are exponentially
+/// distributed with mean `1000 / rate_per_sec` ms, floored at 1 ns for
+/// strict monotonicity. Arrivals stop at `start + horizon` (exclusive).
+/// Same seed ⇒ byte-identical sequence. Unlike [`ArrivalGen`] there is
+/// no in-band overflow: the constructor proves `start + horizon` fits
+/// in virtual time, so a gap that overflows necessarily lands past the
+/// horizon and simply ends the stream.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    function: String,
+    t: SimInstant,
+    end: SimInstant,
+    mean_ms: f64,
+    noise: Noise,
+}
+
+impl PoissonProcess {
+    /// Creates a process emitting `rate_per_sec` arrivals per virtual
+    /// second over `[start, start + horizon)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::InvalidRate`] if the rate is non-positive or
+    /// non-finite; [`LoadError::InvalidFunction`] on a bad function id;
+    /// [`LoadError::Overflow`] if the horizon end overflows virtual
+    /// time.
+    pub fn new(
+        function: &str,
+        rate_per_sec: f64,
+        start: SimInstant,
+        horizon: SimDuration,
+        seed: u64,
+    ) -> LoadResult<PoissonProcess> {
+        validate_function(function)?;
+        if !(rate_per_sec.is_finite() && rate_per_sec > 0.0) {
+            return Err(LoadError::InvalidRate);
+        }
+        let end = advance(start, horizon)?;
+        Ok(PoissonProcess {
+            function: function.to_owned(),
+            t: start,
+            end,
+            mean_ms: 1_000.0 / rate_per_sec,
+            noise: Noise::new(seed, 0.0),
+        })
+    }
+
+    /// The exclusive end of the emission window.
+    pub fn horizon_end(&self) -> SimInstant {
+        self.end
+    }
+}
+
+impl Iterator for PoissonProcess {
+    type Item = LoadResult<Arrival>;
+
+    fn next(&mut self) -> Option<LoadResult<Arrival>> {
+        if self.t >= self.end {
+            return None;
+        }
+        let out = Arrival {
+            at: self.t,
+            function: self.function.clone(),
+        };
+        let gap = SimDuration::from_millis_f64(self.noise.exponential(self.mean_ms))
+            .max(SimDuration::from_nanos(1));
+        self.t = advance(self.t, gap).unwrap_or(self.end);
+        Some(Ok(out))
+    }
+}
+
 /// Head slot of one merge source.
 #[derive(Debug)]
 enum Head {

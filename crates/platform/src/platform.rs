@@ -12,6 +12,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use bytes::Bytes;
 use prebake_core::env::{fresh_container, import_images, provision_machine, Deployment};
 use prebake_core::starter::{PrebakeStarter, Started, Starter, VanillaStarter};
 use prebake_runtime::http::Request;
@@ -83,16 +84,26 @@ pub struct CompletedRequest {
     pub function: String,
     /// Arrival time at the gateway.
     pub arrived: SimInstant,
+    /// Instant a replica began serving (queue and cold-start waits end
+    /// here; a streaming frontend charges chunks from this point).
+    pub dispatched: SimInstant,
     /// Completion time.
     pub completed: SimInstant,
     /// Whether the request waited on a cold start.
     pub cold: bool,
+    /// Response body the replica produced (empty for errored requests).
+    pub body: Bytes,
 }
 
 impl CompletedRequest {
     /// End-to-end latency in milliseconds.
     pub fn latency_ms(&self) -> f64 {
         (self.completed - self.arrived).as_millis_f64()
+    }
+
+    /// Queue + cold-start wait before service began, in milliseconds.
+    pub fn dispatch_wait_ms(&self) -> f64 {
+        (self.dispatched - self.arrived).as_millis_f64()
     }
 }
 
@@ -127,9 +138,17 @@ struct QueuedRequest {
 
 #[derive(Debug)]
 enum Event {
-    Arrival { function: String, req: Request },
-    ReplicaReady { container: u64 },
-    RequestDone { container: u64 },
+    Arrival {
+        id: u64,
+        function: String,
+        req: Request,
+    },
+    ReplicaReady {
+        container: u64,
+    },
+    RequestDone {
+        container: u64,
+    },
     IdleSweep,
 }
 
@@ -214,6 +233,13 @@ impl Platform {
         self.now
     }
 
+    /// Instant of the earliest pending event, if any — lets an external
+    /// driver (the gateway) step [`Platform::run_until`] event-batch by
+    /// event-batch and interleave its own bookkeeping between batches.
+    pub fn next_event_time(&self) -> Option<SimInstant> {
+        self.events.peek_time()
+    }
+
     /// Gateway metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
@@ -276,6 +302,7 @@ impl Platform {
         self.events.schedule(
             at.max(self.now),
             Event::Arrival {
+                id,
                 function: function.to_owned(),
                 req,
             },
@@ -296,11 +323,30 @@ impl Platform {
         Ok(())
     }
 
+    /// Runs events strictly before `bound`, then advances the clock to
+    /// `bound`. Events at or after the bound stay queued — an external
+    /// driver (the gateway) can interleave new submissions between event
+    /// batches without perturbing the timeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replica/kernel errors.
+    pub fn run_until(&mut self, bound: SimInstant) -> SysResult<()> {
+        while let Some(t) = self.events.peek_time() {
+            if t >= bound {
+                break;
+            }
+            let (t, event) = self.events.pop().expect("peeked event");
+            self.now = self.now.max(t);
+            self.handle_event(event)?;
+        }
+        self.now = self.now.max(bound);
+        Ok(())
+    }
+
     fn handle_event(&mut self, event: Event) -> SysResult<()> {
         match event {
-            Event::Arrival { function, req } => {
-                let id = self.next_request;
-                self.next_request += 1;
+            Event::Arrival { id, function, req } => {
                 self.metrics.function(&function).requests.inc();
                 self.queues
                     .get_mut(&function)
@@ -370,6 +416,7 @@ impl Platform {
     }
 
     fn serve(&mut self, cid: u64, qreq: QueuedRequest) -> SysResult<()> {
+        let dispatched = self.now;
         let container = self.containers.get_mut(&cid).expect("container exists");
         container.kernel.advance_to(self.now);
         let span = container
@@ -380,10 +427,11 @@ impl Platform {
             .span_attr(span, "function", &container.function);
         container.kernel.span_attr(span, "id", qreq.id.to_string());
         let mut errored = false;
+        let mut body = Bytes::new();
         let outcome = container.replica.handle(&mut container.kernel, &qreq.req);
         container.kernel.span_end(span);
         match outcome {
-            Ok(_response) => {}
+            Ok(response) => body = response.body,
             Err(Errno::Esrch | Errno::Enotconn | Errno::Ebadf | Errno::Efault) => {
                 // Watchdog: the replica process died. Replace the
                 // container, put the request back at the head of the
@@ -415,8 +463,10 @@ impl Platform {
             id: qreq.id,
             function: function.clone(),
             arrived: qreq.arrived,
+            dispatched,
             completed: done,
             cold,
+            body,
         };
         let m = self.metrics.function(&function);
         m.latency.observe(record.latency_ms());

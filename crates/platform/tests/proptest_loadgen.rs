@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use prebake_platform::loadgen::Schedule;
+use prebake_platform::loadgen::{Arrival, PoissonProcess, Schedule};
 use prebake_sim::time::{SimDuration, SimInstant};
 
 /// Builds one schedule from a generator index and shared parameters, so
@@ -86,6 +86,40 @@ proptest! {
         prop_assert_eq!(a, b.clone());
         let c = build(gen, "f", n, 0, interval_ms, seed + 1);
         prop_assert_ne!(b, c);
+    }
+
+    /// The open-loop Poisson process is deterministic per seed, emits
+    /// strictly increasing arrivals confined to `[start, start+horizon)`
+    /// with the first exactly at `start`, and a different seed perturbs
+    /// the sequence (whenever the horizon holds more than one arrival).
+    #[test]
+    fn poisson_process_is_deterministic_and_horizon_bounded(
+        rate in 1.0f64..2_000.0,
+        start_ns in 0u64..1_000_000_000,
+        horizon_ms in 1u64..60_000,
+        seed in 0u64..1_000,
+    ) {
+        let start = SimInstant::from_nanos(start_ns);
+        let horizon = SimDuration::from_millis(horizon_ms);
+        let stream = |s: u64| -> Vec<Arrival> {
+            PoissonProcess::new("f", rate, start, horizon, s)
+                .unwrap()
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap()
+        };
+        let a = stream(seed);
+        let b = stream(seed);
+        prop_assert_eq!(&a, &b, "same seed must replay byte-identically");
+        prop_assert_eq!(a[0].at, start, "first arrival lands at start");
+        let end = start + horizon;
+        for pair in a.windows(2) {
+            prop_assert!(pair[1].at > pair[0].at);
+        }
+        prop_assert!(a.iter().all(|x| x.at < end), "horizon is exclusive");
+        let c = stream(seed + 1);
+        if a.len() > 2 && c.len() > 2 {
+            prop_assert_ne!(&a, &c);
+        }
     }
 
     /// `to_csv` → `from_csv` is the identity for any merged multi-tenant

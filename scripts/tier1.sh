@@ -101,6 +101,19 @@ run cp results/BENCH_scale.json results/BENCH_scale.run1.json
 run cargo run --release -q -p prebake-bench --bin ablation_scale -- --quick
 run cmp results/BENCH_scale.run1.json results/BENCH_scale.json
 run rm -f results/BENCH_scale.run1.json
+# Streaming-gateway invariants (DESIGN.md §17): admission-conservation
+# and cache-TTL property tests plus the end-to-end gateway/SDK suite,
+# and a smoke run of the gateway ablation, which asserts per-arm
+# conservation (arrivals == admitted + shed + cache hits), the <10ms
+# cached path, and the cold-TTFC ordering lazy < prefetch < eager. The
+# ablation runs twice and the outputs are compared byte-for-byte so
+# the gateway frontier stays seed-deterministic.
+run cargo test -q -p prebake-gateway
+run cargo run --release -q -p prebake-bench --bin ablation_gateway -- --quick
+run cp results/BENCH_gateway.json results/BENCH_gateway.run1.json
+run cargo run --release -q -p prebake-bench --bin ablation_gateway -- --quick
+run cmp results/BENCH_gateway.run1.json results/BENCH_gateway.json
+run rm -f results/BENCH_gateway.run1.json
 # Bench regression gate: committed baselines must diff clean against
 # themselves (guards the flatten/tolerance logic and catches accidental
 # baseline edits that no longer parse).
@@ -108,6 +121,7 @@ run cargo run --release -q -p prebake-bench --bin benchdiff -- BENCH_fleet.json 
 run cargo run --release -q -p prebake-bench --bin benchdiff -- BENCH_parallel.json BENCH_parallel.json
 run cargo run --release -q -p prebake-bench --bin benchdiff -- BENCH_obs.json BENCH_obs.json
 run cargo run --release -q -p prebake-bench --bin benchdiff -- BENCH_scale.json BENCH_scale.json
+run cargo run --release -q -p prebake-bench --bin benchdiff -- BENCH_gateway.json BENCH_gateway.json
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 
